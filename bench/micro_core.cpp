@@ -1,0 +1,103 @@
+// Google-benchmark microbenchmarks of ATF's core operations: constrained
+// search-space generation, indexed configuration access, neighbor moves and
+// lazy expression evaluation. These quantify the costs behind the paper's
+// "less than 1 second" generation claim and the per-evaluation overhead of
+// the exploration loop.
+#include <benchmark/benchmark.h>
+
+#include "atf/atf.hpp"
+#include "atf/kernels/xgemm_direct.hpp"
+
+namespace {
+
+void BM_SaxpySpaceGeneration(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto wpt =
+        atf::tp("WPT", atf::interval<std::size_t>(1, n), atf::divides(n));
+    auto ls = atf::tp("LS", atf::interval<std::size_t>(1, n),
+                      atf::divides(n / wpt));
+    auto tree = atf::space_tree::generate(atf::G(wpt, ls));
+    benchmark::DoNotOptimize(tree.size());
+  }
+}
+BENCHMARK(BM_SaxpySpaceGeneration)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_XgemmSpaceGeneration(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const atf::kernels::xgemm::problem prob{n, n, n};
+  for (auto _ : state) {
+    auto setup = atf::kernels::xgemm::make_tuning_parameters(
+        prob, atf::kernels::xgemm::size_mode::general);
+    auto tree = atf::space_tree::generate(setup.group());
+    benchmark::DoNotOptimize(tree.size());
+  }
+}
+BENCHMARK(BM_XgemmSpaceGeneration)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+class XgemmSpaceFixture : public benchmark::Fixture {
+public:
+  void SetUp(const benchmark::State&) override {
+    if (!space) {
+      const atf::kernels::xgemm::problem prob{64, 64, 64};
+      auto setup = atf::kernels::xgemm::make_tuning_parameters(
+          prob, atf::kernels::xgemm::size_mode::general);
+      space = std::make_unique<atf::search_space>(
+          atf::search_space::generate({setup.group()}));
+    }
+  }
+  static std::unique_ptr<atf::search_space> space;
+};
+std::unique_ptr<atf::search_space> XgemmSpaceFixture::space;
+
+BENCHMARK_F(XgemmSpaceFixture, ConfigAt)(benchmark::State& state) {
+  atf::common::xoshiro256 rng(1);
+  for (auto _ : state) {
+    const auto config = space->config_at(space->random_index(rng));
+    benchmark::DoNotOptimize(config.size());
+  }
+}
+
+BENCHMARK_F(XgemmSpaceFixture, RandomNeighbor)(benchmark::State& state) {
+  atf::common::xoshiro256 rng(2);
+  std::uint64_t index = space->random_index(rng);
+  for (auto _ : state) {
+    index = space->random_neighbor(index, rng);
+    benchmark::DoNotOptimize(index);
+  }
+}
+
+BENCHMARK_F(XgemmSpaceFixture, ApplyToSlots)(benchmark::State& state) {
+  atf::common::xoshiro256 rng(3);
+  for (auto _ : state) {
+    space->apply(space->random_index(rng));
+  }
+}
+
+void BM_ExpressionEval(benchmark::State& state) {
+  auto a = atf::tp("a", atf::interval<std::size_t>(1, 1024));
+  auto b = atf::tp("b", atf::interval<std::size_t>(1, 1024));
+  a.set_current(128);
+  b.set_current(7);
+  const auto expr = atf::round_up(std::size_t{1000}, a / b + 1) * b;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr.eval());
+  }
+}
+BENCHMARK(BM_ExpressionEval);
+
+void BM_ConstraintCheck(benchmark::State& state) {
+  auto a = atf::tp("a", atf::interval<std::size_t>(1, 1024));
+  a.set_current(64);
+  const auto constraint = atf::divides(a) && atf::less_than(std::size_t{512});
+  std::size_t v = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(constraint(v));
+  }
+}
+BENCHMARK(BM_ConstraintCheck);
+
+}  // namespace
+
+BENCHMARK_MAIN();

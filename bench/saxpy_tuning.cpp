@@ -1,0 +1,72 @@
+// The running example of Sections II-III: auto-tuning the CLBlast saxpy
+// kernel (Listing 1) with the ATF program of Listing 2 — WPT and LS for a
+// fixed input size N, on the simulated Tesla K20 (the paper's listing
+// targets the sibling K20c; the evaluation machine carries a K20m).
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "atf/atf.hpp"
+#include "atf/cf/ocl.hpp"
+#include "atf/kernels/saxpy.hpp"
+#include "atf/search/simulated_annealing.hpp"
+
+using namespace std::chrono_literals;
+
+int main() {
+  const std::size_t n = std::size_t{1} << 22;
+
+  // Step 1: describe the search space (Listing 2, lines 6-13).
+  auto setup = atf::kernels::saxpy::make_tuning_parameters(n);
+  auto& wpt = setup.wpt;
+  auto& ls = setup.ls;
+
+  // Step 2: the pre-implemented OpenCL cost function (lines 15-24).
+  auto cf_saxpy =
+      atf::cf::ocl("NVIDIA", "Tesla K20", atf::kernels::saxpy::make_kernel())
+          .inputs(atf::cf::scalar<std::size_t>(n),   // N
+                  atf::cf::scalar<float>(),          // a (random)
+                  atf::cf::buffer<float>(n),         // x (random)
+                  atf::cf::buffer<float>(n))         // y (random)
+          .glb_size(n / wpt)
+          .lcl_size(ls);
+
+  // Step 3: explore with simulated annealing under a duration condition
+  // (the listing uses 10 minutes; a few seconds suffice on the simulator).
+  atf::tuner tuner;
+  tuner.tuning_parameters(wpt, ls);
+  tuner.search_technique(
+      std::make_unique<atf::search::simulated_annealing>());
+  tuner.abort_condition(atf::cond::duration(2s) ||
+                        atf::cond::evaluations(20'000));
+  const auto& space = tuner.space();
+  auto result = tuner.tune(cf_saxpy);
+
+  const auto& best = result.best_configuration();
+  std::printf("=== saxpy tuning (Listing 2), N = 2^22 ===\n");
+  std::printf("search space:        %llu valid configurations (generated in "
+              "%.3f s)\n",
+              static_cast<unsigned long long>(space.size()),
+              space.generation_seconds());
+  std::printf("evaluations:         %llu (%llu failed)\n",
+              static_cast<unsigned long long>(result.evaluations),
+              static_cast<unsigned long long>(result.failed_evaluations));
+  std::printf("best configuration:  WPT=%zu LS=%zu\n",
+              static_cast<std::size_t>(best["WPT"]),
+              static_cast<std::size_t>(best["LS"]));
+  std::printf("best kernel time:    %.2f us\n", *result.best_cost / 1e3);
+
+  // Contrast with the two extreme configurations.
+  auto probe = [&](std::size_t w, std::size_t l) {
+    atf::configuration config;
+    config.add("WPT", atf::to_tp_value(w));
+    config.add("LS", atf::to_tp_value(l));
+    wpt.set_current(w);
+    ls.set_current(l);
+    return cf_saxpy(config);
+  };
+  std::printf("naive (WPT=1, LS=1): %.2f us\n", probe(1, 1) / 1e3);
+  std::printf("speedup:             %.2fx\n",
+              probe(1, 1) / *result.best_cost);
+  return 0;
+}

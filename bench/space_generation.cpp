@@ -1,0 +1,182 @@
+// Reproduction of the Section VI-A search-space generation study:
+//
+//  * "even for the multiplication of small 32x32 matrices, the [CLTune]
+//    search space generation takes too much time — we aborted after 3 hours
+//    — while ATF requires less than 1 second";
+//  * "for the routine's maximal supported matrix size 2^10 x 2^10, the
+//    unconstrained space ... has a prohibitively huge size of more than
+//    10^19 configurations while the constrained search space in ATF
+//    comprises nearly 10^7 configurations";
+//  * for IS4 the unconstrained space is ~10^13 against ~10^6 valid
+//    configurations, a validity density of ~10^-7 (Section VI-B).
+//
+// CLTune-style generation enumerates the full Cartesian product; we cap it
+// with a budget and extrapolate the full runtime from the measured
+// enumeration rate.
+#include <cmath>
+#include <cstdio>
+
+#include "atf/common/math_utils.hpp"
+#include "atf/common/stopwatch.hpp"
+#include "bench_common.hpp"
+
+using namespace bench;
+
+namespace {
+
+struct generation_row {
+  std::size_t size;            // square matrix extent (m = n = k = size)
+  double atf_seconds;
+  std::uint64_t atf_valid;
+  double cltune_seconds;       // measured or extrapolated
+  bool cltune_completed;
+  std::uint64_t product_size;  // saturated
+  double product_log10;
+};
+
+generation_row run_square(std::size_t size, double cltune_budget_s) {
+  generation_row row{};
+  row.size = size;
+  const xg::problem prob{size, size, size};
+
+  // ATF: constrained chained-range generation.
+  {
+    auto setup =
+        xg::make_tuning_parameters(prob, xg::size_mode::general);
+    atf::common::stopwatch timer;
+    const auto tree = atf::space_tree::generate(setup.group());
+    row.atf_seconds = timer.elapsed_seconds();
+    row.atf_valid = tree.size();
+  }
+
+  // CLTune-style: full product + filter over the SAME unrestricted ranges
+  // {1..N}^6 x {1,2,4,8}^2 x {t,f}^2 — the "improved CLTune program" the
+  // paper attempted.
+  {
+    const auto tops = xg::unconstrained_range_sizes(prob);
+    row.product_size = 1;
+    std::vector<std::uint64_t> factors;
+    for (const auto top : tops) {
+      row.product_size =
+          atf::common::saturating_mul(row.product_size, top);
+      factors.push_back(top);
+    }
+    row.product_log10 = atf::common::log10_product(factors);
+
+    baselines::cltune::tuner tuner(ocls::find_device("NVIDIA", "K20m"));
+    (void)tuner.AddKernel(xg::make_kernel(), {size, size}, {1, 1});
+    auto iota = [](std::uint64_t top) {
+      std::vector<std::size_t> v(top);
+      for (std::uint64_t i = 0; i < top; ++i) {
+        v[i] = i + 1;
+      }
+      return v;
+    };
+    tuner.AddParameter(0, "WGD", iota(tops[0]));
+    tuner.AddParameter(0, "MDIMCD", iota(tops[1]));
+    tuner.AddParameter(0, "NDIMCD", iota(tops[2]));
+    tuner.AddParameter(0, "MDIMAD", iota(tops[3]));
+    tuner.AddParameter(0, "NDIMBD", iota(tops[4]));
+    tuner.AddParameter(0, "KWID", iota(tops[5]));
+    tuner.AddParameter(0, "VWMD", {1, 2, 4, 8});
+    tuner.AddParameter(0, "VWND", {1, 2, 4, 8});
+    tuner.AddParameter(0, "PADA", {0, 1});
+    tuner.AddParameter(0, "PADB", {0, 1});
+    using vals = std::vector<std::size_t>;
+    tuner.AddConstraint(0, [](vals v) { return v[0] % v[1] == 0; },
+                        {"WGD", "KWID"});
+    tuner.AddConstraint(0, [](vals v) { return v[0] % v[1] == 0; },
+                        {"WGD", "MDIMCD"});
+    tuner.AddConstraint(0, [](vals v) { return v[0] % v[1] == 0; },
+                        {"WGD", "NDIMCD"});
+    tuner.AddConstraint(0, [](vals v) { return v[0] % v[1] == 0; },
+                        {"WGD", "MDIMAD"});
+    tuner.AddConstraint(0, [](vals v) { return v[0] % v[1] == 0; },
+                        {"WGD", "NDIMBD"});
+    tuner.SetGenerationBudget(cltune_budget_s, 0);
+    try {
+      tuner.Tune();
+      row.cltune_completed = true;
+      row.cltune_seconds = tuner.GetGenerationReport().seconds;
+    } catch (const baselines::cltune::generation_aborted& aborted) {
+      row.cltune_completed = false;
+      // Extrapolate: measured rate over the full product.
+      const double rate =
+          static_cast<double>(aborted.enumerated()) / aborted.seconds();
+      row.cltune_seconds =
+          std::pow(10.0, row.product_log10) / rate;
+    } catch (const baselines::cltune::empty_space&) {
+      row.cltune_completed = true;
+      row.cltune_seconds = tuner.GetGenerationReport().seconds;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Section VI-A: search-space generation, ATF vs "
+              "CLTune-style product+filter ===\n\n");
+  std::printf("%-6s | %12s | %12s | %16s | %12s\n", "N", "ATF gen [s]",
+              "valid configs", "CLTune gen [s]", "product size");
+  print_rule(80);
+  for (const std::size_t size : {8u, 16u, 32u, 64u}) {
+    const auto row = run_square(size, /*cltune_budget_s=*/3.0);
+    std::printf("%-6zu | %12.4f | %13llu | %13.4g %s | 10^%.1f\n", row.size,
+                row.atf_seconds,
+                static_cast<unsigned long long>(row.atf_valid),
+                row.cltune_seconds, row.cltune_completed ? "   " : "(*)",
+                row.product_log10);
+  }
+  std::printf("(*) extrapolated from the enumeration rate at the 3 s budget "
+              "(the paper aborted the real CLTune after 3 HOURS at N=32)\n\n");
+
+  // The paper's cardinality claims.
+  std::printf("=== Cardinalities ===\n");
+  {
+    const xg::problem big{1024, 1024, 1024};
+    const auto tops = xg::unconstrained_range_sizes(big);
+    const double log10_unconstrained = atf::common::log10_product(tops);
+    auto setup = xg::make_tuning_parameters(big, xg::size_mode::general);
+    const auto tree = atf::space_tree::generate(setup.group());
+    std::printf(
+        "2^10 x 2^10:  unconstrained 10^%.1f (paper: >10^19)   constrained "
+        "%llu = 10^%.1f (paper: ~10^7)\n",
+        log10_unconstrained,
+        static_cast<unsigned long long>(tree.size()),
+        std::log10(static_cast<double>(tree.size())));
+  }
+  {
+    const xg::problem is4 = xg::caffe_input_size(4);
+    const auto tops = xg::unconstrained_range_sizes(is4);
+    const double log10_unconstrained = atf::common::log10_product(tops);
+    auto setup = xg::make_tuning_parameters(is4, xg::size_mode::general);
+    const auto tree = atf::space_tree::generate(setup.group());
+    const double density = static_cast<double>(tree.size()) /
+                           std::pow(10.0, log10_unconstrained);
+    std::printf(
+        "IS4:          unconstrained 10^%.1f (paper: ~10^13)   constrained "
+        "%llu = 10^%.1f (paper: ~10^6)   validity density %.1e (paper: "
+        "~1e-7)\n",
+        log10_unconstrained,
+        static_cast<unsigned long long>(tree.size()),
+        std::log10(static_cast<double>(tree.size())), density);
+
+    // The paper's ~10^13 unconstrained count corresponds to integer ranges
+    // capped near the reduction extent; with the same cap the validity
+    // density lands at the paper's ~1e-7.
+    const auto capped_tops = xg::unconstrained_range_sizes(is4, 64);
+    const double capped_log10 = atf::common::log10_product(capped_tops);
+    auto capped_setup = xg::make_tuning_parameters(
+        is4, xg::size_mode::general, xg::device_limits{}, 64);
+    const auto capped_tree = atf::space_tree::generate(capped_setup.group());
+    std::printf(
+        "IS4 (ranges capped at 64): unconstrained 10^%.1f   constrained "
+        "%llu   validity density %.1e (paper: ~1e-7)\n",
+        capped_log10, static_cast<unsigned long long>(capped_tree.size()),
+        static_cast<double>(capped_tree.size()) /
+            std::pow(10.0, capped_log10));
+  }
+  return 0;
+}

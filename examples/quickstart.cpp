@@ -1,0 +1,59 @@
+// Quickstart: the paper's Listing 2, line for line.
+//
+// Auto-tunes the CLBlast saxpy kernel (Listing 1) for a fixed input size N:
+//   * WPT (work-per-thread) in [1, N], constrained to divide N;
+//   * LS  (local size)      in [1, N], constrained to divide N / WPT.
+// The cost function is ATF's pre-implemented OpenCL cost function bound to
+// the simulated "Tesla K20" device of the NVIDIA platform; exploration uses
+// simulated annealing under a duration abort condition.
+//
+// Build & run:  ./examples/quickstart
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "atf/atf.hpp"
+#include "atf/cf/ocl.hpp"
+#include "atf/kernels/saxpy.hpp"
+#include "atf/search/simulated_annealing.hpp"
+
+using namespace std::chrono_literals;
+
+int main() {
+  const std::size_t N = std::size_t{1} << 20;  // fixed user-defined size
+
+  // --- Step 1: describe the search space with tuning parameters ----------
+  auto WPT = atf::tp("WPT", atf::interval<std::size_t>(1, N),
+                     atf::divides(N));
+  auto LS = atf::tp("LS", atf::interval<std::size_t>(1, N),
+                    atf::divides(N / WPT));
+
+  // --- Step 2: the pre-implemented OpenCL cost function -------------------
+  auto cf_saxpy =
+      atf::cf::ocl("NVIDIA", "Tesla K20", atf::kernels::saxpy::make_kernel())
+          .inputs(atf::cf::scalar<std::size_t>(N),  // N
+                  atf::cf::scalar<float>(),         // a: random
+                  atf::cf::buffer<float>(N),        // x: random, N elements
+                  atf::cf::buffer<float>(N))        // y: random, N elements
+          .glb_size(N / WPT)   // global size as an arithmetic expression
+          .lcl_size(LS);       // local size
+
+  // --- Step 3: explore the search space -----------------------------------
+  atf::tuner tuner;
+  tuner.tuning_parameters(WPT, LS);
+  tuner.search_technique(std::make_unique<atf::search::simulated_annealing>());
+  tuner.abort_condition(atf::cond::duration(1s) ||
+                        atf::cond::evaluations(5'000));
+  auto result = tuner.tune(cf_saxpy);
+
+  const auto& best_config = result.best_configuration();
+  std::printf("tuned saxpy for N = 2^20 on the simulated Tesla K20\n");
+  std::printf("  evaluations:     %llu\n",
+              static_cast<unsigned long long>(result.evaluations));
+  std::printf("  best WPT:        %zu\n",
+              static_cast<std::size_t>(best_config["WPT"]));
+  std::printf("  best LS:         %zu\n",
+              static_cast<std::size_t>(best_config["LS"]));
+  std::printf("  best kernel time: %.2f us\n", *result.best_cost / 1e3);
+  return 0;
+}

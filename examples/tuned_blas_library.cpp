@@ -1,0 +1,55 @@
+// The complete downstream workflow of an auto-tuned kernel library
+// (CLBlast-style), built on ATF: tune a GEMM shape once per device, persist
+// the result in a tuning database, reload it in a "fresh process", and
+// dispatch with the tuned configuration — falling back to built-in
+// defaults for shapes that were never tuned (the behaviour whose
+// performance cost the paper's Section VI-B quantifies).
+//
+// Build & run:  ./examples/tuned_blas_library
+#include <cstdio>
+#include <vector>
+
+#include "blasmini/gemm.hpp"
+#include "blasmini/tuning_db.hpp"
+
+int main() {
+  const std::string db_path = "/tmp/blasmini_example_db.tsv";
+  const std::size_t m = 10, n = 500, k = 64;  // the paper's IS4 shape
+
+  // --- "Install-time" tuning run ------------------------------------------
+  {
+    blasmini::tuning_db db;
+    for (const char* device_name : {"Xeon", "K20m"}) {
+      blasmini::gemm_executor gemm(ocls::find_device("", device_name), &db);
+      const auto best = gemm.tune(m, n, k, /*evaluations=*/8'000);
+      std::printf("tuned %zux%zux%zu on %s: WGD=%llu MDIMCD=%llu "
+                  "NDIMCD=%llu VWMD=%llu KWID=%llu\n",
+                  m, n, k, device_name,
+                  static_cast<unsigned long long>(best.wgd),
+                  static_cast<unsigned long long>(best.mdimcd),
+                  static_cast<unsigned long long>(best.ndimcd),
+                  static_cast<unsigned long long>(best.vwmd),
+                  static_cast<unsigned long long>(best.kwid));
+    }
+    db.save(db_path);
+    std::printf("database saved: %s (%zu entries)\n\n", db_path.c_str(),
+                db.size());
+  }
+
+  // --- "Application" run: reload the database and dispatch ----------------
+  auto db = blasmini::tuning_db::load(db_path);
+  std::vector<float> a(m * k, 1.0f), b(k * n, 0.5f), c(m * n);
+
+  for (const char* device_name : {"Xeon", "K20m"}) {
+    const auto dev = ocls::find_device("", device_name);
+    blasmini::gemm_executor tuned(dev, &db);
+    blasmini::gemm_executor defaults(dev);  // no database: built-in params
+    const double t_tuned = tuned.run(m, n, k, a, b, c);
+    const double t_default = defaults.run(m, n, k, a, b, c);
+    std::printf("%-26s tuned %8.2f us   defaults %8.2f us   speedup %.2fx\n",
+                dev.name().c_str(), t_tuned / 1e3, t_default / 1e3,
+                t_default / t_tuned);
+  }
+  std::remove(db_path.c_str());
+  return 0;
+}

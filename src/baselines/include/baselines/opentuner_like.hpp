@@ -1,0 +1,59 @@
+// An OpenTuner-like auto-tuner (Ansel et al., PACT 2014) — the paper's
+// second comparison target.
+//
+// OpenTuner has no mechanism for parameter interdependencies: the user
+// declares independent parameter ranges and the ensemble (AUC bandit over
+// Nelder-Mead, Torczon hill climbers, mutation, random) explores the full
+// Cartesian space. Following the paper's methodology (Section VI, after
+// Bruel et al. [3]), configurations violating the kernel's constraints are
+// assigned a penalty cost by the user's cost function. For spaces where
+// valid configurations are a ~1e-7 fraction, the search never finds one in
+// 10,000 evaluations — the effect Figure 2 quantifies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "atf/search/ensemble.hpp"
+
+namespace baselines::opentuner {
+
+/// One evaluated configuration: parameter name -> value.
+using configuration = std::map<std::string, std::uint64_t>;
+
+struct result {
+  configuration best;           ///< valid only if found_valid
+  double best_cost = 0.0;
+  bool found_valid = false;     ///< any non-penalty configuration seen?
+  std::uint64_t evaluations = 0;
+  std::uint64_t valid_evaluations = 0;
+};
+
+class tuner {
+public:
+  /// Declares an integer parameter with an explicit value list.
+  void add_parameter(const std::string& name,
+                     std::vector<std::uint64_t> values);
+
+  /// Declares an integer parameter ranging over {1..top}.
+  void add_parameter_range(const std::string& name, std::uint64_t top);
+
+  /// Size of the (unconstrained) Cartesian space, saturated at 2^64-1.
+  [[nodiscard]] std::uint64_t space_size() const;
+
+  /// Runs `evaluations` steps of the ensemble. `cost` returns the
+  /// configuration's cost, or `penalty` for invalid configurations;
+  /// `penalty` marks the evaluation as invalid in the result statistics.
+  result run(std::uint64_t evaluations, double penalty,
+             const std::function<double(const configuration&)>& cost,
+             std::uint64_t seed = 0x07);
+
+private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<std::uint64_t>> values_;
+};
+
+}  // namespace baselines::opentuner

@@ -1,0 +1,298 @@
+#include "baselines/cltune_like.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "atf/common/math_utils.hpp"
+#include "atf/common/stopwatch.hpp"
+
+namespace baselines::cltune {
+
+tuner::tuner(ocls::device dev) : device_(std::move(dev)) {}
+
+std::size_t tuner::AddKernel(ocls::kernel kernel,
+                             std::vector<std::size_t> global_base,
+                             std::vector<std::size_t> local_base) {
+  kernel_ = std::move(kernel);
+  global_base_ = std::move(global_base);
+  local_base_ = std::move(local_base);
+  kernel_added_ = true;
+  return 0;
+}
+
+void tuner::AddParameter(std::size_t /*id*/, const std::string& name,
+                         std::vector<std::size_t> values) {
+  param_names_.push_back(name);
+  param_values_.push_back(std::move(values));
+}
+
+void tuner::AddConstraint(
+    std::size_t /*id*/,
+    std::function<bool(std::vector<std::size_t>)> constraint,
+    std::vector<std::string> names) {
+  constraint_def def;
+  def.fn = std::move(constraint);
+  for (const auto& name : names) {
+    const auto it =
+        std::find(param_names_.begin(), param_names_.end(), name);
+    if (it == param_names_.end()) {
+      throw std::invalid_argument("cltune: unknown parameter '" + name + "'");
+    }
+    def.param_indices.push_back(
+        static_cast<std::size_t>(it - param_names_.begin()));
+  }
+  constraints_.push_back(std::move(def));
+}
+
+namespace {
+std::size_t index_of(const std::vector<std::string>& names,
+                     const std::string& name) {
+  const auto it = std::find(names.begin(), names.end(), name);
+  if (it == names.end()) {
+    throw std::invalid_argument("cltune: unknown parameter '" + name + "'");
+  }
+  return static_cast<std::size_t>(it - names.begin());
+}
+}  // namespace
+
+void tuner::DivGlobalSize(std::size_t /*id*/, std::vector<std::string> names) {
+  for (const auto& name : names) {
+    div_global_.push_back(index_of(param_names_, name));
+  }
+}
+
+void tuner::MulGlobalSize(std::size_t /*id*/, std::vector<std::string> names) {
+  for (const auto& name : names) {
+    mul_global_.push_back(index_of(param_names_, name));
+  }
+}
+
+void tuner::MulLocalSize(std::size_t /*id*/, std::vector<std::string> names) {
+  for (const auto& name : names) {
+    mul_local_.push_back(index_of(param_names_, name));
+  }
+}
+
+void tuner::AddArgumentScalar(double value) { args_.emplace_back(value); }
+
+void tuner::AddArgumentBuffer(std::size_t element_count) {
+  args_.emplace_back(std::make_shared<ocls::buffer<float>>(element_count));
+}
+
+void tuner::AddDefine(const std::string& name, std::uint64_t value) {
+  defines_.set(name, value);
+}
+
+void tuner::UseAnnealing(double fraction, double temperature) {
+  use_annealing_ = true;
+  annealing_fraction_ = fraction;
+  annealing_temperature_ = temperature;
+}
+
+void tuner::UseFullSearch() { use_annealing_ = false; }
+
+void tuner::SetGenerationBudget(double seconds,
+                                std::uint64_t max_candidates) {
+  budget_seconds_ = seconds;
+  budget_candidates_ = max_candidates;
+}
+
+void tuner::SetSeed(std::uint64_t seed) { seed_ = seed; }
+
+std::uint64_t tuner::ProductSize() const noexcept {
+  std::uint64_t product = param_values_.empty() ? 0 : 1;
+  for (const auto& values : param_values_) {
+    product = atf::common::saturating_mul(product, values.size());
+  }
+  return product;
+}
+
+ocls::nd_range tuner::geometry(const std::vector<std::size_t>& values) const {
+  ocls::nd_range range;
+  range.dims = static_cast<unsigned>(global_base_.size());
+  for (std::size_t d = 0; d < global_base_.size() && d < 3; ++d) {
+    range.global[d] = global_base_[d];
+    range.local[d] = d < local_base_.size() ? local_base_[d] : 1;
+  }
+  // CLTune's size model: the base sizes modified by Div/Mul with parameter
+  // values — round-robin over dimensions as CLTune applies one list entry
+  // per dimension (our kernels only use dim-ordered lists).
+  auto apply = [&](const std::vector<std::size_t>& indices, auto op) {
+    for (std::size_t d = 0; d < indices.size() && d < 3; ++d) {
+      op(d, values[indices[d]]);
+    }
+  };
+  apply(div_global_, [&](std::size_t d, std::size_t v) {
+    range.global[d] = v == 0 ? 0 : range.global[d] / v;
+  });
+  apply(mul_global_, [&](std::size_t d, std::size_t v) {
+    range.global[d] *= v;
+  });
+  apply(mul_local_, [&](std::size_t d, std::size_t v) {
+    range.local[d] *= v;
+  });
+  return range;
+}
+
+double tuner::evaluate(const std::vector<std::size_t>& values) {
+  ocls::define_map defines = defines_;
+  for (std::size_t i = 0; i < param_names_.size(); ++i) {
+    defines.set(param_names_[i], static_cast<std::uint64_t>(values[i]));
+  }
+  auto context = std::make_shared<ocls::context>(device_);
+  ocls::command_queue queue(context);
+  try {
+    return queue.launch(kernel_, geometry(values), args_, defines)
+        .profile_ns();
+  } catch (const ocls::error&) {
+    return std::numeric_limits<double>::infinity();
+  }
+}
+
+void tuner::generate() {
+  // The CLTune strategy: odometer over the FULL Cartesian product; every
+  // tuple is materialized and tested against all constraints. This is
+  // deliberately the slow algorithm the paper measures.
+  atf::common::stopwatch timer;
+  report_ = {};
+  valid_.clear();
+
+  if (param_values_.empty()) {
+    report_.completed = true;
+    return;
+  }
+  for (const auto& values : param_values_) {
+    if (values.empty()) {
+      report_.completed = true;
+      return;  // empty product
+    }
+  }
+
+  std::vector<std::size_t> cursor(param_values_.size(), 0);
+  std::vector<std::size_t> tuple(param_values_.size());
+  std::vector<std::size_t> constraint_args;
+  for (;;) {
+    // Budget check (amortized).
+    if ((report_.candidates_enumerated & 0xfff) == 0) {
+      const double elapsed = timer.elapsed_seconds();
+      if ((budget_seconds_ > 0.0 && elapsed > budget_seconds_) ||
+          (budget_candidates_ > 0 &&
+           report_.candidates_enumerated > budget_candidates_)) {
+        report_.seconds = elapsed;
+        throw generation_aborted(
+            "cltune: search-space generation exceeded its budget",
+            report_.candidates_enumerated, elapsed);
+      }
+    }
+
+    for (std::size_t i = 0; i < cursor.size(); ++i) {
+      tuple[i] = param_values_[i][cursor[i]];
+    }
+    ++report_.candidates_enumerated;
+
+    bool ok = true;
+    for (const auto& constraint : constraints_) {
+      constraint_args.clear();
+      for (const auto index : constraint.param_indices) {
+        constraint_args.push_back(tuple[index]);
+      }
+      if (!constraint.fn(constraint_args)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      valid_.push_back(tuple);
+    }
+
+    // Odometer increment, last parameter fastest.
+    std::size_t digit = cursor.size();
+    while (digit-- > 0) {
+      if (++cursor[digit] < param_values_[digit].size()) {
+        break;
+      }
+      cursor[digit] = 0;
+      if (digit == 0) {
+        report_.valid = valid_.size();
+        report_.seconds = timer.elapsed_seconds();
+        report_.completed = true;
+        return;
+      }
+    }
+  }
+}
+
+void tuner::Tune() {
+  if (!kernel_added_) {
+    throw std::logic_error("cltune: AddKernel must be called before Tune");
+  }
+  generate();
+  if (valid_.empty()) {
+    throw empty_space("cltune: no configuration satisfies the constraints");
+  }
+
+  has_best_ = false;
+  atf::common::xoshiro256 rng(seed_);
+
+  if (!use_annealing_) {
+    for (const auto& values : valid_) {
+      const double cost = evaluate(values);
+      if (std::isfinite(cost) && (!has_best_ || cost < best_cost_)) {
+        best_cost_ = cost;
+        best_values_ = values;
+        has_best_ = true;
+      }
+    }
+  } else {
+    const auto budget = static_cast<std::uint64_t>(std::max(
+        1.0, annealing_fraction_ * static_cast<double>(valid_.size())));
+    std::uint64_t current = rng.below(valid_.size());
+    double current_cost = evaluate(valid_[current]);
+    if (std::isfinite(current_cost)) {
+      best_cost_ = current_cost;
+      best_values_ = valid_[current];
+      has_best_ = true;
+    }
+    for (std::uint64_t step = 1; step < budget; ++step) {
+      const std::uint64_t proposed = rng.below(valid_.size());
+      const double cost = evaluate(valid_[proposed]);
+      if (std::isfinite(cost) && (!has_best_ || cost < best_cost_)) {
+        best_cost_ = cost;
+        best_values_ = valid_[proposed];
+        has_best_ = true;
+      }
+      bool accept;
+      if (!std::isfinite(cost)) {
+        accept = false;
+      } else if (!std::isfinite(current_cost) || cost <= current_cost) {
+        accept = true;
+      } else {
+        const double delta_percent =
+            (cost - current_cost) / current_cost * 100.0;
+        accept = rng.uniform() <
+                 std::exp(-delta_percent / annealing_temperature_);
+      }
+      if (accept) {
+        current = proposed;
+        current_cost = cost;
+      }
+    }
+  }
+
+  if (!has_best_) {
+    throw empty_space("cltune: every valid configuration failed to launch");
+  }
+}
+
+std::map<std::string, std::size_t> tuner::GetBestResult() const {
+  if (!has_best_) {
+    throw std::logic_error("cltune: Tune() found no result");
+  }
+  std::map<std::string, std::size_t> result;
+  for (std::size_t i = 0; i < param_names_.size(); ++i) {
+    result[param_names_[i]] = best_values_[i];
+  }
+  return result;
+}
+
+}  // namespace baselines::cltune

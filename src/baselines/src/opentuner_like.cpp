@@ -1,0 +1,75 @@
+#include "baselines/opentuner_like.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "atf/common/math_utils.hpp"
+
+namespace baselines::opentuner {
+
+void tuner::add_parameter(const std::string& name,
+                          std::vector<std::uint64_t> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("opentuner: empty value list for '" + name +
+                                "'");
+  }
+  names_.push_back(name);
+  values_.push_back(std::move(values));
+}
+
+void tuner::add_parameter_range(const std::string& name, std::uint64_t top) {
+  std::vector<std::uint64_t> values;
+  values.reserve(top);
+  for (std::uint64_t v = 1; v <= top; ++v) {
+    values.push_back(v);
+  }
+  add_parameter(name, std::move(values));
+}
+
+std::uint64_t tuner::space_size() const {
+  std::uint64_t product = values_.empty() ? 0 : 1;
+  for (const auto& values : values_) {
+    product = atf::common::saturating_mul(product, values.size());
+  }
+  return product;
+}
+
+result tuner::run(std::uint64_t evaluations, double penalty,
+                  const std::function<double(const configuration&)>& cost,
+                  std::uint64_t seed) {
+  if (values_.empty()) {
+    throw std::logic_error("opentuner: no parameters declared");
+  }
+
+  std::vector<std::uint64_t> axes;
+  axes.reserve(values_.size());
+  for (const auto& values : values_) {
+    axes.push_back(values.size());
+  }
+  atf::search::ensemble engine;
+  engine.initialize(atf::search::numeric_domain(std::move(axes)), seed);
+
+  result out;
+  for (std::uint64_t step = 0; step < evaluations; ++step) {
+    const atf::search::point p = engine.next_point();
+    configuration config;
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      config[names_[i]] = values_[i][p[i]];
+    }
+    const double c = cost(config);
+    ++out.evaluations;
+    const bool is_valid = c < penalty;
+    if (is_valid) {
+      ++out.valid_evaluations;
+    }
+    if (is_valid && (!out.found_valid || c < out.best_cost)) {
+      out.best_cost = c;
+      out.best = config;
+      out.found_valid = true;
+    }
+    engine.report(c);
+  }
+  return out;
+}
+
+}  // namespace baselines::opentuner

@@ -1,0 +1,59 @@
+// blasmini::gemm — a CLBlast-style auto-tuned GEMM routine on top of the
+// simulator and ATF: the downstream-consumer layer of the auto-tuning
+// pipeline.
+//
+//   blasmini::gemm_executor gemm(device, &db);
+//   gemm.tune(m, n, k);                   // once per device/shape; fills db
+//   auto t = gemm.run(m, n, k, A, B, C);  // dispatches with tuned params
+//
+// run() uses, in order of preference: the database entry for the exact
+// (device, shape); otherwise the kernel's built-in defaults — the same
+// fallback logic CLBlast applies, whose performance consequences Section
+// VI-B quantifies.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "atf/kernels/xgemm_direct.hpp"
+#include "blasmini/tuning_db.hpp"
+#include "ocls/ocls.hpp"
+
+namespace blasmini {
+
+class gemm_executor {
+public:
+  /// `db` may be null: every dispatch then uses the kernel defaults.
+  explicit gemm_executor(ocls::device dev, tuning_db* db = nullptr);
+
+  /// Tunes XgemmDirect for this shape with ATF (simulated annealing under
+  /// an evaluation budget) and stores the best configuration in the
+  /// database. Returns the best-found parameters.
+  atf::kernels::xgemm::params tune(std::size_t m, std::size_t n,
+                                   std::size_t k,
+                                   std::uint64_t evaluations = 20'000,
+                                   std::uint64_t seed = 1);
+
+  /// Computes C[m x n] = A[m x k] * B[k x n] functionally on the simulated
+  /// device using the best-known parameters; returns the modeled kernel
+  /// time in nanoseconds.
+  double run(std::size_t m, std::size_t n, std::size_t k,
+             std::span<const float> a, std::span<const float> b,
+             std::span<float> c) const;
+
+  /// The parameters run() would use for this shape (db entry or defaults).
+  [[nodiscard]] atf::kernels::xgemm::params params_for(std::size_t m,
+                                                       std::size_t n,
+                                                       std::size_t k) const;
+
+  [[nodiscard]] static std::string problem_signature(std::size_t m,
+                                                     std::size_t n,
+                                                     std::size_t k);
+
+private:
+  ocls::device device_;
+  tuning_db* db_;
+};
+
+}  // namespace blasmini

@@ -1,0 +1,57 @@
+// A persistent tuning database: (device, kernel, problem) -> best-found
+// configuration. This is the downstream half of the auto-tuning story the
+// paper's evaluation revolves around — CLBlast ships exactly such a
+// database filled by its tuner, and falls back to built-in defaults for
+// unknown devices/shapes (the paper's Section VI-B fallback behaviour).
+//
+// The store is a flat text file, one record per line:
+//   device<TAB>kernel<TAB>problem<TAB>k1=v1 k2=v2 ...
+// Keys are free-form strings; values are the textual forms used for
+// preprocessor defines, so a record can be replayed into an
+// ocls::define_map directly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace blasmini {
+
+/// One stored configuration: parameter name -> textual value.
+using record = std::map<std::string, std::string>;
+
+class tuning_db {
+public:
+  tuning_db() = default;
+
+  /// Loads a database file; missing files yield an empty database.
+  static tuning_db load(const std::string& path);
+
+  /// Writes the database; throws std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+
+  [[nodiscard]] std::optional<record> lookup(const std::string& device,
+                                             const std::string& kernel,
+                                             const std::string& problem) const;
+
+  void store(const std::string& device, const std::string& kernel,
+             const std::string& problem, record config);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+private:
+  struct key {
+    std::string device;
+    std::string kernel;
+    std::string problem;
+
+    friend bool operator<(const key& a, const key& b) {
+      return std::tie(a.device, a.kernel, a.problem) <
+             std::tie(b.device, b.kernel, b.problem);
+    }
+  };
+
+  std::map<key, record> entries_;
+};
+
+}  // namespace blasmini

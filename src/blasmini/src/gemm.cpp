@@ -1,0 +1,151 @@
+#include "blasmini/gemm.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "atf/atf.hpp"
+#include "atf/search/opentuner_search.hpp"
+#include "atf/search/simulated_annealing.hpp"
+
+namespace blasmini {
+
+namespace xg = atf::kernels::xgemm;
+
+gemm_executor::gemm_executor(ocls::device dev, tuning_db* db)
+    : device_(std::move(dev)), db_(db) {}
+
+std::string gemm_executor::problem_signature(std::size_t m, std::size_t n,
+                                             std::size_t k) {
+  return std::to_string(m) + "x" + std::to_string(n) + "x" +
+         std::to_string(k);
+}
+
+xg::params gemm_executor::params_for(std::size_t m, std::size_t n,
+                                     std::size_t k) const {
+  if (db_ != nullptr) {
+    const auto hit = db_->lookup(device_.name(), "XgemmDirect",
+                                 problem_signature(m, n, k));
+    if (hit.has_value()) {
+      ocls::define_map defines;
+      for (const auto& [name, value] : *hit) {
+        defines.set(name, value);
+      }
+      return xg::params::from_defines(defines);
+    }
+  }
+  return xg::params::defaults();
+}
+
+xg::params gemm_executor::tune(std::size_t m, std::size_t n, std::size_t k,
+                               std::uint64_t evaluations,
+                               std::uint64_t seed) {
+  const xg::problem prob{m, n, k};
+  auto setup = xg::make_tuning_parameters(
+      prob, xg::size_mode::general,
+      xg::device_limits::of(device_.profile()));
+
+  const ocls::kernel kernel = xg::make_kernel();
+  auto ctx = std::make_shared<ocls::context>(device_);
+
+  atf::tuner tuner;
+  tuner.tuning_parameters(setup.group());
+  tuner.search_technique(
+      std::make_unique<atf::search::opentuner_search>(seed));
+  tuner.abort_condition(atf::cond::evaluations(evaluations));
+  tuner.cache_evaluations(true);
+
+  auto measure_params = [&](const xg::params& p) {
+    ocls::command_queue queue(ctx);
+    return queue
+        .launch(kernel, xg::launch_range(prob, p, xg::size_mode::general),
+                {}, xg::make_defines(prob, p))
+        .profile_ns();
+  };
+
+  auto result = tuner.tune([&](const atf::configuration& config) {
+    xg::params p;
+    p.wgd = config["WGD"];
+    p.mdimcd = config["MDIMCD"];
+    p.ndimcd = config["NDIMCD"];
+    p.mdimad = config["MDIMAD"];
+    p.ndimbd = config["NDIMBD"];
+    p.kwid = config["KWID"];
+    p.vwmd = config["VWMD"];
+    p.vwnd = config["VWND"];
+    p.pada = config["PADA"];
+    p.padb = config["PADB"];
+    ocls::command_queue queue(ctx);
+    try {
+      return queue
+          .launch(kernel, xg::launch_range(prob, p, xg::size_mode::general),
+                  {}, xg::make_defines(prob, p))
+          .profile_ns();
+    } catch (const ocls::error& error) {
+      throw atf::evaluation_error(error.what());
+    }
+  });
+
+  const auto& best = result.best_configuration();
+  ocls::define_map defines;
+  xg::params p;
+  p.wgd = best["WGD"];
+  p.mdimcd = best["MDIMCD"];
+  p.ndimcd = best["NDIMCD"];
+  p.mdimad = best["MDIMAD"];
+  p.ndimbd = best["NDIMBD"];
+  p.kwid = best["KWID"];
+  p.vwmd = best["VWMD"];
+  p.vwnd = best["VWND"];
+  p.pada = best["PADA"];
+  p.padb = best["PADB"];
+  // A tuned library must never regress below its shipped defaults: if the
+  // search budget was too small to beat them, keep the defaults (the same
+  // guard CLBlast applies when adopting tuner output).
+  if (xg::valid(prob, xg::params::defaults(), xg::size_mode::general,
+                xg::device_limits::of(device_.profile())) &&
+      measure_params(xg::params::defaults()) < *result.best_cost) {
+    p = xg::params::defaults();
+  }
+  if (db_ != nullptr) {
+    p.to_defines(defines);
+    record config;
+    for (const auto& [name, value] : defines.all()) {
+      config[name] = value;
+    }
+    db_->store(device_.name(), "XgemmDirect", problem_signature(m, n, k),
+               std::move(config));
+  }
+  return p;
+}
+
+double gemm_executor::run(std::size_t m, std::size_t n, std::size_t k,
+                          std::span<const float> a, std::span<const float> b,
+                          std::span<float> c) const {
+  const xg::problem prob{m, n, k};
+  const xg::params p = params_for(m, n, k);
+
+  auto ctx = std::make_shared<ocls::context>(device_);
+  ctx->execute_functionally(true);
+  ocls::command_queue queue(ctx);
+
+  auto a_buf = std::make_shared<ocls::buffer<float>>(
+      std::vector<float>(a.begin(), a.end()));
+  auto b_buf = std::make_shared<ocls::buffer<float>>(
+      std::vector<float>(b.begin(), b.end()));
+  auto c_buf = std::make_shared<ocls::buffer<float>>(m * n);
+
+  ocls::kernel_args args{ocls::arg(static_cast<double>(m)),
+                         ocls::arg(static_cast<double>(n)),
+                         ocls::arg(static_cast<double>(k)),
+                         ocls::arg(a_buf), ocls::arg(b_buf),
+                         ocls::arg(c_buf)};
+  const auto event =
+      queue.launch(xg::make_kernel(),
+                   xg::launch_range(prob, p, xg::size_mode::general), args,
+                   xg::make_defines(prob, p));
+  const auto host = c_buf->host();
+  std::copy(host.begin(), host.end(), c.begin());
+  return event.profile_ns();
+}
+
+}  // namespace blasmini

@@ -1,0 +1,73 @@
+#include "blasmini/tuning_db.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "atf/common/string_utils.hpp"
+
+namespace blasmini {
+
+tuning_db tuning_db::load(const std::string& path) {
+  tuning_db db;
+  std::ifstream in(path);
+  if (!in) {
+    return db;  // no database yet: every lookup misses
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    const auto fields = atf::common::split(line, '\t');
+    if (fields.size() != 4) {
+      continue;  // tolerate foreign lines
+    }
+    record config;
+    for (const auto& pair : atf::common::split(fields[3], ' ')) {
+      const auto eq = pair.find('=');
+      if (eq == std::string::npos) {
+        continue;
+      }
+      config[pair.substr(0, eq)] = pair.substr(eq + 1);
+    }
+    db.entries_[{fields[0], fields[1], fields[2]}] = std::move(config);
+  }
+  return db;
+}
+
+void tuning_db::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("tuning_db: cannot write '" + path + "'");
+  }
+  out << "# blasmini tuning database: device\tkernel\tproblem\tconfig\n";
+  for (const auto& [key, config] : entries_) {
+    out << key.device << '\t' << key.kernel << '\t' << key.problem << '\t';
+    bool first = true;
+    for (const auto& [name, value] : config) {
+      if (!first) {
+        out << ' ';
+      }
+      out << name << '=' << value;
+      first = false;
+    }
+    out << '\n';
+  }
+}
+
+std::optional<record> tuning_db::lookup(const std::string& device,
+                                        const std::string& kernel,
+                                        const std::string& problem) const {
+  const auto it = entries_.find({device, kernel, problem});
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void tuning_db::store(const std::string& device, const std::string& kernel,
+                      const std::string& problem, record config) {
+  entries_[{device, kernel, problem}] = std::move(config);
+}
+
+}  // namespace blasmini

@@ -1,0 +1,33 @@
+// Minimal RFC-4180-style CSV writer. The tuner appends one row per evaluated
+// configuration so tuning runs can be analysed offline.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace atf::common {
+
+class csv_writer {
+public:
+  csv_writer() = default;
+
+  /// Opens `path` for writing and emits the header row. Throws
+  /// std::runtime_error if the file cannot be opened.
+  csv_writer(const std::string& path, const std::vector<std::string>& header);
+
+  [[nodiscard]] bool is_open() const noexcept { return stream_.is_open(); }
+
+  /// Writes one row; fields are quoted when they contain , " or newline.
+  void write_row(const std::vector<std::string>& fields);
+
+  void flush();
+
+private:
+  static std::string escape(const std::string& field);
+
+  std::ofstream stream_;
+  std::size_t columns_ = 0;
+};
+
+}  // namespace atf::common

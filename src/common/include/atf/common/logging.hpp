@@ -1,0 +1,49 @@
+// Lightweight leveled logging. Off by default so library users see nothing
+// unless they opt in; the tuner raises the level to `info` when verbose
+// tuning is requested.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace atf::common {
+
+enum class log_level { off = 0, error = 1, warn = 2, info = 3, debug = 4 };
+
+/// Process-wide log threshold (atomic underneath).
+void set_log_level(log_level level) noexcept;
+[[nodiscard]] log_level get_log_level() noexcept;
+
+/// Emits `message` to stderr if `level` is enabled. Thread-safe (one write).
+void log_message(log_level level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(log_level level, const Args&... args) {
+  if (static_cast<int>(level) > static_cast<int>(get_log_level())) {
+    return;
+  }
+  std::ostringstream stream;
+  (stream << ... << args);
+  log_message(level, stream.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_error(const Args&... args) {
+  detail::log_fmt(log_level::error, args...);
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  detail::log_fmt(log_level::warn, args...);
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+  detail::log_fmt(log_level::info, args...);
+}
+template <typename... Args>
+void log_debug(const Args&... args) {
+  detail::log_fmt(log_level::debug, args...);
+}
+
+}  // namespace atf::common

@@ -1,0 +1,49 @@
+// Integer helpers shared by the search-space machinery, the OpenCL simulator
+// and the kernel performance models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace atf::common {
+
+/// Ceiling division for non-negative integers; divisor must be > 0.
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a,
+                                               std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Rounds `a` up to the next multiple of `b` (b > 0). This is the operation
+/// CLBlast applies to the global size so that any local size is admissible —
+/// the capability CLTune cannot express (paper, Sections III and VI-A).
+[[nodiscard]] constexpr std::uint64_t round_up(std::uint64_t a,
+                                               std::uint64_t b) noexcept {
+  return ceil_div(a, b) * b;
+}
+
+[[nodiscard]] constexpr bool is_power_of_two(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Greatest common divisor (both arguments may be zero).
+[[nodiscard]] std::uint64_t gcd(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// Least common multiple; returns 0 if either argument is 0.
+[[nodiscard]] std::uint64_t lcm(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// All positive divisors of n in ascending order (n >= 1).
+[[nodiscard]] std::vector<std::uint64_t> divisors_of(std::uint64_t n);
+
+/// Number of positive divisors of n (n >= 1).
+[[nodiscard]] std::uint64_t count_divisors(std::uint64_t n);
+
+/// Saturating multiply: returns UINT64_MAX on overflow. Used when counting
+/// the cardinality of *unconstrained* search spaces, which overflow 64 bits
+/// for the paper's 2^10 x 2^10 GEMM (more than 10^19 configurations).
+[[nodiscard]] std::uint64_t saturating_mul(std::uint64_t a,
+                                           std::uint64_t b) noexcept;
+
+/// log10 of a product given as factors, exact even when the product overflows.
+[[nodiscard]] double log10_product(const std::vector<std::uint64_t>& factors);
+
+}  // namespace atf::common

@@ -1,0 +1,90 @@
+// Deterministic, fast pseudo-random number generation for the tuner and the
+// simulator. We use xoshiro256** (Blackman & Vigna) instead of std::mt19937
+// because search techniques draw a very large number of small integers and the
+// tuner must be reproducible across platforms: libstdc++/libc++ distributions
+// are not guaranteed to produce identical streams, our own helpers are.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace atf::common {
+
+/// xoshiro256** 1.0 — public-domain algorithm, re-implemented here.
+/// Satisfies the C++ UniformRandomBitGenerator requirements.
+class xoshiro256 {
+public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from a single seed value using
+  /// splitmix64, as recommended by the xoshiro authors.
+  explicit xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift reduction
+  /// with rejection to avoid modulo bias. bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    // Fast path covers every bound we use in practice; the rejection loop
+    // guarantees exact uniformity.
+    for (;;) {
+      const std::uint64_t x = (*this)();
+      const unsigned __int128 m =
+          static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(bound);
+      const std::uint64_t low = static_cast<std::uint64_t>(m);
+      if (low >= bound || low >= (0 - bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace atf::common

@@ -1,0 +1,41 @@
+// Online and batch descriptive statistics, used by the tuning log, the
+// benchmark harnesses, and the AUC-bandit meta-technique.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace atf::common {
+
+/// Welford's online algorithm for mean/variance; numerically stable.
+class running_stats {
+public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile with linear interpolation; `p` in [0,100]. The input vector is
+/// copied and sorted. Returns 0 for an empty input.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+/// Geometric mean; values must be positive. Returns 0 for an empty input.
+[[nodiscard]] double geometric_mean(const std::vector<double>& values);
+
+/// Median absolute deviation (scaled by 1.4826 for normal consistency).
+[[nodiscard]] double mad(const std::vector<double>& values);
+
+}  // namespace atf::common

@@ -1,0 +1,34 @@
+// Small wall-clock stopwatch used by abort conditions, the tuning log, and
+// the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace atf::common {
+
+class stopwatch {
+public:
+  using clock = std::chrono::steady_clock;
+
+  stopwatch() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] std::chrono::nanoseconds elapsed() const noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                start_);
+  }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return elapsed_seconds() * 1e3;
+  }
+
+private:
+  clock::time_point start_;
+};
+
+}  // namespace atf::common

@@ -1,0 +1,38 @@
+// String helpers for define-injection (the simulator's analogue of the OpenCL
+// preprocessor), log formatting, and the program cost function.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atf::common {
+
+/// Splits on a single-character delimiter; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+[[nodiscard]] std::string trim(std::string_view text);
+
+/// Joins items with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& items,
+                               std::string_view sep);
+
+/// Replaces every occurrence of a whole-word identifier `name` in `text`
+/// with `value`. "Whole word" means the match is not adjacent to an
+/// identifier character ([A-Za-z0-9_]). This mirrors how an auto-tuner
+/// substitutes tuning-parameter names in kernel source via the preprocessor.
+[[nodiscard]] std::string replace_identifier(std::string_view text,
+                                             std::string_view name,
+                                             std::string_view value);
+
+/// Formats a double with `digits` significant digits (for report tables).
+[[nodiscard]] std::string format_sig(double value, int digits = 3);
+
+/// Human-readable duration, e.g. "1.24 ms", "3.5 s".
+[[nodiscard]] std::string format_duration_ns(double nanoseconds);
+
+/// Human-readable count with engineering suffix, e.g. "1.2e7".
+[[nodiscard]] std::string format_count(double count);
+
+}  // namespace atf::common

@@ -1,0 +1,61 @@
+// Fixed-size thread pool built on the Standard C++ Threading Library.
+//
+// ATF uses it for parallel search-space generation (one task per dependent
+// parameter group, Section V of the paper) and the OpenCL simulator uses it to
+// execute work-groups concurrently.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace atf::common {
+
+class thread_pool {
+public:
+  /// Creates a pool with `num_threads` workers; 0 means hardware concurrency.
+  explicit thread_pool(std::size_t num_threads = 0);
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  /// Joins all workers; pending tasks are drained first.
+  ~thread_pool();
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task and returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using result_t = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<result_t()>>(std::forward<F>(fn));
+    std::future<result_t> future = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      tasks_.emplace([task]() mutable { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Runs fn(i) for i in [0, count) across the pool and blocks until all
+  /// iterations finish. Exceptions from iterations are rethrown (first one).
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace atf::common

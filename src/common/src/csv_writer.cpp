@@ -1,0 +1,50 @@
+#include "atf/common/csv_writer.hpp"
+
+#include <stdexcept>
+
+#include "atf/common/string_utils.hpp"
+
+namespace atf::common {
+
+csv_writer::csv_writer(const std::string& path,
+                       const std::vector<std::string>& header)
+    : stream_(path), columns_(header.size()) {
+  if (!stream_) {
+    throw std::runtime_error("csv_writer: cannot open '" + path + "'");
+  }
+  write_row(header);
+}
+
+std::string csv_writer::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) {
+    return field;
+  }
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void csv_writer::write_row(const std::vector<std::string>& fields) {
+  if (columns_ != 0 && fields.size() != columns_) {
+    throw std::runtime_error("csv_writer: row has " +
+                             std::to_string(fields.size()) + " fields, expected " +
+                             std::to_string(columns_));
+  }
+  std::vector<std::string> escaped;
+  escaped.reserve(fields.size());
+  for (const auto& field : fields) {
+    escaped.push_back(escape(field));
+  }
+  stream_ << join(escaped, ",") << '\n';
+}
+
+void csv_writer::flush() { stream_.flush(); }
+
+}  // namespace atf::common

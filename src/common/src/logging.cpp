@@ -1,0 +1,45 @@
+#include "atf/common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace atf::common {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(log_level::off)};
+std::mutex g_mutex;
+
+const char* level_name(log_level level) {
+  switch (level) {
+    case log_level::error:
+      return "ERROR";
+    case log_level::warn:
+      return "WARN";
+    case log_level::info:
+      return "INFO";
+    case log_level::debug:
+      return "DEBUG";
+    default:
+      return "OFF";
+  }
+}
+}  // namespace
+
+void set_log_level(log_level level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+log_level get_log_level() noexcept {
+  return static_cast<log_level>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_message(log_level level, const std::string& message) {
+  if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::lock_guard lock(g_mutex);
+  std::fprintf(stderr, "[atf:%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace atf::common

@@ -1,0 +1,68 @@
+#include "atf/common/math_utils.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace atf::common {
+
+std::uint64_t gcd(std::uint64_t a, std::uint64_t b) noexcept {
+  while (b != 0) {
+    const std::uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::uint64_t lcm(std::uint64_t a, std::uint64_t b) noexcept {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  return a / gcd(a, b) * b;
+}
+
+std::vector<std::uint64_t> divisors_of(std::uint64_t n) {
+  std::vector<std::uint64_t> low;
+  std::vector<std::uint64_t> high;
+  for (std::uint64_t d = 1; d * d <= n; ++d) {
+    if (n % d == 0) {
+      low.push_back(d);
+      if (d != n / d) {
+        high.push_back(n / d);
+      }
+    }
+  }
+  low.insert(low.end(), high.rbegin(), high.rend());
+  return low;
+}
+
+std::uint64_t count_divisors(std::uint64_t n) {
+  std::uint64_t count = 0;
+  for (std::uint64_t d = 1; d * d <= n; ++d) {
+    if (n % d == 0) {
+      count += (d == n / d) ? 1 : 2;
+    }
+  }
+  return count;
+}
+
+std::uint64_t saturating_mul(std::uint64_t a, std::uint64_t b) noexcept {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  if (a > std::numeric_limits<std::uint64_t>::max() / b) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return a * b;
+}
+
+double log10_product(const std::vector<std::uint64_t>& factors) {
+  double sum = 0.0;
+  for (const std::uint64_t f : factors) {
+    sum += std::log10(static_cast<double>(std::max<std::uint64_t>(f, 1)));
+  }
+  return sum;
+}
+
+}  // namespace atf::common

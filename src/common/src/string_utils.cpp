@@ -1,0 +1,110 @@
+#include "atf/common/string_utils.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace atf::common {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delim) {
+      fields.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+std::string trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+std::string join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) {
+      out += sep;
+    }
+    out += items[i];
+  }
+  return out;
+}
+
+std::string replace_identifier(std::string_view text, std::string_view name,
+                               std::string_view value) {
+  std::string out;
+  out.reserve(text.size());
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t hit = text.find(name, pos);
+    if (hit == std::string_view::npos) {
+      out.append(text.substr(pos));
+      break;
+    }
+    const bool left_ok = hit == 0 || !is_ident_char(text[hit - 1]);
+    const std::size_t after = hit + name.size();
+    const bool right_ok = after >= text.size() || !is_ident_char(text[after]);
+    out.append(text.substr(pos, hit - pos));
+    if (left_ok && right_ok) {
+      out.append(value);
+    } else {
+      out.append(text.substr(hit, name.size()));
+    }
+    pos = after;
+  }
+  return out;
+}
+
+std::string format_sig(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*g", digits, value);
+  return buffer;
+}
+
+std::string format_duration_ns(double nanoseconds) {
+  const char* unit = "ns";
+  double scaled = nanoseconds;
+  if (scaled >= 1e9) {
+    scaled /= 1e9;
+    unit = "s";
+  } else if (scaled >= 1e6) {
+    scaled /= 1e6;
+    unit = "ms";
+  } else if (scaled >= 1e3) {
+    scaled /= 1e3;
+    unit = "us";
+  }
+  return format_sig(scaled, 4) + " " + unit;
+}
+
+std::string format_count(double count) {
+  if (count < 1e5) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", count);
+    return buffer;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.2e", count);
+  return buffer;
+}
+
+}  // namespace atf::common

@@ -1,0 +1,123 @@
+// Abort conditions (paper, Section II Step 3).
+//
+// ATF offers six conditions — duration, evaluations, fraction, cost,
+// speedup-over-time and speedup-over-evaluations — all combinable with the
+// logical operators && and ||. A condition is a predicate over the tuner's
+// running status; the exploration loop stops as soon as it returns true.
+// If the user passes no condition, the tuner defaults to evaluations(S)
+// where S is the search-space size.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace atf {
+
+/// One best-cost improvement event, recorded by the tuner. The speedup
+/// conditions consult this history.
+struct improvement {
+  std::chrono::nanoseconds elapsed{};
+  std::uint64_t evaluations = 0;
+  double cost = 0.0;  ///< scalarized cost after the improvement
+};
+
+/// A snapshot of the exploration progress, passed to abort conditions after
+/// every evaluated configuration.
+struct tuning_status {
+  std::uint64_t evaluations = 0;        ///< configurations tested so far
+  std::uint64_t failed_evaluations = 0; ///< evaluations whose cost function failed
+  std::chrono::nanoseconds elapsed{};   ///< wall time since tuning started
+  std::uint64_t search_space_size = 0;
+  std::optional<double> best_cost;      ///< scalarized; empty until a success
+  std::vector<improvement> history;     ///< all best-cost improvements
+
+  /// Best cost known at `at` (time since tuning start); empty if none yet.
+  [[nodiscard]] std::optional<double> best_cost_at(
+      std::chrono::nanoseconds at) const;
+
+  /// Best cost known when `evals` configurations had been tested.
+  [[nodiscard]] std::optional<double> best_cost_at_evaluation(
+      std::uint64_t evals) const;
+};
+
+/// Type-erased, combinable abort condition.
+class abort_condition {
+public:
+  abort_condition() = default;
+  explicit abort_condition(std::function<bool(const tuning_status&)> fn)
+      : fn_(std::move(fn)) {}
+
+  [[nodiscard]] bool valid() const noexcept { return static_cast<bool>(fn_); }
+
+  [[nodiscard]] bool operator()(const tuning_status& status) const {
+    return fn_(status);
+  }
+
+  friend abort_condition operator&&(abort_condition a, abort_condition b) {
+    return abort_condition([a = std::move(a), b = std::move(b)](
+                               const tuning_status& s) { return a(s) && b(s); });
+  }
+
+  friend abort_condition operator||(abort_condition a, abort_condition b) {
+    return abort_condition([a = std::move(a), b = std::move(b)](
+                               const tuning_status& s) { return a(s) || b(s); });
+  }
+
+private:
+  std::function<bool(const tuning_status&)> fn_;
+};
+
+namespace cond {
+
+/// duration(t): stop after the wall-clock interval t (any chrono duration).
+template <typename Rep, typename Period>
+abort_condition duration(std::chrono::duration<Rep, Period> t) {
+  const auto limit = std::chrono::duration_cast<std::chrono::nanoseconds>(t);
+  return abort_condition(
+      [limit](const tuning_status& s) { return s.elapsed >= limit; });
+}
+
+/// evaluations(n): stop after n tested configurations.
+abort_condition evaluations(std::uint64_t n);
+
+/// fraction(f): stop after f*S tested configurations, f in [0,1].
+abort_condition fraction(double f);
+
+/// cost(c): stop once a configuration with scalarized cost <= c is found.
+abort_condition cost(double c);
+
+/// speedup(s, t): stop when within the last time interval t the best cost
+/// was not lowered by a factor >= s.
+template <typename Rep, typename Period>
+abort_condition speedup(double s, std::chrono::duration<Rep, Period> t) {
+  const auto window = std::chrono::duration_cast<std::chrono::nanoseconds>(t);
+  return abort_condition([s, window](const tuning_status& status) {
+    if (status.elapsed < window || !status.best_cost.has_value()) {
+      return false;  // not enough history yet
+    }
+    const auto then = status.elapsed - window;
+    const auto old_best = status.best_cost_at(then);
+    if (!old_best.has_value()) {
+      return false;
+    }
+    return *old_best / *status.best_cost < s;
+  });
+}
+
+/// speedup(s, n): stop when within the last n tested configurations the best
+/// cost was not lowered by a factor >= s.
+abort_condition speedup(double s, std::uint64_t n);
+
+}  // namespace cond
+
+// Paper-style spellings: atf::duration<std::chrono::minutes>(10) etc.
+template <typename D>
+abort_condition duration(typename D::rep count) {
+  return cond::duration(D(count));
+}
+
+}  // namespace atf

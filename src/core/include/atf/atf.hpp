@@ -1,0 +1,23 @@
+// Umbrella header for the ATF core library.
+//
+//   #include <atf/atf.hpp>
+//
+// brings in tuning parameters, ranges, constraints, expressions, the search
+// space, abort conditions, the search-technique interface, exhaustive search
+// and the tuner. Search techniques beyond exhaustive live in
+// <atf/search/...>, cost functions in <atf/cf/...>.
+#pragma once
+
+#include "atf/abort_condition.hpp"
+#include "atf/configuration.hpp"
+#include "atf/constraint.hpp"
+#include "atf/cost.hpp"
+#include "atf/exhaustive.hpp"
+#include "atf/expression.hpp"
+#include "atf/range.hpp"
+#include "atf/search_space.hpp"
+#include "atf/search_technique.hpp"
+#include "atf/space_tree.hpp"
+#include "atf/tp.hpp"
+#include "atf/tuner.hpp"
+#include "atf/value.hpp"

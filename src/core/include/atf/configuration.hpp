@@ -1,0 +1,87 @@
+// A configuration: one concrete value per tuning parameter.
+//
+// Values are looked up by parameter name (paper: best_config["LS"]). The
+// operator[] proxy converts implicitly to the requested type so the value can
+// be used directly in arithmetic, while get<T>() is the explicit form.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "atf/value.hpp"
+
+namespace atf {
+
+class configuration {
+public:
+  configuration() = default;
+
+  /// Appends a (name, value) entry. Names must be unique; duplicates throw.
+  void add(std::string name, tp_value value);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  [[nodiscard]] bool contains(std::string_view name) const noexcept;
+
+  /// The raw variant value; throws std::out_of_range for unknown names.
+  [[nodiscard]] const tp_value& value_of(std::string_view name) const;
+
+  /// Typed access; throws on unknown name or type mismatch.
+  template <typename T>
+  [[nodiscard]] T get(std::string_view name) const {
+    return from_tp_value<T>(value_of(name));
+  }
+
+  /// Implicitly convertible access: `std::size_t ls = config["LS"];`.
+  class value_proxy {
+  public:
+    value_proxy(const configuration& config, std::string_view name)
+        : config_(config), name_(name) {}
+
+    template <typename T>
+      requires(std::is_arithmetic_v<T> || std::is_enum_v<T>)
+    operator T() const {  // NOLINT(google-explicit-constructor)
+      return config_.get<T>(name_);
+    }
+
+  private:
+    const configuration& config_;
+    std::string_view name_;
+  };
+
+  [[nodiscard]] value_proxy operator[](std::string_view name) const {
+    return value_proxy(*this, name);
+  }
+
+  /// Ordered (declaration-order) view of the entries.
+  [[nodiscard]] const std::vector<std::pair<std::string, tp_value>>& entries()
+      const noexcept {
+    return entries_;
+  }
+
+  /// The flat index of this configuration within the search space it came
+  /// from, if it came from one (used by search techniques and the log).
+  [[nodiscard]] std::optional<std::uint64_t> space_index() const noexcept {
+    return space_index_;
+  }
+  void set_space_index(std::uint64_t index) noexcept { space_index_ = index; }
+
+  /// "WPT=8, LS=64" — used in logs and reports.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Equality compares names and values (not the space index).
+  friend bool operator==(const configuration& a, const configuration& b) {
+    return a.entries_ == b.entries_;
+  }
+
+private:
+  std::vector<std::pair<std::string, tp_value>> entries_;
+  std::optional<std::uint64_t> space_index_;
+};
+
+}  // namespace atf

@@ -1,0 +1,135 @@
+// Constraints and the six constraint aliases (paper, Section II Step 1).
+//
+// A constraint is any callable taking a candidate value and returning bool.
+// The aliases — divides, is_multiple_of, less_than, greater_than, equal,
+// unequal — accept literals, tuning parameters or expressions, and evaluate
+// their argument lazily so inter-parameter dependencies work naturally:
+//
+//   auto LS = atf::tp("LS", atf::interval<std::size_t>(1, N),
+//                     atf::divides(N / WPT));
+//
+// Alias results are wrapped in atf::predicate so they can be combined with
+// the logical operators && and ||, as the paper specifies.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "atf/expression.hpp"
+
+namespace atf {
+
+/// A combinable predicate wrapper. F is a (possibly generic) callable
+/// bool(value). predicate models the same and adds operator&& / operator||.
+template <typename F>
+class predicate {
+public:
+  explicit predicate(F fn) : fn_(std::move(fn)) {}
+
+  template <typename V>
+    requires std::predicate<const F&, V>
+  bool operator()(const V& v) const {
+    return fn_(v);
+  }
+
+private:
+  F fn_;
+};
+
+/// Wraps an arbitrary callable so it becomes combinable.
+template <typename F>
+predicate<std::decay_t<F>> pred(F&& fn) {
+  return predicate<std::decay_t<F>>(std::forward<F>(fn));
+}
+
+template <typename A, typename B>
+auto operator&&(predicate<A> a, predicate<B> b) {
+  return pred([a = std::move(a), b = std::move(b)](const auto& v) {
+    return a(v) && b(v);
+  });
+}
+
+template <typename A, typename B>
+auto operator||(predicate<A> a, predicate<B> b) {
+  return pred([a = std::move(a), b = std::move(b)](const auto& v) {
+    return a(v) || b(v);
+  });
+}
+
+template <typename A>
+auto operator!(predicate<A> a) {
+  return pred([a = std::move(a)](const auto& v) { return !a(v); });
+}
+
+/// divides(e): the parameter's value must divide e (e.g. WPT divides N).
+/// A zero candidate never divides anything and is filtered out.
+template <typename E>
+auto divides(const E& e) {
+  auto lazy = make_expr(e);
+  return pred([lazy](const auto& v) {
+    if (v == 0) {
+      return false;
+    }
+    return lazy.eval() % v == 0;
+  });
+}
+
+/// is_multiple_of(e): the parameter's value must be a multiple of e.
+template <typename E>
+auto is_multiple_of(const E& e) {
+  auto lazy = make_expr(e);
+  return pred([lazy](const auto& v) {
+    const auto d = lazy.eval();
+    if (d == 0) {
+      return false;
+    }
+    return v % d == 0;
+  });
+}
+
+template <typename E>
+auto less_than(const E& e) {
+  auto lazy = make_expr(e);
+  return pred([lazy](const auto& v) { return v < lazy.eval(); });
+}
+
+template <typename E>
+auto greater_than(const E& e) {
+  auto lazy = make_expr(e);
+  return pred([lazy](const auto& v) { return v > lazy.eval(); });
+}
+
+template <typename E>
+auto less_equal(const E& e) {
+  auto lazy = make_expr(e);
+  return pred([lazy](const auto& v) { return v <= lazy.eval(); });
+}
+
+template <typename E>
+auto greater_equal(const E& e) {
+  auto lazy = make_expr(e);
+  return pred([lazy](const auto& v) { return v >= lazy.eval(); });
+}
+
+template <typename E>
+auto equal(const E& e) {
+  auto lazy = make_expr(e);
+  return pred([lazy](const auto& v) { return v == lazy.eval(); });
+}
+
+template <typename E>
+auto unequal(const E& e) {
+  auto lazy = make_expr(e);
+  return pred([lazy](const auto& v) { return v != lazy.eval(); });
+}
+
+/// power_of_two(): a user-style extra alias demonstrating that "further
+/// aliases can be easily added" (paper, Section II).
+inline auto power_of_two() {
+  return pred([](const auto& v) {
+    const auto u = static_cast<unsigned long long>(v);
+    return u != 0 && (u & (u - 1)) == 0;
+  });
+}
+
+}  // namespace atf

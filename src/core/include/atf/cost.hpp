@@ -1,0 +1,73 @@
+// Cost types and multi-objective tuning support (paper, Section II Step 2).
+//
+// A cost function may return any type for which operator< is defined. ATF
+// minimizes that type directly; for guiding numeric search techniques and for
+// abort conditions it additionally derives a scalar view via cost_traits.
+// Multi-objective tuning uses lexicographically ordered composites — e.g.
+// cost_pair{runtime_ms, energy_uj} minimizes runtime first and breaks ties on
+// energy — or a fully user-defined ordering via a custom comparable type.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+namespace atf {
+
+/// Thrown by cost functions when a configuration cannot be evaluated (e.g.
+/// the kernel exceeds a device limit). The tuner records the evaluation as
+/// failed and continues; failed configurations never become the best.
+class evaluation_error : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A two-objective cost with lexicographic order: `primary` is minimized
+/// first, `secondary` breaks ties (paper: "pairs comprise runtime and energy
+/// consumption and < is defined as lexicographical order").
+struct cost_pair {
+  double primary = 0.0;
+  double secondary = 0.0;
+
+  friend bool operator<(const cost_pair& a, const cost_pair& b) noexcept {
+    return std::tie(a.primary, a.secondary) < std::tie(b.primary, b.secondary);
+  }
+  friend bool operator==(const cost_pair& a, const cost_pair& b) noexcept {
+    return a.primary == b.primary && a.secondary == b.secondary;
+  }
+};
+
+/// Customization point mapping a cost value onto a double for search
+/// guidance and abort conditions. Specialize for user cost types.
+template <typename CostT, typename = void>
+struct cost_traits;
+
+template <typename CostT>
+struct cost_traits<CostT, std::enable_if_t<std::is_arithmetic_v<CostT>>> {
+  static double scalar(const CostT& c) { return static_cast<double>(c); }
+  static std::string describe(const CostT& c) { return std::to_string(c); }
+};
+
+template <>
+struct cost_traits<cost_pair> {
+  static double scalar(const cost_pair& c) { return c.primary; }
+  static std::string describe(const cost_pair& c) {
+    return "(" + std::to_string(c.primary) + ", " +
+           std::to_string(c.secondary) + ")";
+  }
+};
+
+template <typename A, typename B>
+struct cost_traits<std::pair<A, B>> {
+  static double scalar(const std::pair<A, B>& c) {
+    return static_cast<double>(c.first);
+  }
+  static std::string describe(const std::pair<A, B>& c) {
+    return "(" + std::to_string(c.first) + ", " + std::to_string(c.second) +
+           ")";
+  }
+};
+
+}  // namespace atf

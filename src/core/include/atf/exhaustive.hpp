@@ -1,0 +1,31 @@
+// Exhaustive search (paper, Section IV-A): iterates straightforwardly over
+// the search space and therefore finds the provably best configuration. It
+// is the tuner's default technique. finalize and report_cost are no-ops;
+// get_next_config returns each configuration in turn (wrapping around if the
+// abort condition allows more evaluations than the space holds).
+#pragma once
+
+#include "atf/search_technique.hpp"
+
+namespace atf {
+
+class exhaustive final : public search_technique {
+public:
+  void initialize(const search_space& space) override {
+    search_technique::initialize(space);
+    next_ = 0;
+  }
+
+  [[nodiscard]] configuration get_next_config() override {
+    const std::uint64_t index = next_ % space().size();
+    ++next_;
+    return space().config_at(index);
+  }
+
+  void report_cost(double /*cost*/) override {}
+
+private:
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace atf

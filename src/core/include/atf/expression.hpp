@@ -1,0 +1,161 @@
+// Lazy arithmetic expressions over tuning parameters.
+//
+// The paper's Listing 2 writes the local-size constraint as
+// `atf::divides(N / WPT)` and the OpenCL global size as an "arithmetic
+// expression containing tuning parameters" (Section III). Both require that
+// `N / WPT` is *not* evaluated at construction time but every time the
+// expression is consulted — with WPT's then-current value. This header
+// provides small expression templates: any combination of tp<T> handles,
+// expr<T> nodes and arithmetic literals composed with + - * / % min max
+// yields an expr<R> that evaluates on demand.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <type_traits>
+
+#include "atf/tp.hpp"
+
+namespace atf {
+
+/// A lazily evaluated value of type T.
+template <typename T>
+class expr {
+public:
+  using value_type = T;
+
+  /// Wraps a constant.
+  explicit expr(T constant) : eval_([constant] { return constant; }) {}
+
+  /// Wraps an arbitrary nullary callable.
+  template <typename F>
+    requires std::is_invocable_r_v<T, F>
+  explicit expr(F fn) : eval_(std::move(fn)) {}
+
+  [[nodiscard]] T eval() const { return eval_(); }
+
+private:
+  std::function<T()> eval_;
+};
+
+namespace detail {
+
+template <typename E>
+struct is_lazy : std::false_type {};
+template <typename T>
+struct is_lazy<tp<T>> : std::true_type {};
+template <typename T>
+struct is_lazy<expr<T>> : std::true_type {};
+
+template <typename E>
+inline constexpr bool is_lazy_v = is_lazy<std::decay_t<E>>::value;
+
+/// The value type an operand contributes to an expression.
+template <typename E, typename = void>
+struct operand_type {
+  using type = std::decay_t<E>;
+};
+template <typename E>
+struct operand_type<E, std::enable_if_t<is_lazy_v<E>>> {
+  using type = typename std::decay_t<E>::value_type;
+};
+template <typename E>
+using operand_type_t = typename operand_type<E>::type;
+
+/// Evaluates an operand: lazy operands via eval(), literals as themselves.
+template <typename E>
+auto operand_eval(const E& e) {
+  if constexpr (is_lazy_v<E>) {
+    return e.eval();
+  } else {
+    return e;
+  }
+}
+
+/// True when at least one side is lazy, so the operator templates below do
+/// not hijack plain arithmetic.
+template <typename A, typename B>
+inline constexpr bool any_lazy_v = is_lazy_v<A> || is_lazy_v<B>;
+
+template <typename A, typename B>
+using binary_result_t =
+    std::common_type_t<operand_type_t<A>, operand_type_t<B>>;
+
+}  // namespace detail
+
+#define ATF_DEFINE_EXPR_BINARY_OP(op)                                      \
+  template <typename A, typename B>                                        \
+    requires detail::any_lazy_v<A, B>                                      \
+  auto operator op(const A& a, const B& b) {                               \
+    using R = detail::binary_result_t<A, B>;                               \
+    return expr<R>([a, b] {                                                \
+      return static_cast<R>(detail::operand_eval(a) op                     \
+                            detail::operand_eval(b));                      \
+    });                                                                    \
+  }
+
+ATF_DEFINE_EXPR_BINARY_OP(+)
+ATF_DEFINE_EXPR_BINARY_OP(-)
+ATF_DEFINE_EXPR_BINARY_OP(*)
+ATF_DEFINE_EXPR_BINARY_OP(/)
+ATF_DEFINE_EXPR_BINARY_OP(%)
+
+#undef ATF_DEFINE_EXPR_BINARY_OP
+
+/// Lazy max, used e.g. in CLBlast-style global sizes.
+template <typename A, typename B>
+  requires detail::any_lazy_v<A, B>
+auto max(const A& a, const B& b) {
+  using R = detail::binary_result_t<A, B>;
+  return expr<R>([a, b] {
+    return std::max<R>(static_cast<R>(detail::operand_eval(a)),
+                       static_cast<R>(detail::operand_eval(b)));
+  });
+}
+
+template <typename A, typename B>
+  requires detail::any_lazy_v<A, B>
+auto min(const A& a, const B& b) {
+  using R = detail::binary_result_t<A, B>;
+  return expr<R>([a, b] {
+    return std::min<R>(static_cast<R>(detail::operand_eval(a)),
+                       static_cast<R>(detail::operand_eval(b)));
+  });
+}
+
+/// Lazy ceil-div and round-up — the arithmetic CLBlast applies to adapt the
+/// global size to a multiple of the local size (Sections III and VI-A).
+template <typename A, typename B>
+  requires detail::any_lazy_v<A, B>
+auto ceil_div(const A& a, const B& b) {
+  using R = detail::binary_result_t<A, B>;
+  return expr<R>([a, b] {
+    const R x = static_cast<R>(detail::operand_eval(a));
+    const R y = static_cast<R>(detail::operand_eval(b));
+    return static_cast<R>((x + y - 1) / y);
+  });
+}
+
+template <typename A, typename B>
+  requires detail::any_lazy_v<A, B>
+auto round_up(const A& a, const B& b) {
+  using R = detail::binary_result_t<A, B>;
+  return expr<R>([a, b] {
+    const R x = static_cast<R>(detail::operand_eval(a));
+    const R y = static_cast<R>(detail::operand_eval(b));
+    return static_cast<R>((x + y - 1) / y * y);
+  });
+}
+
+/// Wraps any operand (tp, expr or literal) into an expr of its value type.
+template <typename E>
+auto make_expr(const E& e) {
+  using R = detail::operand_type_t<E>;
+  if constexpr (detail::is_lazy_v<E>) {
+    return expr<R>([e] { return e.eval(); });
+  } else {
+    return expr<R>(e);
+  }
+}
+
+}  // namespace atf

@@ -1,0 +1,144 @@
+// Tuning-parameter ranges (paper, Section II Step 1).
+//
+// A range is either an interval — begin..end with an optional step size and
+// an optional generator callable that maps each interval element to a
+// domain-specific value (e.g. powers of two) — or an explicit set of values.
+// Ranges are *lazy*: a range knows its cardinality and can produce the i-th
+// element on demand, so an interval [1, 2^26] costs no memory. This is a
+// prerequisite for ATF's optimized search-space generation, which iterates
+// constrained ranges instead of materializing Cartesian products.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+namespace atf {
+
+/// A lazy, random-access sequence of values of type T.
+template <typename T>
+class range {
+public:
+  range() = default;
+
+  /// A range backed by an index->value function.
+  range(std::uint64_t size, std::function<T(std::uint64_t)> at)
+      : size_(size), at_(std::move(at)) {}
+
+  /// A range backed by explicit values.
+  explicit range(std::vector<T> values)
+      : size_(values.size()),
+        at_([vals = std::move(values)](std::uint64_t i) { return vals[i]; }) {}
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// The i-th element; i must be < size().
+  [[nodiscard]] T operator[](std::uint64_t i) const { return at_(i); }
+
+  /// Materializes all elements (test/debug helper; beware of huge ranges).
+  [[nodiscard]] std::vector<T> to_vector() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (std::uint64_t i = 0; i < size_; ++i) {
+      out.push_back(at_(i));
+    }
+    return out;
+  }
+
+private:
+  std::uint64_t size_ = 0;
+  std::function<T(std::uint64_t)> at_;
+};
+
+namespace detail {
+
+/// Number of elements in begin..end with the given positive step.
+template <typename T>
+std::uint64_t interval_count(T begin, T end, T step) {
+  if (step <= T{0}) {
+    throw std::invalid_argument("atf::interval: step_size must be positive");
+  }
+  if (end < begin) {
+    return 0;
+  }
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<std::uint64_t>(
+               (static_cast<U>(end) - static_cast<U>(begin)) /
+               static_cast<U>(step)) +
+           1;
+  } else {
+    return static_cast<std::uint64_t>((end - begin) / step) + 1;
+  }
+}
+
+}  // namespace detail
+
+/// interval<T>(begin, end): all values from begin to end inclusive, step 1.
+template <typename T>
+range<T> interval(T begin, T end) {
+  const std::uint64_t count = detail::interval_count<T>(begin, end, T{1});
+  return range<T>(count, [begin](std::uint64_t i) {
+    return static_cast<T>(begin + static_cast<T>(i));
+  });
+}
+
+/// interval<T>(begin, end, step_size).
+template <typename T>
+range<T> interval(T begin, T end, T step) {
+  const std::uint64_t count = detail::interval_count<T>(begin, end, step);
+  return range<T>(count, [begin, step](std::uint64_t i) {
+    return static_cast<T>(begin + step * static_cast<T>(i));
+  });
+}
+
+/// interval<T>(begin, end, step_size, generator): the elements are
+/// generator(begin), generator(begin+step), ... — the range's value type
+/// becomes the generator's return type (paper: "the range type changes
+/// automatically to T'").
+template <typename T, typename Gen>
+  requires std::invocable<Gen, T>
+auto interval(T begin, T end, T step, Gen gen)
+    -> range<std::invoke_result_t<Gen, T>> {
+  using Out = std::invoke_result_t<Gen, T>;
+  const std::uint64_t count = detail::interval_count<T>(begin, end, step);
+  return range<Out>(count, [begin, step, gen](std::uint64_t i) {
+    return gen(static_cast<T>(begin + step * static_cast<T>(i)));
+  });
+}
+
+/// interval<T>(begin, end, generator): step defaults to 1.
+template <typename T, typename Gen>
+  requires std::invocable<Gen, T>
+auto interval(T begin, T end, Gen gen) -> range<std::invoke_result_t<Gen, T>> {
+  return interval<T, Gen>(begin, end, T{1}, std::move(gen));
+}
+
+/// set(v1, ..., vn): an explicit, ordered collection of values. All values
+/// must share a common type (after the usual conversions); this includes
+/// values of enum types for user-defined domains.
+template <typename T, typename... Rest>
+auto set(T first, Rest... rest) {
+  using C = std::common_type_t<T, Rest...>;
+  std::vector<C> values{static_cast<C>(first), static_cast<C>(rest)...};
+  return range<C>(std::move(values));
+}
+
+/// set from an initializer list (paper: "a set can be expressed also as an
+/// std::initializer_list").
+template <typename T>
+range<T> set(std::initializer_list<T> values) {
+  return range<T>(std::vector<T>(values));
+}
+
+/// set from an existing vector.
+template <typename T>
+range<T> set(std::vector<T> values) {
+  return range<T>(std::move(values));
+}
+
+}  // namespace atf

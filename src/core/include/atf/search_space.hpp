@@ -1,0 +1,82 @@
+// The full search space: the cross product of per-group trees.
+//
+// Groups are independent by definition (Section V), so the space size is the
+// product of the group sizes and a flat configuration index decomposes into
+// one leaf index per group (mixed radix, group 0 most significant). Group
+// trees are generated concurrently, one thread per group, using the Standard
+// C++ Threading Library — exactly as the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "atf/common/rng.hpp"
+#include "atf/configuration.hpp"
+#include "atf/space_tree.hpp"
+#include "atf/tp.hpp"
+
+namespace atf {
+
+class search_space {
+public:
+  search_space() = default;
+
+  /// Generates the space for the given groups. Set `parallel` to false to
+  /// force sequential generation (used by benches measuring the Section V
+  /// speedup).
+  static search_space generate(const std::vector<tp_group>& groups,
+                               bool parallel = true);
+
+  /// Total number of valid configurations. Throws std::overflow_error at
+  /// construction if the product exceeds 2^64-1.
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] std::size_t num_groups() const noexcept {
+    return trees_.size();
+  }
+  [[nodiscard]] const space_tree& group(std::size_t g) const {
+    return trees_[g];
+  }
+
+  /// Total number of tuning parameters across all groups.
+  [[nodiscard]] std::size_t num_parameters() const noexcept;
+
+  /// Parameter names in declaration order (group order, then in-group order).
+  [[nodiscard]] std::vector<std::string> parameter_names() const;
+
+  /// Materializes the configuration with flat index `index`; the returned
+  /// configuration carries its space index.
+  [[nodiscard]] configuration config_at(std::uint64_t index) const;
+
+  /// Replays configuration `index` into the shared tp slots so dependent
+  /// expressions (e.g. atf::glb_size arithmetic) evaluate against it.
+  void apply(std::uint64_t index) const;
+
+  [[nodiscard]] std::uint64_t random_index(common::xoshiro256& rng) const;
+
+  /// Neighbor move: a uniformly chosen group contributes a tree neighbor,
+  /// the other groups keep their leaf. Groups of size 1 are skipped.
+  [[nodiscard]] std::uint64_t random_neighbor(std::uint64_t index,
+                                              common::xoshiro256& rng) const;
+
+  /// Sum of per-group generation times had generation run sequentially.
+  [[nodiscard]] double sequential_generation_seconds() const noexcept;
+
+  /// Wall-clock time of the actual (possibly parallel) generation.
+  [[nodiscard]] double generation_seconds() const noexcept {
+    return generation_seconds_;
+  }
+
+  [[nodiscard]] std::uint64_t node_count() const noexcept;
+
+private:
+  void decompose(std::uint64_t index, std::vector<std::uint64_t>& out) const;
+
+  std::vector<space_tree> trees_;
+  std::uint64_t size_ = 0;
+  double generation_seconds_ = 0.0;
+};
+
+}  // namespace atf

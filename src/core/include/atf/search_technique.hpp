@@ -1,0 +1,47 @@
+// The generic search-technique interface (paper, Section IV).
+//
+//   class search_technique {
+//     void          initialize( search_space sp );
+//     void          finalize();
+//     configuration get_next_config();
+//     void          report_cost( cost );
+//   };
+//
+// `initialize` is called once before exploration with the generated search
+// space; `finalize` after exploration. The tuner then loops: take a
+// configuration via get_next_config, evaluate it with the cost function, and
+// feed the (scalarized) cost back via report_cost — until the abort
+// condition fires. New techniques are added by deriving from this class.
+#pragma once
+
+#include "atf/configuration.hpp"
+#include "atf/search_space.hpp"
+
+namespace atf {
+
+class search_technique {
+public:
+  virtual ~search_technique() = default;
+
+  /// Called once before exploration starts. The space outlives the
+  /// exploration; the default implementation stores a pointer to it.
+  virtual void initialize(const search_space& space) { space_ = &space; }
+
+  /// Called once after exploration ends.
+  virtual void finalize() {}
+
+  /// The next configuration to evaluate.
+  [[nodiscard]] virtual configuration get_next_config() = 0;
+
+  /// Reports the (scalarized) cost of the configuration last returned by
+  /// get_next_config. Failed evaluations are reported as +infinity.
+  virtual void report_cost(double cost) = 0;
+
+protected:
+  [[nodiscard]] const search_space& space() const { return *space_; }
+
+private:
+  const search_space* space_ = nullptr;
+};
+
+}  // namespace atf

@@ -1,0 +1,126 @@
+// The constrained search-space tree — ATF's contribution (iii).
+//
+// One tree is generated per dependency group. Parameters are expanded in
+// declaration order: for every valid prefix of values, the next parameter's
+// *range* is iterated and filtered by its constraint (which may read the
+// prefix through shared tp slots). Prefixes with no valid completion are
+// discarded. The cost of generation is therefore proportional to the number
+// of valid prefixes — never to the size of the unconstrained Cartesian
+// product, which is what makes ATF's generation take under a second where a
+// product-then-filter generator (CLTune) runs for hours (paper, Section VI-A).
+//
+// The tree is stored level-by-level in CSR form; every node records the
+// number of leaves below it, so the tree supports random access by flat leaf
+// index in O(depth x average-branching). That random access is what lets the
+// OpenTuner-style search technique treat the whole constrained space as a
+// single integer parameter TP in [0, S) (paper, Section IV-C).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "atf/common/rng.hpp"
+#include "atf/tp.hpp"
+#include "atf/value.hpp"
+
+namespace atf {
+
+class space_tree {
+public:
+  /// Statistics about a generation run (reported by benches and tests).
+  struct generation_stats {
+    std::uint64_t nodes = 0;            ///< stored tree nodes (all levels)
+    std::uint64_t visited_values = 0;   ///< candidate values tested
+    std::uint64_t dead_prefixes = 0;    ///< prefixes discarded for lack of completion
+    double seconds = 0.0;               ///< wall-clock generation time
+  };
+
+  space_tree() = default;
+
+  /// Generates the tree for a dependency group. The group's parameters keep
+  /// sharing state with the caller's tp handles, so replaying a
+  /// configuration through this tree updates the caller's expressions.
+  static space_tree generate(const tp_group& group);
+
+  /// Number of valid configurations (leaves).
+  [[nodiscard]] std::uint64_t size() const noexcept { return leaf_total_; }
+
+  /// Number of parameters (tree depth).
+  [[nodiscard]] std::size_t depth() const noexcept { return params_.size(); }
+
+  [[nodiscard]] const std::string& param_name(std::size_t level) const {
+    return params_[level]->name();
+  }
+
+  [[nodiscard]] const generation_stats& stats() const noexcept {
+    return stats_;
+  }
+
+  /// Writes the per-level node positions of leaf `index` into `path` (which
+  /// must have depth() slots). A node position is an index into that level's
+  /// node arrays.
+  void path_of(std::uint64_t index, std::uint64_t* path) const;
+
+  /// The type-erased values of leaf `index`, one per parameter.
+  [[nodiscard]] std::vector<tp_value> values_at(std::uint64_t index) const;
+
+  /// Replays leaf `index` into the shared tp slots (so that constraint /
+  /// global-size expressions see its values).
+  void apply(std::uint64_t index) const;
+
+  /// A random valid configuration index.
+  [[nodiscard]] std::uint64_t random_index(common::xoshiro256& rng) const;
+
+  /// A neighbor of `index`: a uniformly chosen level's node is replaced by a
+  /// random *sibling* (keeping the prefix), and the suffix below is re-drawn
+  /// uniformly. If the chosen node has no sibling another level is tried; if
+  /// no level has siblings (size()==1) the index itself is returned. This is
+  /// the simulated-annealing move (paper, Section IV-B: "a random neighbor").
+  [[nodiscard]] std::uint64_t random_neighbor(std::uint64_t index,
+                                              common::xoshiro256& rng) const;
+
+  /// Total stored nodes (memory diagnostics).
+  [[nodiscard]] std::uint64_t node_count() const noexcept;
+
+private:
+  /// CSR node storage for one level (= one parameter).
+  struct level {
+    std::vector<std::uint32_t> value_index;  ///< index into the parameter's range
+    std::vector<std::uint64_t> child_begin;  ///< first child in the next level
+    std::vector<std::uint32_t> child_count;  ///< number of children
+    std::vector<std::uint64_t> leaf_count;   ///< leaves in this node's subtree
+
+    [[nodiscard]] std::uint64_t size() const noexcept {
+      return value_index.size();
+    }
+  };
+
+  /// Children span of `node` at `lvl` (root: pass lvl == npos semantics via
+  /// the level-0 full span).
+  struct span {
+    std::uint64_t begin;
+    std::uint64_t count;
+  };
+
+  [[nodiscard]] span children_of(std::size_t lvl, std::uint64_t node) const;
+  [[nodiscard]] std::uint64_t leaf_index_of_path(const std::uint64_t* path) const;
+  std::uint64_t expand(std::size_t lvl);
+  [[nodiscard]] std::uint64_t descend_random(std::size_t lvl,
+                                             std::uint64_t node,
+                                             common::xoshiro256& rng) const;
+  /// Flat leaf index of the first leaf under `node` at `lvl`, given the path
+  /// to its parent chain has already been accounted for; helper for
+  /// random_neighbor.
+  [[nodiscard]] std::uint64_t leaves_before_sibling(std::size_t lvl,
+                                                    std::uint64_t first_sibling,
+                                                    std::uint64_t node) const;
+
+  std::vector<std::shared_ptr<itp>> params_;
+  std::vector<level> levels_;
+  std::uint64_t leaf_total_ = 0;
+  generation_stats stats_;
+};
+
+}  // namespace atf

@@ -1,0 +1,195 @@
+// Tuning parameters (paper, Section II Step 1).
+//
+// A tuning parameter has a *name* (its unique identifier), a *range* of
+// candidate values, and an optional *constraint* — a callable that receives a
+// candidate value and returns false for values to filter out. Constraints may
+// read the values of previously declared parameters: a tp<T> is a cheap
+// handle sharing a mutable value slot, and the search-space generator assigns
+// slots in declaration order while expanding the space, so a constraint such
+// as atf::divides(N / WPT) sees the WPT value of the prefix currently being
+// expanded. This is the mechanism behind ATF's contribution (iii): invalid
+// configurations are pruned while iterating *ranges*, never materializing the
+// Cartesian product.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "atf/range.hpp"
+#include "atf/value.hpp"
+
+namespace atf {
+
+namespace detail {
+
+/// The shared, mutable slot a tp handle points at. The generator writes the
+/// candidate value here before evaluating dependent constraints.
+template <typename T>
+struct tp_state {
+  std::string name;
+  range<T> values;
+  std::function<bool(T)> constraint;  // empty => unconstrained
+  T current{};
+};
+
+}  // namespace detail
+
+/// User-facing tuning-parameter handle. Copies share state, so a parameter
+/// can appear both in the tuner's parameter list and inside the constraints
+/// or global/local-size expressions of other parameters.
+template <typename T>
+class tp {
+public:
+  using value_type = T;
+
+  /// Unconstrained parameter.
+  tp(std::string name, range<T> values)
+      : state_(std::make_shared<detail::tp_state<T>>()) {
+    state_->name = std::move(name);
+    state_->values = std::move(values);
+  }
+
+  /// Constrained parameter; `constraint` is any callable bool(T).
+  template <typename Constraint>
+    requires std::predicate<Constraint, T>
+  tp(std::string name, range<T> values, Constraint constraint)
+      : tp(std::move(name), std::move(values)) {
+    state_->constraint = std::move(constraint);
+  }
+
+  /// Convenience: range given as an initializer list.
+  tp(std::string name, std::initializer_list<T> values)
+      : tp(std::move(name), atf::set<T>(values)) {}
+
+  template <typename Constraint>
+    requires std::predicate<Constraint, T>
+  tp(std::string name, std::initializer_list<T> values, Constraint constraint)
+      : tp(std::move(name), atf::set<T>(values), std::move(constraint)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept {
+    return state_->name;
+  }
+  [[nodiscard]] const range<T>& values() const noexcept {
+    return state_->values;
+  }
+  [[nodiscard]] bool has_constraint() const noexcept {
+    return static_cast<bool>(state_->constraint);
+  }
+
+  /// The value of the prefix currently being expanded/evaluated. Expression
+  /// templates call this, which is what makes `N / WPT` lazy.
+  [[nodiscard]] T eval() const noexcept { return state_->current; }
+
+  /// Writes the current value (used by the generator and the tuner).
+  void set_current(T v) const noexcept { state_->current = v; }
+
+  /// Checks this parameter's own constraint against a candidate value.
+  [[nodiscard]] bool satisfies_constraint(T v) const {
+    return !state_->constraint || state_->constraint(v);
+  }
+
+private:
+  std::shared_ptr<detail::tp_state<T>> state_;
+};
+
+/// Deduction helpers so `atf::tp("WPT", atf::interval<std::size_t>(1, N))`
+/// works without spelling the value type twice.
+template <typename T>
+tp(std::string, range<T>) -> tp<T>;
+template <typename T, typename C>
+tp(std::string, range<T>, C) -> tp<T>;
+
+/// Type-erased view of a tuning parameter, used by the search-space tree.
+class itp {
+public:
+  virtual ~itp() = default;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+  [[nodiscard]] virtual std::uint64_t range_size() const = 0;
+
+  /// Sets the shared slot to range[i] and returns whether the parameter's
+  /// own constraint accepts that value (given the already-set prefix).
+  virtual bool set_and_check(std::uint64_t i) const = 0;
+
+  /// The type-erased value of range[i].
+  [[nodiscard]] virtual tp_value value_at(std::uint64_t i) const = 0;
+
+  /// Writes a type-erased value into the shared slot (used when replaying a
+  /// configuration so that dependent expressions — e.g. global size — see it).
+  virtual void set_value(const tp_value& v) const = 0;
+
+  [[nodiscard]] virtual std::shared_ptr<itp> clone() const = 0;
+};
+
+namespace detail {
+
+template <typename T>
+class itp_impl final : public itp {
+public:
+  explicit itp_impl(tp<T> param) : param_(std::move(param)) {}
+
+  [[nodiscard]] const std::string& name() const override {
+    return param_.name();
+  }
+  [[nodiscard]] std::uint64_t range_size() const override {
+    return param_.values().size();
+  }
+  bool set_and_check(std::uint64_t i) const override {
+    const T v = param_.values()[i];
+    param_.set_current(v);
+    return param_.satisfies_constraint(v);
+  }
+  [[nodiscard]] tp_value value_at(std::uint64_t i) const override {
+    return to_tp_value<T>(param_.values()[i]);
+  }
+  void set_value(const tp_value& v) const override {
+    param_.set_current(from_tp_value<T>(v));
+  }
+  [[nodiscard]] std::shared_ptr<itp> clone() const override {
+    return std::make_shared<itp_impl<T>>(param_);
+  }
+
+private:
+  tp<T> param_;
+};
+
+}  // namespace detail
+
+/// An ordered group of interdependent tuning parameters. Parameters in
+/// different groups must not reference each other; each group's sub-space is
+/// generated independently — and in parallel (paper, Section V).
+class tp_group {
+public:
+  tp_group() = default;
+
+  template <typename T>
+  void add(const tp<T>& param) {
+    params_.push_back(std::make_shared<detail::itp_impl<T>>(param));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return params_.size(); }
+  [[nodiscard]] const itp& param(std::size_t i) const { return *params_[i]; }
+  [[nodiscard]] const std::vector<std::shared_ptr<itp>>& params()
+      const noexcept {
+    return params_;
+  }
+
+private:
+  std::vector<std::shared_ptr<itp>> params_;
+};
+
+/// The grouping function from Section V: G(tp1, tp2, ...) declares that the
+/// listed parameters form one dependency group.
+template <typename... Ts>
+tp_group G(const tp<Ts>&... params) {
+  tp_group group;
+  (group.add(params), ...);
+  return group;
+}
+
+}  // namespace atf

@@ -1,0 +1,285 @@
+// The tuning driver: generates the search space from the declared tuning
+// parameters, then explores it with the chosen search technique until the
+// abort condition fires (paper, Section II). The cost function may return
+// any type with operator< (multi-objective tuning via lexicographic
+// composites); the best configuration under that order is returned.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "atf/abort_condition.hpp"
+#include "atf/common/csv_writer.hpp"
+#include "atf/common/logging.hpp"
+#include "atf/common/stopwatch.hpp"
+#include "atf/configuration.hpp"
+#include "atf/cost.hpp"
+#include "atf/exhaustive.hpp"
+#include "atf/search_space.hpp"
+#include "atf/search_technique.hpp"
+#include "atf/tp.hpp"
+
+namespace atf {
+
+/// Thrown when the generated search space contains no valid configuration —
+/// the situation CLBlast runs into when CLTune's restricted WGD range cannot
+/// divide the result-matrix extents (paper, Section VI-A).
+class empty_search_space_error : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The outcome of a tuning run.
+template <typename CostT>
+struct tuning_result {
+  configuration best;                 ///< valid only if best_cost has a value
+  std::optional<CostT> best_cost;
+  std::uint64_t evaluations = 0;      ///< configurations tested
+  std::uint64_t failed_evaluations = 0;
+  std::uint64_t cached_evaluations = 0;  ///< duplicates served from the cache
+  std::chrono::nanoseconds elapsed{};
+  std::uint64_t search_space_size = 0;
+  std::vector<improvement> history;   ///< best-cost improvement trace
+
+  [[nodiscard]] bool has_best() const noexcept {
+    return best_cost.has_value();
+  }
+
+  /// The best configuration found; throws if every evaluation failed.
+  [[nodiscard]] const configuration& best_configuration() const {
+    if (!has_best()) {
+      throw std::logic_error("tuning_result: no valid configuration found");
+    }
+    return best;
+  }
+};
+
+class tuner {
+public:
+  tuner() = default;
+
+  /// Declares the tuning parameters as a single dependency group, in
+  /// declaration order. Constraints may only reference parameters declared
+  /// earlier in the list.
+  template <typename... Ts>
+  tuner& tuning_parameters(const tp<Ts>&... params) {
+    groups_.clear();
+    groups_.push_back(G(params...));
+    space_.reset();
+    return *this;
+  }
+
+  /// Declares the tuning parameters as explicit dependency groups (paper,
+  /// Section V); the groups' sub-spaces are generated in parallel.
+  template <typename... Gs>
+    requires(std::conjunction_v<std::is_same<std::decay_t<Gs>, tp_group>...>)
+  tuner& tuning_parameters(Gs&&... groups) {
+    groups_ = {std::forward<Gs>(groups)...};
+    space_.reset();
+    return *this;
+  }
+
+  /// Chooses the search technique; defaults to exhaustive search.
+  tuner& search_technique(std::unique_ptr<atf::search_technique> technique) {
+    technique_ = std::move(technique);
+    return *this;
+  }
+
+  /// Sets the abort condition; defaults to evaluations(S) — one sweep over
+  /// the whole space.
+  tuner& abort_condition(atf::abort_condition condition) {
+    abort_ = std::move(condition);
+    return *this;
+  }
+
+  /// Disables the per-group parallel generation (diagnostics/benches).
+  tuner& parallel_generation(bool enabled) {
+    parallel_generation_ = enabled;
+    space_.reset();
+    return *this;
+  }
+
+  /// Appends every evaluation to a CSV file.
+  tuner& log_file(std::string path) {
+    log_path_ = std::move(path);
+    return *this;
+  }
+
+  /// Caches evaluation results by configuration index: when a search
+  /// technique proposes a configuration it has already measured, the cost
+  /// is served from the cache instead of re-running the cost function
+  /// (the results-database idea of OpenTuner). Off by default — real
+  /// measurements are noisy and some users want re-measurement.
+  tuner& cache_evaluations(bool enabled) {
+    cache_ = enabled;
+    return *this;
+  }
+
+  /// Prints best-cost improvements to stderr while tuning.
+  tuner& verbose(bool enabled) {
+    if (enabled) {
+      common::set_log_level(common::log_level::info);
+    }
+    return *this;
+  }
+
+  /// Forces regeneration and returns the search space (generates lazily on
+  /// first use otherwise).
+  const search_space& space() {
+    if (!space_.has_value()) {
+      space_ = search_space::generate(groups_, parallel_generation_);
+    }
+    return *space_;
+  }
+
+  /// Runs the exploration loop. CF is any callable taking a
+  /// const configuration& and returning a type with operator<.
+  template <typename CF>
+  auto tune(CF&& cost_function)
+      -> tuning_result<std::decay_t<std::invoke_result_t<CF&, const configuration&>>> {
+    using cost_t =
+        std::decay_t<std::invoke_result_t<CF&, const configuration&>>;
+    using traits = cost_traits<cost_t>;
+
+    const search_space& sp = space();
+    if (sp.empty()) {
+      throw empty_search_space_error(
+          "atf::tuner: the constrained search space is empty");
+    }
+
+    if (!technique_) {
+      technique_ = std::make_unique<exhaustive>();
+    }
+    atf::abort_condition abort =
+        abort_.valid() ? abort_ : cond::evaluations(sp.size());
+
+    std::unique_ptr<common::csv_writer> log;
+    if (!log_path_.empty()) {
+      std::vector<std::string> header{"evaluation", "elapsed_ns", "index"};
+      for (const auto& name : sp.parameter_names()) {
+        header.push_back(name);
+      }
+      header.emplace_back("cost");
+      header.emplace_back("valid");
+      log = std::make_unique<common::csv_writer>(log_path_, header);
+    }
+
+    tuning_result<cost_t> result;
+    result.search_space_size = sp.size();
+
+    // index -> (cost or failure) for cache_evaluations(true).
+    std::unordered_map<std::uint64_t, std::optional<cost_t>> seen;
+
+    tuning_status status;
+    status.search_space_size = sp.size();
+
+    technique_->initialize(sp);
+    common::stopwatch timer;
+
+    for (;;) {
+      configuration config = technique_->get_next_config();
+      // Replay the configuration into the shared tp slots so that dependent
+      // expressions (kernel launch geometry etc.) evaluate against it.
+      if (config.space_index().has_value()) {
+        sp.apply(*config.space_index());
+      }
+
+      std::optional<cost_t> cost;
+      double scalar = std::numeric_limits<double>::infinity();
+      bool from_cache = false;
+      if (cache_ && config.space_index().has_value()) {
+        const auto hit = seen.find(*config.space_index());
+        if (hit != seen.end()) {
+          from_cache = true;
+          cost = hit->second;
+          if (cost.has_value()) {
+            scalar = traits::scalar(*cost);
+          }
+          ++result.cached_evaluations;
+        }
+      }
+      if (!from_cache) {
+        try {
+          cost = cost_function(static_cast<const configuration&>(config));
+          scalar = traits::scalar(*cost);
+        } catch (const evaluation_error& error) {
+          ++result.failed_evaluations;
+          ++status.failed_evaluations;
+          common::log_debug("evaluation failed: ", error.what());
+        }
+        if (cache_ && config.space_index().has_value()) {
+          seen.emplace(*config.space_index(), cost);
+        }
+      }
+
+      ++result.evaluations;
+      status.evaluations = result.evaluations;
+      status.elapsed = timer.elapsed();
+
+      if (cost.has_value() &&
+          (!result.best_cost.has_value() || *cost < *result.best_cost)) {
+        result.best_cost = cost;
+        result.best = config;
+        const improvement event{status.elapsed, result.evaluations, scalar};
+        result.history.push_back(event);
+        status.history.push_back(event);
+        status.best_cost = scalar;
+        common::log_info("new best after ", result.evaluations,
+                         " evaluations: cost=", traits::describe(*cost), " [",
+                         config.to_string(), "]");
+      }
+
+      if (log) {
+        std::vector<std::string> row{
+            std::to_string(result.evaluations),
+            std::to_string(status.elapsed.count()),
+            config.space_index().has_value()
+                ? std::to_string(*config.space_index())
+                : std::string("-")};
+        for (const auto& [_, value] : config.entries()) {
+          row.push_back(atf::to_string(value));
+        }
+        row.push_back(cost.has_value() ? traits::describe(*cost)
+                                       : std::string("failed"));
+        row.push_back(cost.has_value() ? "1" : "0");
+        log->write_row(row);
+      }
+
+      technique_->report_cost(scalar);
+
+      if (abort(status)) {
+        break;
+      }
+    }
+
+    technique_->finalize();
+    result.elapsed = timer.elapsed();
+    return result;
+  }
+
+  /// Paper-style spelling: the tuner object is callable.
+  template <typename CF>
+  auto operator()(CF&& cost_function) {
+    return tune(std::forward<CF>(cost_function));
+  }
+
+private:
+  std::vector<tp_group> groups_;
+  std::unique_ptr<atf::search_technique> technique_;
+  atf::abort_condition abort_;
+  std::optional<search_space> space_;
+  bool parallel_generation_ = true;
+  bool cache_ = false;
+  std::string log_path_;
+};
+
+}  // namespace atf

@@ -1,0 +1,122 @@
+// Type-erased tuning-parameter values.
+//
+// ATF allows tuning parameters of arbitrary fundamental types (bool, integral
+// and floating point) and of enum types (paper, Section II Step 1). The
+// search-space machinery is type-erased, so parameter values are stored in a
+// small variant. Enum values are stored as their underlying integer; the typed
+// accessors cast back.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <variant>
+
+namespace atf {
+
+/// The storage variant for tuning-parameter values.
+using tp_value = std::variant<bool, std::int64_t, std::uint64_t, double>;
+
+/// Thrown on a type-mismatched access to a configuration value.
+class value_type_error : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+/// Maps a user type onto its variant alternative.
+template <typename T>
+struct value_codec {
+  static_assert(std::is_arithmetic_v<T> || std::is_enum_v<T>,
+                "tuning parameters must have a fundamental or enum type");
+
+  static tp_value encode(T v) {
+    if constexpr (std::is_same_v<T, bool>) {
+      return tp_value(v);
+    } else if constexpr (std::is_enum_v<T>) {
+      return tp_value(static_cast<std::int64_t>(
+          static_cast<std::underlying_type_t<T>>(v)));
+    } else if constexpr (std::is_floating_point_v<T>) {
+      return tp_value(static_cast<double>(v));
+    } else if constexpr (std::is_signed_v<T>) {
+      return tp_value(static_cast<std::int64_t>(v));
+    } else {
+      return tp_value(static_cast<std::uint64_t>(v));
+    }
+  }
+
+  static T decode(const tp_value& v);
+};
+
+}  // namespace detail
+
+/// Converts a value to its storage form.
+template <typename T>
+tp_value to_tp_value(T v) {
+  return detail::value_codec<T>::encode(v);
+}
+
+/// Extracts a value of type T; performs safe numeric conversions between the
+/// integral alternatives and throws value_type_error on lossy mismatches
+/// (e.g. reading a double as size_t when it has a fractional part).
+template <typename T>
+T from_tp_value(const tp_value& v) {
+  return detail::value_codec<T>::decode(v);
+}
+
+/// Renders a value the way the OpenCL preprocessor would need it
+/// (true/false for bool, full precision for floating point).
+[[nodiscard]] std::string to_string(const tp_value& v);
+
+/// Scalarizes a value for numeric search techniques. bool -> 0/1.
+[[nodiscard]] double to_double(const tp_value& v);
+
+/// Exact equality of storage alternatives and payloads.
+[[nodiscard]] bool value_equals(const tp_value& a, const tp_value& b) noexcept;
+
+namespace detail {
+
+template <typename T>
+T value_codec<T>::decode(const tp_value& v) {
+  if constexpr (std::is_same_v<T, bool>) {
+    if (const bool* b = std::get_if<bool>(&v)) {
+      return *b;
+    }
+    throw value_type_error("tp_value: stored value is not a bool");
+  } else if constexpr (std::is_enum_v<T>) {
+    if (const auto* i = std::get_if<std::int64_t>(&v)) {
+      return static_cast<T>(static_cast<std::underlying_type_t<T>>(*i));
+    }
+    throw value_type_error("tp_value: stored value is not an enum");
+  } else if constexpr (std::is_floating_point_v<T>) {
+    if (const auto* d = std::get_if<double>(&v)) {
+      return static_cast<T>(*d);
+    }
+    if (const auto* i = std::get_if<std::int64_t>(&v)) {
+      return static_cast<T>(*i);
+    }
+    if (const auto* u = std::get_if<std::uint64_t>(&v)) {
+      return static_cast<T>(*u);
+    }
+    throw value_type_error("tp_value: stored value is not numeric");
+  } else {
+    // Integral target: allow conversion between the integral alternatives as
+    // long as the payload is representable.
+    if (const auto* i = std::get_if<std::int64_t>(&v)) {
+      return static_cast<T>(*i);
+    }
+    if (const auto* u = std::get_if<std::uint64_t>(&v)) {
+      return static_cast<T>(*u);
+    }
+    if (const bool* b = std::get_if<bool>(&v)) {
+      return static_cast<T>(*b ? 1 : 0);
+    }
+    throw value_type_error("tp_value: stored value is not integral");
+  }
+}
+
+}  // namespace detail
+
+}  // namespace atf

@@ -1,0 +1,73 @@
+#include "atf/abort_condition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace atf {
+
+std::optional<double> tuning_status::best_cost_at(
+    std::chrono::nanoseconds at) const {
+  std::optional<double> best;
+  for (const auto& event : history) {
+    if (event.elapsed > at) {
+      break;
+    }
+    best = event.cost;
+  }
+  return best;
+}
+
+std::optional<double> tuning_status::best_cost_at_evaluation(
+    std::uint64_t evals) const {
+  std::optional<double> best;
+  for (const auto& event : history) {
+    if (event.evaluations > evals) {
+      break;
+    }
+    best = event.cost;
+  }
+  return best;
+}
+
+namespace cond {
+
+abort_condition evaluations(std::uint64_t n) {
+  return abort_condition(
+      [n](const tuning_status& s) { return s.evaluations >= n; });
+}
+
+abort_condition fraction(double f) {
+  if (f < 0.0 || f > 1.0) {
+    throw std::invalid_argument("atf::cond::fraction: f must be in [0,1]");
+  }
+  return abort_condition([f](const tuning_status& s) {
+    const auto limit = static_cast<std::uint64_t>(
+        std::ceil(f * static_cast<double>(s.search_space_size)));
+    return s.evaluations >= limit;
+  });
+}
+
+abort_condition cost(double c) {
+  return abort_condition([c](const tuning_status& s) {
+    return s.best_cost.has_value() && *s.best_cost <= c;
+  });
+}
+
+abort_condition speedup(double s, std::uint64_t n) {
+  return abort_condition([s, n](const tuning_status& status) {
+    if (status.evaluations < n || !status.best_cost.has_value()) {
+      return false;
+    }
+    const auto old_best =
+        status.best_cost_at_evaluation(status.evaluations - n);
+    if (!old_best.has_value()) {
+      return false;
+    }
+    return *old_best / *status.best_cost < s;
+  });
+}
+
+}  // namespace cond
+
+}  // namespace atf

@@ -1,0 +1,47 @@
+#include "atf/configuration.hpp"
+
+#include <stdexcept>
+
+namespace atf {
+
+void configuration::add(std::string name, tp_value value) {
+  if (contains(name)) {
+    throw std::invalid_argument("configuration: duplicate parameter name '" +
+                                name + "'");
+  }
+  entries_.emplace_back(std::move(name), value);
+}
+
+bool configuration::contains(std::string_view name) const noexcept {
+  for (const auto& [key, _] : entries_) {
+    if (key == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const tp_value& configuration::value_of(std::string_view name) const {
+  for (const auto& [key, value] : entries_) {
+    if (key == name) {
+      return value;
+    }
+  }
+  throw std::out_of_range("configuration: unknown parameter '" +
+                          std::string(name) + "'");
+}
+
+std::string configuration::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    out += entries_[i].first;
+    out += '=';
+    out += atf::to_string(entries_[i].second);
+  }
+  return out;
+}
+
+}  // namespace atf

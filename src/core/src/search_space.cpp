@@ -1,0 +1,164 @@
+#include "atf/search_space.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+#include "atf/common/stopwatch.hpp"
+
+namespace atf {
+
+search_space search_space::generate(const std::vector<tp_group>& groups,
+                                    bool parallel) {
+  search_space space;
+  space.trees_.resize(groups.size());
+
+  common::stopwatch timer;
+  if (parallel && groups.size() > 1) {
+    // One thread per dependency group (paper, Section V). Constraints may
+    // only reference parameters of the same group, so the shared tp slots
+    // touched by different threads are disjoint.
+    std::vector<std::thread> threads;
+    threads.reserve(groups.size());
+    std::vector<std::exception_ptr> errors(groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      threads.emplace_back([&, g] {
+        try {
+          space.trees_[g] = space_tree::generate(groups[g]);
+        } catch (...) {
+          errors[g] = std::current_exception();
+        }
+      });
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+    for (const auto& error : errors) {
+      if (error) {
+        std::rethrow_exception(error);
+      }
+    }
+  } else {
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      space.trees_[g] = space_tree::generate(groups[g]);
+    }
+  }
+  space.generation_seconds_ = timer.elapsed_seconds();
+
+  std::uint64_t size = groups.empty() ? 0 : 1;
+  for (const auto& tree : space.trees_) {
+    if (tree.size() != 0 &&
+        size > std::numeric_limits<std::uint64_t>::max() / tree.size()) {
+      throw std::overflow_error(
+          "search_space: more than 2^64-1 valid configurations");
+    }
+    size *= tree.size();
+  }
+  space.size_ = size;
+  return space;
+}
+
+std::size_t search_space::num_parameters() const noexcept {
+  std::size_t count = 0;
+  for (const auto& tree : trees_) {
+    count += tree.depth();
+  }
+  return count;
+}
+
+std::vector<std::string> search_space::parameter_names() const {
+  std::vector<std::string> names;
+  names.reserve(num_parameters());
+  for (const auto& tree : trees_) {
+    for (std::size_t lvl = 0; lvl < tree.depth(); ++lvl) {
+      names.push_back(tree.param_name(lvl));
+    }
+  }
+  return names;
+}
+
+void search_space::decompose(std::uint64_t index,
+                             std::vector<std::uint64_t>& out) const {
+  out.resize(trees_.size());
+  for (std::size_t g = trees_.size(); g-- > 0;) {
+    const std::uint64_t group_size = trees_[g].size();
+    out[g] = index % group_size;
+    index /= group_size;
+  }
+}
+
+configuration search_space::config_at(std::uint64_t index) const {
+  if (index >= size_) {
+    throw std::out_of_range("search_space: configuration index out of range");
+  }
+  std::vector<std::uint64_t> leaves;
+  decompose(index, leaves);
+  configuration config;
+  for (std::size_t g = 0; g < trees_.size(); ++g) {
+    const auto values = trees_[g].values_at(leaves[g]);
+    for (std::size_t lvl = 0; lvl < values.size(); ++lvl) {
+      config.add(trees_[g].param_name(lvl), values[lvl]);
+    }
+  }
+  config.set_space_index(index);
+  return config;
+}
+
+void search_space::apply(std::uint64_t index) const {
+  if (index >= size_) {
+    throw std::out_of_range("search_space: configuration index out of range");
+  }
+  std::vector<std::uint64_t> leaves;
+  decompose(index, leaves);
+  for (std::size_t g = 0; g < trees_.size(); ++g) {
+    trees_[g].apply(leaves[g]);
+  }
+}
+
+std::uint64_t search_space::random_index(common::xoshiro256& rng) const {
+  return rng.below(size_);
+}
+
+std::uint64_t search_space::random_neighbor(std::uint64_t index,
+                                            common::xoshiro256& rng) const {
+  if (size_ <= 1) {
+    return index;
+  }
+  std::vector<std::uint64_t> leaves;
+  decompose(index, leaves);
+
+  // Pick a group that actually has more than one leaf.
+  std::vector<std::size_t> candidates;
+  candidates.reserve(trees_.size());
+  for (std::size_t g = 0; g < trees_.size(); ++g) {
+    if (trees_[g].size() > 1) {
+      candidates.push_back(g);
+    }
+  }
+  const std::size_t g = candidates[rng.below(candidates.size())];
+  leaves[g] = trees_[g].random_neighbor(leaves[g], rng);
+
+  std::uint64_t composed = 0;
+  for (std::size_t i = 0; i < trees_.size(); ++i) {
+    composed = composed * trees_[i].size() + leaves[i];
+  }
+  return composed;
+}
+
+double search_space::sequential_generation_seconds() const noexcept {
+  double total = 0.0;
+  for (const auto& tree : trees_) {
+    total += tree.stats().seconds;
+  }
+  return total;
+}
+
+std::uint64_t search_space::node_count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& tree : trees_) {
+    total += tree.node_count();
+  }
+  return total;
+}
+
+}  // namespace atf

@@ -1,0 +1,243 @@
+#include "atf/space_tree.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "atf/common/stopwatch.hpp"
+
+namespace atf {
+
+space_tree space_tree::generate(const tp_group& group) {
+  space_tree tree;
+  tree.params_.reserve(group.size());
+  for (const auto& param : group.params()) {
+    if (param->range_size() >
+        std::numeric_limits<std::uint32_t>::max()) {
+      throw std::invalid_argument(
+          "space_tree: range of parameter '" + param->name() +
+          "' exceeds 2^32 values");
+    }
+    tree.params_.push_back(param);
+  }
+  tree.levels_.resize(tree.params_.size());
+
+  common::stopwatch timer;
+  if (tree.params_.empty()) {
+    // A group with no parameters contributes exactly one (empty)
+    // configuration so that cross-group products stay well-defined.
+    tree.leaf_total_ = 1;
+  } else {
+    tree.leaf_total_ = tree.expand(0);
+  }
+  tree.stats_.seconds = timer.elapsed_seconds();
+  tree.stats_.nodes = tree.node_count();
+  return tree;
+}
+
+std::uint64_t space_tree::expand(std::size_t lvl) {
+  level& nodes = levels_[lvl];
+  const itp& param = *params_[lvl];
+  const std::uint64_t range_size = param.range_size();
+  const bool is_last = lvl + 1 == levels_.size();
+
+  std::uint64_t leaves = 0;
+  for (std::uint64_t i = 0; i < range_size; ++i) {
+    ++stats_.visited_values;
+    if (!param.set_and_check(i)) {
+      continue;
+    }
+    const std::uint64_t node = nodes.size();
+    nodes.value_index.push_back(static_cast<std::uint32_t>(i));
+    nodes.child_begin.push_back(is_last ? 0 : levels_[lvl + 1].size());
+    nodes.child_count.push_back(0);
+    nodes.leaf_count.push_back(0);
+
+    std::uint64_t sub = 1;
+    if (!is_last) {
+      sub = expand(lvl + 1);
+      if (sub == 0) {
+        // No valid completion below this prefix: the recursive call left the
+        // deeper levels untouched (its own dead children were popped), so we
+        // only need to pop this node.
+        ++stats_.dead_prefixes;
+        nodes.value_index.pop_back();
+        nodes.child_begin.pop_back();
+        nodes.child_count.pop_back();
+        nodes.leaf_count.pop_back();
+        continue;
+      }
+      nodes.child_count[node] = static_cast<std::uint32_t>(
+          levels_[lvl + 1].size() - nodes.child_begin[node]);
+    }
+    nodes.leaf_count[node] = sub;
+    leaves += sub;
+  }
+  return leaves;
+}
+
+space_tree::span space_tree::children_of(std::size_t lvl,
+                                         std::uint64_t node) const {
+  const level& nodes = levels_[lvl];
+  return {nodes.child_begin[node], nodes.child_count[node]};
+}
+
+void space_tree::path_of(std::uint64_t index, std::uint64_t* path) const {
+  if (index >= leaf_total_) {
+    throw std::out_of_range("space_tree: leaf index out of range");
+  }
+  std::uint64_t begin = 0;
+  std::uint64_t count = levels_.empty() ? 0 : levels_[0].size();
+  for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+    const level& nodes = levels_[lvl];
+    std::uint64_t node = begin;
+    // Scan siblings, subtracting subtree sizes, until `index` lands inside.
+    while (index >= nodes.leaf_count[node]) {
+      index -= nodes.leaf_count[node];
+      ++node;
+    }
+    (void)count;
+    path[lvl] = node;
+    if (lvl + 1 < levels_.size()) {
+      const span next = children_of(lvl, node);
+      begin = next.begin;
+      count = next.count;
+    }
+  }
+}
+
+std::uint64_t space_tree::leaf_index_of_path(const std::uint64_t* path) const {
+  std::uint64_t index = 0;
+  std::uint64_t begin = 0;
+  for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+    const level& nodes = levels_[lvl];
+    for (std::uint64_t sibling = begin; sibling < path[lvl]; ++sibling) {
+      index += nodes.leaf_count[sibling];
+    }
+    if (lvl + 1 < levels_.size()) {
+      begin = children_of(lvl, path[lvl]).begin;
+    }
+  }
+  return index;
+}
+
+std::vector<tp_value> space_tree::values_at(std::uint64_t index) const {
+  std::vector<std::uint64_t> path(levels_.size());
+  path_of(index, path.data());
+  std::vector<tp_value> values;
+  values.reserve(levels_.size());
+  for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+    values.push_back(
+        params_[lvl]->value_at(levels_[lvl].value_index[path[lvl]]));
+  }
+  return values;
+}
+
+void space_tree::apply(std::uint64_t index) const {
+  std::vector<std::uint64_t> path(levels_.size());
+  path_of(index, path.data());
+  for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+    // set_and_check both writes the shared slot and re-evaluates the
+    // constraint; the value is valid by construction, so the result is
+    // discarded.
+    (void)params_[lvl]->set_and_check(levels_[lvl].value_index[path[lvl]]);
+  }
+}
+
+std::uint64_t space_tree::random_index(common::xoshiro256& rng) const {
+  return rng.below(leaf_total_);
+}
+
+std::uint64_t space_tree::leaves_before_sibling(std::size_t lvl,
+                                                std::uint64_t first_sibling,
+                                                std::uint64_t node) const {
+  std::uint64_t leaves = 0;
+  for (std::uint64_t sibling = first_sibling; sibling < node; ++sibling) {
+    leaves += levels_[lvl].leaf_count[sibling];
+  }
+  return leaves;
+}
+
+std::uint64_t space_tree::descend_random(std::size_t lvl, std::uint64_t node,
+                                         common::xoshiro256& rng) const {
+  // Leaves of a subtree are contiguous in flat-index space, so a uniform
+  // leaf of `node`'s subtree is just a uniform offset below it.
+  return rng.below(levels_[lvl].leaf_count[node]);
+}
+
+std::uint64_t space_tree::random_neighbor(std::uint64_t index,
+                                          common::xoshiro256& rng) const {
+  if (leaf_total_ <= 1 || levels_.empty()) {
+    return index;
+  }
+  std::vector<std::uint64_t> path(levels_.size());
+  path_of(index, path.data());
+
+  // Sibling spans along the current path.
+  std::vector<span> spans(levels_.size());
+  spans[0] = {0, levels_[0].size()};
+  for (std::size_t d = 1; d < levels_.size(); ++d) {
+    spans[d] = children_of(d - 1, path[d - 1]);
+  }
+
+  // Try levels in random order until one offers a sibling to move to.
+  std::vector<std::size_t> order(levels_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+
+  for (const std::size_t lvl : order) {
+    const span siblings = spans[lvl];
+    if (siblings.count <= 1) {
+      continue;
+    }
+    // Geometrically distributed step in sibling order. Ranges are ordered,
+    // so adjacent siblings hold adjacent parameter values — this makes the
+    // move genuinely local, which simulated annealing relies on.
+    const std::uint64_t ordinal = path[lvl] - siblings.begin;
+    std::uint64_t step = 1;
+    while (rng.uniform() < 0.5 && step < siblings.count) {
+      step *= 2;
+    }
+    step = std::min<std::uint64_t>(step, siblings.count - 1);
+    std::uint64_t target;
+    if (rng.uniform() < 0.5) {
+      target = ordinal >= step ? ordinal - step : ordinal + step;
+    } else {
+      target = ordinal + step < siblings.count ? ordinal + step
+                                               : ordinal - step;
+    }
+    if (target >= siblings.count) {
+      target = (ordinal + 1) % siblings.count;
+    }
+    if (target == ordinal) {
+      target = (ordinal + 1) % siblings.count;
+    }
+
+    // Build the new path: prefix unchanged, new sibling at `lvl`, and below
+    // it keep each level's child *ordinal* (clamped) so the suffix stays as
+    // close as the tree allows to the old configuration.
+    std::vector<std::uint64_t> next(path);
+    next[lvl] = siblings.begin + target;
+    for (std::size_t d = lvl + 1; d < levels_.size(); ++d) {
+      const span children = children_of(d - 1, next[d - 1]);
+      const std::uint64_t old_ordinal = path[d] - spans[d].begin;
+      next[d] = children.begin +
+                std::min<std::uint64_t>(old_ordinal, children.count - 1);
+    }
+    return leaf_index_of_path(next.data());
+  }
+  return index;
+}
+
+std::uint64_t space_tree::node_count() const noexcept {
+  std::uint64_t total = 0;
+  for (const level& nodes : levels_) {
+    total += nodes.size();
+  }
+  return total;
+}
+
+}  // namespace atf

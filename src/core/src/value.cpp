@@ -1,0 +1,40 @@
+#include "atf/value.hpp"
+
+#include <cstdio>
+
+namespace atf {
+
+std::string to_string(const tp_value& v) {
+  return std::visit(
+      [](auto x) -> std::string {
+        using X = decltype(x);
+        if constexpr (std::is_same_v<X, bool>) {
+          return x ? "true" : "false";
+        } else if constexpr (std::is_same_v<X, double>) {
+          char buffer[64];
+          std::snprintf(buffer, sizeof(buffer), "%.17g", x);
+          return buffer;
+        } else {
+          return std::to_string(x);
+        }
+      },
+      v);
+}
+
+double to_double(const tp_value& v) {
+  return std::visit(
+      [](auto x) -> double {
+        if constexpr (std::is_same_v<decltype(x), bool>) {
+          return x ? 1.0 : 0.0;
+        } else {
+          return static_cast<double>(x);
+        }
+      },
+      v);
+}
+
+bool value_equals(const tp_value& a, const tp_value& b) noexcept {
+  return a == b;
+}
+
+}  // namespace atf

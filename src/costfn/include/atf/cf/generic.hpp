@@ -1,0 +1,41 @@
+// The generic cost function: any callable over a configuration. This is
+// mostly documentation-by-type — the tuner accepts arbitrary callables
+// directly — but the wrapper adds failure-to-evaluation_error translation
+// so user code can throw anything.
+#pragma once
+
+#include <functional>
+#include <type_traits>
+#include <utility>
+
+#include "atf/configuration.hpp"
+#include "atf/cost.hpp"
+
+namespace atf::cf {
+
+template <typename F>
+class generic_cf {
+public:
+  explicit generic_cf(F fn) : fn_(std::move(fn)) {}
+
+  auto operator()(const atf::configuration& config) const {
+    try {
+      return fn_(config);
+    } catch (const atf::evaluation_error&) {
+      throw;  // already the tuner's language
+    } catch (const std::exception& error) {
+      throw atf::evaluation_error(error.what());
+    }
+  }
+
+private:
+  F fn_;
+};
+
+/// Wraps an arbitrary callable returning any type with operator<.
+template <typename F>
+generic_cf<std::decay_t<F>> generic(F&& fn) {
+  return generic_cf<std::decay_t<F>>(std::forward<F>(fn));
+}
+
+}  // namespace atf::cf

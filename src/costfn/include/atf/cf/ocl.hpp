@@ -1,0 +1,201 @@
+// ATF's pre-implemented OpenCL cost function (paper, Section II Step 2).
+//
+//   auto cf_saxpy = atf::cf::ocl("NVIDIA", "Tesla K20c",
+//                                atf::kernels::saxpy::make_kernel())
+//                       .inputs(atf::cf::scalar<std::size_t>(N),
+//                               atf::cf::scalar<float>(),
+//                               atf::cf::buffer<float>(N),
+//                               atf::cf::buffer<float>(N))
+//                       .glb_size(N / WPT)
+//                       .lcl_size(LS);
+//
+// The device is chosen by platform and device *name* (no numeric OpenCL
+// ids); inputs default to random data uploaded once at initialization;
+// global/local sizes are arbitrary arithmetic expressions over tuning
+// parameters. Invoking the cost function with a configuration injects the
+// parameter values as preprocessor defines, launches the kernel on the
+// simulated device, and returns the profiled runtime in nanoseconds. Launch
+// failures (e.g. CL_INVALID_WORK_GROUP_SIZE) surface as
+// atf::evaluation_error, which the tuner records as a failed configuration.
+//
+// Result checking is optional, as in ATF: verify_output<T>(arg_index,
+// reference) enables functional execution and compares the named buffer
+// against a caller-provided reference after every launch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "atf/configuration.hpp"
+#include "atf/cost.hpp"
+#include "atf/expression.hpp"
+#include "ocls/ocls.hpp"
+
+namespace atf::cf {
+
+/// A lazily evaluated launch-size component: literal, tp or expression.
+using size_fn = std::function<std::size_t()>;
+
+namespace detail {
+template <typename E>
+size_fn to_size_fn(const E& e) {
+  auto lazy = atf::make_expr(e);
+  return [lazy] { return static_cast<std::size_t>(lazy.eval()); };
+}
+}  // namespace detail
+
+/// Input descriptors (paper, Section III: atf::scalar<T>() generates a
+/// random value, atf::buffer<T>(N) a random N-element buffer; passing
+/// concrete data is also supported).
+struct input {
+  enum class kind { scalar_random, scalar_value, buffer_random, buffer_data };
+  kind what;
+  double value = 0.0;                 ///< scalar_value payload
+  std::size_t count = 0;              ///< buffer element count
+  std::vector<float> data;            ///< buffer_data payload
+};
+
+template <typename T>
+input scalar() {
+  return {input::kind::scalar_random, 0.0, 0, {}};
+}
+template <typename T>
+input scalar(T value) {
+  return {input::kind::scalar_value, static_cast<double>(value), 0, {}};
+}
+template <typename T>
+input buffer(std::size_t count) {
+  return {input::kind::buffer_random, 0.0, count, {}};
+}
+inline input buffer(std::vector<float> data) {
+  return {input::kind::buffer_data, 0.0, data.size(), std::move(data)};
+}
+
+class ocl {
+public:
+  /// Chooses the target device by platform and device name substrings.
+  ocl(const std::string& platform_name, const std::string& device_name,
+      ocls::kernel k);
+
+  /// Chooses an already-resolved device (tests, custom profiles).
+  ocl(ocls::device dev, ocls::kernel k);
+
+  /// Declares the kernel arguments; random payloads are generated and
+  /// "uploaded" once, here.
+  ocl& inputs(std::vector<input> descriptors);
+
+  template <typename... Inputs>
+  ocl& inputs(Inputs... descriptors) {
+    return inputs(std::vector<input>{std::move(descriptors)...});
+  }
+
+  /// Global size as 1-3 arithmetic expressions over tuning parameters.
+  template <typename... Es>
+  ocl& glb_size(const Es&... es) {
+    global_ = {detail::to_size_fn(es)...};
+    return *this;
+  }
+  /// Local size, same form.
+  template <typename... Es>
+  ocl& lcl_size(const Es&... es) {
+    local_ = {detail::to_size_fn(es)...};
+    return *this;
+  }
+
+  /// Adds a fixed preprocessor define (e.g. the input size).
+  ocl& define(const std::string& name, std::uint64_t value);
+
+  /// Enables result checking: after every launch the buffer argument at
+  /// `arg_index` is compared elementwise (absolute tolerance) against
+  /// `expected`. Enables functional execution.
+  ocl& verify_output(std::size_t arg_index, std::vector<float> expected,
+                     float tolerance = 1e-3f);
+
+  /// Fixed RNG seed for the random inputs (default deterministic).
+  ocl& seed(std::uint64_t seed);
+
+  /// Evaluates one configuration; returns the modeled kernel runtime in ns.
+  double operator()(const atf::configuration& config) const;
+
+  /// As operator(), but also returns the modeled energy — for
+  /// multi-objective tuning (runtime first, energy second).
+  atf::cost_pair runtime_energy(const atf::configuration& config) const;
+
+  [[nodiscard]] const ocls::device& dev() const;
+
+private:
+  struct launch_outcome {
+    double ns;
+    double energy_uj;
+  };
+  [[nodiscard]] launch_outcome run(const atf::configuration& config) const;
+  void materialize_inputs();
+
+  std::shared_ptr<ocls::context> context_;
+  ocls::kernel kernel_;
+  std::vector<input> descriptors_;
+  ocls::kernel_args args_;
+  std::vector<size_fn> global_;
+  std::vector<size_fn> local_;
+  ocls::define_map fixed_defines_;
+  std::uint64_t seed_ = 0xa7f;
+  bool verify_ = false;
+  std::size_t verify_index_ = 0;
+  std::vector<float> verify_expected_;
+  float verify_tolerance_ = 1e-3f;
+  std::vector<float> verify_baseline_;  ///< initial contents of the checked buffer
+};
+
+/// ATF's CUDA cost function (paper: based on NVRTC; identical to the OpenCL
+/// one except that the platform is implicitly NVIDIA and sizes are given as
+/// grid/block dimensions, where global = grid * block).
+class cuda {
+public:
+  explicit cuda(const std::string& device_name, ocls::kernel k);
+
+  cuda& inputs(std::vector<input> descriptors) {
+    impl_.inputs(std::move(descriptors));
+    return *this;
+  }
+  template <typename... Inputs>
+  cuda& inputs(Inputs... descriptors) {
+    impl_.inputs(std::move(descriptors)...);
+    return *this;
+  }
+
+  /// Grid dimension(s): number of blocks per dimension.
+  template <typename... Es>
+  cuda& grid_dim(const Es&... es) {
+    grid_ = {detail::to_size_fn(es)...};
+    sync_sizes();
+    return *this;
+  }
+  /// Block dimension(s): threads per block.
+  template <typename... Es>
+  cuda& block_dim(const Es&... es) {
+    block_ = {detail::to_size_fn(es)...};
+    sync_sizes();
+    return *this;
+  }
+
+  cuda& define(const std::string& name, std::uint64_t value) {
+    impl_.define(name, value);
+    return *this;
+  }
+
+  double operator()(const atf::configuration& config) const {
+    return impl_(config);
+  }
+
+private:
+  void sync_sizes();
+
+  ocl impl_;
+  std::vector<size_fn> grid_;
+  std::vector<size_fn> block_;
+};
+
+}  // namespace atf::cf

@@ -1,0 +1,74 @@
+// The generic *program* cost function (paper, Section II Step 2): tunes a
+// program written in an arbitrary language, with an arbitrary objective.
+//
+// It is initialized with
+//   1. the path to the program's source file,
+//   2. paths to two user-provided scripts for compiling and running it, and
+//   3. optionally a log file the program writes its cost(s) to; without a
+//      log file, ATF measures the run script's wall-clock time.
+//
+// Per evaluation the compile script is invoked as
+//     <compile_script> <source_path> NAME1=VALUE1 NAME2=VALUE2 ...
+// (one NAME=VALUE per tuning parameter), then the run script as
+//     <run_script> <source_path>.
+// A non-zero exit status of either script marks the configuration as
+// failed. Multi-objective programs write comma-separated costs to the log
+// file; the returned program_cost orders lexicographically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "atf/configuration.hpp"
+#include "atf/cost.hpp"
+
+namespace atf::cf {
+
+/// Comma-separated costs from the log file, minimized lexicographically.
+struct program_cost {
+  std::vector<double> values;
+
+  friend bool operator<(const program_cost& a, const program_cost& b) {
+    return a.values < b.values;
+  }
+  friend bool operator==(const program_cost& a,
+                         const program_cost& b) = default;
+};
+
+class program {
+public:
+  program(std::string source_path, std::string compile_script,
+          std::string run_script);
+
+  /// Opts into log-file costs; otherwise wall-clock runtime is used.
+  program& log_file(std::string path);
+
+  program_cost operator()(const atf::configuration& config) const;
+
+private:
+  std::string source_path_;
+  std::string compile_script_;
+  std::string run_script_;
+  std::string log_path_;
+};
+
+}  // namespace atf::cf
+
+namespace atf {
+template <>
+struct cost_traits<cf::program_cost> {
+  static double scalar(const cf::program_cost& c) {
+    return c.values.empty() ? 0.0 : c.values.front();
+  }
+  static std::string describe(const cf::program_cost& c) {
+    std::string out = "(";
+    for (std::size_t i = 0; i < c.values.size(); ++i) {
+      if (i != 0) {
+        out += ", ";
+      }
+      out += std::to_string(c.values[i]);
+    }
+    return out + ")";
+  }
+};
+}  // namespace atf

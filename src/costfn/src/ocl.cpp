@@ -1,0 +1,186 @@
+#include "atf/cf/ocl.hpp"
+
+#include <cmath>
+
+#include "atf/common/rng.hpp"
+
+namespace atf::cf {
+
+ocl::ocl(const std::string& platform_name, const std::string& device_name,
+         ocls::kernel k)
+    : ocl(ocls::find_device(platform_name, device_name), std::move(k)) {}
+
+ocl::ocl(ocls::device dev, ocls::kernel k)
+    : context_(std::make_shared<ocls::context>(std::move(dev))),
+      kernel_(std::move(k)) {}
+
+ocl& ocl::inputs(std::vector<input> descriptors) {
+  descriptors_ = std::move(descriptors);
+  materialize_inputs();
+  return *this;
+}
+
+ocl& ocl::define(const std::string& name, std::uint64_t value) {
+  fixed_defines_.set(name, value);
+  return *this;
+}
+
+ocl& ocl::seed(std::uint64_t seed) {
+  seed_ = seed;
+  materialize_inputs();
+  return *this;
+}
+
+ocl& ocl::verify_output(std::size_t arg_index, std::vector<float> expected,
+                        float tolerance) {
+  verify_ = true;
+  verify_index_ = arg_index;
+  verify_expected_ = std::move(expected);
+  verify_tolerance_ = tolerance;
+  context_->execute_functionally(true);
+  if (verify_index_ < args_.size() && !args_[verify_index_].is_scalar()) {
+    const auto host = args_[verify_index_].buf<float>().host();
+    verify_baseline_.assign(host.begin(), host.end());
+  }
+  return *this;
+}
+
+void ocl::materialize_inputs() {
+  // Random data is generated and uploaded once — the paper avoids
+  // per-evaluation host/device transfers the same way.
+  args_.clear();
+  if (descriptors_.empty()) {
+    return;
+  }
+  common::xoshiro256 rng(seed_);
+  for (const auto& d : descriptors_) {
+    switch (d.what) {
+      case input::kind::scalar_value:
+        args_.emplace_back(d.value);
+        break;
+      case input::kind::scalar_random:
+        args_.emplace_back(rng.uniform(-2.0, 2.0));
+        break;
+      case input::kind::buffer_random: {
+        auto buf = std::make_shared<ocls::buffer<float>>(d.count);
+        for (auto& v : buf->host()) {
+          v = static_cast<float>(rng.uniform(-2.0, 2.0));
+        }
+        args_.emplace_back(std::move(buf));
+        break;
+      }
+      case input::kind::buffer_data: {
+        auto buf = std::make_shared<ocls::buffer<float>>(d.data);
+        args_.emplace_back(std::move(buf));
+        break;
+      }
+    }
+  }
+}
+
+const ocls::device& ocl::dev() const { return context_->dev(); }
+
+ocl::launch_outcome ocl::run(const atf::configuration& config) const {
+  // The tuning parameters become preprocessor defines, exactly as ATF
+  // substitutes them into kernel source via -D options.
+  ocls::define_map defines = fixed_defines_;
+  for (const auto& [name, value] : config.entries()) {
+    defines.set(name, atf::to_string(value));
+  }
+
+  if (global_.empty() || local_.empty()) {
+    throw atf::evaluation_error(
+        "atf::cf::ocl: glb_size and lcl_size must be set");
+  }
+
+  ocls::nd_range range;
+  range.dims = static_cast<unsigned>(global_.size());
+  for (std::size_t d = 0; d < global_.size(); ++d) {
+    range.global[d] = global_[d]();
+  }
+  for (std::size_t d = 0; d < local_.size() && d < 3; ++d) {
+    range.local[d] = local_[d]();
+  }
+
+  // Restore the checked output buffer so repeated launches accumulate from
+  // the same starting state (saxpy updates y in place).
+  if (verify_ && !verify_baseline_.empty()) {
+    auto host = args_[verify_index_].buf<float>().host();
+    std::copy(verify_baseline_.begin(), verify_baseline_.end(), host.begin());
+  }
+
+  ocls::command_queue queue(context_);
+  ocls::event event;
+  try {
+    event = queue.launch(kernel_, range, args_, defines);
+  } catch (const ocls::error& error) {
+    // Launch/validation failures are ordinary tuning events: the
+    // configuration is reported as failed, not as a crash.
+    throw atf::evaluation_error(error.what());
+  }
+
+  if (verify_) {
+    const auto host = args_[verify_index_].buf<float>().host();
+    if (host.size() != verify_expected_.size()) {
+      throw atf::evaluation_error(
+          "atf::cf::ocl: verification size mismatch");
+    }
+    for (std::size_t i = 0; i < host.size(); ++i) {
+      if (std::abs(host[i] - verify_expected_[i]) > verify_tolerance_) {
+        throw atf::evaluation_error(
+            "atf::cf::ocl: result mismatch at element " + std::to_string(i));
+      }
+    }
+  }
+  return {event.profile_ns(), event.energy_uj()};
+}
+
+double ocl::operator()(const atf::configuration& config) const {
+  return run(config).ns;
+}
+
+atf::cost_pair ocl::runtime_energy(const atf::configuration& config) const {
+  const auto outcome = run(config);
+  return atf::cost_pair{outcome.ns, outcome.energy_uj};
+}
+
+cuda::cuda(const std::string& device_name, ocls::kernel k)
+    : impl_("NVIDIA", device_name, std::move(k)) {}
+
+void cuda::sync_sizes() {
+  if (grid_.empty() || block_.empty() || grid_.size() != block_.size()) {
+    return;
+  }
+  // OpenCL global size = CUDA grid * block; local size = block.
+  std::vector<size_fn> global;
+  std::vector<size_fn> local;
+  for (std::size_t d = 0; d < grid_.size(); ++d) {
+    auto g = grid_[d];
+    auto b = block_[d];
+    global.push_back([g, b] { return g() * b(); });
+    local.push_back(b);
+  }
+  // Rebuild impl_'s sizes through its template setters.
+  switch (global.size()) {
+    case 1:
+      impl_.glb_size(atf::expr<std::size_t>(global[0]));
+      impl_.lcl_size(atf::expr<std::size_t>(local[0]));
+      break;
+    case 2:
+      impl_.glb_size(atf::expr<std::size_t>(global[0]),
+                     atf::expr<std::size_t>(global[1]));
+      impl_.lcl_size(atf::expr<std::size_t>(local[0]),
+                     atf::expr<std::size_t>(local[1]));
+      break;
+    default:
+      impl_.glb_size(atf::expr<std::size_t>(global[0]),
+                     atf::expr<std::size_t>(global[1]),
+                     atf::expr<std::size_t>(global[2]));
+      impl_.lcl_size(atf::expr<std::size_t>(local[0]),
+                     atf::expr<std::size_t>(local[1]),
+                     atf::expr<std::size_t>(local[2]));
+      break;
+  }
+}
+
+}  // namespace atf::cf

@@ -1,0 +1,96 @@
+#include "atf/cf/program.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "atf/common/stopwatch.hpp"
+#include "atf/common/string_utils.hpp"
+
+namespace atf::cf {
+
+namespace {
+
+/// Quotes a string for POSIX sh.
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+int run_command(const std::string& command) {
+  const int status = std::system(command.c_str());
+  return status;
+}
+
+}  // namespace
+
+program::program(std::string source_path, std::string compile_script,
+                 std::string run_script)
+    : source_path_(std::move(source_path)),
+      compile_script_(std::move(compile_script)),
+      run_script_(std::move(run_script)) {}
+
+program& program::log_file(std::string path) {
+  log_path_ = std::move(path);
+  return *this;
+}
+
+program_cost program::operator()(const atf::configuration& config) const {
+  // Compile with the configuration's values as NAME=VALUE arguments.
+  std::ostringstream compile;
+  compile << shell_quote(compile_script_) << ' ' << shell_quote(source_path_);
+  for (const auto& [name, value] : config.entries()) {
+    compile << ' ' << shell_quote(name + "=" + atf::to_string(value));
+  }
+  if (run_command(compile.str()) != 0) {
+    throw atf::evaluation_error("atf::cf::program: compile script failed");
+  }
+
+  const std::string run_cmd =
+      shell_quote(run_script_) + ' ' + shell_quote(source_path_);
+  common::stopwatch timer;
+  if (run_command(run_cmd) != 0) {
+    throw atf::evaluation_error("atf::cf::program: run script failed");
+  }
+  const double wall_ns = timer.elapsed_seconds() * 1e9;
+
+  if (log_path_.empty()) {
+    // No log file: the program's wall-clock runtime is the cost.
+    return program_cost{{wall_ns}};
+  }
+
+  std::ifstream log(log_path_);
+  if (!log) {
+    throw atf::evaluation_error("atf::cf::program: cannot read log file '" +
+                                log_path_ + "'");
+  }
+  std::string line;
+  std::getline(log, line);
+  program_cost cost;
+  for (const auto& field : common::split(line, ',')) {
+    const std::string text = common::trim(field);
+    if (text.empty()) {
+      continue;
+    }
+    try {
+      cost.values.push_back(std::stod(text));
+    } catch (const std::exception&) {
+      throw atf::evaluation_error(
+          "atf::cf::program: malformed cost '" + text + "' in log file");
+    }
+  }
+  if (cost.values.empty()) {
+    throw atf::evaluation_error("atf::cf::program: empty log file");
+  }
+  return cost;
+}
+
+}  // namespace atf::cf

@@ -1,0 +1,31 @@
+#include "atf/kernels/reference.hpp"
+
+#include <cassert>
+
+namespace atf::kernels::reference {
+
+void saxpy(float a, std::span<const float> x, std::span<float> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = a * x[i] + y[i];
+  }
+}
+
+void gemm(std::size_t m, std::size_t n, std::size_t k,
+          std::span<const float> a, std::span<const float> b,
+          std::span<float> c) {
+  assert(a.size() >= m * k);
+  assert(b.size() >= k * n);
+  assert(c.size() >= m * n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += a[i * k + p] * b[p * n + j];
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+}  // namespace atf::kernels::reference

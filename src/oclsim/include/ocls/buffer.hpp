@@ -1,0 +1,95 @@
+// Host-backed device buffers and type-erased kernel arguments.
+//
+// A buffer<T> owns a host vector standing in for device memory. Arguments
+// are passed to kernels through the small `arg` variant; kernel bodies
+// recover typed views with arg::scalar<T>() / arg::buffer<T>().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "ocls/error.hpp"
+
+namespace ocls {
+
+namespace detail {
+struct buffer_base {
+  virtual ~buffer_base() = default;
+  [[nodiscard]] virtual std::size_t size_bytes() const noexcept = 0;
+};
+}  // namespace detail
+
+template <typename T>
+class buffer final : public detail::buffer_base {
+public:
+  explicit buffer(std::size_t count) : data_(count) {}
+  explicit buffer(std::vector<T> data) : data_(std::move(data)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t size_bytes() const noexcept override {
+    return data_.size() * sizeof(T);
+  }
+
+  [[nodiscard]] std::span<T> host() noexcept { return data_; }
+  [[nodiscard]] std::span<const T> host() const noexcept { return data_; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+private:
+  std::vector<T> data_;
+};
+
+/// A type-erased kernel argument: a scalar or a shared buffer handle.
+class arg {
+public:
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  arg(T scalar)  // NOLINT(google-explicit-constructor)
+      : value_(static_cast<double>(scalar)), is_scalar_(true) {}
+
+  template <typename T>
+  arg(std::shared_ptr<buffer<T>> buf)  // NOLINT(google-explicit-constructor)
+      : handle_(std::move(buf)), is_scalar_(false) {}
+
+  [[nodiscard]] bool is_scalar() const noexcept { return is_scalar_; }
+
+  /// The scalar value as T; throws invalid_kernel_args for buffer args.
+  template <typename T>
+  [[nodiscard]] T scalar() const {
+    if (!is_scalar_) {
+      throw invalid_kernel_args("ocls: argument is a buffer, not a scalar");
+    }
+    return static_cast<T>(value_);
+  }
+
+  /// The buffer as buffer<T>; throws invalid_kernel_args on mismatch.
+  template <typename T>
+  [[nodiscard]] buffer<T>& buf() const {
+    if (is_scalar_) {
+      throw invalid_kernel_args("ocls: argument is a scalar, not a buffer");
+    }
+    auto typed = std::dynamic_pointer_cast<buffer<T>>(handle_);
+    if (!typed) {
+      throw invalid_kernel_args("ocls: buffer argument has a different "
+                                "element type than requested");
+    }
+    return *typed;
+  }
+
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    return is_scalar_ ? sizeof(double) : handle_->size_bytes();
+  }
+
+private:
+  double value_ = 0.0;
+  std::shared_ptr<detail::buffer_base> handle_;
+  bool is_scalar_;
+};
+
+using kernel_args = std::vector<arg>;
+
+}  // namespace ocls

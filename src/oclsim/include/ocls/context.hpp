@@ -1,0 +1,85 @@
+// Context and command queue: launch validation, functional execution and
+// profiling.
+//
+// `context` binds a device; `command_queue` launches kernels. A launch
+//   1. validates the ND-range against the OpenCL rules (the local size must
+//      divide the global size in every dimension; the work-group may not
+//      exceed the device limit) and the kernel's local-memory requirement
+//      against the device,
+//   2. optionally executes the kernel body functionally — all work-groups,
+//      all work-items, work-groups distributed over a host thread pool,
+//   3. evaluates the kernel's performance model and returns an event whose
+//      profiling query reports the modeled runtime (the analogue of
+//      CL_PROFILING_COMMAND_START/END) and modeled energy.
+//
+// Functional execution is optional because tuning only needs the model (the
+// paper tunes on random data and never downloads results); correctness
+// checks enable it explicitly.
+#pragma once
+
+#include <memory>
+
+#include "ocls/define_map.hpp"
+#include "ocls/device.hpp"
+#include "ocls/energy.hpp"
+#include "ocls/kernel.hpp"
+
+namespace ocls {
+
+/// The completed-launch handle; mirrors an OpenCL event with profiling.
+class event {
+public:
+  event() = default;
+  event(double ns, double energy_uj) : ns_(ns), energy_uj_(energy_uj) {}
+
+  /// Modeled kernel runtime in nanoseconds.
+  [[nodiscard]] double profile_ns() const noexcept { return ns_; }
+  /// Modeled energy in microjoules.
+  [[nodiscard]] double energy_uj() const noexcept { return energy_uj_; }
+
+private:
+  double ns_ = 0.0;
+  double energy_uj_ = 0.0;
+};
+
+class context {
+public:
+  explicit context(device dev) : device_(std::move(dev)) {}
+
+  [[nodiscard]] const device& dev() const noexcept { return device_; }
+
+  /// Enables/disables functional execution of kernel bodies (default off:
+  /// tuning needs only the model).
+  context& execute_functionally(bool enabled) {
+    functional_ = enabled;
+    return *this;
+  }
+  [[nodiscard]] bool functional() const noexcept { return functional_; }
+
+private:
+  device device_;
+  bool functional_ = false;
+};
+
+class command_queue {
+public:
+  explicit command_queue(std::shared_ptr<context> ctx)
+      : context_(std::move(ctx)) {}
+
+  /// Validates and launches `k`. Throws invalid_work_group_size,
+  /// invalid_global_work_size, out_of_resources or invalid_kernel_args.
+  event launch(const kernel& k, const nd_range& range,
+               const kernel_args& args, const define_map& defines);
+
+  [[nodiscard]] const context& ctx() const noexcept { return *context_; }
+
+private:
+  void validate(const kernel& k, const nd_range& range,
+                const define_map& defines) const;
+  void execute_body(const kernel& k, const nd_range& range,
+                    const kernel_args& args, const define_map& defines) const;
+
+  std::shared_ptr<context> context_;
+};
+
+}  // namespace ocls

@@ -1,0 +1,48 @@
+// Preprocessor-style defines.
+//
+// ATF substitutes tuning-parameter names in kernel source via the OpenCL
+// preprocessor (-DWPT=8 -DLS=64 ...). In the simulator a kernel receives the
+// same information as a define_map; the typed getters perform the parsing a
+// compiled kernel would have done at build time, and throw build_error for
+// missing/malformed values — the analogue of a kernel build failure.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ocls {
+
+class define_map {
+public:
+  define_map() = default;
+
+  void set(const std::string& name, std::string value);
+  void set(const std::string& name, std::uint64_t value);
+  void set(const std::string& name, std::int64_t value);
+  void set(const std::string& name, double value);
+  void set(const std::string& name, bool value);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Raw textual value; throws build_error if missing.
+  [[nodiscard]] const std::string& raw(const std::string& name) const;
+
+  [[nodiscard]] std::uint64_t get_uint(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  /// Accepts "true"/"false"/"1"/"0".
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& all() const {
+    return defines_;
+  }
+
+  /// "-DWPT=8 -DLS=64" — the build-options string real host code would pass.
+  [[nodiscard]] std::string build_options() const;
+
+private:
+  std::map<std::string, std::string> defines_;
+};
+
+}  // namespace ocls

@@ -1,0 +1,110 @@
+// Simulated OpenCL platforms and devices.
+//
+// The paper's testbed is modeled by two built-in devices:
+//   * platform "Intel(R) OpenCL", device "Intel Xeon E5-2640 v2" — the
+//     dual-socket 8-core CPU (one OpenCL device with 32 compute units,
+//     matching the paper's description);
+//   * platform "NVIDIA CUDA", device "Tesla K20m" — the evaluation GPU
+//     (the paper's Listing 2 targets the sibling card "Tesla K20c").
+// Devices are looked up by platform and device *name substrings*, exactly
+// the convenience ATF advertises over CLTune's numeric ids (Section III).
+// Additional devices can be registered for tests and experiments.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ocls {
+
+enum class device_kind { cpu, gpu };
+
+/// The analytic description of a device that performance models consume.
+struct device_profile {
+  std::string platform_name;
+  std::string device_name;
+  device_kind kind = device_kind::gpu;
+
+  unsigned compute_units = 1;        ///< SMX count / logical cores
+  unsigned simd_width = 1;           ///< warp width / vector lanes
+  std::size_t max_work_group_size = 1;
+  std::size_t local_mem_bytes = 0;
+
+  double clock_ghz = 1.0;
+  double flops_per_cu_per_cycle = 1.0;  ///< peak fused FLOPs per CU per cycle
+  double global_bw_gbps = 1.0;          ///< STREAM-like global bandwidth
+  std::size_t llc_bytes = 0;            ///< last-level cache capacity
+  double cache_bw_multiplier = 1.0;     ///< bandwidth gain for LLC-resident data
+  double launch_overhead_ns = 0.0;      ///< fixed cost per kernel launch
+  double workgroup_overhead_ns = 0.0;   ///< scheduling cost per work-group
+
+  double idle_watts = 0.0;   ///< board/package power at idle
+  double max_watts = 0.0;    ///< power at full utilization
+
+  /// Peak arithmetic throughput in FLOP/s.
+  [[nodiscard]] double peak_flops() const noexcept {
+    return static_cast<double>(compute_units) * flops_per_cu_per_cycle *
+           clock_ghz * 1e9;
+  }
+  /// Peak global-memory bandwidth in bytes/s.
+  [[nodiscard]] double peak_bytes_per_s() const noexcept {
+    return global_bw_gbps * 1e9;
+  }
+};
+
+class device {
+public:
+  device() = default;
+  explicit device(device_profile profile) : profile_(std::move(profile)) {}
+
+  [[nodiscard]] const device_profile& profile() const noexcept {
+    return profile_;
+  }
+  [[nodiscard]] const std::string& name() const noexcept {
+    return profile_.device_name;
+  }
+
+private:
+  device_profile profile_;
+};
+
+class platform {
+public:
+  platform() = default;
+  platform(std::string name, std::vector<device> devices)
+      : name_(std::move(name)), devices_(std::move(devices)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<device>& devices() const noexcept {
+    return devices_;
+  }
+
+private:
+  std::string name_;
+  std::vector<device> devices_;
+};
+
+/// All platforms visible to the "runtime" (built-ins + registered).
+[[nodiscard]] const std::vector<platform>& platforms();
+
+/// Finds a device whose platform name contains `platform_name` and whose
+/// device name contains `device_name` (case-sensitive substring match, like
+/// typical host-code lookup helpers). Throws device_not_found.
+[[nodiscard]] device find_device(const std::string& platform_name,
+                                 const std::string& device_name);
+
+/// Registers an additional device (e.g. a synthetic profile in tests).
+/// The device is appended to an existing platform of the same name or to a
+/// new platform.
+void register_device(const device_profile& profile);
+
+/// Removes every registered (non-built-in) device.
+void reset_registered_devices();
+
+/// The built-in profile of the paper's CPU (dual-socket Xeon E5-2640 v2).
+[[nodiscard]] device_profile xeon_e5_2640v2_profile();
+
+/// The built-in profile of the paper's GPU (Tesla K20m).
+[[nodiscard]] device_profile tesla_k20m_profile();
+
+}  // namespace ocls

@@ -1,0 +1,19 @@
+// Power/energy model — the substrate behind multi-objective (runtime +
+// energy) tuning. Board power is interpolated linearly between the profile's
+// idle and full-utilization wattage; energy is power x modeled time.
+#pragma once
+
+#include "ocls/device.hpp"
+
+namespace ocls {
+
+/// Board power in watts at a given utilization in [0,1].
+[[nodiscard]] double power_watts(const device_profile& profile,
+                                 double utilization) noexcept;
+
+/// Energy in microjoules for a kernel of `ns` nanoseconds at `utilization`.
+[[nodiscard]] double energy_microjoules(const device_profile& profile,
+                                        double ns,
+                                        double utilization) noexcept;
+
+}  // namespace ocls

@@ -1,0 +1,58 @@
+// Error hierarchy of the OpenCL simulator. The names mirror the OpenCL
+// error codes that real host code would receive (CL_INVALID_WORK_GROUP_SIZE
+// etc.), so downstream code — in particular ATF's OpenCL cost function —
+// handles simulator failures exactly like real runtime failures.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ocls {
+
+/// Base class of all simulator errors.
+class error : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Unknown platform or device name (CL_DEVICE_NOT_FOUND).
+class device_not_found : public error {
+public:
+  using error::error;
+};
+
+/// Launch geometry violates the OpenCL spec: the local size does not divide
+/// the global size, or exceeds the device's work-group limit
+/// (CL_INVALID_WORK_GROUP_SIZE).
+class invalid_work_group_size : public error {
+public:
+  using error::error;
+};
+
+/// Zero global size or too many dimensions (CL_INVALID_GLOBAL_WORK_SIZE).
+class invalid_global_work_size : public error {
+public:
+  using error::error;
+};
+
+/// The kernel's local-memory requirement exceeds the device limit
+/// (CL_OUT_OF_RESOURCES).
+class out_of_resources : public error {
+public:
+  using error::error;
+};
+
+/// Kernel argument mismatch (CL_INVALID_ARG_VALUE / CL_INVALID_KERNEL_ARGS).
+class invalid_kernel_args : public error {
+public:
+  using error::error;
+};
+
+/// A required preprocessor define is missing or malformed — the analogue of
+/// an OpenCL build failure (CL_BUILD_PROGRAM_FAILURE).
+class build_error : public error {
+public:
+  using error::error;
+};
+
+}  // namespace ocls

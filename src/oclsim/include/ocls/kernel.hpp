@@ -1,0 +1,90 @@
+// Simulated kernels.
+//
+// A kernel couples
+//   * a functional body — a C++ callable executed once per work-item with
+//     full ND-range semantics, producing real results (used for correctness
+//     checking, exactly like ATF's optional result verification); and
+//   * an analytical performance model — a callable mapping (launch geometry,
+//     device profile, preprocessor defines) onto an estimated runtime and a
+//     utilization figure, which backs the profiling API and the energy
+//     model; and
+//   * a local-memory model — bytes of __local storage the kernel would
+//     allocate for given defines, validated against the device limit.
+//
+// Kernel bodies read their tuning parameters from the define_map, mirroring
+// how real auto-tuners inject parameters via the OpenCL preprocessor.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "ocls/buffer.hpp"
+#include "ocls/define_map.hpp"
+#include "ocls/device.hpp"
+#include "ocls/ndrange.hpp"
+
+namespace ocls {
+
+/// The outcome of a performance-model evaluation.
+struct perf_estimate {
+  double ns = 0.0;           ///< modeled kernel runtime
+  double utilization = 0.5;  ///< 0..1, drives the energy model
+};
+
+using kernel_body =
+    std::function<void(const nd_item&, const kernel_args&, const define_map&)>;
+using perf_model = std::function<perf_estimate(
+    const nd_range&, const device_profile&, const define_map&)>;
+using local_mem_model = std::function<std::size_t(const define_map&)>;
+
+class kernel {
+public:
+  kernel() = default;
+  explicit kernel(std::string name) : name_(std::move(name)) {}
+
+  kernel& set_body(kernel_body body) {
+    body_ = std::move(body);
+    return *this;
+  }
+  kernel& set_perf_model(perf_model model) {
+    perf_ = std::move(model);
+    return *this;
+  }
+  kernel& set_local_mem_model(local_mem_model model) {
+    local_mem_ = std::move(model);
+    return *this;
+  }
+  /// Attaches the kernel's source text (carried for fidelity/debugging; the
+  /// simulator never parses it).
+  kernel& set_source(std::string source) {
+    source_ = std::move(source);
+    return *this;
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& source() const noexcept { return source_; }
+  [[nodiscard]] bool has_body() const noexcept {
+    return static_cast<bool>(body_);
+  }
+  [[nodiscard]] bool has_perf_model() const noexcept {
+    return static_cast<bool>(perf_);
+  }
+
+  [[nodiscard]] const kernel_body& body() const noexcept { return body_; }
+  [[nodiscard]] const perf_model& model() const noexcept { return perf_; }
+
+  /// Local-memory requirement for the given defines (0 if no model is set).
+  [[nodiscard]] std::size_t local_mem_bytes(const define_map& defines) const {
+    return local_mem_ ? local_mem_(defines) : 0;
+  }
+
+private:
+  std::string name_;
+  std::string source_;
+  kernel_body body_;
+  perf_model perf_;
+  local_mem_model local_mem_;
+};
+
+}  // namespace ocls

@@ -1,0 +1,71 @@
+// ND-range launch geometry and the per-work-item view (nd_item).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ocls {
+
+/// Launch geometry: up to three dimensions of global and local sizes.
+struct nd_range {
+  std::array<std::size_t, 3> global{1, 1, 1};
+  std::array<std::size_t, 3> local{1, 1, 1};
+  unsigned dims = 1;
+
+  static nd_range d1(std::size_t g, std::size_t l) {
+    return {{g, 1, 1}, {l, 1, 1}, 1};
+  }
+  static nd_range d2(std::size_t gx, std::size_t gy, std::size_t lx,
+                     std::size_t ly) {
+    return {{gx, gy, 1}, {lx, ly, 1}, 2};
+  }
+  static nd_range d3(std::size_t gx, std::size_t gy, std::size_t gz,
+                     std::size_t lx, std::size_t ly, std::size_t lz) {
+    return {{gx, gy, gz}, {lx, ly, lz}, 3};
+  }
+
+  [[nodiscard]] std::size_t global_total() const noexcept {
+    return global[0] * global[1] * global[2];
+  }
+  [[nodiscard]] std::size_t local_total() const noexcept {
+    return local[0] * local[1] * local[2];
+  }
+  [[nodiscard]] std::size_t num_groups() const noexcept {
+    return global_total() / local_total();
+  }
+};
+
+/// The work-item view a kernel body receives (get_global_id etc.).
+class nd_item {
+public:
+  nd_item(const nd_range& range, std::array<std::size_t, 3> group,
+          std::array<std::size_t, 3> local) noexcept
+      : range_(&range), group_(group), local_(local) {}
+
+  [[nodiscard]] std::size_t global_id(unsigned dim = 0) const noexcept {
+    return group_[dim] * range_->local[dim] + local_[dim];
+  }
+  [[nodiscard]] std::size_t local_id(unsigned dim = 0) const noexcept {
+    return local_[dim];
+  }
+  [[nodiscard]] std::size_t group_id(unsigned dim = 0) const noexcept {
+    return group_[dim];
+  }
+  [[nodiscard]] std::size_t global_size(unsigned dim = 0) const noexcept {
+    return range_->global[dim];
+  }
+  [[nodiscard]] std::size_t local_size(unsigned dim = 0) const noexcept {
+    return range_->local[dim];
+  }
+  [[nodiscard]] std::size_t num_groups(unsigned dim = 0) const noexcept {
+    return range_->global[dim] / range_->local[dim];
+  }
+
+private:
+  const nd_range* range_;
+  std::array<std::size_t, 3> group_;
+  std::array<std::size_t, 3> local_;
+};
+
+}  // namespace ocls

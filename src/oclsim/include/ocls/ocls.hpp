@@ -1,0 +1,11 @@
+// Umbrella header for the OpenCL simulator substrate.
+#pragma once
+
+#include "ocls/buffer.hpp"
+#include "ocls/context.hpp"
+#include "ocls/define_map.hpp"
+#include "ocls/device.hpp"
+#include "ocls/energy.hpp"
+#include "ocls/error.hpp"
+#include "ocls/kernel.hpp"
+#include "ocls/ndrange.hpp"

@@ -1,0 +1,105 @@
+#include "ocls/context.hpp"
+
+#include <string>
+
+#include "atf/common/thread_pool.hpp"
+#include "ocls/error.hpp"
+
+namespace ocls {
+
+namespace {
+
+/// Work-group execution is embarrassingly parallel; one process-wide pool
+/// serves every queue (kernels bodies must be data-race-free across
+/// work-groups, as real OpenCL kernels are).
+atf::common::thread_pool& execution_pool() {
+  static atf::common::thread_pool pool;
+  return pool;
+}
+
+}  // namespace
+
+void command_queue::validate(const kernel& k, const nd_range& range,
+                             const define_map& defines) const {
+  if (range.dims == 0 || range.dims > 3) {
+    throw invalid_global_work_size("ocls: work dimensions must be 1..3");
+  }
+  for (unsigned d = 0; d < range.dims; ++d) {
+    if (range.global[d] == 0) {
+      throw invalid_global_work_size("ocls: zero global size in dim " +
+                                     std::to_string(d));
+    }
+    if (range.local[d] == 0) {
+      throw invalid_work_group_size("ocls: zero local size in dim " +
+                                    std::to_string(d));
+    }
+    // The OpenCL specification requires the local size to divide the global
+    // size — the constraint at the heart of the paper's saxpy example.
+    if (range.global[d] % range.local[d] != 0) {
+      throw invalid_work_group_size(
+          "ocls: local size " + std::to_string(range.local[d]) +
+          " does not divide global size " + std::to_string(range.global[d]) +
+          " in dim " + std::to_string(d));
+    }
+  }
+  const auto& profile = context_->dev().profile();
+  if (range.local_total() > profile.max_work_group_size) {
+    throw invalid_work_group_size(
+        "ocls: work-group size " + std::to_string(range.local_total()) +
+        " exceeds device limit " +
+        std::to_string(profile.max_work_group_size));
+  }
+  const std::size_t local_mem = k.local_mem_bytes(defines);
+  if (local_mem > profile.local_mem_bytes) {
+    throw out_of_resources("ocls: kernel needs " + std::to_string(local_mem) +
+                           " bytes of local memory, device has " +
+                           std::to_string(profile.local_mem_bytes));
+  }
+}
+
+void command_queue::execute_body(const kernel& k, const nd_range& range,
+                                 const kernel_args& args,
+                                 const define_map& defines) const {
+  const std::size_t groups_x = range.global[0] / range.local[0];
+  const std::size_t groups_y = range.global[1] / range.local[1];
+  const std::size_t groups_z = range.global[2] / range.local[2];
+  const std::size_t total_groups = groups_x * groups_y * groups_z;
+
+  const auto& body = k.body();
+  execution_pool().parallel_for(total_groups, [&](std::size_t flat_group) {
+    std::array<std::size_t, 3> group{};
+    group[0] = flat_group % groups_x;
+    group[1] = (flat_group / groups_x) % groups_y;
+    group[2] = flat_group / (groups_x * groups_y);
+    std::array<std::size_t, 3> local{};
+    for (local[2] = 0; local[2] < range.local[2]; ++local[2]) {
+      for (local[1] = 0; local[1] < range.local[1]; ++local[1]) {
+        for (local[0] = 0; local[0] < range.local[0]; ++local[0]) {
+          body(nd_item(range, group, local), args, defines);
+        }
+      }
+    }
+  });
+}
+
+event command_queue::launch(const kernel& k, const nd_range& range,
+                            const kernel_args& args,
+                            const define_map& defines) {
+  validate(k, range, defines);
+
+  if (context_->functional() && k.has_body()) {
+    execute_body(k, range, args, defines);
+  }
+
+  perf_estimate estimate;
+  if (k.has_perf_model()) {
+    estimate = k.model()(range, context_->dev().profile(), defines);
+  }
+  const double total_ns =
+      estimate.ns + context_->dev().profile().launch_overhead_ns;
+  const double energy = energy_microjoules(context_->dev().profile(),
+                                           total_ns, estimate.utilization);
+  return event(total_ns, energy);
+}
+
+}  // namespace ocls

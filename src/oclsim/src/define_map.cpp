@@ -1,0 +1,97 @@
+#include "ocls/define_map.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "ocls/error.hpp"
+
+namespace ocls {
+
+void define_map::set(const std::string& name, std::string value) {
+  defines_[name] = std::move(value);
+}
+void define_map::set(const std::string& name, std::uint64_t value) {
+  defines_[name] = std::to_string(value);
+}
+void define_map::set(const std::string& name, std::int64_t value) {
+  defines_[name] = std::to_string(value);
+}
+void define_map::set(const std::string& name, double value) {
+  defines_[name] = std::to_string(value);
+}
+void define_map::set(const std::string& name, bool value) {
+  defines_[name] = value ? "true" : "false";
+}
+
+bool define_map::contains(const std::string& name) const {
+  return defines_.find(name) != defines_.end();
+}
+
+const std::string& define_map::raw(const std::string& name) const {
+  const auto it = defines_.find(name);
+  if (it == defines_.end()) {
+    throw build_error("ocls: undefined preprocessor symbol '" + name + "'");
+  }
+  return it->second;
+}
+
+std::uint64_t define_map::get_uint(const std::string& name) const {
+  const std::string& text = raw(name);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    throw build_error("ocls: define '" + name + "' = '" + text +
+                      "' is not an unsigned integer");
+  }
+  return v;
+}
+
+std::int64_t define_map::get_int(const std::string& name) const {
+  const std::string& text = raw(name);
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    throw build_error("ocls: define '" + name + "' = '" + text +
+                      "' is not an integer");
+  }
+  return v;
+}
+
+double define_map::get_double(const std::string& name) const {
+  const std::string& text = raw(name);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    throw build_error("ocls: define '" + name + "' = '" + text +
+                      "' is not a number");
+  }
+  return v;
+}
+
+bool define_map::get_bool(const std::string& name) const {
+  const std::string& text = raw(name);
+  if (text == "true" || text == "1") {
+    return true;
+  }
+  if (text == "false" || text == "0") {
+    return false;
+  }
+  throw build_error("ocls: define '" + name + "' = '" + text +
+                    "' is not a boolean");
+}
+
+std::string define_map::build_options() const {
+  std::string out;
+  for (const auto& [name, value] : defines_) {
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += "-D" + name + "=" + value;
+  }
+  return out;
+}
+
+}  // namespace ocls

@@ -1,0 +1,117 @@
+#include "ocls/device.hpp"
+
+#include <mutex>
+
+#include "ocls/error.hpp"
+
+namespace ocls {
+
+device_profile xeon_e5_2640v2_profile() {
+  device_profile p;
+  p.platform_name = "Intel(R) OpenCL";
+  p.device_name = "Intel Xeon E5-2640 v2";
+  p.kind = device_kind::cpu;
+  // The dual-socket system appears as one OpenCL device with 32 compute
+  // units (2 sockets x 8 cores x 2 hyper-threads), as in the paper.
+  p.compute_units = 32;
+  p.simd_width = 8;  // AVX: 8 fp32 lanes
+  p.max_work_group_size = 8192;
+  p.local_mem_bytes = 32 * 1024;
+  p.clock_ghz = 2.0;
+  p.flops_per_cu_per_cycle = 16.0;  // AVX mul+add per cycle
+  p.global_bw_gbps = 102.0;         // 2 x 51.2 GB/s (4-channel DDR3-1600)
+  p.llc_bytes = 2 * 20 * 1024 * 1024;  // 2 x 20 MB L3
+  p.cache_bw_multiplier = 5.0;
+  // Profiled kernel time excludes enqueue latency; what remains is the
+  // runtime's work distribution and per-work-group task dispatch.
+  p.launch_overhead_ns = 300.0;
+  p.workgroup_overhead_ns = 150.0;
+  p.idle_watts = 70.0;
+  p.max_watts = 190.0;
+  return p;
+}
+
+device_profile tesla_k20m_profile() {
+  device_profile p;
+  p.platform_name = "NVIDIA CUDA";
+  p.device_name = "Tesla K20m";
+  p.kind = device_kind::gpu;
+  p.compute_units = 13;  // SMX count
+  p.simd_width = 32;     // warp
+  p.max_work_group_size = 1024;
+  p.local_mem_bytes = 48 * 1024;
+  p.clock_ghz = 0.706;
+  p.flops_per_cu_per_cycle = 384.0;  // 192 cores x FMA
+  p.global_bw_gbps = 208.0;
+  p.llc_bytes = 1280 * 1024;  // 1.25 MB L2
+  p.cache_bw_multiplier = 2.5;
+  p.launch_overhead_ns = 700.0;
+  p.workgroup_overhead_ns = 60.0;
+  p.idle_watts = 25.0;
+  p.max_watts = 225.0;
+  return p;
+}
+
+namespace {
+
+std::mutex g_mutex;
+
+std::vector<platform> make_builtin_platforms() {
+  return {
+      platform("Intel(R) OpenCL", {device(xeon_e5_2640v2_profile())}),
+      platform("NVIDIA CUDA", {device(tesla_k20m_profile())}),
+  };
+}
+
+std::vector<platform>& mutable_platforms() {
+  static std::vector<platform> instance = make_builtin_platforms();
+  return instance;
+}
+
+}  // namespace
+
+const std::vector<platform>& platforms() {
+  std::lock_guard lock(g_mutex);
+  return mutable_platforms();
+}
+
+device find_device(const std::string& platform_name,
+                   const std::string& device_name) {
+  std::lock_guard lock(g_mutex);
+  for (const auto& p : mutable_platforms()) {
+    if (p.name().find(platform_name) == std::string::npos) {
+      continue;
+    }
+    for (const auto& d : p.devices()) {
+      if (d.name().find(device_name) != std::string::npos) {
+        return d;
+      }
+    }
+  }
+  throw device_not_found("ocls: no device matching platform '" +
+                         platform_name + "', device '" + device_name + "'");
+}
+
+void register_device(const device_profile& profile) {
+  std::lock_guard lock(g_mutex);
+  auto& all = mutable_platforms();
+  for (auto& p : all) {
+    if (p.name() == profile.platform_name) {
+      // Platforms hold devices by value; rebuild the platform with the
+      // extra device appended.
+      std::vector<device> devices = p.devices();
+      devices.emplace_back(profile);
+      p = platform(p.name(), std::move(devices));
+      return;
+    }
+  }
+  all.emplace_back(profile.platform_name,
+                   std::vector<device>{device(profile)});
+}
+
+void reset_registered_devices() {
+  std::lock_guard lock(g_mutex);
+  mutable_platforms() = make_builtin_platforms();
+}
+
+}  // namespace ocls

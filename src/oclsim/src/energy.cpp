@@ -1,0 +1,19 @@
+#include "ocls/energy.hpp"
+
+#include <algorithm>
+
+namespace ocls {
+
+double power_watts(const device_profile& profile,
+                   double utilization) noexcept {
+  const double u = std::clamp(utilization, 0.0, 1.0);
+  return profile.idle_watts + (profile.max_watts - profile.idle_watts) * u;
+}
+
+double energy_microjoules(const device_profile& profile, double ns,
+                          double utilization) noexcept {
+  // watts * seconds = joules; ns * 1e-9 s * W * 1e6 uJ/J = ns * W * 1e-3.
+  return power_watts(profile, utilization) * ns * 1e-3;
+}
+
+}  // namespace ocls

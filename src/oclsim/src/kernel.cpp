@@ -1,0 +1,4 @@
+#include "ocls/kernel.hpp"
+
+// kernel is header-only; this translation unit compiles the header
+// standalone (include hygiene).

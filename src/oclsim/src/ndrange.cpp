@@ -1,0 +1,4 @@
+#include "ocls/ndrange.hpp"
+
+// nd_range / nd_item are header-only; this translation unit exists so the
+// header gets compiled standalone at least once (include hygiene).

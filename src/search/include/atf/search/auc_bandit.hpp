@@ -1,0 +1,49 @@
+// Sliding-window AUC bandit — OpenTuner's meta-technique for selecting
+// which search technique runs next (Ansel et al., PACT 2014).
+//
+// For every technique the bandit keeps the recent history of "did this use
+// produce a new global best?" bits inside a sliding window. The technique's
+// exploitation credit is the area under that bit curve (late successes
+// weigh more), and an upper-confidence exploration bonus keeps rarely used
+// techniques alive:
+//
+//   score(t) = AUC(t) + C * sqrt(2 * ln(uses_total) / uses(t))
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace atf::search {
+
+class auc_bandit {
+public:
+  /// `arms`: number of techniques; `window`: history length;
+  /// `exploration`: the C constant (OpenTuner default 0.05).
+  auc_bandit(std::size_t arms, std::size_t window = 500,
+             double exploration = 0.05);
+
+  /// The arm with the highest score; ties break toward the lowest index.
+  [[nodiscard]] std::size_t select() const;
+
+  /// Records the outcome of one use of `arm`.
+  void record(std::size_t arm, bool new_global_best);
+
+  [[nodiscard]] double auc(std::size_t arm) const;
+  [[nodiscard]] std::uint64_t uses(std::size_t arm) const;
+
+private:
+  struct entry {
+    std::size_t arm;
+    bool success;
+  };
+
+  std::size_t arms_;
+  std::size_t window_;
+  double exploration_;
+  std::deque<entry> history_;
+  std::vector<std::uint64_t> total_uses_;  ///< lifetime uses per arm
+};
+
+}  // namespace atf::search

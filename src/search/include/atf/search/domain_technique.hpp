@@ -1,0 +1,34 @@
+// Inversion-of-control interface for numeric search techniques.
+//
+// The ensemble (and through it ATF's OpenTuner-style technique and the
+// OpenTuner baseline) drives techniques in propose/report steps: the driver
+// asks for the next point to evaluate, measures it, and reports the cost
+// back. Techniques that are naturally batch-oriented (simplex methods) are
+// implemented as explicit state machines over this interface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "atf/search/numeric_domain.hpp"
+
+namespace atf::search {
+
+class domain_technique {
+public:
+  virtual ~domain_technique() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Called once with the domain to search and a deterministic seed.
+  virtual void initialize(const numeric_domain& domain, std::uint64_t seed) = 0;
+
+  /// The next point to evaluate.
+  [[nodiscard]] virtual point next_point() = 0;
+
+  /// The cost of the point last returned by next_point. Failed evaluations
+  /// are reported as +infinity.
+  virtual void report(double cost) = 0;
+};
+
+}  // namespace atf::search

@@ -1,0 +1,63 @@
+// The OpenTuner-style ensemble: an AUC bandit selecting per step among a
+// pool of numeric techniques (Nelder-Mead, Torczon, pattern search, greedy
+// mutation, random). This engine backs both ATF's "OpenTuner search"
+// technique (over the 1-D constrained-space index domain, Section IV-C) and
+// the OpenTuner baseline tuner (over the unconstrained per-parameter
+// domain, Section VI).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "atf/search/auc_bandit.hpp"
+#include "atf/search/domain_technique.hpp"
+#include "atf/search/numeric_domain.hpp"
+
+namespace atf::search {
+
+class ensemble {
+public:
+  /// Builds the default OpenTuner-like pool. `seed` derives each member's
+  /// RNG stream deterministically.
+  ensemble();
+
+  /// Builds a custom pool (must not be empty).
+  explicit ensemble(std::vector<std::unique_ptr<domain_technique>> pool);
+
+  void initialize(const numeric_domain& domain, std::uint64_t seed);
+
+  /// Asks the bandit-selected technique for its next point.
+  [[nodiscard]] point next_point();
+
+  /// Reports the cost of the last proposed point to its technique and
+  /// updates the bandit (success = new global best).
+  void report(double cost);
+
+  [[nodiscard]] double best_cost() const noexcept { return best_cost_; }
+  [[nodiscard]] const point& best_point() const noexcept { return best_; }
+  [[nodiscard]] bool has_best() const noexcept { return has_best_; }
+
+  /// Lifetime use counts per pool member (diagnostics/tests).
+  [[nodiscard]] std::vector<std::uint64_t> technique_uses() const;
+
+  [[nodiscard]] std::size_t pool_size() const noexcept {
+    return pool_.size();
+  }
+  [[nodiscard]] std::string technique_name(std::size_t i) const {
+    return pool_[i]->name();
+  }
+
+private:
+  std::vector<std::unique_ptr<domain_technique>> pool_;
+  std::unique_ptr<auc_bandit> bandit_;
+  std::vector<std::uint64_t> uses_;
+  numeric_domain domain_;
+  std::size_t active_ = 0;
+  point last_point_;
+  point best_;
+  double best_cost_ = 0.0;
+  bool has_best_ = false;
+};
+
+}  // namespace atf::search

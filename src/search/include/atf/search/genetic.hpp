@@ -1,0 +1,50 @@
+// Generational genetic algorithm over the integer domain (OpenTuner's pool
+// includes evolutionary techniques; this one uses tournament selection,
+// uniform crossover and per-axis geometric mutation).
+//
+// Implemented as a state machine over the propose/report protocol: the
+// technique emits the individuals of the current generation one by one;
+// once all are scored it breeds the next generation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atf/common/rng.hpp"
+#include "atf/search/domain_technique.hpp"
+
+namespace atf::search {
+
+class genetic final : public domain_technique {
+public:
+  struct options {
+    std::size_t population = 24;
+    double crossover_rate = 0.8;
+    double mutation_rate = 0.25;   ///< per-axis probability
+    std::size_t tournament = 3;
+    std::size_t elites = 2;        ///< best individuals copied unchanged
+  };
+
+  genetic() = default;
+  explicit genetic(options opts) : opts_(opts) {}
+
+  [[nodiscard]] std::string name() const override { return "genetic"; }
+
+  void initialize(const numeric_domain& domain, std::uint64_t seed) override;
+  [[nodiscard]] point next_point() override;
+  void report(double cost) override;
+
+private:
+  void breed_next_generation();
+  [[nodiscard]] std::size_t tournament_select();
+  void mutate(point& individual);
+
+  options opts_;
+  const numeric_domain* domain_ = nullptr;
+  common::xoshiro256 rng_{0};
+  std::vector<point> population_;
+  std::vector<double> fitness_;
+  std::size_t cursor_ = 0;  ///< next individual awaiting evaluation
+};
+
+}  // namespace atf::search

@@ -1,0 +1,38 @@
+// Greedy mutation (an evolutionary hill climber), ensemble pool member.
+//
+// Keeps the best point seen and proposes mutants: one random axis is either
+// resampled uniformly or nudged by a geometrically distributed offset. A
+// small restart probability keeps the technique from stalling on plateaus.
+#pragma once
+
+#include <cstdint>
+
+#include "atf/common/rng.hpp"
+#include "atf/search/domain_technique.hpp"
+
+namespace atf::search {
+
+class mutation final : public domain_technique {
+public:
+  explicit mutation(double restart_probability = 0.02)
+      : restart_probability_(restart_probability) {}
+
+  [[nodiscard]] std::string name() const override { return "mutation"; }
+
+  void initialize(const numeric_domain& domain, std::uint64_t seed) override;
+  [[nodiscard]] point next_point() override;
+  void report(double cost) override;
+
+private:
+  [[nodiscard]] point mutate(const point& base);
+
+  const numeric_domain* domain_ = nullptr;
+  common::xoshiro256 rng_{0};
+  double restart_probability_;
+  point best_;
+  double best_cost_ = 0.0;
+  bool have_best_ = false;
+  point proposed_;
+};
+
+}  // namespace atf::search

@@ -1,0 +1,56 @@
+// Nelder-Mead downhill simplex over the integer domain (ensemble member;
+// the paper names "many variants of Nelder-Mead search" among OpenTuner's
+// techniques).
+//
+// The simplex lives in continuous coordinates; every proposal is clamped and
+// rounded onto the domain before evaluation, and the measured cost is
+// attributed to the continuous vertex — the standard treatment for integer
+// parameter spaces. Implemented as a state machine over the propose/report
+// protocol (reflect -> expand | contract -> shrink), with a random restart
+// whenever the simplex collapses to a single grid point.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atf/common/rng.hpp"
+#include "atf/search/domain_technique.hpp"
+
+namespace atf::search {
+
+class nelder_mead final : public domain_technique {
+public:
+  /// Standard coefficients: reflection, expansion, contraction, shrink.
+  explicit nelder_mead(double alpha = 1.0, double gamma = 2.0,
+                       double rho = 0.5, double sigma = 0.5)
+      : alpha_(alpha), gamma_(gamma), rho_(rho), sigma_(sigma) {}
+
+  [[nodiscard]] std::string name() const override { return "nelder-mead"; }
+
+  void initialize(const numeric_domain& domain, std::uint64_t seed) override;
+  [[nodiscard]] point next_point() override;
+  void report(double cost) override;
+
+private:
+  enum class stage { init, reflect, expand, contract, shrink };
+
+  void random_simplex();
+  void sort_vertices();
+  void compute_centroid();
+  void begin_reflect();
+  [[nodiscard]] bool degenerate() const;
+
+  const numeric_domain* domain_ = nullptr;
+  common::xoshiro256 rng_{0};
+  double alpha_, gamma_, rho_, sigma_;
+
+  std::vector<std::vector<double>> verts_;
+  std::vector<double> costs_;
+  std::vector<double> centroid_;
+  std::vector<double> xr_, xe_, xc_;
+  double fr_ = 0.0;
+  stage stage_ = stage::init;
+  std::size_t pending_ = 0;  ///< cursor for init/shrink batches
+};
+
+}  // namespace atf::search

@@ -1,0 +1,52 @@
+// A rectangular integer domain for numeric search techniques.
+//
+// Two very different spaces are searched through this one abstraction:
+//   * ATF's OpenTuner-style technique explores the *constrained* search
+//     space through a single axis — the flat configuration index TP in
+//     [0, S) (paper, Section IV-C);
+//   * the OpenTuner baseline explores the *unconstrained* Cartesian space
+//     with one axis per tuning parameter (paper, Section VI).
+// A point is one integer per axis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atf/common/rng.hpp"
+
+namespace atf::search {
+
+using point = std::vector<std::uint64_t>;
+
+class numeric_domain {
+public:
+  numeric_domain() = default;
+  explicit numeric_domain(std::vector<std::uint64_t> axis_sizes);
+
+  [[nodiscard]] std::size_t dimensions() const noexcept {
+    return axis_sizes_.size();
+  }
+  [[nodiscard]] std::uint64_t axis_size(std::size_t axis) const {
+    return axis_sizes_[axis];
+  }
+  /// Product of axis sizes, saturated at 2^64-1 (unconstrained GEMM spaces
+  /// exceed 64 bits; exact counts are not needed by the techniques).
+  [[nodiscard]] std::uint64_t size_saturated() const noexcept {
+    return size_;
+  }
+
+  [[nodiscard]] point random_point(common::xoshiro256& rng) const;
+
+  /// Clamps a real-valued coordinate vector onto the nearest domain point
+  /// (used by simplex techniques that work in continuous space).
+  [[nodiscard]] point clamp(const std::vector<double>& coords) const;
+
+  /// Clamps a single coordinate onto [0, axis_size).
+  [[nodiscard]] std::uint64_t clamp_axis(std::size_t axis, double value) const;
+
+private:
+  std::vector<std::uint64_t> axis_sizes_;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace atf::search

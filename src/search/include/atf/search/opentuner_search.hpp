@@ -1,0 +1,34 @@
+// ATF's third pre-implemented technique: the OpenTuner search engine
+// (paper, Section IV-C).
+//
+// The original embeds OpenTuner's Python implementation and exposes ATF's
+// constrained space to it as a single integer parameter TP in [1, S] — an
+// index into the space; by construction every index is a *valid*
+// configuration, which is exactly why the ensemble works here while plain
+// OpenTuner cannot tune constrained kernels. We reproduce the architecture
+// natively: the same AUC-bandit ensemble explores the 1-D index domain.
+#pragma once
+
+#include <cstdint>
+
+#include "atf/search/ensemble.hpp"
+#include "atf/search_technique.hpp"
+
+namespace atf::search {
+
+class opentuner_search final : public atf::search_technique {
+public:
+  explicit opentuner_search(std::uint64_t seed = 0x5eed);
+
+  void initialize(const search_space& space) override;
+  [[nodiscard]] configuration get_next_config() override;
+  void report_cost(double cost) override;
+
+  [[nodiscard]] const ensemble& engine() const noexcept { return engine_; }
+
+private:
+  ensemble engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace atf::search

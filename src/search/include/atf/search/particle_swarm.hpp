@@ -1,0 +1,51 @@
+// Particle-swarm optimization over the integer domain (another member of
+// OpenTuner's technique family). Particles carry continuous positions and
+// velocities; proposals are clamped onto the grid. Standard PSO update:
+//
+//   v <- w*v + c1*r1*(pbest - x) + c2*r2*(gbest - x)
+//   x <- x + v
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atf/common/rng.hpp"
+#include "atf/search/domain_technique.hpp"
+
+namespace atf::search {
+
+class particle_swarm final : public domain_technique {
+public:
+  struct options {
+    std::size_t particles = 16;
+    double inertia = 0.7;
+    double cognitive = 1.4;  ///< pull toward the particle's own best
+    double social = 1.4;     ///< pull toward the swarm's best
+  };
+
+  particle_swarm() = default;
+  explicit particle_swarm(options opts) : opts_(opts) {}
+
+  [[nodiscard]] std::string name() const override { return "pso"; }
+
+  void initialize(const numeric_domain& domain, std::uint64_t seed) override;
+  [[nodiscard]] point next_point() override;
+  void report(double cost) override;
+
+private:
+  void advance(std::size_t i);
+
+  options opts_;
+  const numeric_domain* domain_ = nullptr;
+  common::xoshiro256 rng_{0};
+  std::vector<std::vector<double>> position_;
+  std::vector<std::vector<double>> velocity_;
+  std::vector<std::vector<double>> personal_best_;
+  std::vector<double> personal_best_cost_;
+  std::vector<double> global_best_;
+  double global_best_cost_ = 0.0;
+  bool has_global_best_ = false;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace atf::search

@@ -1,0 +1,44 @@
+// Coordinate pattern search (a hill climber with step halving), one of the
+// technique pool members of the OpenTuner-style ensemble.
+//
+// From a random center the technique probes +step and -step along each axis
+// in turn; an improving probe becomes the new center. When a full sweep over
+// all axes yields no improvement the steps are halved; once every step has
+// collapsed to 1 and a sweep still fails, the search restarts from a fresh
+// random center (keeping the global best in the ensemble's hands).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atf/common/rng.hpp"
+#include "atf/search/domain_technique.hpp"
+
+namespace atf::search {
+
+class pattern_search final : public domain_technique {
+public:
+  [[nodiscard]] std::string name() const override { return "pattern"; }
+
+  void initialize(const numeric_domain& domain, std::uint64_t seed) override;
+  [[nodiscard]] point next_point() override;
+  void report(double cost) override;
+
+private:
+  void restart();
+  void advance_probe();
+  [[nodiscard]] point make_probe() const;
+
+  const numeric_domain* domain_ = nullptr;
+  common::xoshiro256 rng_;
+  point center_;
+  double center_cost_ = 0.0;
+  bool have_center_ = false;
+  std::vector<std::uint64_t> steps_;
+  std::size_t axis_ = 0;
+  int direction_ = +1;  ///< probing center + direction * step on axis_
+  bool sweep_improved_ = false;
+  bool awaiting_center_ = true;  ///< next report is for the center itself
+};
+
+}  // namespace atf::search

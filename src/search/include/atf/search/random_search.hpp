@@ -1,0 +1,25 @@
+// Uniform random search over the constrained space — a simple baseline
+// technique and a building block for tests.
+#pragma once
+
+#include <cstdint>
+
+#include "atf/common/rng.hpp"
+#include "atf/search_technique.hpp"
+
+namespace atf::search {
+
+class random_search final : public atf::search_technique {
+public:
+  explicit random_search(std::uint64_t seed = 0x5eed);
+
+  void initialize(const search_space& space) override;
+  [[nodiscard]] configuration get_next_config() override;
+  void report_cost(double cost) override;
+
+private:
+  common::xoshiro256 rng_;
+  std::uint64_t seed_;
+};
+
+}  // namespace atf::search

@@ -1,0 +1,30 @@
+// Uniform random sampling over the domain — the ensemble's exploration
+// baseline (OpenTuner keeps a pure-random technique in every pool).
+#pragma once
+
+#include "atf/common/rng.hpp"
+#include "atf/search/domain_technique.hpp"
+
+namespace atf::search {
+
+class random_technique final : public domain_technique {
+public:
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+  void initialize(const numeric_domain& domain, std::uint64_t seed) override {
+    domain_ = &domain;
+    rng_ = common::xoshiro256(seed);
+  }
+
+  [[nodiscard]] point next_point() override {
+    return domain_->random_point(rng_);
+  }
+
+  void report(double /*cost*/) override {}
+
+private:
+  const numeric_domain* domain_ = nullptr;
+  common::xoshiro256 rng_{0};
+};
+
+}  // namespace atf::search

@@ -1,0 +1,62 @@
+// Simulated annealing over the constrained search space (paper, Section
+// IV-B). get_next_config returns a random neighbor c' of the current
+// configuration c; after its cost t' is reported, c' replaces c with
+// probability
+//
+//   P(t, t', T) = exp( -(t' - t) / T )    if t' >= t, and 1 otherwise.
+//
+// The paper reports T = 4 as suitable for OpenCL/CUDA tuning. Raw costs can
+// be in arbitrary units (nanoseconds, joules, ...), so like CLTune we
+// normalize the difference to *percent of the current cost* before applying
+// the temperature; with T = 4 a configuration 1% worse is accepted with
+// probability ~0.78 and one 20% worse with ~0.007, independent of the cost
+// unit. Two standard practical refinements are applied on top of the paper's
+// description: the temperature cools geometrically as evaluations accrue,
+// and a walk that has not improved the global best for `stall_limit`
+// evaluations teleports back to the best configuration seen.
+#pragma once
+
+#include <cstdint>
+
+#include "atf/common/rng.hpp"
+#include "atf/search_technique.hpp"
+
+namespace atf::search {
+
+class simulated_annealing final : public atf::search_technique {
+public:
+  struct options {
+    double temperature = 4.0;    ///< the paper's T
+    double cooling = 0.995;      ///< per-evaluation temperature factor
+    double min_temperature_fraction = 0.02;  ///< floor: T * fraction
+    std::uint64_t stall_limit = 50;  ///< evaluations without a new global best
+  };
+
+  explicit simulated_annealing(double temperature = 4.0,
+                               std::uint64_t seed = 0x5eed);
+  simulated_annealing(options opts, std::uint64_t seed);
+
+  void initialize(const search_space& space) override;
+  [[nodiscard]] configuration get_next_config() override;
+  void report_cost(double cost) override;
+
+  [[nodiscard]] std::uint64_t current_index() const noexcept {
+    return current_;
+  }
+
+private:
+  options opts_;
+  common::xoshiro256 rng_;
+  std::uint64_t seed_;
+  std::uint64_t current_ = 0;
+  std::uint64_t proposed_ = 0;
+  double current_cost_ = 0.0;
+  bool have_current_ = false;
+  double temperature_now_ = 4.0;
+  std::uint64_t best_index_ = 0;
+  double best_cost_ = 0.0;
+  bool have_best_ = false;
+  std::uint64_t stall_ = 0;
+};
+
+}  // namespace atf::search

@@ -1,0 +1,53 @@
+// Torczon multi-directional search (ensemble member; the paper lists
+// "Torczon hillclimbers" among OpenTuner's techniques).
+//
+// Unlike Nelder-Mead, every trial step moves the *whole* simplex: all
+// non-best vertices are reflected through the best vertex; if the best trial
+// improves on the incumbent the expanded simplex is also tried, otherwise
+// the simplex contracts toward the best vertex. Batches are sequenced
+// through the propose/report protocol.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atf/common/rng.hpp"
+#include "atf/search/domain_technique.hpp"
+
+namespace atf::search {
+
+class torczon final : public domain_technique {
+public:
+  explicit torczon(double expansion = 2.0, double contraction = 0.5)
+      : expansion_(expansion), contraction_(contraction) {}
+
+  [[nodiscard]] std::string name() const override { return "torczon"; }
+
+  void initialize(const numeric_domain& domain, std::uint64_t seed) override;
+  [[nodiscard]] point next_point() override;
+  void report(double cost) override;
+
+private:
+  enum class stage { init, reflect, expand, contract };
+
+  void random_simplex();
+  void begin_round();
+  [[nodiscard]] bool degenerate() const;
+  [[nodiscard]] std::vector<double> transform(const std::vector<double>& v,
+                                              double factor) const;
+
+  const numeric_domain* domain_ = nullptr;
+  common::xoshiro256 rng_{0};
+  double expansion_, contraction_;
+
+  std::vector<std::vector<double>> verts_;  ///< verts_[0] is the best vertex
+  std::vector<double> costs_;
+  std::vector<std::vector<double>> trial_;
+  std::vector<double> trial_costs_;
+  std::vector<std::vector<double>> reflected_;
+  std::vector<double> reflected_costs_;
+  stage stage_ = stage::init;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace atf::search

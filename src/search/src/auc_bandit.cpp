@@ -1,0 +1,80 @@
+#include "atf/search/auc_bandit.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace atf::search {
+
+auc_bandit::auc_bandit(std::size_t arms, std::size_t window,
+                       double exploration)
+    : arms_(arms), window_(window), exploration_(exploration),
+      total_uses_(arms, 0) {
+  if (arms == 0) {
+    throw std::invalid_argument("auc_bandit: at least one arm required");
+  }
+}
+
+double auc_bandit::auc(std::size_t arm) const {
+  // Walk the window collecting this arm's bits in order; weight the i-th
+  // use (1-based) by i, normalize by n(n+1)/2.
+  std::uint64_t weighted = 0;
+  std::uint64_t n = 0;
+  for (const auto& e : history_) {
+    if (e.arm != arm) {
+      continue;
+    }
+    ++n;
+    if (e.success) {
+      weighted += n;
+    }
+  }
+  if (n == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(weighted) /
+         (static_cast<double>(n) * static_cast<double>(n + 1) / 2.0);
+}
+
+std::uint64_t auc_bandit::uses(std::size_t arm) const {
+  std::uint64_t n = 0;
+  for (const auto& e : history_) {
+    n += (e.arm == arm);
+  }
+  return n;
+}
+
+std::size_t auc_bandit::select() const {
+  // Any arm never used inside the window gets priority (infinite bonus).
+  const double total = static_cast<double>(history_.size());
+  std::size_t best_arm = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (std::size_t arm = 0; arm < arms_; ++arm) {
+    const auto n = uses(arm);
+    double score;
+    if (n == 0) {
+      score = std::numeric_limits<double>::infinity();
+    } else {
+      score = auc(arm) + exploration_ * std::sqrt(2.0 * std::log(total) /
+                                                  static_cast<double>(n));
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_arm = arm;
+    }
+  }
+  return best_arm;
+}
+
+void auc_bandit::record(std::size_t arm, bool new_global_best) {
+  if (arm >= arms_) {
+    throw std::out_of_range("auc_bandit: arm out of range");
+  }
+  history_.push_back({arm, new_global_best});
+  ++total_uses_[arm];
+  if (history_.size() > window_) {
+    history_.pop_front();
+  }
+}
+
+}  // namespace atf::search

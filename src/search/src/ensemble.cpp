@@ -1,0 +1,66 @@
+#include "atf/search/ensemble.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "atf/search/genetic.hpp"
+#include "atf/search/mutation.hpp"
+#include "atf/search/nelder_mead.hpp"
+#include "atf/search/particle_swarm.hpp"
+#include "atf/search/pattern_search.hpp"
+#include "atf/search/random_technique.hpp"
+#include "atf/search/torczon.hpp"
+
+namespace atf::search {
+
+ensemble::ensemble() {
+  pool_.push_back(std::make_unique<nelder_mead>());
+  pool_.push_back(std::make_unique<torczon>());
+  pool_.push_back(std::make_unique<pattern_search>());
+  pool_.push_back(std::make_unique<mutation>());
+  pool_.push_back(std::make_unique<genetic>());
+  pool_.push_back(std::make_unique<particle_swarm>());
+  pool_.push_back(std::make_unique<random_technique>());
+}
+
+ensemble::ensemble(std::vector<std::unique_ptr<domain_technique>> pool)
+    : pool_(std::move(pool)) {
+  if (pool_.empty()) {
+    throw std::invalid_argument("ensemble: empty technique pool");
+  }
+}
+
+void ensemble::initialize(const numeric_domain& domain, std::uint64_t seed) {
+  domain_ = domain;
+  bandit_ = std::make_unique<auc_bandit>(pool_.size());
+  uses_.assign(pool_.size(), 0);
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    // Distinct deterministic stream per member.
+    pool_[i]->initialize(domain_, seed * 0x9e3779b97f4a7c15ull + i + 1);
+  }
+  has_best_ = false;
+  best_cost_ = 0.0;
+}
+
+point ensemble::next_point() {
+  active_ = bandit_->select();
+  ++uses_[active_];
+  last_point_ = pool_[active_]->next_point();
+  return last_point_;
+}
+
+void ensemble::report(double cost) {
+  pool_[active_]->report(cost);
+  const bool improved =
+      std::isfinite(cost) && (!has_best_ || cost < best_cost_);
+  if (improved) {
+    best_cost_ = cost;
+    best_ = last_point_;
+    has_best_ = true;
+  }
+  bandit_->record(active_, improved);
+}
+
+std::vector<std::uint64_t> ensemble::technique_uses() const { return uses_; }
+
+}  // namespace atf::search

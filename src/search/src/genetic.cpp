@@ -1,0 +1,100 @@
+#include "atf/search/genetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace atf::search {
+
+void genetic::initialize(const numeric_domain& domain, std::uint64_t seed) {
+  domain_ = &domain;
+  rng_ = common::xoshiro256(seed);
+  population_.clear();
+  population_.reserve(opts_.population);
+  for (std::size_t i = 0; i < opts_.population; ++i) {
+    population_.push_back(domain_->random_point(rng_));
+  }
+  fitness_.assign(opts_.population,
+                  std::numeric_limits<double>::infinity());
+  cursor_ = 0;
+}
+
+point genetic::next_point() { return population_[cursor_]; }
+
+void genetic::report(double cost) {
+  fitness_[cursor_] = cost;
+  if (++cursor_ == population_.size()) {
+    breed_next_generation();
+    cursor_ = 0;
+  }
+}
+
+std::size_t genetic::tournament_select() {
+  std::size_t best = rng_.below(population_.size());
+  for (std::size_t i = 1; i < opts_.tournament; ++i) {
+    const std::size_t challenger = rng_.below(population_.size());
+    if (fitness_[challenger] < fitness_[best]) {
+      best = challenger;
+    }
+  }
+  return best;
+}
+
+void genetic::mutate(point& individual) {
+  for (std::size_t axis = 0; axis < domain_->dimensions(); ++axis) {
+    if (rng_.uniform() >= opts_.mutation_rate) {
+      continue;
+    }
+    const std::uint64_t size = domain_->axis_size(axis);
+    if (size == 1) {
+      continue;
+    }
+    // Geometric step, like the mutation technique's local move.
+    std::uint64_t delta = 1;
+    while (rng_.uniform() < 0.5 && delta < size) {
+      delta *= 2;
+    }
+    if (rng_.uniform() < 0.5) {
+      individual[axis] =
+          individual[axis] >= delta ? individual[axis] - delta : 0;
+    } else {
+      individual[axis] =
+          std::min<std::uint64_t>(individual[axis] + delta, size - 1);
+    }
+  }
+}
+
+void genetic::breed_next_generation() {
+  // Rank by fitness; keep the elites verbatim.
+  std::vector<std::size_t> order(population_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return fitness_[a] < fitness_[b];
+  });
+
+  std::vector<point> next;
+  next.reserve(population_.size());
+  for (std::size_t e = 0; e < std::min(opts_.elites, order.size()); ++e) {
+    next.push_back(population_[order[e]]);
+  }
+  while (next.size() < population_.size()) {
+    const point& a = population_[tournament_select()];
+    const point& b = population_[tournament_select()];
+    point child = a;
+    if (rng_.uniform() < opts_.crossover_rate) {
+      for (std::size_t axis = 0; axis < child.size(); ++axis) {
+        if (rng_.uniform() < 0.5) {
+          child[axis] = b[axis];
+        }
+      }
+    }
+    mutate(child);
+    next.push_back(std::move(child));
+  }
+  population_ = std::move(next);
+  fitness_.assign(population_.size(),
+                  std::numeric_limits<double>::infinity());
+}
+
+}  // namespace atf::search

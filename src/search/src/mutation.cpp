@@ -1,0 +1,59 @@
+#include "atf/search/mutation.hpp"
+
+#include <cmath>
+
+namespace atf::search {
+
+void mutation::initialize(const numeric_domain& domain, std::uint64_t seed) {
+  domain_ = &domain;
+  rng_ = common::xoshiro256(seed);
+  have_best_ = false;
+}
+
+point mutation::mutate(const point& base) {
+  point mutant = base;
+  const std::size_t axis = rng_.below(domain_->dimensions());
+  const std::uint64_t size = domain_->axis_size(axis);
+  if (size == 1) {
+    return mutant;
+  }
+  if (rng_.uniform() < 0.5) {
+    // Resample the axis uniformly (jump move).
+    std::uint64_t fresh = rng_.below(size - 1);
+    if (fresh >= mutant[axis]) {
+      ++fresh;
+    }
+    mutant[axis] = fresh;
+  } else {
+    // Geometric nudge (local move): delta k with probability ~ 2^-k.
+    std::uint64_t delta = 1;
+    while (rng_.uniform() < 0.5 && delta < size) {
+      delta *= 2;
+    }
+    if (rng_.uniform() < 0.5) {
+      mutant[axis] = mutant[axis] >= delta ? mutant[axis] - delta : 0;
+    } else {
+      mutant[axis] = std::min<std::uint64_t>(mutant[axis] + delta, size - 1);
+    }
+  }
+  return mutant;
+}
+
+point mutation::next_point() {
+  if (!have_best_ || rng_.uniform() < restart_probability_) {
+    proposed_ = domain_->random_point(rng_);
+  } else {
+    proposed_ = mutate(best_);
+  }
+  return proposed_;
+}
+
+void mutation::report(double cost) {
+  if (!have_best_ || cost < best_cost_) {
+    best_ = proposed_;
+    best_cost_ = cost;
+    have_best_ = std::isfinite(cost);
+  }
+}
+
+}  // namespace atf::search

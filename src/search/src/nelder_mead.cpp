@@ -1,0 +1,177 @@
+#include "atf/search/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace atf::search {
+
+void nelder_mead::initialize(const numeric_domain& domain,
+                             std::uint64_t seed) {
+  domain_ = &domain;
+  rng_ = common::xoshiro256(seed);
+  random_simplex();
+}
+
+void nelder_mead::random_simplex() {
+  const std::size_t k = domain_->dimensions();
+  verts_.assign(k + 1, std::vector<double>(k));
+  costs_.assign(k + 1, std::numeric_limits<double>::infinity());
+  for (auto& vertex : verts_) {
+    for (std::size_t i = 0; i < k; ++i) {
+      vertex[i] =
+          rng_.uniform() * static_cast<double>(domain_->axis_size(i) - 1);
+    }
+  }
+  stage_ = stage::init;
+  pending_ = 0;
+}
+
+void nelder_mead::sort_vertices() {
+  std::vector<std::size_t> order(verts_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return costs_[a] < costs_[b];
+  });
+  std::vector<std::vector<double>> verts;
+  std::vector<double> costs;
+  verts.reserve(order.size());
+  costs.reserve(order.size());
+  for (const auto i : order) {
+    verts.push_back(std::move(verts_[i]));
+    costs.push_back(costs_[i]);
+  }
+  verts_ = std::move(verts);
+  costs_ = std::move(costs);
+}
+
+void nelder_mead::compute_centroid() {
+  const std::size_t k = domain_->dimensions();
+  centroid_.assign(k, 0.0);
+  // Centroid of all vertices except the worst (the last after sorting).
+  for (std::size_t v = 0; v + 1 < verts_.size(); ++v) {
+    for (std::size_t i = 0; i < k; ++i) {
+      centroid_[i] += verts_[v][i];
+    }
+  }
+  for (auto& c : centroid_) {
+    c /= static_cast<double>(verts_.size() - 1);
+  }
+}
+
+bool nelder_mead::degenerate() const {
+  const point ref = domain_->clamp(verts_.front());
+  for (std::size_t v = 1; v < verts_.size(); ++v) {
+    if (domain_->clamp(verts_[v]) != ref) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void nelder_mead::begin_reflect() {
+  sort_vertices();
+  if (degenerate()) {
+    random_simplex();
+    return;
+  }
+  compute_centroid();
+  const std::size_t k = domain_->dimensions();
+  const auto& worst = verts_.back();
+  xr_.assign(k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    xr_[i] = centroid_[i] + alpha_ * (centroid_[i] - worst[i]);
+  }
+  stage_ = stage::reflect;
+}
+
+point nelder_mead::next_point() {
+  switch (stage_) {
+    case stage::init:
+    case stage::shrink:
+      return domain_->clamp(verts_[pending_]);
+    case stage::reflect:
+      return domain_->clamp(xr_);
+    case stage::expand:
+      return domain_->clamp(xe_);
+    case stage::contract:
+      return domain_->clamp(xc_);
+  }
+  return domain_->clamp(verts_.front());
+}
+
+void nelder_mead::report(double cost) {
+  const std::size_t k = domain_->dimensions();
+  switch (stage_) {
+    case stage::init:
+      costs_[pending_] = cost;
+      if (++pending_ == verts_.size()) {
+        begin_reflect();
+      }
+      break;
+
+    case stage::reflect:
+      fr_ = cost;
+      if (cost < costs_.front()) {
+        // Best so far: try to expand further along the same direction.
+        xe_.assign(k, 0.0);
+        for (std::size_t i = 0; i < k; ++i) {
+          xe_[i] = centroid_[i] + gamma_ * (xr_[i] - centroid_[i]);
+        }
+        stage_ = stage::expand;
+      } else if (cost < costs_[costs_.size() - 2]) {
+        // Better than the second-worst: accept the reflection.
+        verts_.back() = xr_;
+        costs_.back() = cost;
+        begin_reflect();
+      } else {
+        // Contract toward the better of (worst, reflected).
+        const auto& target = cost < costs_.back() ? xr_ : verts_.back();
+        xc_.assign(k, 0.0);
+        for (std::size_t i = 0; i < k; ++i) {
+          xc_[i] = centroid_[i] + rho_ * (target[i] - centroid_[i]);
+        }
+        stage_ = stage::contract;
+      }
+      break;
+
+    case stage::expand:
+      if (cost < fr_) {
+        verts_.back() = xe_;
+        costs_.back() = cost;
+      } else {
+        verts_.back() = xr_;
+        costs_.back() = fr_;
+      }
+      begin_reflect();
+      break;
+
+    case stage::contract:
+      if (cost < std::min(fr_, costs_.back())) {
+        verts_.back() = xc_;
+        costs_.back() = cost;
+        begin_reflect();
+      } else {
+        // Shrink every vertex toward the best and re-evaluate them.
+        for (std::size_t v = 1; v < verts_.size(); ++v) {
+          for (std::size_t i = 0; i < k; ++i) {
+            verts_[v][i] =
+                verts_[0][i] + sigma_ * (verts_[v][i] - verts_[0][i]);
+          }
+          costs_[v] = std::numeric_limits<double>::infinity();
+        }
+        stage_ = stage::shrink;
+        pending_ = 1;
+      }
+      break;
+
+    case stage::shrink:
+      costs_[pending_] = cost;
+      if (++pending_ == verts_.size()) {
+        begin_reflect();
+      }
+      break;
+  }
+}
+
+}  // namespace atf::search

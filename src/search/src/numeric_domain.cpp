@@ -1,0 +1,53 @@
+#include "atf/search/numeric_domain.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "atf/common/math_utils.hpp"
+
+namespace atf::search {
+
+numeric_domain::numeric_domain(std::vector<std::uint64_t> axis_sizes)
+    : axis_sizes_(std::move(axis_sizes)) {
+  if (axis_sizes_.empty()) {
+    throw std::invalid_argument("numeric_domain: no axes");
+  }
+  size_ = 1;
+  for (const auto s : axis_sizes_) {
+    if (s == 0) {
+      throw std::invalid_argument("numeric_domain: axis of size 0");
+    }
+    size_ = common::saturating_mul(size_, s);
+  }
+}
+
+point numeric_domain::random_point(common::xoshiro256& rng) const {
+  point p(axis_sizes_.size());
+  for (std::size_t i = 0; i < axis_sizes_.size(); ++i) {
+    p[i] = rng.below(axis_sizes_[i]);
+  }
+  return p;
+}
+
+std::uint64_t numeric_domain::clamp_axis(std::size_t axis,
+                                         double value) const {
+  const double rounded = std::nearbyint(value);
+  if (rounded <= 0.0) {
+    return 0;
+  }
+  const auto limit = axis_sizes_[axis] - 1;
+  if (rounded >= static_cast<double>(limit)) {
+    return limit;
+  }
+  return static_cast<std::uint64_t>(rounded);
+}
+
+point numeric_domain::clamp(const std::vector<double>& coords) const {
+  point p(axis_sizes_.size());
+  for (std::size_t i = 0; i < axis_sizes_.size(); ++i) {
+    p[i] = clamp_axis(i, coords[i]);
+  }
+  return p;
+}
+
+}  // namespace atf::search

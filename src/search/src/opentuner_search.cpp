@@ -1,0 +1,20 @@
+#include "atf/search/opentuner_search.hpp"
+
+namespace atf::search {
+
+opentuner_search::opentuner_search(std::uint64_t seed) : seed_(seed) {}
+
+void opentuner_search::initialize(const search_space& space) {
+  search_technique::initialize(space);
+  // One axis: the configuration index TP in [0, S).
+  engine_.initialize(numeric_domain({space.size()}), seed_);
+}
+
+configuration opentuner_search::get_next_config() {
+  const point p = engine_.next_point();
+  return space().config_at(p[0]);
+}
+
+void opentuner_search::report_cost(double cost) { engine_.report(cost); }
+
+}  // namespace atf::search

@@ -1,0 +1,80 @@
+#include "atf/search/particle_swarm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace atf::search {
+
+void particle_swarm::initialize(const numeric_domain& domain,
+                                std::uint64_t seed) {
+  domain_ = &domain;
+  rng_ = common::xoshiro256(seed);
+  const std::size_t k = domain.dimensions();
+  position_.assign(opts_.particles, std::vector<double>(k));
+  velocity_.assign(opts_.particles, std::vector<double>(k, 0.0));
+  personal_best_ = position_;
+  personal_best_cost_.assign(opts_.particles,
+                             std::numeric_limits<double>::infinity());
+  for (auto& particle : position_) {
+    for (std::size_t axis = 0; axis < k; ++axis) {
+      particle[axis] =
+          rng_.uniform() * static_cast<double>(domain.axis_size(axis) - 1);
+    }
+  }
+  global_best_.assign(k, 0.0);
+  has_global_best_ = false;
+  cursor_ = 0;
+}
+
+point particle_swarm::next_point() {
+  return domain_->clamp(position_[cursor_]);
+}
+
+void particle_swarm::advance(std::size_t i) {
+  const std::size_t k = domain_->dimensions();
+  for (std::size_t axis = 0; axis < k; ++axis) {
+    const double r1 = rng_.uniform();
+    const double r2 = rng_.uniform();
+    double v = opts_.inertia * velocity_[i][axis] +
+               opts_.cognitive * r1 *
+                   (personal_best_[i][axis] - position_[i][axis]);
+    if (has_global_best_) {
+      v += opts_.social * r2 * (global_best_[axis] - position_[i][axis]);
+    }
+    // Velocity clamp: a quarter of the axis keeps particles in play.
+    const double limit =
+        std::max(1.0, static_cast<double>(domain_->axis_size(axis)) / 4.0);
+    v = std::clamp(v, -limit, limit);
+    velocity_[i][axis] = v;
+    position_[i][axis] += v;
+    // Reflective bounds.
+    const double hi = static_cast<double>(domain_->axis_size(axis) - 1);
+    if (position_[i][axis] < 0.0) {
+      position_[i][axis] = -position_[i][axis];
+      velocity_[i][axis] = -velocity_[i][axis];
+    }
+    if (position_[i][axis] > hi) {
+      position_[i][axis] = 2.0 * hi - position_[i][axis];
+      velocity_[i][axis] = -velocity_[i][axis];
+    }
+    position_[i][axis] = std::clamp(position_[i][axis], 0.0, hi);
+  }
+}
+
+void particle_swarm::report(double cost) {
+  const std::size_t i = cursor_;
+  if (cost < personal_best_cost_[i]) {
+    personal_best_cost_[i] = cost;
+    personal_best_[i] = position_[i];
+  }
+  if (std::isfinite(cost) && (!has_global_best_ || cost < global_best_cost_)) {
+    global_best_cost_ = cost;
+    global_best_ = position_[i];
+    has_global_best_ = true;
+  }
+  advance(i);
+  cursor_ = (cursor_ + 1) % opts_.particles;
+}
+
+}  // namespace atf::search

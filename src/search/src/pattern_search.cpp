@@ -1,0 +1,91 @@
+#include "atf/search/pattern_search.hpp"
+
+#include <algorithm>
+
+namespace atf::search {
+
+void pattern_search::initialize(const numeric_domain& domain,
+                                std::uint64_t seed) {
+  domain_ = &domain;
+  rng_ = common::xoshiro256(seed);
+  restart();
+}
+
+void pattern_search::restart() {
+  center_ = domain_->random_point(rng_);
+  have_center_ = false;
+  awaiting_center_ = true;
+  steps_.assign(domain_->dimensions(), 0);
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    steps_[i] = std::max<std::uint64_t>(1, domain_->axis_size(i) / 8);
+  }
+  axis_ = 0;
+  direction_ = +1;
+  sweep_improved_ = false;
+}
+
+point pattern_search::make_probe() const {
+  point probe = center_;
+  const auto limit = domain_->axis_size(axis_) - 1;
+  if (direction_ > 0) {
+    probe[axis_] = std::min<std::uint64_t>(probe[axis_] + steps_[axis_], limit);
+  } else {
+    probe[axis_] =
+        probe[axis_] >= steps_[axis_] ? probe[axis_] - steps_[axis_] : 0;
+  }
+  return probe;
+}
+
+point pattern_search::next_point() {
+  if (awaiting_center_) {
+    return center_;
+  }
+  return make_probe();
+}
+
+void pattern_search::advance_probe() {
+  if (direction_ > 0) {
+    direction_ = -1;
+    return;
+  }
+  direction_ = +1;
+  ++axis_;
+  if (axis_ < domain_->dimensions()) {
+    return;
+  }
+  // Finished a full sweep over all axes.
+  axis_ = 0;
+  if (sweep_improved_) {
+    sweep_improved_ = false;
+    return;
+  }
+  // No improvement: halve every step; restart once all steps were at 1.
+  bool all_at_one = true;
+  for (auto& step : steps_) {
+    if (step > 1) {
+      step /= 2;
+      all_at_one = false;
+    }
+  }
+  if (all_at_one) {
+    restart();
+  }
+}
+
+void pattern_search::report(double cost) {
+  if (awaiting_center_) {
+    center_cost_ = cost;
+    have_center_ = true;
+    awaiting_center_ = false;
+    return;
+  }
+  const point probe = make_probe();
+  if (have_center_ && cost < center_cost_) {
+    center_ = probe;
+    center_cost_ = cost;
+    sweep_improved_ = true;
+  }
+  advance_probe();
+}
+
+}  // namespace atf::search

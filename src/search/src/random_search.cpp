@@ -1,0 +1,18 @@
+#include "atf/search/random_search.hpp"
+
+namespace atf::search {
+
+random_search::random_search(std::uint64_t seed) : rng_(seed), seed_(seed) {}
+
+void random_search::initialize(const search_space& space) {
+  search_technique::initialize(space);
+  rng_ = common::xoshiro256(seed_);
+}
+
+configuration random_search::get_next_config() {
+  return space().config_at(space().random_index(rng_));
+}
+
+void random_search::report_cost(double /*cost*/) {}
+
+}  // namespace atf::search

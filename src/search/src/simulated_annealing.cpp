@@ -1,0 +1,89 @@
+#include "atf/search/simulated_annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace atf::search {
+
+simulated_annealing::simulated_annealing(double temperature,
+                                         std::uint64_t seed)
+    : simulated_annealing(options{.temperature = temperature}, seed) {}
+
+simulated_annealing::simulated_annealing(options opts, std::uint64_t seed)
+    : opts_(opts), rng_(seed), seed_(seed) {}
+
+void simulated_annealing::initialize(const search_space& space) {
+  search_technique::initialize(space);
+  rng_ = common::xoshiro256(seed_);
+  current_ = space.random_index(rng_);
+  proposed_ = current_;
+  have_current_ = false;
+  have_best_ = false;
+  stall_ = 0;
+  temperature_now_ = opts_.temperature;
+}
+
+configuration simulated_annealing::get_next_config() {
+  if (!have_current_) {
+    proposed_ = current_;
+  } else {
+    proposed_ = space().random_neighbor(current_, rng_);
+  }
+  return space().config_at(proposed_);
+}
+
+void simulated_annealing::report_cost(double cost) {
+  // Track the global best and the stall counter that triggers teleports.
+  if (std::isfinite(cost) && (!have_best_ || cost < best_cost_)) {
+    best_cost_ = cost;
+    best_index_ = proposed_;
+    have_best_ = true;
+    stall_ = 0;
+  } else {
+    ++stall_;
+  }
+
+  // Geometric cooling with a floor.
+  temperature_now_ = std::max(temperature_now_ * opts_.cooling,
+                              opts_.temperature *
+                                  opts_.min_temperature_fraction);
+
+  if (!have_current_) {
+    // First evaluation establishes the walk's starting point. A failed
+    // start (infinite cost) keeps have_current_ false, so the walk restarts
+    // from a fresh random configuration on the next call.
+    current_ = proposed_;
+    current_cost_ = cost;
+    if (std::isfinite(cost)) {
+      have_current_ = true;
+    } else {
+      current_ = space().random_index(rng_);
+    }
+    return;
+  }
+
+  bool accept;
+  if (!std::isfinite(cost)) {
+    accept = false;  // failed neighbor: never move there
+  } else if (cost <= current_cost_) {
+    accept = true;
+  } else {
+    const double delta_percent =
+        (cost - current_cost_) / current_cost_ * 100.0;
+    accept = rng_.uniform() < std::exp(-delta_percent / temperature_now_);
+  }
+  if (accept) {
+    current_ = proposed_;
+    current_cost_ = cost;
+  }
+
+  // Teleport a stalled walk back to the best configuration seen.
+  if (have_best_ && stall_ >= opts_.stall_limit) {
+    current_ = best_index_;
+    current_cost_ = best_cost_;
+    stall_ = 0;
+  }
+}
+
+}  // namespace atf::search

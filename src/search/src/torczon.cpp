@@ -1,0 +1,156 @@
+#include "atf/search/torczon.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace atf::search {
+
+void torczon::initialize(const numeric_domain& domain, std::uint64_t seed) {
+  domain_ = &domain;
+  rng_ = common::xoshiro256(seed);
+  random_simplex();
+}
+
+void torczon::random_simplex() {
+  const std::size_t k = domain_->dimensions();
+  verts_.assign(k + 1, std::vector<double>(k));
+  costs_.assign(k + 1, std::numeric_limits<double>::infinity());
+  for (auto& vertex : verts_) {
+    for (std::size_t i = 0; i < k; ++i) {
+      vertex[i] =
+          rng_.uniform() * static_cast<double>(domain_->axis_size(i) - 1);
+    }
+  }
+  stage_ = stage::init;
+  pending_ = 0;
+}
+
+bool torczon::degenerate() const {
+  const point ref = domain_->clamp(verts_.front());
+  for (std::size_t v = 1; v < verts_.size(); ++v) {
+    if (domain_->clamp(verts_[v]) != ref) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<double> torczon::transform(const std::vector<double>& v,
+                                       double factor) const {
+  // best + factor * (v - best); factor -1 reflects, -expansion expands,
+  // +contraction contracts.
+  const auto& best = verts_.front();
+  std::vector<double> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[i] = best[i] + factor * (v[i] - best[i]);
+  }
+  return out;
+}
+
+void torczon::begin_round() {
+  // Move the best vertex to the front.
+  std::size_t best = 0;
+  for (std::size_t v = 1; v < verts_.size(); ++v) {
+    if (costs_[v] < costs_[best]) {
+      best = v;
+    }
+  }
+  std::swap(verts_[0], verts_[best]);
+  std::swap(costs_[0], costs_[best]);
+
+  if (degenerate()) {
+    random_simplex();
+    return;
+  }
+
+  trial_.assign(verts_.size() - 1, {});
+  trial_costs_.assign(verts_.size() - 1,
+                      std::numeric_limits<double>::infinity());
+  for (std::size_t v = 1; v < verts_.size(); ++v) {
+    trial_[v - 1] = transform(verts_[v], -1.0);
+  }
+  stage_ = stage::reflect;
+  pending_ = 0;
+}
+
+point torczon::next_point() {
+  if (stage_ == stage::init) {
+    return domain_->clamp(verts_[pending_]);
+  }
+  return domain_->clamp(trial_[pending_]);
+}
+
+void torczon::report(double cost) {
+  switch (stage_) {
+    case stage::init:
+      costs_[pending_] = cost;
+      if (++pending_ == verts_.size()) {
+        begin_round();
+      }
+      break;
+
+    case stage::reflect: {
+      trial_costs_[pending_] = cost;
+      if (++pending_ < trial_.size()) {
+        break;
+      }
+      const double best_trial =
+          *std::min_element(trial_costs_.begin(), trial_costs_.end());
+      if (best_trial < costs_.front()) {
+        // The reflection succeeded; remember it and try expanding further.
+        reflected_ = trial_;
+        reflected_costs_ = trial_costs_;
+        for (std::size_t v = 1; v < verts_.size(); ++v) {
+          trial_[v - 1] = transform(verts_[v], -expansion_);
+        }
+        trial_costs_.assign(trial_.size(),
+                            std::numeric_limits<double>::infinity());
+        stage_ = stage::expand;
+        pending_ = 0;
+      } else {
+        for (std::size_t v = 1; v < verts_.size(); ++v) {
+          trial_[v - 1] = transform(verts_[v], contraction_);
+        }
+        trial_costs_.assign(trial_.size(),
+                            std::numeric_limits<double>::infinity());
+        stage_ = stage::contract;
+        pending_ = 0;
+      }
+      break;
+    }
+
+    case stage::expand: {
+      trial_costs_[pending_] = cost;
+      if (++pending_ < trial_.size()) {
+        break;
+      }
+      const double best_expanded =
+          *std::min_element(trial_costs_.begin(), trial_costs_.end());
+      const double best_reflected =
+          *std::min_element(reflected_costs_.begin(), reflected_costs_.end());
+      const auto& chosen = best_expanded < best_reflected ? trial_ : reflected_;
+      const auto& chosen_costs =
+          best_expanded < best_reflected ? trial_costs_ : reflected_costs_;
+      for (std::size_t v = 1; v < verts_.size(); ++v) {
+        verts_[v] = chosen[v - 1];
+        costs_[v] = chosen_costs[v - 1];
+      }
+      begin_round();
+      break;
+    }
+
+    case stage::contract:
+      trial_costs_[pending_] = cost;
+      if (++pending_ < trial_.size()) {
+        break;
+      }
+      for (std::size_t v = 1; v < verts_.size(); ++v) {
+        verts_[v] = trial_[v - 1];
+        costs_[v] = trial_costs_[v - 1];
+      }
+      begin_round();
+      break;
+  }
+}
+
+}  // namespace atf::search

@@ -1,0 +1,145 @@
+// Tests for the blasmini downstream layer: the tuning database (store /
+// lookup / persistence round-trip) and the auto-tuned GEMM executor
+// (correct results, default fallback, tuned-beats-defaults, database
+// consumption).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "atf/kernels/reference.hpp"
+#include "blasmini/gemm.hpp"
+#include "blasmini/tuning_db.hpp"
+
+namespace {
+
+namespace xg = atf::kernels::xgemm;
+
+TEST(TuningDb, StoreAndLookup) {
+  blasmini::tuning_db db;
+  EXPECT_FALSE(db.lookup("dev", "kern", "8x8x8").has_value());
+  db.store("dev", "kern", "8x8x8", {{"WGD", "16"}, {"PADA", "true"}});
+  const auto hit = db.lookup("dev", "kern", "8x8x8");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->at("WGD"), "16");
+  EXPECT_EQ(hit->at("PADA"), "true");
+  // Different key dimensions miss.
+  EXPECT_FALSE(db.lookup("dev2", "kern", "8x8x8").has_value());
+  EXPECT_FALSE(db.lookup("dev", "kern2", "8x8x8").has_value());
+  EXPECT_FALSE(db.lookup("dev", "kern", "8x8x9").has_value());
+}
+
+TEST(TuningDb, StoreOverwrites) {
+  blasmini::tuning_db db;
+  db.store("d", "k", "p", {{"A", "1"}});
+  db.store("d", "k", "p", {{"A", "2"}});
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.lookup("d", "k", "p")->at("A"), "2");
+}
+
+TEST(TuningDb, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "blasmini_db_test.tsv";
+  {
+    blasmini::tuning_db db;
+    db.store("Tesla K20m", "XgemmDirect", "10x500x64",
+             {{"WGD", "10"}, {"KWID", "2"}, {"PADA", "false"}});
+    db.store("Intel Xeon E5-2640 v2", "XgemmDirect", "20x576x25",
+             {{"WGD", "8"}});
+    db.save(path);
+  }
+  const auto db = blasmini::tuning_db::load(path);
+  EXPECT_EQ(db.size(), 2u);
+  const auto hit = db.lookup("Tesla K20m", "XgemmDirect", "10x500x64");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->at("WGD"), "10");
+  EXPECT_EQ(hit->at("PADA"), "false");
+  std::remove(path.c_str());
+}
+
+TEST(TuningDb, LoadMissingFileIsEmpty) {
+  const auto db = blasmini::tuning_db::load("/nonexistent/path/db.tsv");
+  EXPECT_EQ(db.size(), 0u);
+}
+
+TEST(GemmExecutor, ComputesCorrectResultWithDefaults) {
+  const std::size_t m = 13, n = 21, k = 9;
+  std::vector<float> a(m * k), b(k * n), c(m * n), expected(m * n);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>((i * 5) % 11) - 5.0f;
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<float>((i * 3) % 7) - 3.0f;
+  }
+  atf::kernels::reference::gemm(m, n, k, a, b, expected);
+
+  blasmini::gemm_executor gemm(ocls::find_device("NVIDIA", "K20m"));
+  const double ns = gemm.run(m, n, k, a, b, c);
+  EXPECT_GT(ns, 0.0);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_FLOAT_EQ(c[i], expected[i]) << "element " << i;
+  }
+}
+
+TEST(GemmExecutor, UsesDefaultsWithoutDatabase) {
+  blasmini::gemm_executor gemm(ocls::find_device("NVIDIA", "K20m"));
+  const auto p = gemm.params_for(32, 32, 32);
+  EXPECT_EQ(p.wgd, xg::params::defaults().wgd);
+  EXPECT_EQ(p.kwid, xg::params::defaults().kwid);
+}
+
+TEST(GemmExecutor, TuneStoresIntoDatabaseAndRunConsumesIt) {
+  const std::size_t m = 10, n = 500, k = 64;  // the paper's IS4
+  blasmini::tuning_db db;
+  blasmini::gemm_executor gemm(ocls::find_device("NVIDIA", "K20m"), &db);
+
+  const auto tuned = gemm.tune(m, n, k, /*evaluations=*/4'000, /*seed=*/3);
+  EXPECT_EQ(db.size(), 1u);
+  const auto p = gemm.params_for(m, n, k);
+  EXPECT_EQ(p.wgd, tuned.wgd);
+  EXPECT_EQ(p.vwmd, tuned.vwmd);
+  EXPECT_EQ(p.pada, tuned.pada);
+
+  // Other shapes still fall back to the defaults.
+  const auto other = gemm.params_for(m, n, k + 1);
+  EXPECT_EQ(other.wgd, xg::params::defaults().wgd);
+}
+
+TEST(GemmExecutor, TunedDispatchIsNotSlowerThanDefaults) {
+  const std::size_t m = 10, n = 500, k = 64;
+  std::vector<float> a(m * k, 1.0f), b(k * n, 1.0f), c(m * n);
+
+  blasmini::tuning_db db;
+  blasmini::gemm_executor tuned(ocls::find_device("NVIDIA", "K20m"), &db);
+  (void)tuned.tune(m, n, k, 4'000, 3);
+  const double t_tuned = tuned.run(m, n, k, a, b, c);
+
+  blasmini::gemm_executor defaults(ocls::find_device("NVIDIA", "K20m"));
+  const double t_default = defaults.run(m, n, k, a, b, c);
+  EXPECT_LE(t_tuned, t_default);
+}
+
+TEST(GemmExecutor, ResultsIdenticalAcrossConfigurations) {
+  // Different tuning parameters must never change the numerical result.
+  const std::size_t m = 17, n = 23, k = 11;
+  std::vector<float> a(m * k), b(k * n);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>((i % 13)) * 0.25f - 1.0f;
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<float>((i % 5)) - 2.0f;
+  }
+
+  blasmini::tuning_db db;
+  blasmini::gemm_executor tuned(ocls::find_device("Intel", "Xeon"), &db);
+  (void)tuned.tune(m, n, k, 2'000, 9);
+  std::vector<float> c_tuned(m * n), c_default(m * n);
+  (void)tuned.run(m, n, k, a, b, c_tuned);
+
+  blasmini::gemm_executor defaults(ocls::find_device("Intel", "Xeon"));
+  (void)defaults.run(m, n, k, a, b, c_default);
+  for (std::size_t i = 0; i < c_tuned.size(); ++i) {
+    ASSERT_FLOAT_EQ(c_tuned[i], c_default[i]);
+  }
+}
+
+}  // namespace

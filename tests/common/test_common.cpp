@@ -1,0 +1,223 @@
+// Unit tests for the common utilities: RNG, math helpers, statistics,
+// string utilities, thread pool and CSV writer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "atf/common/csv_writer.hpp"
+#include "atf/common/math_utils.hpp"
+#include "atf/common/rng.hpp"
+#include "atf/common/statistics.hpp"
+#include "atf/common/string_utils.hpp"
+#include "atf/common/thread_pool.hpp"
+
+namespace {
+
+using namespace atf::common;
+
+TEST(Rng, DeterministicForSameSeed) {
+  xoshiro256 a(123);
+  xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  xoshiro256 a(1);
+  xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += (a() == b());
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversAllValues) {
+  xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BetweenIsInclusive) {
+  xoshiro256 rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  xoshiro256 rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(MathUtils, CeilDivAndRoundUp) {
+  EXPECT_EQ(ceil_div(10, 3), 4u);
+  EXPECT_EQ(ceil_div(9, 3), 3u);
+  EXPECT_EQ(ceil_div(1, 5), 1u);
+  EXPECT_EQ(round_up(10, 8), 16u);
+  EXPECT_EQ(round_up(16, 8), 16u);
+  EXPECT_EQ(round_up(0, 8), 0u);
+}
+
+TEST(MathUtils, GcdLcm) {
+  EXPECT_EQ(gcd(12, 18), 6u);
+  EXPECT_EQ(gcd(0, 5), 5u);
+  EXPECT_EQ(gcd(5, 0), 5u);
+  EXPECT_EQ(lcm(4, 6), 12u);
+  EXPECT_EQ(lcm(0, 6), 0u);
+}
+
+TEST(MathUtils, Divisors) {
+  EXPECT_EQ(divisors_of(12), (std::vector<std::uint64_t>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(divisors_of(1), (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(divisors_of(16), (std::vector<std::uint64_t>{1, 2, 4, 8, 16}));
+  EXPECT_EQ(count_divisors(576), 21u);
+  EXPECT_EQ(count_divisors(576), divisors_of(576).size());
+}
+
+TEST(MathUtils, PowersOfTwo) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(12));
+}
+
+TEST(MathUtils, SaturatingMul) {
+  EXPECT_EQ(saturating_mul(1u << 20, 1u << 20), std::uint64_t{1} << 40);
+  EXPECT_EQ(saturating_mul(std::uint64_t{1} << 40, std::uint64_t{1} << 40),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(saturating_mul(0, std::uint64_t{1} << 63), 0u);
+}
+
+TEST(MathUtils, Log10Product) {
+  EXPECT_NEAR(log10_product({10, 10, 10}), 3.0, 1e-12);
+  EXPECT_NEAR(log10_product({1000, 1000}), 6.0, 1e-12);
+}
+
+TEST(Statistics, RunningStats) {
+  running_stats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(v);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Statistics, Percentile) {
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 50), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3}, 100), 3.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Statistics, GeometricMean) {
+  EXPECT_NEAR(geometric_mean({1, 4, 16}), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0);
+}
+
+TEST(StringUtils, SplitTrimJoin) {
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(join({"a", "b"}, "-"), "a-b");
+}
+
+TEST(StringUtils, ReplaceIdentifierIsWholeWord) {
+  // WPT must be replaced, WPT2 and MY_WPT must not — this is the same rule
+  // the OpenCL preprocessor applies with -DWPT=8.
+  const std::string src = "for(i=0;i<WPT;i++) x[WPT2]+=MY_WPT+WPT;";
+  EXPECT_EQ(replace_identifier(src, "WPT", "8"),
+            "for(i=0;i<8;i++) x[WPT2]+=MY_WPT+8;");
+}
+
+TEST(StringUtils, Formatters) {
+  EXPECT_EQ(format_duration_ns(1.5e6), "1.5 ms");
+  EXPECT_EQ(format_duration_ns(2.0e9), "2 s");
+  EXPECT_EQ(format_duration_ns(500), "500 ns");
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexOnce) {
+  thread_pool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, SubmitReturnsFutureResult) {
+  thread_pool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  thread_pool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 5) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(CsvWriter, WritesHeaderAndEscapedRows) {
+  const std::string path = ::testing::TempDir() + "atf_csv_test.csv";
+  {
+    csv_writer csv(path, {"a", "b"});
+    csv.write_row({"1", "plain"});
+    csv.write_row({"2", "with,comma"});
+    csv.write_row({"3", "with\"quote"});
+    csv.flush();
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,plain");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,\"with,comma\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,\"with\"\"quote\"");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, WrongColumnCountThrows) {
+  const std::string path = ::testing::TempDir() + "atf_csv_test2.csv";
+  csv_writer csv(path, {"a", "b"});
+  EXPECT_THROW(csv.write_row({"only-one"}), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace

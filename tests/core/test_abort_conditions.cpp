@@ -1,0 +1,143 @@
+// Direct unit tests for the six abort conditions and the tuning-status
+// history queries (Section II Step 3) — complementary to the end-to-end
+// tuner tests.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "atf/abort_condition.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using atf::improvement;
+using atf::tuning_status;
+
+tuning_status make_status() {
+  tuning_status status;
+  status.search_space_size = 1000;
+  status.evaluations = 100;
+  status.elapsed = 10s;
+  status.best_cost = 5.0;
+  status.history = {
+      {1s, 10, 20.0},
+      {3s, 30, 10.0},
+      {8s, 80, 5.0},
+  };
+  return status;
+}
+
+TEST(TuningStatus, BestCostAtTime) {
+  const auto status = make_status();
+  EXPECT_FALSE(status.best_cost_at(0s).has_value());
+  EXPECT_DOUBLE_EQ(*status.best_cost_at(1s), 20.0);
+  EXPECT_DOUBLE_EQ(*status.best_cost_at(2s), 20.0);
+  EXPECT_DOUBLE_EQ(*status.best_cost_at(5s), 10.0);
+  EXPECT_DOUBLE_EQ(*status.best_cost_at(9s), 5.0);
+}
+
+TEST(TuningStatus, BestCostAtEvaluation) {
+  const auto status = make_status();
+  EXPECT_FALSE(status.best_cost_at_evaluation(5).has_value());
+  EXPECT_DOUBLE_EQ(*status.best_cost_at_evaluation(10), 20.0);
+  EXPECT_DOUBLE_EQ(*status.best_cost_at_evaluation(79), 10.0);
+  EXPECT_DOUBLE_EQ(*status.best_cost_at_evaluation(100), 5.0);
+}
+
+TEST(AbortConditions, Duration) {
+  auto cond = atf::cond::duration(10s);
+  auto status = make_status();
+  status.elapsed = 9s;
+  EXPECT_FALSE(cond(status));
+  status.elapsed = 10s;
+  EXPECT_TRUE(cond(status));
+  // The paper-style spelling.
+  auto paper_style = atf::duration<std::chrono::seconds>(10);
+  EXPECT_TRUE(paper_style(status));
+}
+
+TEST(AbortConditions, Evaluations) {
+  auto cond = atf::cond::evaluations(100);
+  auto status = make_status();
+  status.evaluations = 99;
+  EXPECT_FALSE(cond(status));
+  status.evaluations = 100;
+  EXPECT_TRUE(cond(status));
+}
+
+TEST(AbortConditions, Fraction) {
+  auto cond = atf::cond::fraction(0.5);
+  auto status = make_status();  // space 1000
+  status.evaluations = 499;
+  EXPECT_FALSE(cond(status));
+  status.evaluations = 500;
+  EXPECT_TRUE(cond(status));
+  EXPECT_THROW(atf::cond::fraction(-0.1), std::invalid_argument);
+  EXPECT_THROW(atf::cond::fraction(1.1), std::invalid_argument);
+}
+
+TEST(AbortConditions, FractionRoundsUp) {
+  auto cond = atf::cond::fraction(0.0015);
+  auto status = make_status();  // 0.0015 * 1000 = 1.5 -> 2
+  status.evaluations = 1;
+  EXPECT_FALSE(cond(status));
+  status.evaluations = 2;
+  EXPECT_TRUE(cond(status));
+}
+
+TEST(AbortConditions, Cost) {
+  auto cond = atf::cond::cost(5.0);
+  auto status = make_status();
+  EXPECT_TRUE(cond(status));  // best is exactly 5.0
+  status.best_cost = 5.1;
+  EXPECT_FALSE(cond(status));
+  status.best_cost.reset();
+  EXPECT_FALSE(cond(status));
+}
+
+TEST(AbortConditions, SpeedupOverTimeWindow) {
+  // Within the last 5 s (from 10 s back to 5 s) the best went from 10.0 to
+  // 5.0: a 2.0x improvement. speedup(1.5, 5s) must keep going; speedup(2.5,
+  // 5s) must stop.
+  auto keep_going = atf::cond::speedup(1.5, 5s);
+  auto stop = atf::cond::speedup(2.5, 5s);
+  const auto status = make_status();
+  EXPECT_FALSE(keep_going(status));
+  EXPECT_TRUE(stop(status));
+}
+
+TEST(AbortConditions, SpeedupWindowNotElapsedYet) {
+  auto cond = atf::cond::speedup(100.0, 1h);
+  const auto status = make_status();  // only 10 s elapsed
+  EXPECT_FALSE(cond(status));
+}
+
+TEST(AbortConditions, SpeedupOverEvaluationWindow) {
+  // Within the last 50 evaluations (evaluation 50 -> 100) the best went
+  // from 10.0 to 5.0 (2.0x).
+  auto keep_going = atf::cond::speedup(1.5, std::uint64_t{50});
+  auto stop = atf::cond::speedup(2.5, std::uint64_t{50});
+  const auto status = make_status();
+  EXPECT_FALSE(keep_going(status));
+  EXPECT_TRUE(stop(status));
+}
+
+TEST(AbortConditions, LogicalComposition) {
+  auto status = make_status();
+  auto both = atf::cond::evaluations(100) && atf::cond::cost(5.0);
+  EXPECT_TRUE(both(status));
+  status.best_cost = 6.0;
+  EXPECT_FALSE(both(status));
+  auto either = atf::cond::evaluations(200) || atf::cond::cost(6.0);
+  EXPECT_TRUE(either(status));
+  status.best_cost = 7.0;
+  EXPECT_FALSE(either(status));
+}
+
+TEST(AbortConditions, DefaultConstructedIsInvalid) {
+  atf::abort_condition cond;
+  EXPECT_FALSE(cond.valid());
+  EXPECT_TRUE(atf::cond::evaluations(1).valid());
+}
+
+}  // namespace

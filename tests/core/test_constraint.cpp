@@ -1,0 +1,148 @@
+// Unit tests for constraints, the six aliases, their lazy evaluation against
+// tuning parameters, and the logical combinators.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "atf/constraint.hpp"
+#include "atf/range.hpp"
+#include "atf/tp.hpp"
+
+namespace {
+
+TEST(ConstraintAliases, DividesLiteral) {
+  const auto c = atf::divides(12);
+  EXPECT_TRUE(c(1));
+  EXPECT_TRUE(c(3));
+  EXPECT_TRUE(c(12));
+  EXPECT_FALSE(c(5));
+  EXPECT_FALSE(c(24));
+}
+
+TEST(ConstraintAliases, DividesRejectsZeroCandidate) {
+  const auto c = atf::divides(12);
+  EXPECT_FALSE(c(0));
+}
+
+TEST(ConstraintAliases, IsMultipleOf) {
+  const auto c = atf::is_multiple_of(4);
+  EXPECT_TRUE(c(4));
+  EXPECT_TRUE(c(16));
+  EXPECT_FALSE(c(6));
+  EXPECT_FALSE(c(2));
+}
+
+TEST(ConstraintAliases, IsMultipleOfZeroDivisorNeverMatches) {
+  const auto c = atf::is_multiple_of(0);
+  EXPECT_FALSE(c(4));
+}
+
+TEST(ConstraintAliases, Comparisons) {
+  EXPECT_TRUE(atf::less_than(5)(4));
+  EXPECT_FALSE(atf::less_than(5)(5));
+  EXPECT_TRUE(atf::greater_than(5)(6));
+  EXPECT_FALSE(atf::greater_than(5)(5));
+  EXPECT_TRUE(atf::less_equal(5)(5));
+  EXPECT_TRUE(atf::greater_equal(5)(5));
+  EXPECT_TRUE(atf::equal(5)(5));
+  EXPECT_FALSE(atf::equal(5)(4));
+  EXPECT_TRUE(atf::unequal(5)(4));
+  EXPECT_FALSE(atf::unequal(5)(5));
+}
+
+TEST(ConstraintAliases, PowerOfTwo) {
+  const auto c = atf::power_of_two();
+  EXPECT_TRUE(c(1));
+  EXPECT_TRUE(c(64));
+  EXPECT_FALSE(c(0));
+  EXPECT_FALSE(c(48));
+}
+
+TEST(ConstraintCombinators, AndOrNot) {
+  const auto c = atf::divides(24) && atf::greater_than(2);
+  EXPECT_TRUE(c(3));
+  EXPECT_FALSE(c(2));   // divides but not > 2
+  EXPECT_FALSE(c(5));   // > 2 but does not divide
+
+  const auto d = atf::equal(1) || atf::is_multiple_of(8);
+  EXPECT_TRUE(d(1));
+  EXPECT_TRUE(d(16));
+  EXPECT_FALSE(d(4));
+
+  const auto n = !atf::equal(7);
+  EXPECT_TRUE(n(6));
+  EXPECT_FALSE(n(7));
+}
+
+TEST(ConstraintAliases, LazyAgainstTuningParameter) {
+  // divides(N / WPT) must observe WPT's *current* value at check time.
+  const std::size_t n = 24;
+  auto wpt = atf::tp("WPT", atf::interval<std::size_t>(1, n));
+  const auto c = atf::divides(n / wpt);
+
+  wpt.set_current(2);  // N / WPT == 12
+  EXPECT_TRUE(c(std::size_t{6}));
+  EXPECT_FALSE(c(std::size_t{5}));
+
+  wpt.set_current(8);  // N / WPT == 3
+  EXPECT_TRUE(c(std::size_t{3}));
+  EXPECT_FALSE(c(std::size_t{6}));
+}
+
+TEST(ConstraintAliases, ExpressionArgument) {
+  const std::size_t n = 100;
+  auto a = atf::tp("A", atf::interval<std::size_t>(1, 10));
+  auto b = atf::tp("B", atf::interval<std::size_t>(1, 10));
+  const auto c = atf::less_equal(a * b + 1);
+  a.set_current(3);
+  b.set_current(4);
+  EXPECT_TRUE(c(std::size_t{13}));
+  EXPECT_FALSE(c(std::size_t{14}));
+  (void)n;
+}
+
+TEST(ConstraintCombinators, MixedLazyAndLiteral) {
+  auto a = atf::tp("A", atf::interval<int>(1, 10));
+  const auto c = atf::is_multiple_of(a) && atf::less_than(20);
+  a.set_current(5);
+  EXPECT_TRUE(c(15));
+  EXPECT_FALSE(c(25));  // multiple of 5 but >= 20
+  EXPECT_FALSE(c(12));  // < 20 but not a multiple
+}
+
+TEST(Predicate, WrapsArbitraryLambda) {
+  const auto c = atf::pred([](int v) { return v % 2 == 0; }) &&
+                 atf::pred([](int v) { return v > 0; });
+  EXPECT_TRUE(c(4));
+  EXPECT_FALSE(c(-4));
+  EXPECT_FALSE(c(3));
+}
+
+TEST(Expression, ArithmeticOverParameters) {
+  auto a = atf::tp("A", atf::interval<int>(1, 10));
+  auto b = atf::tp("B", atf::interval<int>(1, 10));
+  a.set_current(7);
+  b.set_current(3);
+  EXPECT_EQ((a + b).eval(), 10);
+  EXPECT_EQ((a - b).eval(), 4);
+  EXPECT_EQ((a * b).eval(), 21);
+  EXPECT_EQ((a / b).eval(), 2);
+  EXPECT_EQ((a % b).eval(), 1);
+  EXPECT_EQ((a + 1).eval(), 8);
+  EXPECT_EQ((2 * b).eval(), 6);
+  EXPECT_EQ(atf::max(a, b).eval(), 7);
+  EXPECT_EQ(atf::min(a, b).eval(), 3);
+  EXPECT_EQ(atf::ceil_div(a, b).eval(), 3);
+  EXPECT_EQ(atf::round_up(a, b).eval(), 9);
+}
+
+TEST(Expression, NestedExpressionsStayLazy) {
+  auto a = atf::tp("A", atf::interval<int>(1, 100));
+  const auto e = (a * a + a) / 2;
+  a.set_current(4);
+  EXPECT_EQ(e.eval(), 10);
+  a.set_current(10);
+  EXPECT_EQ(e.eval(), 55);
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Unit tests for atf::range: intervals, step sizes, generators, sets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "atf/range.hpp"
+
+namespace {
+
+TEST(Interval, DefaultStepCoversInclusiveBounds) {
+  const auto r = atf::interval<std::size_t>(1, 5);
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_EQ(r[0], 1u);
+  EXPECT_EQ(r[4], 5u);
+  EXPECT_EQ(r.to_vector(), (std::vector<std::size_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(Interval, SingleElement) {
+  const auto r = atf::interval<int>(7, 7);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], 7);
+}
+
+TEST(Interval, EmptyWhenEndBeforeBegin) {
+  const auto r = atf::interval<int>(5, 4);
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Interval, StepSize) {
+  const auto r = atf::interval<int>(0, 10, 3);
+  EXPECT_EQ(r.to_vector(), (std::vector<int>{0, 3, 6, 9}));
+}
+
+TEST(Interval, StepLandsExactlyOnEnd) {
+  const auto r = atf::interval<int>(0, 9, 3);
+  EXPECT_EQ(r.to_vector(), (std::vector<int>{0, 3, 6, 9}));
+}
+
+TEST(Interval, NonPositiveStepThrows) {
+  EXPECT_THROW((void)atf::interval<int>(0, 10, 0), std::invalid_argument);
+  EXPECT_THROW((void)atf::interval<int>(0, 10, -1), std::invalid_argument);
+}
+
+TEST(Interval, NegativeBounds) {
+  const auto r = atf::interval<int>(-3, 2);
+  EXPECT_EQ(r.to_vector(), (std::vector<int>{-3, -2, -1, 0, 1, 2}));
+}
+
+TEST(Interval, GeneratorMapsElements) {
+  // The paper's example: the first ten powers of two.
+  const auto r = atf::interval<std::size_t>(
+      1, 10, [](std::size_t i) { return static_cast<std::size_t>(1) << i; });
+  ASSERT_EQ(r.size(), 10u);
+  EXPECT_EQ(r[0], 2u);
+  EXPECT_EQ(r[9], 1024u);
+}
+
+TEST(Interval, GeneratorChangesValueType) {
+  // Generator int -> double: the range's value type follows the generator.
+  const auto r =
+      atf::interval<int>(1, 4, [](int i) { return std::sqrt(double(i)); });
+  static_assert(std::is_same_v<decltype(r[0]), double>);
+  EXPECT_DOUBLE_EQ(r[3], 2.0);
+}
+
+TEST(Interval, GeneratorWithStep) {
+  const auto r = atf::interval<int>(0, 8, 4, [](int i) { return i * 10; });
+  EXPECT_EQ(r.to_vector(), (std::vector<int>{0, 40, 80}));
+}
+
+TEST(Interval, LargeRangeIsLazy) {
+  // A 2^32-element interval must cost no memory.
+  const auto r = atf::interval<std::uint64_t>(1, std::uint64_t{1} << 32);
+  EXPECT_EQ(r.size(), std::uint64_t{1} << 32);
+  EXPECT_EQ(r[(std::uint64_t{1} << 32) - 1], std::uint64_t{1} << 32);
+}
+
+TEST(Set, VariadicValues) {
+  const auto r = atf::set(1, 2, 4, 8);
+  EXPECT_EQ(r.to_vector(), (std::vector<int>{1, 2, 4, 8}));
+}
+
+TEST(Set, CommonTypePromotion) {
+  const auto r = atf::set(1, 2.5);
+  static_assert(std::is_same_v<decltype(r[0]), double>);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+}
+
+TEST(Set, InitializerList) {
+  const auto r = atf::set<std::size_t>({3, 1, 2});
+  EXPECT_EQ(r.to_vector(), (std::vector<std::size_t>{3, 1, 2}));
+}
+
+TEST(Set, FromVector) {
+  const auto r = atf::set(std::vector<int>{5, 6});
+  EXPECT_EQ(r.size(), 2u);
+}
+
+enum class layout { row_major, col_major, tiled };
+
+TEST(Set, EnumValues) {
+  // Sets may comprise values of an enum type (paper, Section II).
+  const auto r = atf::set(layout::row_major, layout::tiled);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[1], layout::tiled);
+}
+
+TEST(Set, BoolValues) {
+  const auto r = atf::set(true, false);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r[0]);
+  EXPECT_FALSE(r[1]);
+}
+
+}  // namespace

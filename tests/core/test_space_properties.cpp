@@ -1,0 +1,167 @@
+// Randomized property tests for the search-space tree: for seeded random
+// constraint systems over small ranges, the tree must agree exactly with a
+// brute-force product-then-filter oracle, and indexing/apply/neighbor must
+// satisfy their invariants.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "atf/common/rng.hpp"
+#include "atf/constraint.hpp"
+#include "atf/search_space.hpp"
+#include "atf/space_tree.hpp"
+#include "atf/tp.hpp"
+
+namespace {
+
+/// A randomly generated 4-parameter constraint system. Each parameter gets
+/// a random range {1..top} and a random constraint drawn from a small
+/// grammar that may reference any *earlier* parameter.
+struct random_system {
+  std::vector<atf::tp<std::uint64_t>> tps;
+  // Oracle predicates, one per parameter; arguments are the values of all
+  // previous parameters plus the candidate.
+  std::vector<std::function<bool(const std::vector<std::uint64_t>&,
+                                 std::uint64_t)>>
+      oracle;
+  std::vector<std::uint64_t> tops;
+};
+
+random_system make_system(std::uint64_t seed) {
+  atf::common::xoshiro256 rng(seed);
+  random_system sys;
+  const char* names[] = {"P0", "P1", "P2", "P3"};
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t top = 2 + rng.below(11);  // 2..12
+    sys.tops.push_back(top);
+    const int kind = i == 0 ? 0 : static_cast<int>(rng.below(5));
+    const std::size_t ref = i == 0 ? 0 : rng.below(static_cast<std::uint64_t>(i));
+    const std::uint64_t literal = 1 + rng.below(top);
+
+    switch (kind) {
+      case 0:  // unconstrained
+        sys.tps.emplace_back(names[i],
+                             atf::interval<std::uint64_t>(1, top));
+        sys.oracle.emplace_back(
+            [](const std::vector<std::uint64_t>&, std::uint64_t) {
+              return true;
+            });
+        break;
+      case 1:  // divides earlier parameter
+        sys.tps.emplace_back(names[i], atf::interval<std::uint64_t>(1, top),
+                             atf::divides(sys.tps[ref]));
+        sys.oracle.emplace_back(
+            [ref](const std::vector<std::uint64_t>& prefix, std::uint64_t v) {
+              return v != 0 && prefix[ref] % v == 0;
+            });
+        break;
+      case 2:  // multiple of earlier parameter
+        sys.tps.emplace_back(names[i], atf::interval<std::uint64_t>(1, top),
+                             atf::is_multiple_of(sys.tps[ref]));
+        sys.oracle.emplace_back(
+            [ref](const std::vector<std::uint64_t>& prefix, std::uint64_t v) {
+              return prefix[ref] != 0 && v % prefix[ref] == 0;
+            });
+        break;
+      case 3:  // less-equal to earlier * literal
+        sys.tps.emplace_back(
+            names[i], atf::interval<std::uint64_t>(1, top),
+            atf::less_equal(sys.tps[ref] * literal));
+        sys.oracle.emplace_back(
+            [ref, literal](const std::vector<std::uint64_t>& prefix,
+                           std::uint64_t v) {
+              return v <= prefix[ref] * literal;
+            });
+        break;
+      default:  // unequal to earlier
+        sys.tps.emplace_back(names[i], atf::interval<std::uint64_t>(1, top),
+                             atf::unequal(sys.tps[ref]));
+        sys.oracle.emplace_back(
+            [ref](const std::vector<std::uint64_t>& prefix, std::uint64_t v) {
+              return v != prefix[ref];
+            });
+        break;
+    }
+  }
+  return sys;
+}
+
+std::vector<std::vector<std::uint64_t>> brute_force(const random_system& sys) {
+  std::vector<std::vector<std::uint64_t>> valid;
+  std::vector<std::uint64_t> tuple(4);
+  for (tuple[0] = 1; tuple[0] <= sys.tops[0]; ++tuple[0]) {
+    for (tuple[1] = 1; tuple[1] <= sys.tops[1]; ++tuple[1]) {
+      for (tuple[2] = 1; tuple[2] <= sys.tops[2]; ++tuple[2]) {
+        for (tuple[3] = 1; tuple[3] <= sys.tops[3]; ++tuple[3]) {
+          bool ok = true;
+          for (int i = 0; i < 4 && ok; ++i) {
+            const std::vector<std::uint64_t> prefix(tuple.begin(),
+                                                    tuple.begin() + i);
+            ok = sys.oracle[i](prefix, tuple[i]);
+          }
+          if (ok) {
+            valid.push_back(tuple);
+          }
+        }
+      }
+    }
+  }
+  return valid;
+}
+
+class RandomSystemTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSystemTest, TreeAgreesWithBruteForce) {
+  auto sys = make_system(GetParam());
+  const auto tree = atf::space_tree::generate(
+      atf::G(sys.tps[0], sys.tps[1], sys.tps[2], sys.tps[3]));
+  const auto oracle = brute_force(sys);
+  ASSERT_EQ(tree.size(), oracle.size()) << "seed " << GetParam();
+  for (std::uint64_t i = 0; i < tree.size(); ++i) {
+    const auto values = tree.values_at(i);
+    for (int d = 0; d < 4; ++d) {
+      EXPECT_EQ(atf::from_tp_value<std::uint64_t>(values[d]), oracle[i][d])
+          << "seed " << GetParam() << " index " << i << " dim " << d;
+    }
+  }
+}
+
+TEST_P(RandomSystemTest, NeighborsStayValidAndDiffer) {
+  auto sys = make_system(GetParam());
+  const auto tree = atf::space_tree::generate(
+      atf::G(sys.tps[0], sys.tps[1], sys.tps[2], sys.tps[3]));
+  if (tree.size() < 2) {
+    GTEST_SKIP() << "space too small for neighbor moves";
+  }
+  atf::common::xoshiro256 rng(GetParam() ^ 0xabcdef);
+  for (int step = 0; step < 200; ++step) {
+    const auto index = tree.random_index(rng);
+    const auto neighbor = tree.random_neighbor(index, rng);
+    ASSERT_LT(neighbor, tree.size());
+    EXPECT_NE(neighbor, index);
+  }
+}
+
+TEST_P(RandomSystemTest, ApplyReplaysExactValues) {
+  auto sys = make_system(GetParam());
+  const auto tree = atf::space_tree::generate(
+      atf::G(sys.tps[0], sys.tps[1], sys.tps[2], sys.tps[3]));
+  atf::common::xoshiro256 rng(GetParam() + 1);
+  const std::uint64_t samples = std::min<std::uint64_t>(tree.size(), 64);
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const auto index = tree.random_index(rng);
+    tree.apply(index);
+    const auto values = tree.values_at(index);
+    for (int d = 0; d < 4; ++d) {
+      EXPECT_EQ(sys.tps[d].eval(),
+                atf::from_tp_value<std::uint64_t>(values[d]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSystemTest,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace

@@ -1,0 +1,255 @@
+// Search-space tree tests: generation against a brute-force oracle, index
+// bijection, neighbor moves, dead-prefix pruning, and property sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "atf/common/rng.hpp"
+#include "atf/constraint.hpp"
+#include "atf/space_tree.hpp"
+#include "atf/tp.hpp"
+
+namespace {
+
+using atf::space_tree;
+
+// Brute-force oracle: enumerate the Cartesian product of the saxpy-style
+// two-parameter space and filter, mirroring what a product-then-filter
+// generator would produce.
+std::vector<std::pair<std::size_t, std::size_t>> saxpy_oracle(std::size_t n) {
+  std::vector<std::pair<std::size_t, std::size_t>> valid;
+  for (std::size_t wpt = 1; wpt <= n; ++wpt) {
+    if (n % wpt != 0) {
+      continue;
+    }
+    for (std::size_t ls = 1; ls <= n; ++ls) {
+      if ((n / wpt) % ls == 0) {
+        valid.emplace_back(wpt, ls);
+      }
+    }
+  }
+  return valid;
+}
+
+space_tree make_saxpy_tree(std::size_t n) {
+  auto wpt = atf::tp("WPT", atf::interval<std::size_t>(1, n), atf::divides(n));
+  auto ls =
+      atf::tp("LS", atf::interval<std::size_t>(1, n), atf::divides(n / wpt));
+  return space_tree::generate(atf::G(wpt, ls));
+}
+
+TEST(SpaceTree, SaxpyMatchesOracleSize) {
+  for (const std::size_t n : {1u, 2u, 6u, 16u, 24u, 36u, 100u}) {
+    EXPECT_EQ(make_saxpy_tree(n).size(), saxpy_oracle(n).size()) << "N=" << n;
+  }
+}
+
+TEST(SpaceTree, SaxpyEnumeratesExactlyTheOracleConfigs) {
+  const std::size_t n = 24;
+  const auto tree = make_saxpy_tree(n);
+  const auto oracle = saxpy_oracle(n);
+  ASSERT_EQ(tree.size(), oracle.size());
+  for (std::uint64_t i = 0; i < tree.size(); ++i) {
+    const auto values = tree.values_at(i);
+    ASSERT_EQ(values.size(), 2u);
+    EXPECT_EQ(atf::from_tp_value<std::size_t>(values[0]), oracle[i].first);
+    EXPECT_EQ(atf::from_tp_value<std::size_t>(values[1]), oracle[i].second);
+  }
+}
+
+TEST(SpaceTree, UnconstrainedIsCartesianProduct) {
+  auto a = atf::tp("A", atf::set(1, 2, 3));
+  auto b = atf::tp("B", atf::set(10, 20));
+  auto c = atf::tp("C", atf::set(100, 200, 300, 400));
+  const auto tree = space_tree::generate(atf::G(a, b, c));
+  EXPECT_EQ(tree.size(), 3u * 2u * 4u);
+  // Lexicographic order: last parameter varies fastest.
+  const auto first = tree.values_at(0);
+  EXPECT_EQ(atf::from_tp_value<int>(first[2]), 100);
+  const auto second = tree.values_at(1);
+  EXPECT_EQ(atf::from_tp_value<int>(second[2]), 200);
+  const auto last = tree.values_at(23);
+  EXPECT_EQ(atf::from_tp_value<int>(last[0]), 3);
+  EXPECT_EQ(atf::from_tp_value<int>(last[1]), 20);
+  EXPECT_EQ(atf::from_tp_value<int>(last[2]), 400);
+}
+
+TEST(SpaceTree, DeadPrefixesArePruned) {
+  // B's constraint (B == A and B > 3) eliminates every A <= 3 prefix.
+  auto a = atf::tp("A", atf::interval<int>(1, 6));
+  auto b = atf::tp("B", atf::interval<int>(1, 6),
+                   atf::equal(a) && atf::greater_than(3));
+  const auto tree = space_tree::generate(atf::G(a, b));
+  EXPECT_EQ(tree.size(), 3u);  // A=B in {4,5,6}
+  EXPECT_EQ(tree.stats().dead_prefixes, 3u);
+  for (std::uint64_t i = 0; i < tree.size(); ++i) {
+    const auto values = tree.values_at(i);
+    EXPECT_EQ(atf::from_tp_value<int>(values[0]),
+              atf::from_tp_value<int>(values[1]));
+  }
+}
+
+TEST(SpaceTree, EmptySpaceWhenNoValidConfig) {
+  auto a = atf::tp("A", atf::set(2, 4, 6));
+  auto b = atf::tp("B", atf::set(1, 3, 5), atf::is_multiple_of(a));
+  const auto tree = space_tree::generate(atf::G(a, b));
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(SpaceTree, SingleParameterConstraint) {
+  auto a = atf::tp("A", atf::interval<int>(1, 100), atf::power_of_two());
+  const auto tree = space_tree::generate(atf::G(a));
+  EXPECT_EQ(tree.size(), 7u);  // 1,2,4,8,16,32,64
+}
+
+TEST(SpaceTree, EmptyGroupHasOneEmptyConfig) {
+  const auto tree = space_tree::generate(atf::tp_group{});
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.depth(), 0u);
+  EXPECT_TRUE(tree.values_at(0).empty());
+}
+
+TEST(SpaceTree, ValuesAtOutOfRangeThrows) {
+  const auto tree = make_saxpy_tree(8);
+  EXPECT_THROW((void)tree.values_at(tree.size()), std::out_of_range);
+}
+
+TEST(SpaceTree, ApplyWritesSharedSlots) {
+  const std::size_t n = 24;
+  auto wpt = atf::tp("WPT", atf::interval<std::size_t>(1, n), atf::divides(n));
+  auto ls =
+      atf::tp("LS", atf::interval<std::size_t>(1, n), atf::divides(n / wpt));
+  const auto tree = space_tree::generate(atf::G(wpt, ls));
+  const auto global_size = n / wpt;  // lazy expression over WPT
+  for (std::uint64_t i = 0; i < tree.size(); ++i) {
+    tree.apply(i);
+    const auto values = tree.values_at(i);
+    EXPECT_EQ(wpt.eval(), atf::from_tp_value<std::size_t>(values[0]));
+    EXPECT_EQ(ls.eval(), atf::from_tp_value<std::size_t>(values[1]));
+    EXPECT_EQ(global_size.eval(), n / wpt.eval());
+  }
+}
+
+TEST(SpaceTree, RandomIndexIsInRange) {
+  const auto tree = make_saxpy_tree(36);
+  atf::common::xoshiro256 rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(tree.random_index(rng), tree.size());
+  }
+}
+
+TEST(SpaceTree, NeighborDiffersAndIsValid) {
+  const auto tree = make_saxpy_tree(36);
+  atf::common::xoshiro256 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const auto index = tree.random_index(rng);
+    const auto neighbor = tree.random_neighbor(index, rng);
+    EXPECT_LT(neighbor, tree.size());
+    if (tree.size() > 1) {
+      EXPECT_NE(neighbor, index);
+    }
+  }
+}
+
+TEST(SpaceTree, NeighborOnSingletonSpaceReturnsSelf) {
+  auto a = atf::tp("A", atf::set(1));
+  const auto tree = space_tree::generate(atf::G(a));
+  atf::common::xoshiro256 rng(1);
+  EXPECT_EQ(tree.random_neighbor(0, rng), 0u);
+}
+
+TEST(SpaceTree, NeighborReachesWholeSpaceEventually) {
+  // The neighbor relation must be irreducible for annealing to work: from a
+  // fixed start, repeated neighbor moves should visit every configuration of
+  // a small space.
+  const auto tree = make_saxpy_tree(12);
+  atf::common::xoshiro256 rng(99);
+  std::set<std::uint64_t> visited;
+  std::uint64_t current = 0;
+  for (int i = 0; i < 20000 && visited.size() < tree.size(); ++i) {
+    visited.insert(current);
+    current = tree.random_neighbor(current, rng);
+  }
+  EXPECT_EQ(visited.size(), tree.size());
+}
+
+TEST(SpaceTree, GenerationVisitsOnlyConstrainedRanges) {
+  // ATF iterates ranges per valid prefix: for saxpy the number of candidate
+  // values tested is |WPT range| + sum over valid WPT of |LS range| — far
+  // fewer than the N*N Cartesian product once constraints bite.
+  const std::size_t n = 100;
+  const auto tree = make_saxpy_tree(n);
+  // 9 divisors of 100 -> 100 + 9*100 candidate checks.
+  EXPECT_EQ(tree.stats().visited_values, 100u + 9u * 100u);
+  EXPECT_LT(tree.stats().visited_values, n * n);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: for random 3-parameter spaces with divides-chains, the tree
+// must match a brute-force oracle exactly.
+// ---------------------------------------------------------------------------
+
+class SpaceTreePropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpaceTreePropertyTest, MatchesBruteForceOracle) {
+  const std::size_t n = GetParam();
+  auto a = atf::tp("A", atf::interval<std::size_t>(1, n), atf::divides(n));
+  auto b = atf::tp("B", atf::interval<std::size_t>(1, n), atf::divides(a));
+  auto c = atf::tp("C", atf::interval<std::size_t>(1, n),
+                   atf::less_equal(a * b));
+  const auto tree = space_tree::generate(atf::G(a, b, c));
+
+  std::vector<std::array<std::size_t, 3>> oracle;
+  for (std::size_t va = 1; va <= n; ++va) {
+    if (n % va != 0) continue;
+    for (std::size_t vb = 1; vb <= n; ++vb) {
+      if (va % vb != 0) continue;
+      for (std::size_t vc = 1; vc <= n; ++vc) {
+        if (vc <= va * vb) {
+          oracle.push_back({va, vb, vc});
+        }
+      }
+    }
+  }
+
+  ASSERT_EQ(tree.size(), oracle.size()) << "N=" << n;
+  for (std::uint64_t i = 0; i < tree.size(); ++i) {
+    const auto values = tree.values_at(i);
+    EXPECT_EQ(atf::from_tp_value<std::size_t>(values[0]), oracle[i][0]);
+    EXPECT_EQ(atf::from_tp_value<std::size_t>(values[1]), oracle[i][1]);
+    EXPECT_EQ(atf::from_tp_value<std::size_t>(values[2]), oracle[i][2]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DividesChains, SpaceTreePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 16, 18, 20,
+                                           24, 30));
+
+// Property sweep: path_of must be the inverse of index arithmetic — walking
+// every leaf must produce strictly increasing, gap-free indices.
+
+class SpaceTreeBijectionTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpaceTreeBijectionTest, LeafEnumerationIsBijective) {
+  const std::size_t n = GetParam();
+  const auto tree = make_saxpy_tree(n);
+  std::set<std::vector<std::size_t>> seen;
+  for (std::uint64_t i = 0; i < tree.size(); ++i) {
+    const auto values = tree.values_at(i);
+    std::vector<std::size_t> key;
+    for (const auto& v : values) {
+      key.push_back(atf::from_tp_value<std::size_t>(v));
+    }
+    EXPECT_TRUE(seen.insert(key).second)
+        << "duplicate configuration at index " << i;
+  }
+  EXPECT_EQ(seen.size(), tree.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Saxpy, SpaceTreeBijectionTest,
+                         ::testing::Values(2, 8, 24, 60, 96));
+
+}  // namespace

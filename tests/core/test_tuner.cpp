@@ -1,0 +1,302 @@
+// Tuner driver tests: exhaustive-by-default exploration, best tracking,
+// failed evaluations, abort conditions wired through the loop, multi-
+// objective costs and the CSV log.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "atf/atf.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Tuner, ExhaustiveFindsProvablyBestConfiguration) {
+  auto x = atf::tp("x", atf::interval<int>(-10, 10));
+  auto result = atf::tuner{}
+                    .tuning_parameters(x)
+                    .tune([](const atf::configuration& config) {
+                      const int v = config["x"];
+                      return (v - 3) * (v - 3);  // minimum at x = 3
+                    });
+  ASSERT_TRUE(result.has_best());
+  EXPECT_EQ(int(result.best_configuration()["x"]), 3);
+  EXPECT_EQ(*result.best_cost, 0);
+  EXPECT_EQ(result.evaluations, 21u);  // default abort: one full sweep
+  EXPECT_EQ(result.search_space_size, 21u);
+}
+
+TEST(Tuner, ConstrainedParametersOnlyEvaluateValidConfigs) {
+  const std::size_t n = 24;
+  auto wpt = atf::tp("WPT", atf::interval<std::size_t>(1, n), atf::divides(n));
+  auto ls =
+      atf::tp("LS", atf::interval<std::size_t>(1, n), atf::divides(n / wpt));
+  std::uint64_t invalid_seen = 0;
+  auto result = atf::tuner{}
+                    .tuning_parameters(wpt, ls)
+                    .tune([&](const atf::configuration& config) {
+                      const std::size_t w = config["WPT"];
+                      const std::size_t l = config["LS"];
+                      if (n % w != 0 || (n / w) % l != 0) {
+                        ++invalid_seen;
+                      }
+                      return double(w) + double(l);
+                    });
+  EXPECT_EQ(invalid_seen, 0u);
+  EXPECT_EQ(std::size_t(result.best_configuration()["WPT"]), 1u);
+  EXPECT_EQ(std::size_t(result.best_configuration()["LS"]), 1u);
+}
+
+TEST(Tuner, EmptySearchSpaceThrows) {
+  auto a = atf::tp("A", atf::set(3, 5), atf::is_multiple_of(2));
+  atf::tuner t;
+  t.tuning_parameters(a);
+  EXPECT_THROW((void)t.tune([](const atf::configuration&) { return 1; }),
+               atf::empty_search_space_error);
+}
+
+TEST(Tuner, EvaluationErrorsAreCountedAndSkipped) {
+  auto x = atf::tp("x", atf::interval<int>(1, 10));
+  auto result = atf::tuner{}
+                    .tuning_parameters(x)
+                    .tune([](const atf::configuration& config) -> double {
+                      const int v = config["x"];
+                      if (v % 2 == 0) {
+                        throw atf::evaluation_error("even x unsupported");
+                      }
+                      return double(v);
+                    });
+  EXPECT_EQ(result.failed_evaluations, 5u);
+  EXPECT_EQ(result.evaluations, 10u);
+  EXPECT_EQ(int(result.best_configuration()["x"]), 1);
+}
+
+TEST(Tuner, AllEvaluationsFailingYieldsNoBest) {
+  auto x = atf::tp("x", atf::interval<int>(1, 4));
+  auto result = atf::tuner{}
+                    .tuning_parameters(x)
+                    .tune([](const atf::configuration&) -> double {
+                      throw atf::evaluation_error("always fails");
+                    });
+  EXPECT_FALSE(result.has_best());
+  EXPECT_THROW((void)result.best_configuration(), std::logic_error);
+  EXPECT_EQ(result.failed_evaluations, 4u);
+}
+
+TEST(Tuner, AbortAfterEvaluations) {
+  auto x = atf::tp("x", atf::interval<int>(1, 1000));
+  auto result = atf::tuner{}
+                    .tuning_parameters(x)
+                    .abort_condition(atf::cond::evaluations(10))
+                    .tune([](const atf::configuration& config) {
+                      return double(int(config["x"]));
+                    });
+  EXPECT_EQ(result.evaluations, 10u);
+}
+
+TEST(Tuner, AbortOnCost) {
+  auto x = atf::tp("x", atf::interval<int>(1, 1000));
+  auto result = atf::tuner{}
+                    .tuning_parameters(x)
+                    .abort_condition(atf::cond::cost(5.0))
+                    .tune([](const atf::configuration& config) {
+                      // exhaustive iterates x = 1 first -> cost 999 ... down
+                      return double(1000 - int(config["x"]));
+                    });
+  ASSERT_TRUE(result.has_best());
+  EXPECT_LE(*result.best_cost, 5.0);
+  EXPECT_LT(result.evaluations, 1000u);
+}
+
+TEST(Tuner, AbortFraction) {
+  auto x = atf::tp("x", atf::interval<int>(1, 100));
+  auto result = atf::tuner{}
+                    .tuning_parameters(x)
+                    .abort_condition(atf::cond::fraction(0.25))
+                    .tune([](const atf::configuration& config) {
+                      return double(int(config["x"]));
+                    });
+  EXPECT_EQ(result.evaluations, 25u);
+}
+
+TEST(Tuner, CombinedAbortConditions) {
+  auto x = atf::tp("x", atf::interval<int>(1, 100));
+  auto result =
+      atf::tuner{}
+          .tuning_parameters(x)
+          .abort_condition(atf::cond::evaluations(50) ||
+                           atf::cond::cost(0.5))
+          .tune([](const atf::configuration& config) {
+            return double(int(config["x"]));
+          });
+  EXPECT_EQ(result.evaluations, 50u);  // cost never reaches 0.5
+}
+
+TEST(Tuner, DurationAbortStopsLongRuns) {
+  auto x = atf::tp("x", atf::interval<int>(1, 1'000'000));
+  auto result = atf::tuner{}
+                    .tuning_parameters(x)
+                    .abort_condition(atf::cond::duration(50ms))
+                    .tune([](const atf::configuration& config) {
+                      return double(int(config["x"]));
+                    });
+  EXPECT_LT(result.evaluations, 1'000'000u);
+  EXPECT_GE(result.elapsed, 50ms);
+}
+
+TEST(Tuner, SpeedupOverEvaluationsAborts) {
+  auto x = atf::tp("x", atf::interval<int>(1, 100000));
+  // Cost improves only on the first evaluation; speedup(1.01, 20) must stop
+  // roughly 20 evaluations later.
+  auto result = atf::tuner{}
+                    .tuning_parameters(x)
+                    .abort_condition(atf::cond::speedup(1.01, 20))
+                    .tune([](const atf::configuration& config) {
+                      const int v = config["x"];
+                      return v == 1 ? 1.0 : 2.0;
+                    });
+  EXPECT_GE(result.evaluations, 20u);
+  EXPECT_LE(result.evaluations, 40u);
+}
+
+TEST(Tuner, MultiObjectiveLexicographicOrder) {
+  auto x = atf::tp("x", atf::interval<int>(1, 10));
+  // runtime is minimized first; energy breaks the tie among x in {1,2,3}.
+  auto result = atf::tuner{}
+                    .tuning_parameters(x)
+                    .tune([](const atf::configuration& config) {
+                      const int v = config["x"];
+                      const double runtime = v <= 3 ? 1.0 : 2.0;
+                      const double energy = double(10 - v);
+                      return atf::cost_pair{runtime, energy};
+                    });
+  ASSERT_TRUE(result.has_best());
+  EXPECT_EQ(int(result.best_configuration()["x"]), 3);
+  EXPECT_EQ(result.best_cost->primary, 1.0);
+  EXPECT_EQ(result.best_cost->secondary, 7.0);
+}
+
+TEST(Tuner, HistoryRecordsMonotoneImprovements) {
+  auto x = atf::tp("x", atf::interval<int>(1, 50));
+  auto result = atf::tuner{}
+                    .tuning_parameters(x)
+                    .tune([](const atf::configuration& config) {
+                      return double(50 - int(config["x"]));
+                    });
+  ASSERT_FALSE(result.history.empty());
+  for (std::size_t i = 1; i < result.history.size(); ++i) {
+    EXPECT_LT(result.history[i].cost, result.history[i - 1].cost);
+    EXPECT_GT(result.history[i].evaluations,
+              result.history[i - 1].evaluations);
+  }
+  EXPECT_EQ(result.history.back().cost, 0.0);
+}
+
+TEST(Tuner, CsvLogIsWritten) {
+  const std::string path = ::testing::TempDir() + "atf_tuner_log_test.csv";
+  auto x = atf::tp("x", atf::interval<int>(1, 5));
+  (void)atf::tuner{}
+      .tuning_parameters(x)
+      .log_file(path)
+      .tune([](const atf::configuration& config) {
+        return double(int(config["x"]));
+      });
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "evaluation,elapsed_ns,index,x,cost,valid");
+  int rows = 0;
+  for (std::string line; std::getline(in, line);) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 5);
+  std::remove(path.c_str());
+}
+
+TEST(Tuner, EvaluationCacheServesDuplicates) {
+  auto x = atf::tp("x", atf::interval<int>(1, 10));
+  std::uint64_t calls = 0;
+  auto result = atf::tuner{}
+                    .tuning_parameters(x)
+                    .cache_evaluations(true)
+                    .abort_condition(atf::cond::evaluations(30))
+                    .tune([&](const atf::configuration& config) {
+                      ++calls;
+                      return double(int(config["x"]));
+                    });
+  // Exhaustive wraps around the 10-config space three times: only the
+  // first pass hits the cost function.
+  EXPECT_EQ(result.evaluations, 30u);
+  EXPECT_EQ(calls, 10u);
+  EXPECT_EQ(result.cached_evaluations, 20u);
+}
+
+TEST(Tuner, EvaluationCacheRemembersFailures) {
+  auto x = atf::tp("x", atf::interval<int>(1, 5));
+  std::uint64_t calls = 0;
+  auto result = atf::tuner{}
+                    .tuning_parameters(x)
+                    .cache_evaluations(true)
+                    .abort_condition(atf::cond::evaluations(10))
+                    .tune([&](const atf::configuration& config) -> double {
+                      ++calls;
+                      if (int(config["x"]) == 3) {
+                        throw atf::evaluation_error("bad config");
+                      }
+                      return double(int(config["x"]));
+                    });
+  EXPECT_EQ(calls, 5u);
+  EXPECT_EQ(result.failed_evaluations, 1u);  // counted once, cached after
+  EXPECT_EQ(result.cached_evaluations, 5u);
+  EXPECT_EQ(int(result.best_configuration()["x"]), 1);
+}
+
+TEST(Tuner, CacheDisabledReevaluates) {
+  auto x = atf::tp("x", atf::interval<int>(1, 5));
+  std::uint64_t calls = 0;
+  (void)atf::tuner{}
+      .tuning_parameters(x)
+      .abort_condition(atf::cond::evaluations(10))
+      .tune([&](const atf::configuration& config) {
+        ++calls;
+        return double(int(config["x"]));
+      });
+  EXPECT_EQ(calls, 10u);
+}
+
+TEST(Tuner, GroupedParametersExploreTheProduct) {
+  auto a = atf::tp("a", atf::set(1, 2));
+  auto b = atf::tp("b", atf::set(1, 2), atf::divides(a));
+  auto c = atf::tp("c", atf::set(10, 20));
+  auto result = atf::tuner{}
+                    .tuning_parameters(atf::G(a, b), atf::G(c))
+                    .tune([](const atf::configuration& config) {
+                      return double(int(config["a"])) +
+                             double(int(config["b"])) +
+                             double(int(config["c"]));
+                    });
+  EXPECT_EQ(result.search_space_size, 3u * 2u);
+  EXPECT_EQ(result.evaluations, 6u);
+  EXPECT_EQ(int(result.best_configuration()["c"]), 10);
+}
+
+TEST(Tuner, SharedSlotsFollowEvaluatedConfig) {
+  // The launch-geometry use case: an expression over tps must evaluate
+  // against the configuration currently being measured.
+  const std::size_t n = 16;
+  auto wpt = atf::tp("WPT", atf::interval<std::size_t>(1, n), atf::divides(n));
+  auto global_size = n / wpt;
+  auto result = atf::tuner{}
+                    .tuning_parameters(wpt)
+                    .tune([&](const atf::configuration& config) {
+                      const std::size_t w = config["WPT"];
+                      EXPECT_EQ(global_size.eval(), n / w);
+                      return double(w);
+                    });
+  EXPECT_EQ(std::size_t(result.best_configuration()["WPT"]), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Unit tests for the type-erased value codec and the configuration class.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "atf/configuration.hpp"
+#include "atf/value.hpp"
+
+namespace {
+
+enum class engine : std::uint8_t { scalar, simd, gpu };
+
+TEST(ValueCodec, RoundTripsFundamentalTypes) {
+  EXPECT_EQ(atf::from_tp_value<int>(atf::to_tp_value(-42)), -42);
+  EXPECT_EQ(atf::from_tp_value<std::size_t>(atf::to_tp_value(
+                std::size_t{1} << 40)),
+            std::size_t{1} << 40);
+  EXPECT_DOUBLE_EQ(atf::from_tp_value<double>(atf::to_tp_value(2.75)), 2.75);
+  EXPECT_FLOAT_EQ(atf::from_tp_value<float>(atf::to_tp_value(1.5f)), 1.5f);
+  EXPECT_TRUE(atf::from_tp_value<bool>(atf::to_tp_value(true)));
+}
+
+TEST(ValueCodec, RoundTripsEnums) {
+  const auto v = atf::to_tp_value(engine::simd);
+  EXPECT_EQ(atf::from_tp_value<engine>(v), engine::simd);
+}
+
+TEST(ValueCodec, CrossIntegralConversions) {
+  // signed <-> unsigned conversions within range are allowed.
+  EXPECT_EQ(atf::from_tp_value<std::uint32_t>(atf::to_tp_value(7)), 7u);
+  EXPECT_EQ(atf::from_tp_value<std::int32_t>(
+                atf::to_tp_value(std::size_t{9})),
+            9);
+  // integral -> floating point is allowed.
+  EXPECT_DOUBLE_EQ(atf::from_tp_value<double>(atf::to_tp_value(3)), 3.0);
+}
+
+TEST(ValueCodec, TypeMismatchesThrow) {
+  EXPECT_THROW((void)atf::from_tp_value<bool>(atf::to_tp_value(1)),
+               atf::value_type_error);
+  EXPECT_THROW((void)atf::from_tp_value<int>(atf::to_tp_value(2.5)),
+               atf::value_type_error);
+  EXPECT_THROW((void)atf::from_tp_value<engine>(atf::to_tp_value(true)),
+               atf::value_type_error);
+}
+
+TEST(ValueCodec, ToString) {
+  EXPECT_EQ(atf::to_string(atf::to_tp_value(true)), "true");
+  EXPECT_EQ(atf::to_string(atf::to_tp_value(false)), "false");
+  EXPECT_EQ(atf::to_string(atf::to_tp_value(-3)), "-3");
+  EXPECT_EQ(atf::to_string(atf::to_tp_value(std::size_t{8})), "8");
+  EXPECT_EQ(atf::to_string(atf::to_tp_value(0.5)), "0.5");
+}
+
+TEST(ValueCodec, ToDouble) {
+  EXPECT_DOUBLE_EQ(atf::to_double(atf::to_tp_value(true)), 1.0);
+  EXPECT_DOUBLE_EQ(atf::to_double(atf::to_tp_value(-4)), -4.0);
+  EXPECT_DOUBLE_EQ(atf::to_double(atf::to_tp_value(2.25)), 2.25);
+}
+
+TEST(Configuration, AddAndTypedAccess) {
+  atf::configuration config;
+  config.add("WPT", atf::to_tp_value(std::size_t{8}));
+  config.add("USE_FMA", atf::to_tp_value(true));
+  config.add("ENGINE", atf::to_tp_value(engine::gpu));
+  EXPECT_EQ(config.size(), 3u);
+  EXPECT_TRUE(config.contains("WPT"));
+  EXPECT_FALSE(config.contains("LS"));
+  EXPECT_EQ(config.get<std::size_t>("WPT"), 8u);
+  EXPECT_TRUE(config.get<bool>("USE_FMA"));
+  EXPECT_EQ(config.get<engine>("ENGINE"), engine::gpu);
+}
+
+TEST(Configuration, ProxyConvertsImplicitly) {
+  atf::configuration config;
+  config.add("LS", atf::to_tp_value(std::size_t{64}));
+  const std::size_t ls = config["LS"];
+  EXPECT_EQ(ls, 64u);
+  // Usable directly in arithmetic as the paper's best_config["LS"].
+  EXPECT_EQ(std::size_t(config["LS"]) * 2, 128u);
+}
+
+TEST(Configuration, DuplicateNameThrows) {
+  atf::configuration config;
+  config.add("A", atf::to_tp_value(1));
+  EXPECT_THROW(config.add("A", atf::to_tp_value(2)), std::invalid_argument);
+}
+
+TEST(Configuration, UnknownNameThrows) {
+  atf::configuration config;
+  EXPECT_THROW((void)config.value_of("missing"), std::out_of_range);
+  EXPECT_THROW((void)config.get<int>("missing"), std::out_of_range);
+}
+
+TEST(Configuration, ToStringAndEquality) {
+  atf::configuration a;
+  a.add("WPT", atf::to_tp_value(std::size_t{4}));
+  a.add("PAD", atf::to_tp_value(false));
+  EXPECT_EQ(a.to_string(), "WPT=4, PAD=false");
+
+  atf::configuration b;
+  b.add("WPT", atf::to_tp_value(std::size_t{4}));
+  b.add("PAD", atf::to_tp_value(false));
+  EXPECT_EQ(a, b);
+  b = atf::configuration{};
+  b.add("WPT", atf::to_tp_value(std::size_t{5}));
+  b.add("PAD", atf::to_tp_value(false));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Configuration, SpaceIndexIsCarriedButNotCompared) {
+  atf::configuration a;
+  a.add("X", atf::to_tp_value(1));
+  EXPECT_FALSE(a.space_index().has_value());
+  a.set_space_index(17);
+  ASSERT_TRUE(a.space_index().has_value());
+  EXPECT_EQ(*a.space_index(), 17u);
+
+  atf::configuration b;
+  b.add("X", atf::to_tp_value(1));
+  EXPECT_EQ(a, b);  // index does not participate in equality
+}
+
+}  // namespace

@@ -1,0 +1,277 @@
+// Tests for the cost-function module: the OpenCL cost function (device
+// lookup by name, define injection, launch-size expressions, failure
+// translation, result checking, energy pairs), the CUDA wrapper, the
+// generic wrapper and the program cost function.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+
+#include "atf/atf.hpp"
+#include "atf/cf/generic.hpp"
+#include "atf/cf/ocl.hpp"
+#include "atf/cf/program.hpp"
+#include "atf/kernels/reference.hpp"
+#include "atf/kernels/saxpy.hpp"
+
+namespace {
+
+namespace sx = atf::kernels::saxpy;
+
+atf::configuration make_config(std::size_t wpt, std::size_t ls) {
+  atf::configuration config;
+  config.add("WPT", atf::to_tp_value(wpt));
+  config.add("LS", atf::to_tp_value(ls));
+  return config;
+}
+
+TEST(OclCostFunction, EvaluatesValidConfigurations) {
+  const std::size_t n = 1 << 16;
+  auto wpt = atf::tp("WPT", atf::interval<std::size_t>(1, n));
+  auto ls = atf::tp("LS", atf::interval<std::size_t>(1, n));
+  auto cf = atf::cf::ocl("NVIDIA", "Tesla K20", sx::make_kernel())
+                .inputs(atf::cf::scalar<std::size_t>(n),
+                        atf::cf::scalar<float>(), atf::cf::buffer<float>(n),
+                        atf::cf::buffer<float>(n))
+                .glb_size(n / wpt)
+                .lcl_size(ls);
+  wpt.set_current(16);
+  ls.set_current(64);
+  const double cost = cf(make_config(16, 64));
+  EXPECT_GT(cost, 0.0);
+}
+
+TEST(OclCostFunction, LaunchFailureBecomesEvaluationError) {
+  const std::size_t n = 1 << 16;
+  auto wpt = atf::tp("WPT", atf::interval<std::size_t>(1, n));
+  auto ls = atf::tp("LS", atf::interval<std::size_t>(1, n));
+  auto cf = atf::cf::ocl("NVIDIA", "Tesla K20", sx::make_kernel())
+                .inputs(atf::cf::scalar<std::size_t>(n),
+                        atf::cf::scalar<float>(), atf::cf::buffer<float>(n),
+                        atf::cf::buffer<float>(n))
+                .glb_size(n / wpt)
+                .lcl_size(ls);
+  // LS=3 does not divide the global size -> CL_INVALID_WORK_GROUP_SIZE.
+  wpt.set_current(16);
+  ls.set_current(3);
+  EXPECT_THROW((void)cf(make_config(16, 3)), atf::evaluation_error);
+  // LS=2048 exceeds the K20m work-group limit.
+  wpt.set_current(16);
+  ls.set_current(2048);
+  EXPECT_THROW((void)cf(make_config(16, 2048)), atf::evaluation_error);
+}
+
+TEST(OclCostFunction, MissingSizesThrow) {
+  auto cf = atf::cf::ocl("NVIDIA", "Tesla K20", sx::make_kernel());
+  EXPECT_THROW((void)cf(make_config(1, 1)), atf::evaluation_error);
+}
+
+TEST(OclCostFunction, UnknownDeviceThrowsAtConstruction) {
+  EXPECT_THROW(atf::cf::ocl("AMD", "RX9070", sx::make_kernel()),
+               ocls::device_not_found);
+}
+
+TEST(OclCostFunction, RandomInputsAreDeterministicPerSeed) {
+  const std::size_t n = 1 << 12;
+  auto make = [&](std::uint64_t seed) {
+    auto wpt = atf::tp("WPT", atf::interval<std::size_t>(1, n));
+    auto ls = atf::tp("LS", atf::interval<std::size_t>(1, n));
+    auto cf = atf::cf::ocl("NVIDIA", "Tesla K20", sx::make_kernel())
+                  .inputs(atf::cf::scalar<std::size_t>(n),
+                          atf::cf::scalar<float>(), atf::cf::buffer<float>(n),
+                          atf::cf::buffer<float>(n))
+                  .glb_size(n / wpt)
+                  .lcl_size(ls);
+    cf.seed(seed);
+    wpt.set_current(4);
+    ls.set_current(16);
+    return cf(make_config(4, 16));
+  };
+  EXPECT_EQ(make(1), make(1));
+}
+
+TEST(OclCostFunction, ResultCheckingAcceptsCorrectKernel) {
+  const std::size_t n = 512;
+  std::vector<float> x(n);
+  std::vector<float> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(i % 17) * 0.5f;
+    y[i] = static_cast<float>(i % 5);
+  }
+  const float a = 2.0f;
+  std::vector<float> expected = y;
+  atf::kernels::reference::saxpy(a, x, expected);
+
+  auto wpt = atf::tp("WPT", atf::interval<std::size_t>(1, n));
+  auto ls = atf::tp("LS", atf::interval<std::size_t>(1, n));
+  auto cf = atf::cf::ocl("NVIDIA", "Tesla K20", sx::make_kernel())
+                .inputs(atf::cf::scalar<std::size_t>(n), atf::cf::scalar(a),
+                        atf::cf::buffer(x), atf::cf::buffer(y))
+                .glb_size(n / wpt)
+                .lcl_size(ls)
+                .verify_output(3, expected);
+  for (const std::size_t w : {1u, 4u, 16u}) {
+    wpt.set_current(w);
+    ls.set_current(8);
+    EXPECT_NO_THROW((void)cf(make_config(w, 8))) << "WPT=" << w;
+  }
+}
+
+TEST(OclCostFunction, ResultCheckingRejectsWrongKernel) {
+  const std::size_t n = 64;
+  ocls::kernel broken("broken_saxpy");
+  broken.set_body([](const ocls::nd_item& item, const ocls::kernel_args& args,
+                     const ocls::define_map&) {
+    auto& y = args[3].buf<float>();
+    y[item.global_id(0)] = -1.0f;  // wrong result
+  });
+  std::vector<float> expected(n, 42.0f);
+  auto wpt = atf::tp("WPT", atf::interval<std::size_t>(1, n));
+  auto cf = atf::cf::ocl("NVIDIA", "Tesla K20", broken)
+                .inputs(atf::cf::scalar<std::size_t>(n),
+                        atf::cf::scalar<float>(), atf::cf::buffer<float>(n),
+                        atf::cf::buffer<float>(n))
+                .glb_size(std::size_t{64})
+                .lcl_size(std::size_t{8})
+                .verify_output(3, expected);
+  EXPECT_THROW((void)cf(make_config(1, 8)), atf::evaluation_error);
+}
+
+TEST(OclCostFunction, RuntimeEnergyPairIsLexicographic) {
+  const std::size_t n = 1 << 14;
+  auto wpt = atf::tp("WPT", atf::interval<std::size_t>(1, n));
+  auto ls = atf::tp("LS", atf::interval<std::size_t>(1, n));
+  auto cf = atf::cf::ocl("NVIDIA", "Tesla K20", sx::make_kernel())
+                .inputs(atf::cf::scalar<std::size_t>(n),
+                        atf::cf::scalar<float>(), atf::cf::buffer<float>(n),
+                        atf::cf::buffer<float>(n))
+                .glb_size(n / wpt)
+                .lcl_size(ls);
+  wpt.set_current(16);
+  ls.set_current(32);
+  const auto pair = cf.runtime_energy(make_config(16, 32));
+  EXPECT_GT(pair.primary, 0.0);
+  EXPECT_GT(pair.secondary, 0.0);
+  EXPECT_LT((atf::cost_pair{1.0, 9.0}), (atf::cost_pair{2.0, 1.0}));
+  EXPECT_LT((atf::cost_pair{1.0, 1.0}), (atf::cost_pair{1.0, 2.0}));
+}
+
+TEST(CudaCostFunction, GridBlockMapsToGlobalLocal) {
+  const std::size_t n = 1 << 14;
+  auto wpt = atf::tp("WPT", atf::interval<std::size_t>(1, n));
+  auto bs = atf::tp("BS", atf::interval<std::size_t>(1, n));
+  auto cf = atf::cf::cuda("Tesla K20", sx::make_kernel())
+                .inputs(atf::cf::scalar<std::size_t>(n),
+                        atf::cf::scalar<float>(), atf::cf::buffer<float>(n),
+                        atf::cf::buffer<float>(n))
+                .grid_dim(n / wpt / bs)
+                .block_dim(bs);
+  atf::configuration config;
+  config.add("WPT", atf::to_tp_value(std::size_t{16}));
+  config.add("BS", atf::to_tp_value(std::size_t{64}));
+  wpt.set_current(16);
+  bs.set_current(64);
+  EXPECT_GT(cf(config), 0.0);
+}
+
+TEST(GenericCostFunction, TranslatesForeignExceptions) {
+  auto cf = atf::cf::generic([](const atf::configuration&) -> double {
+    throw std::runtime_error("user failure");
+  });
+  EXPECT_THROW((void)cf(atf::configuration{}), atf::evaluation_error);
+}
+
+TEST(GenericCostFunction, PassesResultsThrough) {
+  auto cf = atf::cf::generic(
+      [](const atf::configuration& config) { return int(config["x"]) * 2; });
+  atf::configuration config;
+  config.add("x", atf::to_tp_value(21));
+  EXPECT_EQ(cf(config), 42);
+}
+
+class ProgramCostFunctionTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "atf_program_cf";
+    const std::string mk = "mkdir -p '" + dir_ + "'";
+    ASSERT_EQ(std::system(mk.c_str()), 0);
+    source_ = dir_ + "/app.txt";
+    compile_ = dir_ + "/compile.sh";
+    run_ = dir_ + "/run.sh";
+    log_ = dir_ + "/cost.log";
+    write(source_, "application placeholder\n", false);
+  }
+
+  void write(const std::string& path, const std::string& content,
+             bool executable) {
+    {
+      std::ofstream out(path);
+      out << content;
+    }
+    if (executable) {
+      const std::string cmd = "chmod +x '" + path + "'";
+      ASSERT_EQ(std::system(cmd.c_str()), 0);
+    }
+  }
+
+  std::string dir_, source_, compile_, run_, log_;
+};
+
+TEST_F(ProgramCostFunctionTest, ReadsCostFromLogFile) {
+  // compile: record X; run: cost = (X-3)^2 with a secondary objective.
+  write(compile_,
+        "#!/bin/sh\nshift\necho \"$1\" | sed 's/^X=//' > '" + dir_ +
+            "/x.txt'\n",
+        true);
+  write(run_,
+        "#!/bin/sh\nx=$(cat '" + dir_ + "/x.txt')\n"
+        "echo \"$(( (x-3)*(x-3) )),$x\" > '" + log_ + "'\n",
+        true);
+  auto cf = atf::cf::program(source_, compile_, run_).log_file(log_);
+  atf::configuration config;
+  config.add("X", atf::to_tp_value(5));
+  const auto cost = cf(config);
+  ASSERT_EQ(cost.values.size(), 2u);
+  EXPECT_DOUBLE_EQ(cost.values[0], 4.0);
+  EXPECT_DOUBLE_EQ(cost.values[1], 5.0);
+}
+
+TEST_F(ProgramCostFunctionTest, WallClockWhenNoLogFile) {
+  write(compile_, "#!/bin/sh\nexit 0\n", true);
+  write(run_, "#!/bin/sh\nexit 0\n", true);
+  auto cf = atf::cf::program(source_, compile_, run_);
+  const auto cost = cf(atf::configuration{});
+  ASSERT_EQ(cost.values.size(), 1u);
+  EXPECT_GT(cost.values[0], 0.0);  // wall time in ns
+}
+
+TEST_F(ProgramCostFunctionTest, FailingScriptsBecomeEvaluationErrors) {
+  write(compile_, "#!/bin/sh\nexit 1\n", true);
+  write(run_, "#!/bin/sh\nexit 0\n", true);
+  auto failing_compile = atf::cf::program(source_, compile_, run_);
+  EXPECT_THROW((void)failing_compile(atf::configuration{}),
+               atf::evaluation_error);
+
+  write(compile_, "#!/bin/sh\nexit 0\n", true);
+  write(run_, "#!/bin/sh\nexit 3\n", true);
+  auto failing_run = atf::cf::program(source_, compile_, run_);
+  EXPECT_THROW((void)failing_run(atf::configuration{}),
+               atf::evaluation_error);
+}
+
+TEST_F(ProgramCostFunctionTest, MalformedLogBecomesEvaluationError) {
+  write(compile_, "#!/bin/sh\nexit 0\n", true);
+  write(run_, "#!/bin/sh\necho 'not-a-number' > '" + log_ + "'\n", true);
+  auto cf = atf::cf::program(source_, compile_, run_).log_file(log_);
+  EXPECT_THROW((void)cf(atf::configuration{}), atf::evaluation_error);
+}
+
+TEST(ProgramCost, LexicographicOrder) {
+  using atf::cf::program_cost;
+  EXPECT_LT((program_cost{{1.0, 9.0}}), (program_cost{{2.0, 0.0}}));
+  EXPECT_LT((program_cost{{1.0, 1.0}}), (program_cost{{1.0, 2.0}}));
+  EXPECT_EQ(atf::cost_traits<program_cost>::scalar(program_cost{{3.5, 1.0}}),
+            3.5);
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+// Tests for the saxpy workload: tuning-parameter construction, launch
+// geometry, functional correctness against the scalar reference, and
+// performance-model sanity properties.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "atf/kernels/reference.hpp"
+#include "atf/kernels/saxpy.hpp"
+#include "atf/search_space.hpp"
+#include "ocls/ocls.hpp"
+
+namespace {
+
+namespace sx = atf::kernels::saxpy;
+
+TEST(SaxpyParams, ConstraintsMatchThePaper) {
+  const std::size_t n = 24;
+  auto setup = sx::make_tuning_parameters(n);
+  const auto space = atf::search_space::generate({setup.group()});
+  for (std::uint64_t i = 0; i < space.size(); ++i) {
+    const auto config = space.config_at(i);
+    const std::size_t wpt = config["WPT"];
+    const std::size_t ls = config["LS"];
+    EXPECT_EQ(n % wpt, 0u) << "WPT must divide N";
+    EXPECT_EQ((n / wpt) % ls, 0u) << "LS must divide N/WPT";
+  }
+  EXPECT_GT(space.size(), 0u);
+}
+
+TEST(SaxpyParams, LaunchRange) {
+  const auto range = sx::launch_range(1024, 4, 64);
+  EXPECT_EQ(range.global[0], 256u);
+  EXPECT_EQ(range.local[0], 64u);
+  EXPECT_EQ(range.dims, 1u);
+}
+
+class SaxpyFunctionalTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(SaxpyFunctionalTest, MatchesReference) {
+  const auto [wpt, ls] = GetParam();
+  const std::size_t n = 256;
+
+  auto ctx =
+      std::make_shared<ocls::context>(ocls::find_device("NVIDIA", "K20m"));
+  ctx->execute_functionally(true);
+  ocls::command_queue queue(ctx);
+
+  auto x = std::make_shared<ocls::buffer<float>>(n);
+  auto y = std::make_shared<ocls::buffer<float>>(n);
+  std::vector<float> expected(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (*x)[i] = static_cast<float>(i) * 0.25f;
+    (*y)[i] = static_cast<float>(n - i);
+    expected[i] = (*y)[i];
+  }
+  const float a = 1.5f;
+  atf::kernels::reference::saxpy(a, x->host(), expected);
+
+  ocls::define_map defines;
+  defines.set("WPT", static_cast<std::uint64_t>(wpt));
+  ocls::kernel_args args{ocls::arg(static_cast<double>(n)), ocls::arg(a),
+                         ocls::arg(x), ocls::arg(y)};
+  (void)queue.launch(sx::make_kernel(), sx::launch_range(n, wpt, ls), args,
+                     defines);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ((*y)[i], expected[i]) << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SaxpyFunctionalTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{1, 256},
+                      std::pair<std::size_t, std::size_t>{4, 16},
+                      std::pair<std::size_t, std::size_t>{8, 32},
+                      std::pair<std::size_t, std::size_t>{256, 1},
+                      std::pair<std::size_t, std::size_t>{16, 4}));
+
+// --- Performance-model sanity properties ---------------------------------
+
+double model_time(std::size_t n, std::size_t wpt, std::size_t ls,
+                  const ocls::device& dev) {
+  auto ctx = std::make_shared<ocls::context>(dev);
+  ocls::command_queue queue(ctx);
+  ocls::define_map defines;
+  defines.set("WPT", static_cast<std::uint64_t>(wpt));
+  return queue.launch(sx::make_kernel(), sx::launch_range(n, wpt, ls), {},
+                      defines)
+      .profile_ns();
+}
+
+TEST(SaxpyModel, TimeGrowsWithInputSize) {
+  const auto gpu = ocls::find_device("NVIDIA", "K20m");
+  const double t1 = model_time(1 << 18, 4, 64, gpu);
+  const double t2 = model_time(1 << 22, 4, 64, gpu);
+  EXPECT_GT(t2, t1 * 4);  // 16x the data: clearly superlinear vs overheads
+}
+
+TEST(SaxpyModel, PartialWarpsArePenalizedOnGpu) {
+  const auto gpu = ocls::find_device("NVIDIA", "K20m");
+  const std::size_t n = 1 << 20;
+  // LS=8 wastes 24 of 32 warp lanes; LS=32 fills the warp.
+  EXPECT_GT(model_time(n, 4, 8, gpu), model_time(n, 4, 32, gpu));
+}
+
+TEST(SaxpyModel, WarpAlignmentHurtsGpuMoreThanCpu) {
+  // Small local sizes cost both devices scheduling overhead (4x the
+  // work-groups), but only the GPU additionally wastes SIMD lanes — so the
+  // GPU's LS=8 vs LS=32 ratio must exceed the CPU's.
+  const auto cpu = ocls::find_device("Intel", "Xeon");
+  const auto gpu = ocls::find_device("NVIDIA", "K20m");
+  const std::size_t n = 1 << 20;
+  const double cpu_ratio =
+      model_time(n, 4, 8, cpu) / model_time(n, 4, 32, cpu);
+  const double gpu_ratio =
+      model_time(n, 4, 8, gpu) / model_time(n, 4, 32, gpu);
+  EXPECT_GT(gpu_ratio, 1.0);
+  EXPECT_GT(cpu_ratio, 0.99);  // never faster with more groups
+}
+
+TEST(SaxpyModel, ExtremeWptUndersubscribesTheDevice) {
+  const auto gpu = ocls::find_device("NVIDIA", "K20m");
+  const std::size_t n = 1 << 20;
+  // WPT = N/4: only 4 work-items exist; massively slower than WPT=64.
+  EXPECT_GT(model_time(n, n / 4, 2, gpu), model_time(n, 64, 64, gpu));
+}
+
+TEST(SaxpyModel, TinyWptDrownsInSchedulingOnCpu) {
+  const auto cpu = ocls::find_device("Intel", "Xeon");
+  const std::size_t n = 1 << 20;
+  // WPT=1, LS=1: 2^20 work-groups of one item each.
+  EXPECT_GT(model_time(n, 1, 1, cpu), model_time(n, 256, 64, cpu));
+}
+
+TEST(SaxpyModel, UtilizationWithinBounds) {
+  auto ctx =
+      std::make_shared<ocls::context>(ocls::find_device("NVIDIA", "K20m"));
+  ocls::define_map defines;
+  defines.set("WPT", std::uint64_t{16});
+  const auto estimate = sx::make_kernel().model()(
+      sx::launch_range(1 << 20, 16, 64), ctx->dev().profile(), defines);
+  EXPECT_GE(estimate.utilization, 0.0);
+  EXPECT_LE(estimate.utilization, 1.0);
+}
+
+}  // namespace

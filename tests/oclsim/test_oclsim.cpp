@@ -1,0 +1,271 @@
+// Tests for the OpenCL simulator substrate: device enumeration by name,
+// define maps, buffers/args, ND-range validation per the OpenCL spec,
+// functional execution with full work-group semantics, profiling and the
+// energy model.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "ocls/ocls.hpp"
+
+namespace {
+
+using namespace ocls;
+
+class OclsTest : public ::testing::Test {
+protected:
+  void TearDown() override { reset_registered_devices(); }
+};
+
+TEST_F(OclsTest, BuiltinPlatformsArePresent) {
+  bool saw_intel = false;
+  bool saw_nvidia = false;
+  for (const auto& p : platforms()) {
+    saw_intel |= p.name() == "Intel(R) OpenCL";
+    saw_nvidia |= p.name() == "NVIDIA CUDA";
+  }
+  EXPECT_TRUE(saw_intel);
+  EXPECT_TRUE(saw_nvidia);
+}
+
+TEST_F(OclsTest, FindDeviceBySubstring) {
+  const auto gpu = find_device("NVIDIA", "K20m");
+  EXPECT_EQ(gpu.profile().kind, device_kind::gpu);
+  EXPECT_EQ(gpu.profile().compute_units, 13u);
+
+  const auto cpu = find_device("Intel", "Xeon");
+  EXPECT_EQ(cpu.profile().kind, device_kind::cpu);
+  // The paper: the dual-socket CPU appears as one device with 32 CUs.
+  EXPECT_EQ(cpu.profile().compute_units, 32u);
+}
+
+TEST_F(OclsTest, FindDeviceUnknownThrows) {
+  EXPECT_THROW((void)find_device("AMD", "MI300"), device_not_found);
+  EXPECT_THROW((void)find_device("NVIDIA", "H100"), device_not_found);
+}
+
+TEST_F(OclsTest, RegisterCustomDevice) {
+  device_profile p = tesla_k20m_profile();
+  p.platform_name = "Test Platform";
+  p.device_name = "Test Device 9000";
+  register_device(p);
+  const auto dev = find_device("Test Platform", "9000");
+  EXPECT_EQ(dev.name(), "Test Device 9000");
+}
+
+TEST_F(OclsTest, PeakDerivedQuantities) {
+  const auto gpu = tesla_k20m_profile();
+  // 13 SMX * 384 flops/cycle * 0.706 GHz ~ 3.5 TFLOPs.
+  EXPECT_NEAR(gpu.peak_flops(), 3.52e12, 0.1e12);
+  EXPECT_DOUBLE_EQ(gpu.peak_bytes_per_s(), 208e9);
+}
+
+TEST_F(OclsTest, DefineMapTypedGetters) {
+  define_map d;
+  d.set("A", std::uint64_t{42});
+  d.set("B", std::int64_t{-7});
+  d.set("C", 2.5);
+  d.set("D", true);
+  d.set("E", std::string("false"));
+  EXPECT_EQ(d.get_uint("A"), 42u);
+  EXPECT_EQ(d.get_int("B"), -7);
+  EXPECT_DOUBLE_EQ(d.get_double("C"), 2.5);
+  EXPECT_TRUE(d.get_bool("D"));
+  EXPECT_FALSE(d.get_bool("E"));
+}
+
+TEST_F(OclsTest, DefineMapErrors) {
+  define_map d;
+  d.set("X", std::string("not-a-number"));
+  EXPECT_THROW((void)d.get_uint("MISSING"), build_error);
+  EXPECT_THROW((void)d.get_uint("X"), build_error);
+  EXPECT_THROW((void)d.get_bool("X"), build_error);
+}
+
+TEST_F(OclsTest, DefineMapBuildOptions) {
+  define_map d;
+  d.set("WPT", std::uint64_t{8});
+  d.set("LS", std::uint64_t{64});
+  EXPECT_EQ(d.build_options(), "-DLS=64 -DWPT=8");
+}
+
+TEST_F(OclsTest, ArgScalarAndBufferAccess) {
+  arg scalar_arg(3.5);
+  EXPECT_TRUE(scalar_arg.is_scalar());
+  EXPECT_FLOAT_EQ(scalar_arg.scalar<float>(), 3.5f);
+  EXPECT_THROW((void)scalar_arg.buf<float>(), invalid_kernel_args);
+
+  auto buf = std::make_shared<buffer<float>>(std::size_t{16});
+  arg buffer_arg(buf);
+  EXPECT_FALSE(buffer_arg.is_scalar());
+  EXPECT_EQ(buffer_arg.buf<float>().size(), 16u);
+  EXPECT_THROW((void)buffer_arg.scalar<int>(), invalid_kernel_args);
+  EXPECT_THROW((void)buffer_arg.buf<int>(), invalid_kernel_args);
+}
+
+// A counting kernel that records every (group, local) pair it sees.
+kernel make_counting_kernel(std::atomic<std::size_t>& count,
+                            std::set<std::string>* ids, std::mutex& mutex) {
+  kernel k("counter");
+  k.set_body([&count, ids, &mutex](const nd_item& item, const kernel_args&,
+                                   const define_map&) {
+    count.fetch_add(1, std::memory_order_relaxed);
+    if (ids != nullptr) {
+      std::lock_guard lock(mutex);
+      ids->insert(std::to_string(item.global_id(0)) + "," +
+                  std::to_string(item.global_id(1)));
+    }
+  });
+  k.set_perf_model([](const nd_range&, const device_profile&,
+                      const define_map&) { return perf_estimate{1000.0, 0.5}; });
+  return k;
+}
+
+TEST_F(OclsTest, FunctionalExecutionRunsEveryWorkItemOnce) {
+  auto ctx = std::make_shared<context>(find_device("NVIDIA", "K20m"));
+  ctx->execute_functionally(true);
+  command_queue queue(ctx);
+  std::atomic<std::size_t> count{0};
+  std::mutex mutex;
+  std::set<std::string> ids;
+  const kernel k = make_counting_kernel(count, &ids, mutex);
+
+  const auto range = nd_range::d2(8, 6, 4, 3);
+  (void)queue.launch(k, range, {}, {});
+  EXPECT_EQ(count.load(), 48u);
+  EXPECT_EQ(ids.size(), 48u);  // all distinct global ids
+}
+
+TEST_F(OclsTest, FunctionalExecutionSkippedWhenDisabled) {
+  auto ctx = std::make_shared<context>(find_device("NVIDIA", "K20m"));
+  command_queue queue(ctx);  // functional off by default
+  std::atomic<std::size_t> count{0};
+  std::mutex mutex;
+  const kernel k = make_counting_kernel(count, nullptr, mutex);
+  (void)queue.launch(k, nd_range::d1(64, 8), {}, {});
+  EXPECT_EQ(count.load(), 0u);
+}
+
+TEST_F(OclsTest, NdItemGeometry) {
+  auto ctx = std::make_shared<context>(find_device("NVIDIA", "K20m"));
+  ctx->execute_functionally(true);
+  command_queue queue(ctx);
+  kernel k("geom");
+  std::atomic<bool> ok{true};
+  k.set_body([&ok](const nd_item& item, const kernel_args&,
+                   const define_map&) {
+    if (item.global_id(0) !=
+        item.group_id(0) * item.local_size(0) + item.local_id(0)) {
+      ok = false;
+    }
+    if (item.global_size(0) != 32 || item.local_size(0) != 8 ||
+        item.num_groups(0) != 4) {
+      ok = false;
+    }
+  });
+  (void)queue.launch(k, nd_range::d1(32, 8), {}, {});
+  EXPECT_TRUE(ok.load());
+}
+
+TEST_F(OclsTest, LocalSizeMustDivideGlobalSize) {
+  auto ctx = std::make_shared<context>(find_device("NVIDIA", "K20m"));
+  command_queue queue(ctx);
+  const kernel k("noop");
+  // The OpenCL-spec rule at the heart of the paper's saxpy constraints.
+  EXPECT_THROW((void)queue.launch(k, nd_range::d1(100, 3), {}, {}),
+               invalid_work_group_size);
+  EXPECT_NO_THROW((void)queue.launch(k, nd_range::d1(100, 4), {}, {}));
+}
+
+TEST_F(OclsTest, WorkGroupSizeLimitEnforced) {
+  auto ctx = std::make_shared<context>(find_device("NVIDIA", "K20m"));
+  command_queue queue(ctx);
+  const kernel k("noop");
+  // K20m: max 1024 work-items per group.
+  EXPECT_THROW((void)queue.launch(k, nd_range::d1(4096, 2048), {}, {}),
+               invalid_work_group_size);
+  EXPECT_NO_THROW((void)queue.launch(k, nd_range::d1(4096, 1024), {}, {}));
+}
+
+TEST_F(OclsTest, ZeroSizesRejected) {
+  auto ctx = std::make_shared<context>(find_device("NVIDIA", "K20m"));
+  command_queue queue(ctx);
+  const kernel k("noop");
+  EXPECT_THROW((void)queue.launch(k, nd_range::d1(0, 1), {}, {}),
+               invalid_global_work_size);
+  EXPECT_THROW((void)queue.launch(k, nd_range::d1(16, 0), {}, {}),
+               invalid_work_group_size);
+}
+
+TEST_F(OclsTest, LocalMemoryLimitEnforced) {
+  auto ctx = std::make_shared<context>(find_device("NVIDIA", "K20m"));
+  command_queue queue(ctx);
+  kernel k("hungry");
+  k.set_local_mem_model(
+      [](const define_map&) { return std::size_t{64} * 1024; });  // > 48 KB
+  EXPECT_THROW((void)queue.launch(k, nd_range::d1(16, 4), {}, {}),
+               out_of_resources);
+}
+
+TEST_F(OclsTest, ProfilingReportsModeledTimePlusLaunchOverhead) {
+  const auto dev = find_device("NVIDIA", "K20m");
+  auto ctx = std::make_shared<context>(dev);
+  command_queue queue(ctx);
+  kernel k("timed");
+  k.set_perf_model([](const nd_range&, const device_profile&,
+                      const define_map&) { return perf_estimate{5000.0, 1.0}; });
+  const event e = queue.launch(k, nd_range::d1(16, 4), {}, {});
+  EXPECT_DOUBLE_EQ(e.profile_ns(),
+                   5000.0 + dev.profile().launch_overhead_ns);
+}
+
+TEST_F(OclsTest, EnergyModel) {
+  const auto profile = tesla_k20m_profile();
+  EXPECT_DOUBLE_EQ(power_watts(profile, 0.0), profile.idle_watts);
+  EXPECT_DOUBLE_EQ(power_watts(profile, 1.0), profile.max_watts);
+  EXPECT_DOUBLE_EQ(power_watts(profile, 2.0), profile.max_watts);  // clamped
+  // 1 ms at full power: 225 W * 1e-3 s = 0.225 J = 225000 uJ.
+  EXPECT_NEAR(energy_microjoules(profile, 1e6, 1.0), 225000.0, 1e-6);
+}
+
+TEST_F(OclsTest, EventEnergyScalesWithUtilization) {
+  const auto dev = find_device("NVIDIA", "K20m");
+  auto ctx = std::make_shared<context>(dev);
+  command_queue queue(ctx);
+  kernel hot("hot");
+  hot.set_perf_model([](const nd_range&, const device_profile&,
+                        const define_map&) {
+    return perf_estimate{10000.0, 1.0};
+  });
+  kernel cold("cold");
+  cold.set_perf_model([](const nd_range&, const device_profile&,
+                         const define_map&) {
+    return perf_estimate{10000.0, 0.1};
+  });
+  const auto range = nd_range::d1(16, 4);
+  EXPECT_GT(queue.launch(hot, range, {}, {}).energy_uj(),
+            queue.launch(cold, range, {}, {}).energy_uj());
+}
+
+TEST_F(OclsTest, KernelBodyReadsDefines) {
+  auto ctx = std::make_shared<context>(find_device("Intel", "Xeon"));
+  ctx->execute_functionally(true);
+  command_queue queue(ctx);
+  kernel k("scaler");
+  k.set_body([](const nd_item& item, const kernel_args& args,
+                const define_map& defines) {
+    auto& out = args[0].buf<float>();
+    out[item.global_id(0)] =
+        static_cast<float>(defines.get_uint("SCALE") * item.global_id(0));
+  });
+  auto out = std::make_shared<buffer<float>>(std::size_t{8});
+  define_map defines;
+  defines.set("SCALE", std::uint64_t{3});
+  (void)queue.launch(k, nd_range::d1(8, 2), {arg(out)}, defines);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_FLOAT_EQ((*out)[i], 3.0f * static_cast<float>(i));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,221 @@
+// Tests for the ATF-level search techniques: exhaustive, random search,
+// simulated annealing and the OpenTuner-style ensemble technique — all
+// driven through the tuner on landscapes with known optima.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "atf/atf.hpp"
+#include "atf/search/opentuner_search.hpp"
+#include "atf/search/random_search.hpp"
+#include "atf/search/simulated_annealing.hpp"
+
+namespace {
+
+// A rugged but structured 2-D landscape: valley at (17, 42) plus a
+// divisibility texture that punishes non-divisor pairs (mimicking kernel
+// tuning landscapes).
+double rugged_cost(const atf::configuration& config) {
+  const int x = config["x"];
+  const int y = config["y"];
+  double cost = (x - 17) * (x - 17) + (y - 42) * (y - 42);
+  if (x % 4 != 0) {
+    cost += 25;
+  }
+  if (y % 8 != 0) {
+    cost += 50;
+  }
+  return cost;
+}
+
+atf::tuner make_rugged_tuner() {
+  auto x = atf::tp("x", atf::interval<int>(0, 63));
+  auto y = atf::tp("y", atf::interval<int>(0, 63));
+  atf::tuner t;
+  t.tuning_parameters(x, y);
+  return t;
+}
+
+// Optimum of rugged_cost over the grid: x=16 (divisible by 4, distance 1),
+// y=40 (divisible by 8, distance 2) -> 1 + 4 = 5.
+constexpr double kRuggedOptimum = 5.0;
+
+TEST(Exhaustive, FindsGlobalOptimum) {
+  auto t = make_rugged_tuner();
+  auto result = t.tune(rugged_cost);
+  EXPECT_EQ(result.evaluations, 64u * 64u);
+  EXPECT_EQ(*result.best_cost, kRuggedOptimum);
+}
+
+TEST(RandomSearch, IsReproducibleForFixedSeed) {
+  auto run = [] {
+    auto t = make_rugged_tuner();
+    t.search_technique(std::make_unique<atf::search::random_search>(1234));
+    t.abort_condition(atf::cond::evaluations(100));
+    return t.tune(rugged_cost);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(*a.best_cost, *b.best_cost);
+  EXPECT_EQ(a.best_configuration().to_string(),
+            b.best_configuration().to_string());
+}
+
+TEST(RandomSearch, GetsCloseOnEnoughSamples) {
+  auto t = make_rugged_tuner();
+  t.search_technique(std::make_unique<atf::search::random_search>(7));
+  t.abort_condition(atf::cond::evaluations(2000));
+  const auto result = t.tune(rugged_cost);
+  EXPECT_LT(*result.best_cost, 200.0);
+}
+
+TEST(SimulatedAnnealing, ConvergesNearOptimumOnRuggedLandscape) {
+  auto t = make_rugged_tuner();
+  t.search_technique(
+      std::make_unique<atf::search::simulated_annealing>(4.0, 99));
+  t.abort_condition(atf::cond::evaluations(1500));
+  const auto result = t.tune(rugged_cost);
+  // 1500 of 4096 evaluations must find a near-optimal point.
+  EXPECT_LE(*result.best_cost, 30.0);
+}
+
+TEST(SimulatedAnnealing, BeatsEqualBudgetRandomOnSmoothLandscape) {
+  auto smooth = [](const atf::configuration& config) {
+    const int x = config["x"];
+    const int y = config["y"];
+    return double((x - 50) * (x - 50) + (y - 60) * (y - 60));
+  };
+  auto make = [] {
+    auto x = atf::tp("x", atf::interval<int>(0, 255));
+    auto y = atf::tp("y", atf::interval<int>(0, 255));
+    atf::tuner t;
+    t.tuning_parameters(x, y);
+    t.abort_condition(atf::cond::evaluations(400));
+    return t;
+  };
+  double annealing_total = 0.0;
+  double random_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto ta = make();
+    ta.search_technique(
+        std::make_unique<atf::search::simulated_annealing>(4.0, seed));
+    annealing_total += *ta.tune(smooth).best_cost;
+    auto tr = make();
+    tr.search_technique(
+        std::make_unique<atf::search::random_search>(seed));
+    random_total += *tr.tune(smooth).best_cost;
+  }
+  EXPECT_LT(annealing_total, random_total);
+}
+
+TEST(SimulatedAnnealing, SurvivesFailedEvaluations) {
+  auto x = atf::tp("x", atf::interval<int>(0, 99));
+  atf::tuner t;
+  t.tuning_parameters(x);
+  t.search_technique(
+      std::make_unique<atf::search::simulated_annealing>(4.0, 3));
+  t.abort_condition(atf::cond::evaluations(300));
+  const auto result = t.tune([](const atf::configuration& config) -> double {
+    const int v = config["x"];
+    if (v % 3 == 0) {
+      throw atf::evaluation_error("unsupported configuration");
+    }
+    return double(v);
+  });
+  ASSERT_TRUE(result.has_best());
+  EXPECT_EQ(int(result.best_configuration()["x"]), 1);
+  EXPECT_GT(result.failed_evaluations, 0u);
+}
+
+TEST(OpenTunerSearch, ConvergesOnRuggedLandscape) {
+  auto t = make_rugged_tuner();
+  t.search_technique(std::make_unique<atf::search::opentuner_search>(21));
+  t.abort_condition(atf::cond::evaluations(1500));
+  const auto result = t.tune(rugged_cost);
+  EXPECT_LE(*result.best_cost, 60.0);
+}
+
+TEST(OpenTunerSearch, WorksOnConstrainedSpaces) {
+  // The whole point of Section IV-C: because the index domain only contains
+  // valid configurations, the ensemble never proposes an invalid one.
+  const std::size_t n = 576;
+  auto wpt = atf::tp("WPT", atf::interval<std::size_t>(1, n), atf::divides(n));
+  auto ls =
+      atf::tp("LS", atf::interval<std::size_t>(1, n), atf::divides(n / wpt));
+  atf::tuner t;
+  t.tuning_parameters(wpt, ls);
+  t.search_technique(std::make_unique<atf::search::opentuner_search>(5));
+  t.abort_condition(atf::cond::evaluations(200));
+  std::uint64_t invalid = 0;
+  const auto result = t.tune([&](const atf::configuration& config) {
+    const std::size_t w = config["WPT"];
+    const std::size_t l = config["LS"];
+    if (n % w != 0 || (n / w) % l != 0) {
+      ++invalid;
+    }
+    return double(w * 7 % 13) + double(l % 11);
+  });
+  EXPECT_EQ(invalid, 0u);
+  EXPECT_TRUE(result.has_best());
+}
+
+TEST(OpenTunerSearch, ReproducibleForFixedSeed) {
+  auto run = [] {
+    auto t = make_rugged_tuner();
+    t.search_technique(std::make_unique<atf::search::opentuner_search>(77));
+    t.abort_condition(atf::cond::evaluations(300));
+    return *t.tune(rugged_cost).best_cost;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// A user-defined search technique: most-significant-bit-first binary sweep.
+// Demonstrates (and tests) the extension point of Section IV.
+class bisecting_sweep final : public atf::search_technique {
+public:
+  void initialize(const atf::search_space& space) override {
+    atf::search_technique::initialize(space);
+    lo_ = 0;
+    hi_ = space.size() - 1;
+    probe_low_ = true;
+  }
+  [[nodiscard]] atf::configuration get_next_config() override {
+    last_ = probe_low_ ? lo_ : hi_;
+    return space().config_at(last_);
+  }
+  void report_cost(double cost) override {
+    if (probe_low_) {
+      low_cost_ = cost;
+      probe_low_ = false;
+      return;
+    }
+    // Keep the half around the better endpoint.
+    const std::uint64_t mid = lo_ + (hi_ - lo_) / 2;
+    if (low_cost_ <= cost) {
+      hi_ = mid;
+    } else {
+      lo_ = mid + 1 <= hi_ ? mid + 1 : hi_;
+    }
+    probe_low_ = true;
+  }
+
+private:
+  std::uint64_t lo_ = 0, hi_ = 0, last_ = 0;
+  double low_cost_ = 0.0;
+  bool probe_low_ = true;
+};
+
+TEST(CustomTechnique, PluggedThroughTheInterface) {
+  auto x = atf::tp("x", atf::interval<int>(0, 1023));
+  atf::tuner t;
+  t.tuning_parameters(x);
+  t.search_technique(std::make_unique<bisecting_sweep>());
+  t.abort_condition(atf::cond::evaluations(40));
+  const auto result = t.tune([](const atf::configuration& config) {
+    return double(int(config["x"]));  // monotone: optimum at x=0
+  });
+  EXPECT_EQ(int(result.best_configuration()["x"]), 0);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// End-to-end tests of the atf_tune command-line tool: spawns the real
+// binary against shell-script "applications" and checks output, exit codes
+// and constraint handling. The binary path is injected by CMake via
+// ATF_TUNE_BINARY.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#ifndef ATF_TUNE_BINARY
+#error "ATF_TUNE_BINARY must be defined by the build system"
+#endif
+
+namespace {
+
+struct command_result {
+  int exit_code;
+  std::string stdout_text;
+};
+
+command_result run_command(const std::string& command) {
+  const std::string with_redirect = command + " 2>/dev/null";
+  FILE* pipe = popen(with_redirect.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string output;
+  std::array<char, 256> buffer{};
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  return {WEXITSTATUS(status), output};
+}
+
+class AtfTuneCliTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "atf_tune_cli";
+    ASSERT_EQ(std::system(("mkdir -p '" + dir_ + "'").c_str()), 0);
+    source_ = dir_ + "/app.txt";
+    compile_ = dir_ + "/compile.sh";
+    run_ = dir_ + "/run.sh";
+    log_ = dir_ + "/cost.log";
+    cfg_ = dir_ + "/cfg.sh";
+    write(source_, "placeholder\n", false);
+    // compile.sh: <source> NAME=VALUE... -> shell-sourceable config.
+    write(compile_,
+          "#!/bin/sh\nshift\nrm -f '" + cfg_ + "'\n"
+          "for kv in \"$@\"; do echo \"$kv\" >> '" + cfg_ + "'; done\n",
+          true);
+    // run.sh: cost = (X-12)^2 + Y, written to the log file.
+    write(run_,
+          "#!/bin/sh\n. '" + cfg_ + "'\n"
+          "echo \"$(( (X-12)*(X-12) + Y ))\" > '" + log_ + "'\n",
+          true);
+  }
+
+  void write(const std::string& path, const std::string& content,
+             bool executable) {
+    {
+      std::ofstream out(path);
+      out << content;
+    }
+    if (executable) {
+      ASSERT_EQ(std::system(("chmod +x '" + path + "'").c_str()), 0);
+    }
+  }
+
+  [[nodiscard]] std::string base_command() const {
+    return std::string(ATF_TUNE_BINARY) + " --source '" + source_ +
+           "' --compile '" + compile_ + "' --run '" + run_ +
+           "' --log-file '" + log_ + "'";
+  }
+
+  std::string dir_, source_, compile_, run_, log_, cfg_;
+};
+
+TEST_F(AtfTuneCliTest, ExhaustiveFindsTheOptimum) {
+  const auto result = run_command(
+      base_command() +
+      " --param 'X=interval:1:20' --param 'Y=set:0,5,10'");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.stdout_text.find("X=12"), std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("Y=0"), std::string::npos);
+}
+
+TEST_F(AtfTuneCliTest, ConstraintClausesAreHonored) {
+  // X must be a power of two: 8 and 16 tie at (X-12)^2 = 16; exhaustive
+  // search keeps the first optimum it sees, which is 8.
+  const auto result = run_command(
+      base_command() +
+      " --param 'X=interval:1:20:pow2' --param 'Y=set:0'");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.stdout_text.find("X=8"), std::string::npos)
+      << result.stdout_text;
+}
+
+TEST_F(AtfTuneCliTest, CrossParameterConstraint) {
+  // Y must divide X; with X fixed to 12 the space only holds divisors.
+  const auto result = run_command(
+      base_command() +
+      " --param 'X=set:12' --param 'Y=interval:5:12:divides=X'");
+  EXPECT_EQ(result.exit_code, 0);
+  // Divisors of 12 in 5..12: {6, 12}; the cost prefers Y=6.
+  EXPECT_NE(result.stdout_text.find("Y=6"), std::string::npos)
+      << result.stdout_text;
+}
+
+TEST_F(AtfTuneCliTest, AnnealingWithBudgetRuns) {
+  const auto result = run_command(
+      base_command() +
+      " --param 'X=interval:1:50' --param 'Y=set:0,1'"
+      " --technique annealing --evaluations 40 --seed 7");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.stdout_text.find("X="), std::string::npos);
+}
+
+TEST_F(AtfTuneCliTest, EmptySpaceExitsWithCode2) {
+  const auto result = run_command(
+      base_command() +
+      " --param 'X=set:7' --param 'Y=interval:2:3:divides=X'");
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST_F(AtfTuneCliTest, UsageErrorsExitWithCode1) {
+  EXPECT_EQ(run_command(std::string(ATF_TUNE_BINARY)).exit_code, 1);
+  EXPECT_EQ(run_command(base_command() + " --param 'X=garbage:1'").exit_code,
+            1);
+  EXPECT_EQ(run_command(base_command() +
+                        " --param 'X=interval:1:4' --technique warp")
+                .exit_code,
+            1);
+  EXPECT_EQ(
+      run_command(base_command() +
+                  " --param 'Y=interval:1:4:divides=UNDECLARED'")
+          .exit_code,
+      1);
+}
+
+TEST_F(AtfTuneCliTest, CsvLogIsWritten) {
+  const std::string csv = dir_ + "/tuning.csv";
+  const auto result = run_command(base_command() +
+                                  " --param 'X=interval:10:14'"
+                                  " --param 'Y=set:0' --csv '" + csv + "'");
+  EXPECT_EQ(result.exit_code, 0);
+  std::ifstream in(csv);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "evaluation,elapsed_ns,index,X,Y,cost,valid");
+  int rows = 0;
+  for (std::string line; std::getline(in, line);) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 5);
+}
+
+}  // namespace

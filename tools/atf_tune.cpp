@@ -1,0 +1,276 @@
+// atf_tune — command-line auto-tuner for arbitrary programs, driving
+// ATF's generic program cost function (paper, Section II Step 2).
+//
+//   atf_tune --source app.c --compile ./compile.sh --run ./run.sh \
+//            [--log-file cost.log] \
+//            --param "BLOCK=interval:1:64" \
+//            --param "BLOCK2=interval:1:64:divides=BLOCK" \
+//            --param "UNROLL=set:1,2,4,8" \
+//            [--technique exhaustive|annealing|opentuner|random] \
+//            [--evaluations N] [--seconds S] [--seed N] [--csv out.csv]
+//
+// Parameter specs:
+//   NAME=interval:LO:HI[:divides=OTHER|:multiple-of=OTHER|:pow2]
+//   NAME=set:v1,v2,...
+// Constraints may reference any parameter declared EARLIER on the command
+// line, exactly like ATF programs. Prints the best configuration as
+// NAME=VALUE pairs on stdout and exits 0; exits 1 on usage errors, 2 when
+// no valid configuration was found.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "atf/atf.hpp"
+#include "atf/cf/program.hpp"
+#include "atf/common/string_utils.hpp"
+#include "atf/search/opentuner_search.hpp"
+#include "atf/search/random_search.hpp"
+#include "atf/search/simulated_annealing.hpp"
+
+namespace {
+
+struct cli_options {
+  std::string source;
+  std::string compile;
+  std::string run;
+  std::string log_file;
+  std::string csv;
+  std::string technique = "exhaustive";
+  std::vector<std::string> params;
+  std::optional<std::uint64_t> evaluations;
+  std::optional<double> seconds;
+  std::uint64_t seed = 0x5eed;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --source FILE --compile SCRIPT --run SCRIPT\n"
+      "          --param \"NAME=interval:LO:HI[:divides=P|:multiple-of=P|"
+      ":pow2]\"\n"
+      "          --param \"NAME=set:v1,v2,...\"  [...]\n"
+      "          [--log-file FILE] [--technique exhaustive|annealing|"
+      "opentuner|random]\n"
+      "          [--evaluations N] [--seconds S] [--seed N] [--csv FILE]\n",
+      argv0);
+}
+
+std::optional<cli_options> parse_cli(int argc, char** argv) {
+  cli_options opts;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "atf_tune: missing value for %s\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = nullptr;
+    if (flag == "--source" && (value = need_value(i))) {
+      opts.source = value;
+    } else if (flag == "--compile" && (value = need_value(i))) {
+      opts.compile = value;
+    } else if (flag == "--run" && (value = need_value(i))) {
+      opts.run = value;
+    } else if (flag == "--log-file" && (value = need_value(i))) {
+      opts.log_file = value;
+    } else if (flag == "--csv" && (value = need_value(i))) {
+      opts.csv = value;
+    } else if (flag == "--technique" && (value = need_value(i))) {
+      opts.technique = value;
+    } else if (flag == "--param" && (value = need_value(i))) {
+      opts.params.emplace_back(value);
+    } else if (flag == "--evaluations" && (value = need_value(i))) {
+      opts.evaluations = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--seconds" && (value = need_value(i))) {
+      opts.seconds = std::strtod(value, nullptr);
+    } else if (flag == "--seed" && (value = need_value(i))) {
+      opts.seed = std::strtoull(value, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "atf_tune: unknown or incomplete option '%s'\n",
+                   flag.c_str());
+      return std::nullopt;
+    }
+  }
+  if (opts.source.empty() || opts.compile.empty() || opts.run.empty() ||
+      opts.params.empty()) {
+    return std::nullopt;
+  }
+  return opts;
+}
+
+/// Builds one tuning parameter from its spec; earlier parameters are
+/// available for constraint references.
+std::optional<atf::tp<std::int64_t>> parse_param(
+    const std::string& spec,
+    const std::map<std::string, atf::tp<std::int64_t>>& earlier) {
+  const auto eq = spec.find('=');
+  if (eq == std::string::npos) {
+    std::fprintf(stderr, "atf_tune: malformed --param '%s'\n", spec.c_str());
+    return std::nullopt;
+  }
+  const std::string name = spec.substr(0, eq);
+  const auto fields = atf::common::split(spec.substr(eq + 1), ':');
+  if (fields.empty()) {
+    std::fprintf(stderr, "atf_tune: empty spec for '%s'\n", name.c_str());
+    return std::nullopt;
+  }
+
+  if (fields[0] == "set") {
+    if (fields.size() != 2) {
+      std::fprintf(stderr, "atf_tune: set spec needs values: '%s'\n",
+                   spec.c_str());
+      return std::nullopt;
+    }
+    std::vector<std::int64_t> values;
+    for (const auto& item : atf::common::split(fields[1], ',')) {
+      values.push_back(std::strtoll(item.c_str(), nullptr, 10));
+    }
+    return atf::tp<std::int64_t>(name, atf::set(values));
+  }
+
+  if (fields[0] != "interval" || fields.size() < 3) {
+    std::fprintf(stderr, "atf_tune: bad range spec '%s'\n", spec.c_str());
+    return std::nullopt;
+  }
+  const std::int64_t lo = std::strtoll(fields[1].c_str(), nullptr, 10);
+  const std::int64_t hi = std::strtoll(fields[2].c_str(), nullptr, 10);
+  auto range = atf::interval<std::int64_t>(lo, hi);
+
+  if (fields.size() == 3) {
+    return atf::tp<std::int64_t>(name, std::move(range));
+  }
+
+  // One optional constraint clause.
+  const std::string& clause = fields[3];
+  auto ref_of = [&](const std::string& text)
+      -> std::optional<atf::tp<std::int64_t>> {
+    const auto it = earlier.find(text);
+    if (it == earlier.end()) {
+      std::fprintf(stderr,
+                   "atf_tune: constraint of '%s' references unknown earlier "
+                   "parameter '%s'\n",
+                   name.c_str(), text.c_str());
+      return std::nullopt;
+    }
+    return it->second;
+  };
+  if (clause == "pow2") {
+    return atf::tp<std::int64_t>(name, std::move(range),
+                                 atf::power_of_two());
+  }
+  if (clause.rfind("divides=", 0) == 0) {
+    auto ref = ref_of(clause.substr(8));
+    if (!ref) {
+      return std::nullopt;
+    }
+    return atf::tp<std::int64_t>(name, std::move(range),
+                                 atf::divides(*ref));
+  }
+  if (clause.rfind("multiple-of=", 0) == 0) {
+    auto ref = ref_of(clause.substr(12));
+    if (!ref) {
+      return std::nullopt;
+    }
+    return atf::tp<std::int64_t>(name, std::move(range),
+                                 atf::is_multiple_of(*ref));
+  }
+  std::fprintf(stderr, "atf_tune: unknown constraint clause '%s'\n",
+               clause.c_str());
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = parse_cli(argc, argv);
+  if (!opts.has_value()) {
+    usage(argv[0]);
+    return 1;
+  }
+
+  // Build the tuning parameters in command-line order.
+  std::map<std::string, atf::tp<std::int64_t>> by_name;
+  atf::tp_group group;
+  for (const auto& spec : opts->params) {
+    auto param = parse_param(spec, by_name);
+    if (!param.has_value()) {
+      return 1;
+    }
+    group.add(*param);
+    by_name.emplace(param->name(), *param);
+  }
+
+  atf::tuner tuner;
+  tuner.tuning_parameters(std::move(group));
+
+  if (opts->technique == "annealing") {
+    tuner.search_technique(
+        std::make_unique<atf::search::simulated_annealing>(4.0, opts->seed));
+  } else if (opts->technique == "opentuner") {
+    tuner.search_technique(
+        std::make_unique<atf::search::opentuner_search>(opts->seed));
+  } else if (opts->technique == "random") {
+    tuner.search_technique(
+        std::make_unique<atf::search::random_search>(opts->seed));
+  } else if (opts->technique != "exhaustive") {
+    std::fprintf(stderr, "atf_tune: unknown technique '%s'\n",
+                 opts->technique.c_str());
+    return 1;
+  }
+
+  atf::abort_condition abort;
+  if (opts->evaluations.has_value()) {
+    abort = atf::cond::evaluations(*opts->evaluations);
+  }
+  if (opts->seconds.has_value()) {
+    auto by_time = atf::cond::duration(std::chrono::duration<double>(
+        *opts->seconds));
+    abort = abort.valid() ? (abort || by_time) : by_time;
+  }
+  if (abort.valid()) {
+    tuner.abort_condition(std::move(abort));
+  }
+  if (!opts->csv.empty()) {
+    tuner.log_file(opts->csv);
+  }
+
+  auto cf = atf::cf::program(opts->source, opts->compile, opts->run);
+  if (!opts->log_file.empty()) {
+    cf.log_file(opts->log_file);
+  }
+
+  try {
+    const auto result = tuner.tune(cf);
+    if (!result.has_best()) {
+      std::fprintf(stderr, "atf_tune: no valid configuration found (%llu "
+                           "evaluations, all failed)\n",
+                   static_cast<unsigned long long>(result.evaluations));
+      return 2;
+    }
+    std::fprintf(stderr,
+                 "atf_tune: %llu evaluations (%llu failed), best cost %s\n",
+                 static_cast<unsigned long long>(result.evaluations),
+                 static_cast<unsigned long long>(result.failed_evaluations),
+                 atf::cost_traits<atf::cf::program_cost>::describe(
+                     *result.best_cost)
+                     .c_str());
+    for (const auto& [name, value] : result.best_configuration().entries()) {
+      std::printf("%s=%s\n", name.c_str(), atf::to_string(value).c_str());
+    }
+  } catch (const atf::empty_search_space_error&) {
+    std::fprintf(stderr, "atf_tune: the constrained search space is empty\n");
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "atf_tune: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}
