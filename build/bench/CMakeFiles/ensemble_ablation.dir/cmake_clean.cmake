@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_ablation.dir/ensemble_ablation.cpp.o"
+  "CMakeFiles/ensemble_ablation.dir/ensemble_ablation.cpp.o.d"
+  "ensemble_ablation"
+  "ensemble_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_xgemm.dir/fig2_xgemm.cpp.o"
+  "CMakeFiles/fig2_xgemm.dir/fig2_xgemm.cpp.o.d"
+  "fig2_xgemm"
+  "fig2_xgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_xgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

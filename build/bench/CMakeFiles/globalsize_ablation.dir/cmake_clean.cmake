@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/globalsize_ablation.dir/globalsize_ablation.cpp.o"
+  "CMakeFiles/globalsize_ablation.dir/globalsize_ablation.cpp.o.d"
+  "globalsize_ablation"
+  "globalsize_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/globalsize_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

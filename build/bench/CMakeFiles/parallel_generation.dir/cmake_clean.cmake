@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_generation.dir/parallel_generation.cpp.o"
+  "CMakeFiles/parallel_generation.dir/parallel_generation.cpp.o.d"
+  "parallel_generation"
+  "parallel_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saxpy_tuning.dir/saxpy_tuning.cpp.o"
+  "CMakeFiles/saxpy_tuning.dir/saxpy_tuning.cpp.o.d"
+  "saxpy_tuning"
+  "saxpy_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saxpy_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_techniques.dir/search_techniques.cpp.o"
+  "CMakeFiles/search_techniques.dir/search_techniques.cpp.o.d"
+  "search_techniques"
+  "search_techniques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_generation.dir/space_generation.cpp.o"
+  "CMakeFiles/space_generation.dir/space_generation.cpp.o.d"
+  "space_generation"
+  "space_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_tuning.dir/conv_tuning.cpp.o"
+  "CMakeFiles/conv_tuning.dir/conv_tuning.cpp.o.d"
+  "conv_tuning"
+  "conv_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

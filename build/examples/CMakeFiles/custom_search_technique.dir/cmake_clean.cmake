@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_search_technique.dir/custom_search_technique.cpp.o"
+  "CMakeFiles/custom_search_technique.dir/custom_search_technique.cpp.o.d"
+  "custom_search_technique"
+  "custom_search_technique.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_search_technique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for custom_search_technique.
+# This may be replaced when dependencies are built.

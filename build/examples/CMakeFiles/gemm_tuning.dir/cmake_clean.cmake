@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemm_tuning.dir/gemm_tuning.cpp.o"
+  "CMakeFiles/gemm_tuning.dir/gemm_tuning.cpp.o.d"
+  "gemm_tuning"
+  "gemm_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemm_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

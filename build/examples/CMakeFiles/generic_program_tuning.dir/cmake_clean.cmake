@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_program_tuning.dir/generic_program_tuning.cpp.o"
+  "CMakeFiles/generic_program_tuning.dir/generic_program_tuning.cpp.o.d"
+  "generic_program_tuning"
+  "generic_program_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_program_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_objective.dir/multi_objective.cpp.o"
+  "CMakeFiles/multi_objective.dir/multi_objective.cpp.o.d"
+  "multi_objective"
+  "multi_objective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

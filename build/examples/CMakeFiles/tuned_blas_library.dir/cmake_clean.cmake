@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuned_blas_library.dir/tuned_blas_library.cpp.o"
+  "CMakeFiles/tuned_blas_library.dir/tuned_blas_library.cpp.o.d"
+  "tuned_blas_library"
+  "tuned_blas_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuned_blas_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tuned_blas_library.
+# This may be replaced when dependencies are built.

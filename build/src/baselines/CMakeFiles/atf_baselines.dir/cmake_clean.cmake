@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atf_baselines.dir/src/cltune_like.cpp.o"
+  "CMakeFiles/atf_baselines.dir/src/cltune_like.cpp.o.d"
+  "CMakeFiles/atf_baselines.dir/src/opentuner_like.cpp.o"
+  "CMakeFiles/atf_baselines.dir/src/opentuner_like.cpp.o.d"
+  "libatf_baselines.a"
+  "libatf_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atf_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

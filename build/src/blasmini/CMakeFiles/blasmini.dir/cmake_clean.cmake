@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blasmini.dir/src/gemm.cpp.o"
+  "CMakeFiles/blasmini.dir/src/gemm.cpp.o.d"
+  "CMakeFiles/blasmini.dir/src/tuning_db.cpp.o"
+  "CMakeFiles/blasmini.dir/src/tuning_db.cpp.o.d"
+  "libblasmini.a"
+  "libblasmini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blasmini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/src/csv_writer.cpp" "src/common/CMakeFiles/atf_common.dir/src/csv_writer.cpp.o" "gcc" "src/common/CMakeFiles/atf_common.dir/src/csv_writer.cpp.o.d"
+  "/root/repo/src/common/src/logging.cpp" "src/common/CMakeFiles/atf_common.dir/src/logging.cpp.o" "gcc" "src/common/CMakeFiles/atf_common.dir/src/logging.cpp.o.d"
+  "/root/repo/src/common/src/math_utils.cpp" "src/common/CMakeFiles/atf_common.dir/src/math_utils.cpp.o" "gcc" "src/common/CMakeFiles/atf_common.dir/src/math_utils.cpp.o.d"
+  "/root/repo/src/common/src/statistics.cpp" "src/common/CMakeFiles/atf_common.dir/src/statistics.cpp.o" "gcc" "src/common/CMakeFiles/atf_common.dir/src/statistics.cpp.o.d"
+  "/root/repo/src/common/src/string_utils.cpp" "src/common/CMakeFiles/atf_common.dir/src/string_utils.cpp.o" "gcc" "src/common/CMakeFiles/atf_common.dir/src/string_utils.cpp.o.d"
+  "/root/repo/src/common/src/thread_pool.cpp" "src/common/CMakeFiles/atf_common.dir/src/thread_pool.cpp.o" "gcc" "src/common/CMakeFiles/atf_common.dir/src/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atf_common.dir/src/csv_writer.cpp.o"
+  "CMakeFiles/atf_common.dir/src/csv_writer.cpp.o.d"
+  "CMakeFiles/atf_common.dir/src/logging.cpp.o"
+  "CMakeFiles/atf_common.dir/src/logging.cpp.o.d"
+  "CMakeFiles/atf_common.dir/src/math_utils.cpp.o"
+  "CMakeFiles/atf_common.dir/src/math_utils.cpp.o.d"
+  "CMakeFiles/atf_common.dir/src/statistics.cpp.o"
+  "CMakeFiles/atf_common.dir/src/statistics.cpp.o.d"
+  "CMakeFiles/atf_common.dir/src/string_utils.cpp.o"
+  "CMakeFiles/atf_common.dir/src/string_utils.cpp.o.d"
+  "CMakeFiles/atf_common.dir/src/thread_pool.cpp.o"
+  "CMakeFiles/atf_common.dir/src/thread_pool.cpp.o.d"
+  "libatf_common.a"
+  "libatf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libatf_common.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/abort_condition.cpp" "src/core/CMakeFiles/atf_core.dir/src/abort_condition.cpp.o" "gcc" "src/core/CMakeFiles/atf_core.dir/src/abort_condition.cpp.o.d"
+  "/root/repo/src/core/src/configuration.cpp" "src/core/CMakeFiles/atf_core.dir/src/configuration.cpp.o" "gcc" "src/core/CMakeFiles/atf_core.dir/src/configuration.cpp.o.d"
+  "/root/repo/src/core/src/search_space.cpp" "src/core/CMakeFiles/atf_core.dir/src/search_space.cpp.o" "gcc" "src/core/CMakeFiles/atf_core.dir/src/search_space.cpp.o.d"
+  "/root/repo/src/core/src/space_tree.cpp" "src/core/CMakeFiles/atf_core.dir/src/space_tree.cpp.o" "gcc" "src/core/CMakeFiles/atf_core.dir/src/space_tree.cpp.o.d"
+  "/root/repo/src/core/src/value.cpp" "src/core/CMakeFiles/atf_core.dir/src/value.cpp.o" "gcc" "src/core/CMakeFiles/atf_core.dir/src/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/atf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

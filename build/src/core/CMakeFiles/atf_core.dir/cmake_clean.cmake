@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atf_core.dir/src/abort_condition.cpp.o"
+  "CMakeFiles/atf_core.dir/src/abort_condition.cpp.o.d"
+  "CMakeFiles/atf_core.dir/src/configuration.cpp.o"
+  "CMakeFiles/atf_core.dir/src/configuration.cpp.o.d"
+  "CMakeFiles/atf_core.dir/src/search_space.cpp.o"
+  "CMakeFiles/atf_core.dir/src/search_space.cpp.o.d"
+  "CMakeFiles/atf_core.dir/src/space_tree.cpp.o"
+  "CMakeFiles/atf_core.dir/src/space_tree.cpp.o.d"
+  "CMakeFiles/atf_core.dir/src/value.cpp.o"
+  "CMakeFiles/atf_core.dir/src/value.cpp.o.d"
+  "libatf_core.a"
+  "libatf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

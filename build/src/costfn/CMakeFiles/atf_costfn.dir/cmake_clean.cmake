@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atf_costfn.dir/src/ocl.cpp.o"
+  "CMakeFiles/atf_costfn.dir/src/ocl.cpp.o.d"
+  "CMakeFiles/atf_costfn.dir/src/program.cpp.o"
+  "CMakeFiles/atf_costfn.dir/src/program.cpp.o.d"
+  "libatf_costfn.a"
+  "libatf_costfn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atf_costfn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for atf_costfn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/src/conv2d.cpp" "src/kernels/CMakeFiles/atf_kernels.dir/src/conv2d.cpp.o" "gcc" "src/kernels/CMakeFiles/atf_kernels.dir/src/conv2d.cpp.o.d"
+  "/root/repo/src/kernels/src/reduce.cpp" "src/kernels/CMakeFiles/atf_kernels.dir/src/reduce.cpp.o" "gcc" "src/kernels/CMakeFiles/atf_kernels.dir/src/reduce.cpp.o.d"
+  "/root/repo/src/kernels/src/reference.cpp" "src/kernels/CMakeFiles/atf_kernels.dir/src/reference.cpp.o" "gcc" "src/kernels/CMakeFiles/atf_kernels.dir/src/reference.cpp.o.d"
+  "/root/repo/src/kernels/src/saxpy.cpp" "src/kernels/CMakeFiles/atf_kernels.dir/src/saxpy.cpp.o" "gcc" "src/kernels/CMakeFiles/atf_kernels.dir/src/saxpy.cpp.o.d"
+  "/root/repo/src/kernels/src/xgemm_direct.cpp" "src/kernels/CMakeFiles/atf_kernels.dir/src/xgemm_direct.cpp.o" "gcc" "src/kernels/CMakeFiles/atf_kernels.dir/src/xgemm_direct.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/oclsim/CMakeFiles/ocls.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/atf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

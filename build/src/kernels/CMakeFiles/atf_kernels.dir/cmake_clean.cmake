@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atf_kernels.dir/src/conv2d.cpp.o"
+  "CMakeFiles/atf_kernels.dir/src/conv2d.cpp.o.d"
+  "CMakeFiles/atf_kernels.dir/src/reduce.cpp.o"
+  "CMakeFiles/atf_kernels.dir/src/reduce.cpp.o.d"
+  "CMakeFiles/atf_kernels.dir/src/reference.cpp.o"
+  "CMakeFiles/atf_kernels.dir/src/reference.cpp.o.d"
+  "CMakeFiles/atf_kernels.dir/src/saxpy.cpp.o"
+  "CMakeFiles/atf_kernels.dir/src/saxpy.cpp.o.d"
+  "CMakeFiles/atf_kernels.dir/src/xgemm_direct.cpp.o"
+  "CMakeFiles/atf_kernels.dir/src/xgemm_direct.cpp.o.d"
+  "libatf_kernels.a"
+  "libatf_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atf_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oclsim/src/context.cpp" "src/oclsim/CMakeFiles/ocls.dir/src/context.cpp.o" "gcc" "src/oclsim/CMakeFiles/ocls.dir/src/context.cpp.o.d"
+  "/root/repo/src/oclsim/src/define_map.cpp" "src/oclsim/CMakeFiles/ocls.dir/src/define_map.cpp.o" "gcc" "src/oclsim/CMakeFiles/ocls.dir/src/define_map.cpp.o.d"
+  "/root/repo/src/oclsim/src/device.cpp" "src/oclsim/CMakeFiles/ocls.dir/src/device.cpp.o" "gcc" "src/oclsim/CMakeFiles/ocls.dir/src/device.cpp.o.d"
+  "/root/repo/src/oclsim/src/energy.cpp" "src/oclsim/CMakeFiles/ocls.dir/src/energy.cpp.o" "gcc" "src/oclsim/CMakeFiles/ocls.dir/src/energy.cpp.o.d"
+  "/root/repo/src/oclsim/src/kernel.cpp" "src/oclsim/CMakeFiles/ocls.dir/src/kernel.cpp.o" "gcc" "src/oclsim/CMakeFiles/ocls.dir/src/kernel.cpp.o.d"
+  "/root/repo/src/oclsim/src/ndrange.cpp" "src/oclsim/CMakeFiles/ocls.dir/src/ndrange.cpp.o" "gcc" "src/oclsim/CMakeFiles/ocls.dir/src/ndrange.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/atf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocls.dir/src/context.cpp.o"
+  "CMakeFiles/ocls.dir/src/context.cpp.o.d"
+  "CMakeFiles/ocls.dir/src/define_map.cpp.o"
+  "CMakeFiles/ocls.dir/src/define_map.cpp.o.d"
+  "CMakeFiles/ocls.dir/src/device.cpp.o"
+  "CMakeFiles/ocls.dir/src/device.cpp.o.d"
+  "CMakeFiles/ocls.dir/src/energy.cpp.o"
+  "CMakeFiles/ocls.dir/src/energy.cpp.o.d"
+  "CMakeFiles/ocls.dir/src/kernel.cpp.o"
+  "CMakeFiles/ocls.dir/src/kernel.cpp.o.d"
+  "CMakeFiles/ocls.dir/src/ndrange.cpp.o"
+  "CMakeFiles/ocls.dir/src/ndrange.cpp.o.d"
+  "libocls.a"
+  "libocls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

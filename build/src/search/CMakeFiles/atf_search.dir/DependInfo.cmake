@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/src/auc_bandit.cpp" "src/search/CMakeFiles/atf_search.dir/src/auc_bandit.cpp.o" "gcc" "src/search/CMakeFiles/atf_search.dir/src/auc_bandit.cpp.o.d"
+  "/root/repo/src/search/src/ensemble.cpp" "src/search/CMakeFiles/atf_search.dir/src/ensemble.cpp.o" "gcc" "src/search/CMakeFiles/atf_search.dir/src/ensemble.cpp.o.d"
+  "/root/repo/src/search/src/genetic.cpp" "src/search/CMakeFiles/atf_search.dir/src/genetic.cpp.o" "gcc" "src/search/CMakeFiles/atf_search.dir/src/genetic.cpp.o.d"
+  "/root/repo/src/search/src/mutation.cpp" "src/search/CMakeFiles/atf_search.dir/src/mutation.cpp.o" "gcc" "src/search/CMakeFiles/atf_search.dir/src/mutation.cpp.o.d"
+  "/root/repo/src/search/src/nelder_mead.cpp" "src/search/CMakeFiles/atf_search.dir/src/nelder_mead.cpp.o" "gcc" "src/search/CMakeFiles/atf_search.dir/src/nelder_mead.cpp.o.d"
+  "/root/repo/src/search/src/numeric_domain.cpp" "src/search/CMakeFiles/atf_search.dir/src/numeric_domain.cpp.o" "gcc" "src/search/CMakeFiles/atf_search.dir/src/numeric_domain.cpp.o.d"
+  "/root/repo/src/search/src/opentuner_search.cpp" "src/search/CMakeFiles/atf_search.dir/src/opentuner_search.cpp.o" "gcc" "src/search/CMakeFiles/atf_search.dir/src/opentuner_search.cpp.o.d"
+  "/root/repo/src/search/src/particle_swarm.cpp" "src/search/CMakeFiles/atf_search.dir/src/particle_swarm.cpp.o" "gcc" "src/search/CMakeFiles/atf_search.dir/src/particle_swarm.cpp.o.d"
+  "/root/repo/src/search/src/pattern_search.cpp" "src/search/CMakeFiles/atf_search.dir/src/pattern_search.cpp.o" "gcc" "src/search/CMakeFiles/atf_search.dir/src/pattern_search.cpp.o.d"
+  "/root/repo/src/search/src/random_search.cpp" "src/search/CMakeFiles/atf_search.dir/src/random_search.cpp.o" "gcc" "src/search/CMakeFiles/atf_search.dir/src/random_search.cpp.o.d"
+  "/root/repo/src/search/src/simulated_annealing.cpp" "src/search/CMakeFiles/atf_search.dir/src/simulated_annealing.cpp.o" "gcc" "src/search/CMakeFiles/atf_search.dir/src/simulated_annealing.cpp.o.d"
+  "/root/repo/src/search/src/torczon.cpp" "src/search/CMakeFiles/atf_search.dir/src/torczon.cpp.o" "gcc" "src/search/CMakeFiles/atf_search.dir/src/torczon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/atf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/atf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

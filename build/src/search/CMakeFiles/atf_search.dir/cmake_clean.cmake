@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atf_search.dir/src/auc_bandit.cpp.o"
+  "CMakeFiles/atf_search.dir/src/auc_bandit.cpp.o.d"
+  "CMakeFiles/atf_search.dir/src/ensemble.cpp.o"
+  "CMakeFiles/atf_search.dir/src/ensemble.cpp.o.d"
+  "CMakeFiles/atf_search.dir/src/genetic.cpp.o"
+  "CMakeFiles/atf_search.dir/src/genetic.cpp.o.d"
+  "CMakeFiles/atf_search.dir/src/mutation.cpp.o"
+  "CMakeFiles/atf_search.dir/src/mutation.cpp.o.d"
+  "CMakeFiles/atf_search.dir/src/nelder_mead.cpp.o"
+  "CMakeFiles/atf_search.dir/src/nelder_mead.cpp.o.d"
+  "CMakeFiles/atf_search.dir/src/numeric_domain.cpp.o"
+  "CMakeFiles/atf_search.dir/src/numeric_domain.cpp.o.d"
+  "CMakeFiles/atf_search.dir/src/opentuner_search.cpp.o"
+  "CMakeFiles/atf_search.dir/src/opentuner_search.cpp.o.d"
+  "CMakeFiles/atf_search.dir/src/particle_swarm.cpp.o"
+  "CMakeFiles/atf_search.dir/src/particle_swarm.cpp.o.d"
+  "CMakeFiles/atf_search.dir/src/pattern_search.cpp.o"
+  "CMakeFiles/atf_search.dir/src/pattern_search.cpp.o.d"
+  "CMakeFiles/atf_search.dir/src/random_search.cpp.o"
+  "CMakeFiles/atf_search.dir/src/random_search.cpp.o.d"
+  "CMakeFiles/atf_search.dir/src/simulated_annealing.cpp.o"
+  "CMakeFiles/atf_search.dir/src/simulated_annealing.cpp.o.d"
+  "CMakeFiles/atf_search.dir/src/torczon.cpp.o"
+  "CMakeFiles/atf_search.dir/src/torczon.cpp.o.d"
+  "libatf_search.a"
+  "libatf_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atf_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abort_conditions.dir/core/test_abort_conditions.cpp.o"
+  "CMakeFiles/test_abort_conditions.dir/core/test_abort_conditions.cpp.o.d"
+  "test_abort_conditions"
+  "test_abort_conditions.pdb"
+  "test_abort_conditions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abort_conditions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atf_tune_cli.dir/tools/test_atf_tune_cli.cpp.o"
+  "CMakeFiles/test_atf_tune_cli.dir/tools/test_atf_tune_cli.cpp.o.d"
+  "test_atf_tune_cli"
+  "test_atf_tune_cli.pdb"
+  "test_atf_tune_cli[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atf_tune_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

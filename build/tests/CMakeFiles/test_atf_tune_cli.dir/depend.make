@@ -1,0 +1,2 @@
+# Empty dependencies file for test_atf_tune_cli.
+# This may be replaced when dependencies are built.

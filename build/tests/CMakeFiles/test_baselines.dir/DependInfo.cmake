@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/test_baselines.cpp" "tests/CMakeFiles/test_baselines.dir/baselines/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/test_baselines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/atf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/atf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/atf_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/atf_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/atf_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/oclsim/CMakeFiles/ocls.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blasmini.dir/blasmini/test_blasmini.cpp.o"
+  "CMakeFiles/test_blasmini.dir/blasmini/test_blasmini.cpp.o.d"
+  "test_blasmini"
+  "test_blasmini.pdb"
+  "test_blasmini[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blasmini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_constraint.dir/core/test_constraint.cpp.o"
+  "CMakeFiles/test_constraint.dir/core/test_constraint.cpp.o.d"
+  "test_constraint"
+  "test_constraint.pdb"
+  "test_constraint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kernels/test_conv2d.cpp" "tests/CMakeFiles/test_conv2d.dir/kernels/test_conv2d.cpp.o" "gcc" "tests/CMakeFiles/test_conv2d.dir/kernels/test_conv2d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/atf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/atf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/atf_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/oclsim/CMakeFiles/ocls.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_costfn.dir/costfn/test_costfn.cpp.o"
+  "CMakeFiles/test_costfn.dir/costfn/test_costfn.cpp.o.d"
+  "test_costfn"
+  "test_costfn.pdb"
+  "test_costfn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_costfn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

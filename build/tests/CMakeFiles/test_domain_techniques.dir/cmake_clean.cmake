@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_domain_techniques.dir/search/test_domain_techniques.cpp.o"
+  "CMakeFiles/test_domain_techniques.dir/search/test_domain_techniques.cpp.o.d"
+  "test_domain_techniques"
+  "test_domain_techniques.pdb"
+  "test_domain_techniques[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_domain_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

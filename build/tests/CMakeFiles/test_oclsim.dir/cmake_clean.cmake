@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oclsim.dir/oclsim/test_oclsim.cpp.o"
+  "CMakeFiles/test_oclsim.dir/oclsim/test_oclsim.cpp.o.d"
+  "test_oclsim"
+  "test_oclsim.pdb"
+  "test_oclsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oclsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

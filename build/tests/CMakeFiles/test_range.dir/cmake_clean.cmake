@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_range.dir/core/test_range.cpp.o"
+  "CMakeFiles/test_range.dir/core/test_range.cpp.o.d"
+  "test_range"
+  "test_range.pdb"
+  "test_range[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

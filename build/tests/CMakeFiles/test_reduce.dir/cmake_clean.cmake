@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reduce.dir/kernels/test_reduce.cpp.o"
+  "CMakeFiles/test_reduce.dir/kernels/test_reduce.cpp.o.d"
+  "test_reduce"
+  "test_reduce.pdb"
+  "test_reduce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_saxpy.dir/kernels/test_saxpy.cpp.o"
+  "CMakeFiles/test_saxpy.dir/kernels/test_saxpy.cpp.o.d"
+  "test_saxpy"
+  "test_saxpy.pdb"
+  "test_saxpy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_saxpy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_saxpy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_space_properties.dir/core/test_space_properties.cpp.o"
+  "CMakeFiles/test_space_properties.dir/core/test_space_properties.cpp.o.d"
+  "test_space_properties"
+  "test_space_properties.pdb"
+  "test_space_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_space_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

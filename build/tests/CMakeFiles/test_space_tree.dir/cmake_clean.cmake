@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_space_tree.dir/core/test_space_tree.cpp.o"
+  "CMakeFiles/test_space_tree.dir/core/test_space_tree.cpp.o.d"
+  "test_space_tree"
+  "test_space_tree.pdb"
+  "test_space_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_space_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_techniques.dir/search/test_techniques.cpp.o"
+  "CMakeFiles/test_techniques.dir/search/test_techniques.cpp.o.d"
+  "test_techniques"
+  "test_techniques.pdb"
+  "test_techniques[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

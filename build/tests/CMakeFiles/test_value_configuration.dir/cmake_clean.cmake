@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_value_configuration.dir/core/test_value_configuration.cpp.o"
+  "CMakeFiles/test_value_configuration.dir/core/test_value_configuration.cpp.o.d"
+  "test_value_configuration"
+  "test_value_configuration.pdb"
+  "test_value_configuration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_value_configuration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

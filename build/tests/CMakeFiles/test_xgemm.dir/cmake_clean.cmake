@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xgemm.dir/kernels/test_xgemm.cpp.o"
+  "CMakeFiles/test_xgemm.dir/kernels/test_xgemm.cpp.o.d"
+  "test_xgemm"
+  "test_xgemm.pdb"
+  "test_xgemm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_range[1]_include.cmake")
+include("/root/repo/build/tests/test_constraint[1]_include.cmake")
+include("/root/repo/build/tests/test_space_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_search_space[1]_include.cmake")
+include("/root/repo/build/tests/test_tuner[1]_include.cmake")
+include("/root/repo/build/tests/test_techniques[1]_include.cmake")
+include("/root/repo/build/tests/test_domain_techniques[1]_include.cmake")
+include("/root/repo/build/tests/test_oclsim[1]_include.cmake")
+include("/root/repo/build/tests/test_saxpy[1]_include.cmake")
+include("/root/repo/build/tests/test_xgemm[1]_include.cmake")
+include("/root/repo/build/tests/test_costfn[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_conv2d[1]_include.cmake")
+include("/root/repo/build/tests/test_reduce[1]_include.cmake")
+include("/root/repo/build/tests/test_value_configuration[1]_include.cmake")
+include("/root/repo/build/tests/test_abort_conditions[1]_include.cmake")
+include("/root/repo/build/tests/test_space_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_blasmini[1]_include.cmake")
+include("/root/repo/build/tests/test_atf_tune_cli[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atf_tune.dir/atf_tune.cpp.o"
+  "CMakeFiles/atf_tune.dir/atf_tune.cpp.o.d"
+  "atf_tune"
+  "atf_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atf_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
