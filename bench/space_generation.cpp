@@ -15,9 +15,12 @@
 // enumeration rate.
 #include <cmath>
 #include <cstdio>
+#include <thread>
 
 #include "atf/common/math_utils.hpp"
+#include "atf/common/rng.hpp"
 #include "atf/common/stopwatch.hpp"
+#include "atf/common/thread_pool.hpp"
 #include "bench_common.hpp"
 
 using namespace bench;
@@ -113,6 +116,46 @@ generation_row run_square(std::size_t size, double cltune_budget_s) {
   return row;
 }
 
+// Intra-group parallel generation on the single-group XgemmDirect space:
+// per-group threading (Section V) is useless here — there is only one group —
+// so the chunked generator is what turns cores into speedup. Verifies the
+// chunked tree is bit-identical to the sequential one before reporting.
+void run_intra_group(std::size_t size) {
+  const xg::problem prob{size, size, size};
+  auto setup = xg::make_tuning_parameters(prob, xg::size_mode::general);
+  const auto group = setup.group();
+
+  atf::common::stopwatch timer;
+  const auto sequential = atf::space_tree::generate(group);
+  const double t_seq = timer.elapsed_seconds();
+
+  atf::common::thread_pool pool(0);  // hardware concurrency
+  timer.reset();
+  const auto chunked = atf::space_tree::generate(group, pool);
+  const double t_par = timer.elapsed_seconds();
+
+  bool identical = chunked.size() == sequential.size() &&
+                   chunked.node_count() == sequential.node_count();
+  if (identical && sequential.size() > 0) {
+    atf::common::xoshiro256 rng(0xbe7c);
+    for (int i = 0; i < 256 && identical; ++i) {
+      const auto index = rng.below(sequential.size());
+      identical = chunked.values_at(index) == sequential.values_at(index);
+    }
+    identical = identical &&
+                chunked.values_at(0) == sequential.values_at(0) &&
+                chunked.values_at(sequential.size() - 1) ==
+                    sequential.values_at(sequential.size() - 1);
+  }
+
+  std::printf("N=%-4zu  sequential %.4f s   intra-group parallel %.4f s "
+              "(%llu chunks, %zu threads)   speedup %.2fx   bit-identical: "
+              "%s\n",
+              size, t_seq, t_par,
+              static_cast<unsigned long long>(chunked.stats().chunks),
+              pool.size(), t_seq / t_par, identical ? "yes" : "NO");
+}
+
 }  // namespace
 
 int main() {
@@ -131,6 +174,15 @@ int main() {
   }
   std::printf("(*) extrapolated from the enumeration rate at the 3 s budget "
               "(the paper aborted the real CLTune after 3 HOURS at N=32)\n\n");
+
+  std::printf("=== Intra-group parallel generation (single XgemmDirect "
+              "group) ===\n");
+  std::printf("hardware concurrency: %u core(s)\n",
+              std::thread::hardware_concurrency());
+  for (const std::size_t size : {64u, 128u, 256u}) {
+    run_intra_group(size);
+  }
+  std::putchar('\n');
 
   // The paper's cardinality claims.
   std::printf("=== Cardinalities ===\n");

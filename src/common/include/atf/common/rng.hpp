@@ -48,8 +48,15 @@ public:
   }
 
   /// Uniform integer in [0, bound). Uses Lemire's multiply-shift reduction
-  /// with rejection to avoid modulo bias. bound must be > 0.
+  /// with rejection to avoid modulo bias. A zero bound is treated as 2^64 —
+  /// the full 64-bit range — which is what between(lo, hi) produces when the
+  /// inclusive span hi - lo + 1 wraps to 0 (e.g. the whole int64 range); the
+  /// reduction below would otherwise compute `(0 - bound) % bound`, a modulo
+  /// by zero.
   std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound == 0) {
+      return (*this)();
+    }
     // Fast path covers every bound we use in practice; the rejection loop
     // guarantees exact uniformity.
     for (;;) {
@@ -63,10 +70,17 @@ public:
     }
   }
 
-  /// Uniform integer in the inclusive range [lo, hi].
+  /// Uniform integer in the inclusive range [lo, hi]. Both the span and the
+  /// offset addition are computed in std::uint64_t: for wide ranges
+  /// lo + draw overflows std::int64_t (undefined behaviour the optimizer
+  /// exploits — comparisons against the result get constant-folded), while
+  /// unsigned wrap-around followed by the C++20 modular narrowing conversion
+  /// is exact.
   std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
-    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-    return lo + static_cast<std::int64_t>(below(span));
+    const auto span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                     below(span));
   }
 
   /// Uniform double in [0, 1).

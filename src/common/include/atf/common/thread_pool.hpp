@@ -1,8 +1,14 @@
 // Fixed-size thread pool built on the Standard C++ Threading Library.
 //
-// ATF uses it for parallel search-space generation (one task per dependent
-// parameter group, Section V of the paper) and the OpenCL simulator uses it to
+// ATF uses it for parallel search-space generation — one task per dependent
+// parameter group (Section V of the paper) and, nested below that, one task
+// per root-range chunk within a group — and the OpenCL simulator uses it to
 // execute work-groups concurrently.
+//
+// parallel_for is re-entrant: the calling thread always participates in the
+// iteration drain, so a task running on a pool worker may itself call
+// parallel_for on the same pool without deadlocking (nested calls degrade to
+// the caller draining its own iterations when every worker is busy).
 #pragma once
 
 #include <condition_variable>
@@ -48,6 +54,12 @@ public:
   /// iterations finish. Exceptions from iterations are rethrown (first one).
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
+  /// Worker count the pool would use for `num_threads` (0 resolves to
+  /// hardware concurrency) — lets callers size chunk counts before or
+  /// without constructing a pool.
+  [[nodiscard]] static std::size_t resolve_num_threads(
+      std::size_t num_threads) noexcept;
+
 private:
   void worker_loop();
 
@@ -57,5 +69,12 @@ private:
   std::condition_variable cv_;
   bool stopping_ = false;
 };
+
+/// Splits [0, count) into `parts` contiguous, maximally even spans and
+/// returns the parts+1 boundaries (boundaries[p] .. boundaries[p+1] is span
+/// p; the first count % parts spans are one element longer). parts is
+/// clamped to count, so no span is empty; count == 0 yields {0}.
+[[nodiscard]] std::vector<std::size_t> partition_evenly(std::size_t count,
+                                                        std::size_t parts);
 
 }  // namespace atf::common

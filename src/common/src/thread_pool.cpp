@@ -1,14 +1,20 @@
 #include "atf/common/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 
 namespace atf::common {
 
-thread_pool::thread_pool(std::size_t num_threads) {
+std::size_t thread_pool::resolve_num_threads(std::size_t num_threads) noexcept {
   if (num_threads == 0) {
-    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  return num_threads;
+}
+
+thread_pool::thread_pool(std::size_t num_threads) {
+  num_threads = resolve_num_threads(num_threads);
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -81,6 +87,25 @@ void thread_pool::parallel_for(std::size_t count,
   if (first_error) {
     std::rethrow_exception(first_error);
   }
+}
+
+std::vector<std::size_t> partition_evenly(std::size_t count,
+                                          std::size_t parts) {
+  parts = std::max<std::size_t>(1, std::min(parts, count));
+  if (count == 0) {
+    return {0};
+  }
+  std::vector<std::size_t> boundaries;
+  boundaries.reserve(parts + 1);
+  const std::size_t base = count / parts;
+  const std::size_t remainder = count % parts;
+  std::size_t at = 0;
+  boundaries.push_back(at);
+  for (std::size_t p = 0; p < parts; ++p) {
+    at += base + (p < remainder ? 1 : 0);
+    boundaries.push_back(at);
+  }
+  return boundaries;
 }
 
 }  // namespace atf::common

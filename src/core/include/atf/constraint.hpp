@@ -10,6 +10,12 @@
 //
 // Alias results are wrapped in atf::predicate so they can be combined with
 // the logical operators && and ||, as the paper specifies.
+//
+// Thread-safety: the aliases close over lazy expressions, which close over
+// tp handles; evaluation resolves through the calling thread's evaluation
+// context (tp.hpp). One predicate object is thus safely shared by all
+// intra-group generation chunks — each chunk's set_and_check runs the
+// predicate on its own thread, against its own context's prefix.
 #pragma once
 
 #include <type_traits>

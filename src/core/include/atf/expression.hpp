@@ -8,6 +8,12 @@
 // provides small expression templates: any combination of tp<T> handles,
 // expr<T> nodes and arithmetic literals composed with + - * / % min max
 // yields an expr<R> that evaluates on demand.
+//
+// Thread-safety: expressions capture tp *handles*, and tp::eval() reads the
+// slot of the calling thread's evaluation context (see tp.hpp). An expr is
+// therefore safe to evaluate concurrently from generation chunks running
+// under different scoped_eval_context leases — each evaluation sees the
+// prefix its own thread is expanding, with no changes needed here.
 #pragma once
 
 #include <algorithm>

@@ -3,8 +3,10 @@
 // Groups are independent by definition (Section V), so the space size is the
 // product of the group sizes and a flat configuration index decomposes into
 // one leaf index per group (mixed radix, group 0 most significant). Group
-// trees are generated concurrently, one thread per group, using the Standard
-// C++ Threading Library — exactly as the paper describes.
+// trees can be generated concurrently — one thread per group as the paper
+// describes, and additionally chunk-parallel *within* each group (per-thread
+// evaluation contexts, see tp.hpp), so a single-group space such as
+// XgemmDirect scales with cores instead of with group count.
 #pragma once
 
 #include <cstdint>
@@ -18,13 +20,34 @@
 
 namespace atf {
 
+/// How the per-group trees are generated.
+enum class generation_mode {
+  /// Everything on the calling thread, in the ambient evaluation context.
+  sequential,
+  /// One std::thread per dependency group (paper, Section V, verbatim).
+  /// Within a group, generation stays sequential.
+  per_group,
+  /// Nested parallelism: groups are dispatched across a shared thread pool
+  /// AND each group's root range is expanded in chunks on the same pool,
+  /// each chunk under a private evaluation context. Results are
+  /// bit-identical to the other modes.
+  intra_group,
+};
+
 class search_space {
 public:
   search_space() = default;
 
-  /// Generates the space for the given groups. Set `parallel` to false to
-  /// force sequential generation (used by benches measuring the Section V
-  /// speedup).
+  /// Generates the space for the given groups. `threads` sizes the pool for
+  /// intra_group mode (0 = hardware concurrency) and is ignored by the
+  /// other modes.
+  static search_space generate(const std::vector<tp_group>& groups,
+                               generation_mode mode,
+                               std::size_t threads = 0);
+
+  /// Back-compat convenience: `parallel` maps to intra_group (the fastest
+  /// mode; bit-identical results) and false to sequential — used by benches
+  /// measuring the Section V speedup.
   static search_space generate(const std::vector<tp_group>& groups,
                                bool parallel = true);
 

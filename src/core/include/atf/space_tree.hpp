@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "atf/common/rng.hpp"
+#include "atf/common/thread_pool.hpp"
 #include "atf/tp.hpp"
 #include "atf/value.hpp"
 
@@ -34,6 +35,7 @@ public:
     std::uint64_t nodes = 0;            ///< stored tree nodes (all levels)
     std::uint64_t visited_values = 0;   ///< candidate values tested
     std::uint64_t dead_prefixes = 0;    ///< prefixes discarded for lack of completion
+    std::uint64_t chunks = 1;           ///< root-range chunks expanded (1 = sequential)
     double seconds = 0.0;               ///< wall-clock generation time
   };
 
@@ -43,6 +45,17 @@ public:
   /// sharing state with the caller's tp handles, so replaying a
   /// configuration through this tree updates the caller's expressions.
   static space_tree generate(const tp_group& group);
+
+  /// Intra-group parallel generation: the root parameter's range is split
+  /// into contiguous chunks dispatched on `pool`, each chunk expanded into a
+  /// private partial tree under its own evaluation context (tp.hpp), and the
+  /// partial trees stitched back in root-value order. The result is
+  /// bit-identical to sequential generation — same node order, child spans,
+  /// leaf counts and flat-index order — so every index-based consumer is
+  /// oblivious to how the tree was built. This is what parallelizes the
+  /// Fig. 2 XgemmDirect case, a *single* group that Section V's one-thread-
+  /// per-group scheme cannot speed up.
+  static space_tree generate(const tp_group& group, common::thread_pool& pool);
 
   /// Number of valid configurations (leaves).
   [[nodiscard]] std::uint64_t size() const noexcept { return leaf_total_; }
@@ -104,9 +117,19 @@ private:
     std::uint64_t count;
   };
 
+  /// Buffers of one chunk expansion (levels + counters); defined in the
+  /// .cpp. Sequential generation is the one-chunk special case, so both
+  /// paths share expand_range and are identical by construction.
+  struct partial;
+
   [[nodiscard]] span children_of(std::size_t lvl, std::uint64_t node) const;
   [[nodiscard]] std::uint64_t leaf_index_of_path(const std::uint64_t* path) const;
-  std::uint64_t expand(std::size_t lvl);
+  static std::uint64_t expand_range(
+      const std::vector<std::shared_ptr<itp>>& params, std::size_t lvl,
+      std::uint64_t lo, std::uint64_t hi, partial& out);
+  static space_tree generate_impl(const tp_group& group,
+                                  common::thread_pool* pool);
+  void stitch(std::vector<partial>& parts);
   [[nodiscard]] std::uint64_t descend_random(std::size_t lvl,
                                              std::uint64_t node,
                                              common::xoshiro256& rng) const;

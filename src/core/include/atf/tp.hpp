@@ -10,11 +10,25 @@
 // expanded. This is the mechanism behind ATF's contribution (iii): invalid
 // configurations are pruned while iterating *ranges*, never materializing the
 // Cartesian product.
+//
+// Evaluation contexts. Because constraints and launch-geometry expressions
+// capture tp *handles* (not values), the handles cannot be cloned per thread
+// without re-capturing every closure — so instead of one slot per parameter
+// there is one slot per parameter per *evaluation context*. A context id is
+// thread-local: context 0 is the ambient context every thread starts in (the
+// tuner, sequential generation and the per-group generation threads all live
+// there), and concurrent expansions of the *same* group — the intra-group
+// parallel generation — run each chunk under a scoped_eval_context that
+// leases a private id, so their writes land in disjoint slots and the very
+// same captured handles read the right prefix on every thread.
 #pragma once
 
+#include <array>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -27,14 +41,104 @@ namespace atf {
 
 namespace detail {
 
-/// The shared, mutable slot a tp handle points at. The generator writes the
-/// candidate value here before evaluating dependent constraints.
+/// Number of value slots per parameter — the maximum number of evaluation
+/// contexts that can be live at once. Context 0 is the ambient context;
+/// ids 1..max_eval_contexts-1 are leased through eval_context_registry.
+inline constexpr std::size_t max_eval_contexts = 64;
+
+/// The evaluation context this thread reads and writes tp slots through.
+/// Plain thread_local integer: no dynamic initialization, so the access in
+/// tp::eval() compiles to a single TLS load.
+inline thread_local std::size_t eval_context_id = 0;
+
+[[nodiscard]] inline std::size_t current_eval_context() noexcept {
+  return eval_context_id;
+}
+
+/// Process-wide lease pool for context ids 1..max_eval_contexts-1. acquire()
+/// blocks until an id is free; holders run one chunk expansion and release,
+/// so the number of *concurrent* holders is bounded by the number of running
+/// threads and waiting cannot deadlock (every holder makes progress without
+/// acquiring a second id).
+class eval_context_registry {
+public:
+  [[nodiscard]] static std::size_t acquire() {
+    std::unique_lock lock(mutex());
+    cv().wait(lock, [] { return !free_ids().empty(); });
+    const std::size_t id = free_ids().back();
+    free_ids().pop_back();
+    return id;
+  }
+
+  static void release(std::size_t id) {
+    {
+      std::lock_guard lock(mutex());
+      free_ids().push_back(id);
+    }
+    cv().notify_one();
+  }
+
+private:
+  static std::mutex& mutex() {
+    static std::mutex m;
+    return m;
+  }
+  static std::condition_variable& cv() {
+    static std::condition_variable c;
+    return c;
+  }
+  static std::vector<std::size_t>& free_ids() {
+    static std::vector<std::size_t> ids = [] {
+      std::vector<std::size_t> v;
+      v.reserve(max_eval_contexts - 1);
+      for (std::size_t id = max_eval_contexts; id-- > 1;) {
+        v.push_back(id);
+      }
+      return v;
+    }();
+    return ids;
+  }
+};
+
+/// RAII lease of a private evaluation context: acquires an id, installs it as
+/// this thread's context, and restores the previous context on destruction.
+/// Used by the intra-group parallel generator around each chunk expansion.
+class scoped_eval_context {
+public:
+  scoped_eval_context()
+      : id_(eval_context_registry::acquire()), previous_(eval_context_id) {
+    eval_context_id = id_;
+  }
+
+  scoped_eval_context(const scoped_eval_context&) = delete;
+  scoped_eval_context& operator=(const scoped_eval_context&) = delete;
+
+  ~scoped_eval_context() {
+    eval_context_id = previous_;
+    eval_context_registry::release(id_);
+  }
+
+  [[nodiscard]] std::size_t id() const noexcept { return id_; }
+
+private:
+  std::size_t id_;
+  std::size_t previous_;
+};
+
+/// The shared, mutable state a tp handle points at. The generator writes the
+/// candidate value into the *current context's* slot before evaluating
+/// dependent constraints; slots are cache-line padded so concurrent chunk
+/// expansions do not false-share.
 template <typename T>
 struct tp_state {
   std::string name;
   range<T> values;
   std::function<bool(T)> constraint;  // empty => unconstrained
-  T current{};
+
+  struct alignas(64) padded_slot {
+    T value{};
+  };
+  std::array<padded_slot, max_eval_contexts> current{};
 };
 
 }  // namespace detail
@@ -81,12 +185,19 @@ public:
     return static_cast<bool>(state_->constraint);
   }
 
-  /// The value of the prefix currently being expanded/evaluated. Expression
-  /// templates call this, which is what makes `N / WPT` lazy.
-  [[nodiscard]] T eval() const noexcept { return state_->current; }
+  /// The value of the prefix currently being expanded/evaluated *in this
+  /// thread's evaluation context*. Expression templates call this, which is
+  /// what makes `N / WPT` lazy — and context-indexed, which is what lets
+  /// concurrent chunk expansions reuse the same captured handles.
+  [[nodiscard]] T eval() const noexcept {
+    return state_->current[detail::current_eval_context()].value;
+  }
 
-  /// Writes the current value (used by the generator and the tuner).
-  void set_current(T v) const noexcept { state_->current = v; }
+  /// Writes the current value into this thread's context slot (used by the
+  /// generator and the tuner).
+  void set_current(T v) const noexcept {
+    state_->current[detail::current_eval_context()].value = std::move(v);
+  }
 
   /// Checks this parameter's own constraint against a candidate value.
   [[nodiscard]] bool satisfies_constraint(T v) const {
@@ -112,15 +223,18 @@ public:
   [[nodiscard]] virtual const std::string& name() const = 0;
   [[nodiscard]] virtual std::uint64_t range_size() const = 0;
 
-  /// Sets the shared slot to range[i] and returns whether the parameter's
-  /// own constraint accepts that value (given the already-set prefix).
+  /// Sets the calling thread's context slot to range[i] and returns whether
+  /// the parameter's own constraint accepts that value (given the prefix
+  /// already set in the same context). The constraint runs on the calling
+  /// thread, so its captured handles read the caller's context.
   virtual bool set_and_check(std::uint64_t i) const = 0;
 
   /// The type-erased value of range[i].
   [[nodiscard]] virtual tp_value value_at(std::uint64_t i) const = 0;
 
-  /// Writes a type-erased value into the shared slot (used when replaying a
-  /// configuration so that dependent expressions — e.g. global size — see it).
+  /// Writes a type-erased value into the calling thread's context slot (used
+  /// when replaying a configuration so that dependent expressions — e.g.
+  /// global size — see it).
   virtual void set_value(const tp_value& v) const = 0;
 
   [[nodiscard]] virtual std::shared_ptr<itp> clone() const = 0;

@@ -101,11 +101,20 @@ public:
     return *this;
   }
 
-  /// Disables the per-group parallel generation (diagnostics/benches).
-  tuner& parallel_generation(bool enabled) {
-    parallel_generation_ = enabled;
+  /// Chooses how the search space is generated (default: intra_group — the
+  /// nested groups-by-chunks parallel mode; all modes produce bit-identical
+  /// spaces, so tuning results do not depend on this choice).
+  tuner& generation(generation_mode mode) {
+    generation_mode_ = mode;
     space_.reset();
     return *this;
+  }
+
+  /// Back-compat toggle: disables parallel generation entirely (false) or
+  /// selects the full nested mode (true). Diagnostics/benches.
+  tuner& parallel_generation(bool enabled) {
+    return generation(enabled ? generation_mode::intra_group
+                              : generation_mode::sequential);
   }
 
   /// Appends every evaluation to a CSV file.
@@ -124,10 +133,19 @@ public:
     return *this;
   }
 
-  /// Prints best-cost improvements to stderr while tuning.
+  /// Prints best-cost improvements to stderr while tuning. verbose(false)
+  /// restores the log level that was active before verbose(true) raised it
+  /// (and is a no-op if verbosity was never enabled), so toggling verbosity
+  /// does not permanently hijack the process-wide log threshold.
   tuner& verbose(bool enabled) {
     if (enabled) {
+      if (!pre_verbose_log_level_.has_value()) {
+        pre_verbose_log_level_ = common::get_log_level();
+      }
       common::set_log_level(common::log_level::info);
+    } else if (pre_verbose_log_level_.has_value()) {
+      common::set_log_level(*pre_verbose_log_level_);
+      pre_verbose_log_level_.reset();
     }
     return *this;
   }
@@ -136,7 +154,7 @@ public:
   /// first use otherwise).
   const search_space& space() {
     if (!space_.has_value()) {
-      space_ = search_space::generate(groups_, parallel_generation_);
+      space_ = search_space::generate(groups_, generation_mode_);
     }
     return *space_;
   }
@@ -163,9 +181,10 @@ public:
         abort_.valid() ? abort_ : cond::evaluations(sp.size());
 
     std::unique_ptr<common::csv_writer> log;
+    const std::vector<std::string> log_names = sp.parameter_names();
     if (!log_path_.empty()) {
       std::vector<std::string> header{"evaluation", "elapsed_ns", "index"};
-      for (const auto& name : sp.parameter_names()) {
+      for (const auto& name : log_names) {
         header.push_back(name);
       }
       header.emplace_back("cost");
@@ -245,8 +264,14 @@ public:
             config.space_index().has_value()
                 ? std::to_string(*config.space_index())
                 : std::string("-")};
-        for (const auto& [_, value] : config.entries()) {
-          row.push_back(atf::to_string(value));
+        // Align values to the header by *name*: a custom search technique
+        // may hand back a configuration with fewer or reordered entries, and
+        // positional emission would corrupt columns (or throw mid-run on a
+        // row-length mismatch) — absent parameters log as "-".
+        for (const auto& name : log_names) {
+          row.push_back(config.contains(name)
+                            ? atf::to_string(config.value_of(name))
+                            : std::string("-"));
         }
         row.push_back(cost.has_value() ? traits::describe(*cost)
                                        : std::string("failed"));
@@ -277,7 +302,8 @@ private:
   std::unique_ptr<atf::search_technique> technique_;
   atf::abort_condition abort_;
   std::optional<search_space> space_;
-  bool parallel_generation_ = true;
+  generation_mode generation_mode_ = generation_mode::intra_group;
+  std::optional<common::log_level> pre_verbose_log_level_;
   bool cache_ = false;
   std::string log_path_;
 };

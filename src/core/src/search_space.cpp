@@ -5,42 +5,75 @@
 #include <thread>
 
 #include "atf/common/stopwatch.hpp"
+#include "atf/common/thread_pool.hpp"
 
 namespace atf {
 
 search_space search_space::generate(const std::vector<tp_group>& groups,
                                     bool parallel) {
+  return generate(groups,
+                  parallel ? generation_mode::intra_group
+                           : generation_mode::sequential);
+}
+
+search_space search_space::generate(const std::vector<tp_group>& groups,
+                                    generation_mode mode,
+                                    std::size_t threads) {
   search_space space;
   space.trees_.resize(groups.size());
 
   common::stopwatch timer;
-  if (parallel && groups.size() > 1) {
-    // One thread per dependency group (paper, Section V). Constraints may
-    // only reference parameters of the same group, so the shared tp slots
-    // touched by different threads are disjoint.
-    std::vector<std::thread> threads;
-    threads.reserve(groups.size());
-    std::vector<std::exception_ptr> errors(groups.size());
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-      threads.emplace_back([&, g] {
-        try {
-          space.trees_[g] = space_tree::generate(groups[g]);
-        } catch (...) {
-          errors[g] = std::current_exception();
-        }
-      });
-    }
-    for (auto& thread : threads) {
-      thread.join();
-    }
-    for (const auto& error : errors) {
-      if (error) {
-        std::rethrow_exception(error);
+  switch (mode) {
+    case generation_mode::sequential:
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        space.trees_[g] = space_tree::generate(groups[g]);
       }
+      break;
+
+    case generation_mode::per_group: {
+      if (groups.size() <= 1) {
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+          space.trees_[g] = space_tree::generate(groups[g]);
+        }
+        break;
+      }
+      // One thread per dependency group (paper, Section V). Constraints may
+      // only reference parameters of the same group, so each thread's writes
+      // into the ambient evaluation context touch disjoint tp states.
+      std::vector<std::thread> workers;
+      workers.reserve(groups.size());
+      std::vector<std::exception_ptr> errors(groups.size());
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        workers.emplace_back([&, g] {
+          try {
+            space.trees_[g] = space_tree::generate(groups[g]);
+          } catch (...) {
+            errors[g] = std::current_exception();
+          }
+        });
+      }
+      for (auto& worker : workers) {
+        worker.join();
+      }
+      for (const auto& error : errors) {
+        if (error) {
+          std::rethrow_exception(error);
+        }
+      }
+      break;
     }
-  } else {
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-      space.trees_[g] = space_tree::generate(groups[g]);
+
+    case generation_mode::intra_group: {
+      // Nested parallelism on one shared pool: the outer parallel_for
+      // spreads groups, and every group's generation chunks its root range
+      // onto the same pool (parallel_for is re-entrant — the group task
+      // itself drains chunk iterations). Per-thread evaluation contexts keep
+      // concurrent chunks of the same group from racing on the tp slots.
+      common::thread_pool pool(threads);
+      pool.parallel_for(groups.size(), [&](std::size_t g) {
+        space.trees_[g] = space_tree::generate(groups[g], pool);
+      });
+      break;
     }
   }
   space.generation_seconds_ = timer.elapsed_seconds();

@@ -1,5 +1,6 @@
 #include "atf/space_tree.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
@@ -7,7 +8,27 @@
 
 namespace atf {
 
+/// Per-chunk expansion buffers: a full set of levels plus the counters that
+/// sum across chunks. Chunk c expands root values [lo_c, hi_c) only; deeper
+/// levels always iterate their full range.
+struct space_tree::partial {
+  std::vector<level> levels;
+  std::uint64_t leaves = 0;
+  std::uint64_t visited_values = 0;
+  std::uint64_t dead_prefixes = 0;
+};
+
 space_tree space_tree::generate(const tp_group& group) {
+  return generate_impl(group, nullptr);
+}
+
+space_tree space_tree::generate(const tp_group& group,
+                                common::thread_pool& pool) {
+  return generate_impl(group, &pool);
+}
+
+space_tree space_tree::generate_impl(const tp_group& group,
+                                     common::thread_pool* pool) {
   space_tree tree;
   tree.params_.reserve(group.size());
   for (const auto& param : group.params()) {
@@ -27,39 +48,73 @@ space_tree space_tree::generate(const tp_group& group) {
     // configuration so that cross-group products stay well-defined.
     tree.leaf_total_ = 1;
   } else {
-    tree.leaf_total_ = tree.expand(0);
+    const std::uint64_t root_range = tree.params_[0]->range_size();
+    // Over-partition relative to the worker count so chunks whose root
+    // values die early (or prune cheaply) do not straggle the rest; the
+    // chunk boundaries never affect the result, only load balance.
+    std::size_t chunks = 1;
+    if (pool != nullptr) {
+      chunks = static_cast<std::size_t>(std::min<std::uint64_t>(
+          root_range, static_cast<std::uint64_t>((pool->size() + 1) * 4)));
+    }
+    auto bounds = common::partition_evenly(
+        static_cast<std::size_t>(root_range), chunks);
+    if (bounds.size() < 2) {
+      bounds = {0, 0};  // empty root range: one chunk expanding nothing
+    }
+    chunks = bounds.size() - 1;
+
+    std::vector<partial> parts(chunks);
+    if (chunks <= 1) {
+      parts[0].levels.resize(tree.params_.size());
+      parts[0].leaves = expand_range(tree.params_, 0, 0, root_range, parts[0]);
+    } else {
+      pool->parallel_for(chunks, [&](std::size_t c) {
+        // Lease a private evaluation context so this chunk's constraint
+        // evaluations read/write slots disjoint from every concurrent chunk
+        // (and from the ambient context of per-group generation threads).
+        detail::scoped_eval_context context;
+        parts[c].levels.resize(tree.params_.size());
+        parts[c].leaves =
+            expand_range(tree.params_, 0, bounds[c], bounds[c + 1], parts[c]);
+      });
+    }
+    tree.stitch(parts);
+    tree.stats_.chunks = chunks;
   }
   tree.stats_.seconds = timer.elapsed_seconds();
   tree.stats_.nodes = tree.node_count();
   return tree;
 }
 
-std::uint64_t space_tree::expand(std::size_t lvl) {
-  level& nodes = levels_[lvl];
-  const itp& param = *params_[lvl];
-  const std::uint64_t range_size = param.range_size();
-  const bool is_last = lvl + 1 == levels_.size();
+std::uint64_t space_tree::expand_range(
+    const std::vector<std::shared_ptr<itp>>& params, std::size_t lvl,
+    std::uint64_t lo, std::uint64_t hi, partial& out) {
+  level& nodes = out.levels[lvl];
+  const itp& param = *params[lvl];
+  const bool is_last = lvl + 1 == out.levels.size();
 
   std::uint64_t leaves = 0;
-  for (std::uint64_t i = 0; i < range_size; ++i) {
-    ++stats_.visited_values;
+  for (std::uint64_t i = lo; i < hi; ++i) {
+    ++out.visited_values;
     if (!param.set_and_check(i)) {
       continue;
     }
     const std::uint64_t node = nodes.size();
     nodes.value_index.push_back(static_cast<std::uint32_t>(i));
-    nodes.child_begin.push_back(is_last ? 0 : levels_[lvl + 1].size());
+    nodes.child_begin.push_back(is_last ? 0 : out.levels[lvl + 1].size());
     nodes.child_count.push_back(0);
     nodes.leaf_count.push_back(0);
 
     std::uint64_t sub = 1;
     if (!is_last) {
-      sub = expand(lvl + 1);
+      sub = expand_range(params, lvl + 1, 0, params[lvl + 1]->range_size(),
+                         out);
       if (sub == 0) {
         // No valid completion below this prefix: the recursive call left the
         // deeper levels untouched (its own dead children were popped), so we
         // only need to pop this node.
-        ++stats_.dead_prefixes;
+        ++out.dead_prefixes;
         nodes.value_index.pop_back();
         nodes.child_begin.pop_back();
         nodes.child_count.pop_back();
@@ -67,12 +122,63 @@ std::uint64_t space_tree::expand(std::size_t lvl) {
         continue;
       }
       nodes.child_count[node] = static_cast<std::uint32_t>(
-          levels_[lvl + 1].size() - nodes.child_begin[node]);
+          out.levels[lvl + 1].size() - nodes.child_begin[node]);
     }
     nodes.leaf_count[node] = sub;
     leaves += sub;
   }
   return leaves;
+}
+
+void space_tree::stitch(std::vector<partial>& parts) {
+  // Sequential expansion appends a level's nodes grouped by root value, in
+  // root-value order; chunks partition the root range contiguously, so
+  // concatenating the per-chunk level arrays in chunk order reproduces the
+  // sequential node order exactly. Only child_begin needs fixing up: chunk
+  // c's entries at level l index into its private level l+1 array, so they
+  // shift by the combined level-(l+1) size of all earlier chunks.
+  leaf_total_ = 0;
+  stats_.visited_values = 0;
+  stats_.dead_prefixes = 0;
+  for (const partial& part : parts) {
+    leaf_total_ += part.leaves;
+    stats_.visited_values += part.visited_values;
+    stats_.dead_prefixes += part.dead_prefixes;
+  }
+
+  for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+    level& dst = levels_[lvl];
+    std::uint64_t total = 0;
+    for (const partial& part : parts) {
+      total += part.levels[lvl].size();
+    }
+    dst.value_index.reserve(total);
+    dst.child_begin.reserve(total);
+    dst.child_count.reserve(total);
+    dst.leaf_count.reserve(total);
+
+    const bool is_last = lvl + 1 == levels_.size();
+    std::uint64_t next_level_offset = 0;
+    for (partial& part : parts) {
+      level& src = part.levels[lvl];
+      dst.value_index.insert(dst.value_index.end(), src.value_index.begin(),
+                             src.value_index.end());
+      dst.child_count.insert(dst.child_count.end(), src.child_count.begin(),
+                             src.child_count.end());
+      dst.leaf_count.insert(dst.leaf_count.end(), src.leaf_count.begin(),
+                            src.leaf_count.end());
+      if (is_last) {
+        // Leaf nodes store child_begin == 0 — append verbatim.
+        dst.child_begin.insert(dst.child_begin.end(), src.child_begin.begin(),
+                               src.child_begin.end());
+      } else {
+        for (const std::uint64_t begin : src.child_begin) {
+          dst.child_begin.push_back(begin + next_level_offset);
+        }
+        next_level_offset += part.levels[lvl + 1].size();
+      }
+    }
+  }
 }
 
 space_tree::span space_tree::children_of(std::size_t lvl,

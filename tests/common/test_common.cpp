@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <set>
 
 #include "atf/common/csv_writer.hpp"
@@ -60,6 +61,32 @@ TEST(Rng, BetweenIsInclusive) {
   }
   EXPECT_TRUE(saw_lo);
   EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BelowZeroBoundIsFullRangeNotDivisionByZero) {
+  // bound == 0 used to compute (0 - bound) % bound — a modulo by zero. It is
+  // defined as "the full 2^64 range": any 64-bit value may come back.
+  xoshiro256 rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 16; ++i) {
+    seen.insert(rng.below(0));
+  }
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(Rng, BetweenFullInt64SpanDoesNotWrapIntoUb) {
+  // hi - lo + 1 wraps to 0 here, which reaches below(0).
+  xoshiro256 rng(17);
+  bool saw_negative = false;
+  bool saw_positive = false;
+  for (int i = 0; i < 256; ++i) {
+    const auto v = rng.between(std::numeric_limits<std::int64_t>::min(),
+                               std::numeric_limits<std::int64_t>::max());
+    saw_negative |= v < 0;
+    saw_positive |= v > 0;
+  }
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
 }
 
 TEST(Rng, UniformInUnitInterval) {
@@ -189,6 +216,41 @@ TEST(ThreadPool, ParallelForPropagatesExceptions) {
                                    }
                                  }),
                std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // The intra-group generator issues parallel_for from inside a parallel_for
+  // task on the same pool; the caller must drain its own iterations.
+  thread_pool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { total++; });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(PartitionEvenly, CoversRangeWithBalancedSpans) {
+  for (const std::size_t count : {1u, 7u, 16u, 100u, 101u}) {
+    for (const std::size_t parts : {1u, 2u, 3u, 16u}) {
+      const auto bounds = partition_evenly(count, parts);
+      ASSERT_GE(bounds.size(), 2u);
+      EXPECT_EQ(bounds.front(), 0u);
+      EXPECT_EQ(bounds.back(), count);
+      std::size_t min_span = count;
+      std::size_t max_span = 0;
+      for (std::size_t p = 0; p + 1 < bounds.size(); ++p) {
+        ASSERT_LT(bounds[p], bounds[p + 1]);  // contiguous, non-empty
+        min_span = std::min(min_span, bounds[p + 1] - bounds[p]);
+        max_span = std::max(max_span, bounds[p + 1] - bounds[p]);
+      }
+      EXPECT_LE(max_span - min_span, 1u);
+      EXPECT_EQ(bounds.size() - 1, std::min(parts, count));
+    }
+  }
+}
+
+TEST(PartitionEvenly, ZeroCountYieldsSingleBoundary) {
+  EXPECT_EQ(partition_evenly(0, 4), (std::vector<std::size_t>{0}));
 }
 
 TEST(CsvWriter, WritesHeaderAndEscapedRows) {

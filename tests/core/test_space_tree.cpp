@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "atf/common/rng.hpp"
+#include "atf/common/thread_pool.hpp"
 #include "atf/constraint.hpp"
 #include "atf/space_tree.hpp"
 #include "atf/tp.hpp"
@@ -185,6 +186,99 @@ TEST(SpaceTree, GenerationVisitsOnlyConstrainedRanges) {
   // 9 divisors of 100 -> 100 + 9*100 candidate checks.
   EXPECT_EQ(tree.stats().visited_values, 100u + 9u * 100u);
   EXPECT_LT(tree.stats().visited_values, n * n);
+}
+
+// ---------------------------------------------------------------------------
+// Chunked (intra-group) parallel generation must be bit-identical to the
+// sequential expansion: same leaf count, node counts, stats, and the exact
+// same value at every flat index.
+// ---------------------------------------------------------------------------
+
+void expect_trees_identical(const space_tree& sequential,
+                            const space_tree& chunked) {
+  ASSERT_EQ(chunked.size(), sequential.size());
+  ASSERT_EQ(chunked.depth(), sequential.depth());
+  EXPECT_EQ(chunked.node_count(), sequential.node_count());
+  EXPECT_EQ(chunked.stats().visited_values, sequential.stats().visited_values);
+  EXPECT_EQ(chunked.stats().dead_prefixes, sequential.stats().dead_prefixes);
+  for (std::uint64_t i = 0; i < sequential.size(); ++i) {
+    const auto expected = sequential.values_at(i);
+    const auto actual = chunked.values_at(i);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t lvl = 0; lvl < expected.size(); ++lvl) {
+      EXPECT_EQ(atf::from_tp_value<std::size_t>(actual[lvl]),
+                atf::from_tp_value<std::size_t>(expected[lvl]))
+          << "index " << i << " level " << lvl;
+    }
+  }
+}
+
+TEST(SpaceTreeChunked, SaxpyBitIdenticalToSequential) {
+  atf::common::thread_pool pool(4);
+  for (const std::size_t n : {1u, 2u, 24u, 96u}) {
+    const std::size_t kN = n;
+    auto wpt =
+        atf::tp("WPT", atf::interval<std::size_t>(1, kN), atf::divides(kN));
+    auto ls = atf::tp("LS", atf::interval<std::size_t>(1, kN),
+                      atf::divides(kN / wpt));
+    const auto group = atf::G(wpt, ls);
+    const auto sequential = space_tree::generate(group);
+    const auto chunked = space_tree::generate(group, pool);
+    expect_trees_identical(sequential, chunked);
+  }
+}
+
+TEST(SpaceTreeChunked, LargeRootRangeUsesMultipleChunks) {
+  const std::size_t n = 128;
+  auto a = atf::tp("A", atf::interval<std::size_t>(1, n), atf::divides(n));
+  auto b = atf::tp("B", atf::interval<std::size_t>(1, n), atf::divides(a));
+  const auto group = atf::G(a, b);
+  atf::common::thread_pool pool(4);
+  const auto chunked = space_tree::generate(group, pool);
+  EXPECT_GT(chunked.stats().chunks, 1u);
+  expect_trees_identical(space_tree::generate(group), chunked);
+}
+
+TEST(SpaceTreeChunked, DeadPrefixesPrunedIdentically) {
+  auto a = atf::tp("A", atf::interval<int>(1, 64));
+  auto b = atf::tp("B", atf::interval<int>(1, 64),
+                   atf::equal(a) && atf::greater_than(32));
+  const auto group = atf::G(a, b);
+  atf::common::thread_pool pool(4);
+  const auto sequential = space_tree::generate(group);
+  const auto chunked = space_tree::generate(group, pool);
+  ASSERT_EQ(chunked.size(), sequential.size());
+  EXPECT_EQ(chunked.stats().dead_prefixes, sequential.stats().dead_prefixes);
+  EXPECT_EQ(chunked.node_count(), sequential.node_count());
+}
+
+TEST(SpaceTreeChunked, EmptySpaceAndEmptyGroup) {
+  atf::common::thread_pool pool(4);
+  auto a = atf::tp("A", atf::set(2, 4, 6));
+  auto b = atf::tp("B", atf::set(1, 3, 5), atf::is_multiple_of(a));
+  EXPECT_EQ(space_tree::generate(atf::G(a, b), pool).size(), 0u);
+
+  const auto empty_group = space_tree::generate(atf::tp_group{}, pool);
+  EXPECT_EQ(empty_group.size(), 1u);
+  EXPECT_EQ(empty_group.depth(), 0u);
+}
+
+TEST(SpaceTreeChunked, ApplyFromAmbientContextAfterParallelGeneration) {
+  // After parallel generation the ambient context (id 0) must still drive
+  // apply()/eval() — chunk workers write only their leased context slots.
+  const std::size_t n = 24;
+  auto wpt = atf::tp("WPT", atf::interval<std::size_t>(1, n), atf::divides(n));
+  auto ls =
+      atf::tp("LS", atf::interval<std::size_t>(1, n), atf::divides(n / wpt));
+  atf::common::thread_pool pool(4);
+  const auto tree = space_tree::generate(atf::G(wpt, ls), pool);
+  const auto global_size = n / wpt;
+  for (std::uint64_t i = 0; i < tree.size(); ++i) {
+    tree.apply(i);
+    const auto values = tree.values_at(i);
+    EXPECT_EQ(wpt.eval(), atf::from_tp_value<std::size_t>(values[0]));
+    EXPECT_EQ(global_size.eval(), n / wpt.eval());
+  }
 }
 
 // ---------------------------------------------------------------------------

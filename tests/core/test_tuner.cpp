@@ -6,8 +6,10 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 
 #include "atf/atf.hpp"
+#include "atf/common/string_utils.hpp"
 
 namespace {
 
@@ -213,6 +215,71 @@ TEST(Tuner, CsvLogIsWritten) {
     ++rows;
   }
   EXPECT_EQ(rows, 5);
+  std::remove(path.c_str());
+}
+
+TEST(Tuner, VerboseFalseRestoresLogLevel) {
+  const auto original = atf::common::get_log_level();
+  atf::common::set_log_level(atf::common::log_level::warn);
+  {
+    atf::tuner t;
+    t.verbose(true);
+    EXPECT_EQ(atf::common::get_log_level(), atf::common::log_level::info);
+    t.verbose(false);  // used to be a silent no-op, leaving info active
+    EXPECT_EQ(atf::common::get_log_level(), atf::common::log_level::warn);
+
+    // verbose(false) without a prior verbose(true) must not touch the level.
+    t.verbose(false);
+    EXPECT_EQ(atf::common::get_log_level(), atf::common::log_level::warn);
+
+    // Double-enable keeps the first saved level, not info.
+    t.verbose(true).verbose(true).verbose(false);
+    EXPECT_EQ(atf::common::get_log_level(), atf::common::log_level::warn);
+  }
+  atf::common::set_log_level(original);
+}
+
+// A technique that hands back hand-built configurations covering only a
+// subset of the declared parameters, in non-declaration order — what a
+// model-based technique proposing partial updates produces.
+class partial_config_technique final : public atf::search_technique {
+public:
+  atf::configuration get_next_config() override {
+    atf::configuration config;
+    config.add("b", atf::to_tp_value<int>(2));  // omits "a" entirely
+    return config;
+  }
+  void report_cost(double) override {}
+};
+
+TEST(Tuner, CsvLogAlignsPartialConfigsByName) {
+  const std::string path = ::testing::TempDir() + "atf_tuner_partial_log.csv";
+  auto a = atf::tp("a", atf::set(1, 2));
+  auto b = atf::tp("b", atf::set(1, 2));
+  (void)atf::tuner{}
+      .tuning_parameters(a, b)
+      .search_technique(std::make_unique<partial_config_technique>())
+      .abort_condition(atf::cond::evaluations(2))
+      .log_file(path)
+      .tune([](const atf::configuration& config) {
+        return double(int(config["b"]));
+      });
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "evaluation,elapsed_ns,index,a,b,cost,valid");
+  std::string row;
+  std::getline(in, row);
+  // No space index, "a" absent -> "-", "b" in its own column (positional
+  // emission would have written 2 under "a" and thrown on column count).
+  const auto fields = atf::common::split(row, ',');
+  ASSERT_EQ(fields.size(), 7u);
+  EXPECT_EQ(fields[0], "1");
+  EXPECT_EQ(fields[2], "-");  // index
+  EXPECT_EQ(fields[3], "-");  // a
+  EXPECT_EQ(fields[4], "2");  // b
+  EXPECT_EQ(fields[6], "1");  // valid
   std::remove(path.c_str());
 }
 
