@@ -8,6 +8,12 @@
 // around the best slice. All four interface methods are shown:
 // initialize / finalize / get_next_config / report_cost.
 //
+// The samples of one round are planned before any is measured — they are
+// independent — so the technique also overrides propose_batch/report_batch
+// and the tuner runs with batched evaluation: the engine measures a whole
+// slice of the round concurrently, one leased evaluation context per
+// configuration, and reports the costs back in proposal order.
+//
 // Build & run:  ./examples/custom_search_technique
 #include <algorithm>
 #include <cstdio>
@@ -15,6 +21,7 @@
 #include <vector>
 
 #include "atf/atf.hpp"
+#include "atf/cf/generic.hpp"
 #include "atf/common/rng.hpp"
 
 namespace {
@@ -38,13 +45,7 @@ public:
 
   atf::configuration get_next_config() override {
     if (cursor_ >= samples_.size()) {
-      // Round complete: zoom into the best stratum and re-plan.
-      const std::uint64_t width = std::max<std::uint64_t>(
-          1, (hi_ - lo_) / std::max<std::size_t>(strata_, 1));
-      const std::uint64_t center = best_index_;
-      lo_ = center > width ? center - width : 0;
-      hi_ = std::min<std::uint64_t>(space().size(), center + width + 1);
-      plan_round();
+      roll_round();
     }
     last_index_ = samples_[cursor_++];
     return space().config_at(last_index_);
@@ -57,7 +58,47 @@ public:
     }
   }
 
+  // Batch extension: the unmeasured tail of the current round, clamped to
+  // max_configs — its samples were planned together, so they are
+  // independent by construction. Never crosses a round boundary (re-
+  // stratification needs the round's best).
+  std::vector<atf::configuration> propose_batch(
+      std::size_t max_configs) override {
+    if (cursor_ >= samples_.size()) {
+      roll_round();
+    }
+    std::vector<atf::configuration> batch;
+    const std::size_t count =
+        std::min(max_configs, samples_.size() - cursor_);
+    batch.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      batch.push_back(space().config_at(samples_[cursor_ + i]));
+    }
+    return batch;
+  }
+
+  void report_batch(const std::vector<atf::configuration>& configs,
+                    const std::vector<double>& costs) override {
+    for (std::size_t i = 0; i < costs.size(); ++i) {
+      if (costs[i] < best_cost_) {
+        best_cost_ = costs[i];
+        best_index_ = *configs[i].space_index();
+      }
+    }
+    cursor_ += costs.size();
+  }
+
 private:
+  // Re-stratify around the best index seen so far and plan the next round.
+  void roll_round() {
+    const std::uint64_t width = std::max<std::uint64_t>(
+        1, (hi_ - lo_) / std::max<std::size_t>(strata_, 1));
+    const std::uint64_t center = best_index_;
+    lo_ = center > width ? center - width : 0;
+    hi_ = std::min<std::uint64_t>(space().size(), center + width + 1);
+    plan_round();
+  }
+
   void plan_round() {
     ++rounds_;
     samples_.clear();
@@ -103,7 +144,10 @@ int main() {
   tuner.tuning_parameters(x);
   tuner.search_technique(std::make_unique<latin_sweep>(128, 7));
   tuner.abort_condition(atf::cond::evaluations(4'000));
-  auto result = tuner.tune(cost);
+  // The cost function is a pure computation, so whole slices of a round can
+  // be measured concurrently; results still commit in proposal order.
+  tuner.evaluation(atf::evaluation_mode::batched).concurrency(4);
+  auto result = tuner.tune(atf::cf::pure(cost));
 
   std::printf("custom technique result: x=%d, cost=%.2f after %llu "
               "evaluations\n",

@@ -8,6 +8,7 @@
 // energy — or a fully user-defined ordering via a custom comparable type.
 #pragma once
 
+#include <concepts>
 #include <stdexcept>
 #include <string>
 #include <tuple>
@@ -69,5 +70,36 @@ struct cost_traits<std::pair<A, B>> {
            ")";
   }
 };
+
+/// Purity annotation for cost functions. Batched evaluation runs a cost
+/// function concurrently from several worker threads, which is only sound
+/// when invocations do not share mutable state — true for the simulator-
+/// backed cost functions (deterministic analytical models over read-only
+/// inputs) and generally false for real-measurement backends (shared
+/// devices, result-verification buffers, temp files).
+///
+/// A cost function declares itself either with a member function
+/// `bool thread_safe() const` (when safety depends on runtime setup, e.g.
+/// atf::cf::ocl is pure until result verification is enabled) or with a
+/// static member `thread_safe` constant. Unannotated callables are
+/// conservatively reported as not thread-safe; the tuner then logs a
+/// warning when batched evaluation is requested but still honours the
+/// caller's explicit choice.
+template <typename CF>
+[[nodiscard]] bool declares_thread_safe_cost(const CF& cf) {
+  if constexpr (requires {
+                  { cf.thread_safe() } -> std::convertible_to<bool>;
+                }) {
+    return cf.thread_safe();
+  } else if constexpr (requires {
+                         {
+                           std::decay_t<CF>::thread_safe
+                         } -> std::convertible_to<bool>;
+                       }) {
+    return std::decay_t<CF>::thread_safe;
+  } else {
+    return false;
+  }
+}
 
 }  // namespace atf

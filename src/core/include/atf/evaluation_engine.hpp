@@ -1,0 +1,348 @@
+// The evaluation engine: everything that happens between "the search
+// technique proposed a configuration" and "the technique learns its cost" —
+// cache lookup, cost-function invocation, failure accounting, best-cost
+// tracking, improvement history, CSV logging and abort-condition updates —
+// factored out of the tuner's exploration loop so the same pipeline serves
+// both sequential and batched evaluation.
+//
+// Batched mode measures the configurations of one batch concurrently on a
+// shared thread pool. Each worker leases a private evaluation context
+// (tp.hpp), replays its configuration into that context and invokes the
+// cost function there, so arbitrarily many applied configurations are alive
+// at once and launch-geometry expressions evaluate against the right one.
+// Results are *committed* strictly in proposal order, which makes the
+// observable outcome — evaluation numbering, cache contents, CSV rows,
+// improvement history, abort accounting, the returned best — identical to
+// sequential evaluation for pure cost functions, regardless of worker
+// count or completion order. Only wall-clock timestamps differ.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <future>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "atf/abort_condition.hpp"
+#include "atf/common/csv_writer.hpp"
+#include "atf/common/logging.hpp"
+#include "atf/common/stopwatch.hpp"
+#include "atf/common/thread_pool.hpp"
+#include "atf/configuration.hpp"
+#include "atf/cost.hpp"
+#include "atf/search_space.hpp"
+#include "atf/tp.hpp"
+
+namespace atf {
+
+/// How the engine evaluates a proposed batch. Sequential is the default:
+/// real-measurement cost functions (actual devices, compile-and-run
+/// scripts) are rarely safe to invoke concurrently. Batched mode is the
+/// throughput lever for pure cost functions — simulators and profile
+/// models — whose invocations are independent.
+enum class evaluation_mode {
+  sequential,  ///< one configuration at a time, on the calling thread
+  batched,     ///< whole batches concurrently on a worker pool
+};
+
+/// The outcome of a tuning run.
+template <typename CostT>
+struct tuning_result {
+  configuration best;                 ///< valid only if best_cost has a value
+  std::optional<CostT> best_cost;
+  std::uint64_t evaluations = 0;      ///< configurations tested
+  std::uint64_t failed_evaluations = 0;
+  std::uint64_t cached_evaluations = 0;  ///< duplicates served from the cache
+  std::chrono::nanoseconds elapsed{};
+  std::uint64_t search_space_size = 0;
+  std::vector<improvement> history;   ///< best-cost improvement trace
+
+  [[nodiscard]] bool has_best() const noexcept {
+    return best_cost.has_value();
+  }
+
+  /// The best configuration found; throws if every evaluation failed.
+  [[nodiscard]] const configuration& best_configuration() const {
+    if (!has_best()) {
+      throw std::logic_error("tuning_result: no valid configuration found");
+    }
+    return best;
+  }
+};
+
+template <typename CostT>
+class evaluation_engine {
+public:
+  using traits = cost_traits<CostT>;
+  using cost_function = std::function<CostT(const configuration&)>;
+
+  struct options {
+    evaluation_mode mode = evaluation_mode::sequential;
+    std::size_t concurrency = 0;  ///< batched-mode workers; 0 = hardware
+    bool cache = false;           ///< serve repeated indices from a cache
+    std::string log_path;         ///< CSV log; empty = no log
+  };
+
+  /// The committed slice of one evaluated batch: scalars[i] is the
+  /// (scalarized, +inf on failure) cost of the batch's i-th configuration.
+  /// When the abort condition fires mid-batch, scalars covers only the
+  /// configurations committed before the stop.
+  struct batch_outcome {
+    std::vector<double> scalars;
+    bool aborted = false;
+  };
+
+  evaluation_engine(const search_space& space, cost_function cost,
+                    abort_condition abort, options opts)
+      : space_(&space),
+        cost_(std::move(cost)),
+        abort_(std::move(abort)),
+        opts_(std::move(opts)) {
+    result_.search_space_size = space_->size();
+    status_.search_space_size = space_->size();
+
+    if (opts_.mode == evaluation_mode::batched) {
+      std::size_t workers =
+          common::thread_pool::resolve_num_threads(opts_.concurrency);
+      if (workers > detail::max_leased_contexts()) {
+        common::log_warn(
+            "evaluation_engine: clamping evaluation concurrency from ",
+            workers, " to ", detail::max_leased_contexts(),
+            " — the per-parameter slot registry holds ",
+            detail::max_eval_contexts,
+            " evaluation contexts (one is the ambient context)");
+        workers = detail::max_leased_contexts();
+      }
+      batch_limit_ = workers;
+      if (workers > 1) {
+        pool_ = std::make_unique<common::thread_pool>(workers);
+      }
+    }
+
+    if (!opts_.log_path.empty()) {
+      std::vector<std::string> header{"evaluation", "elapsed_ns", "index"};
+      log_names_ = space_->parameter_names();
+      for (const auto& name : log_names_) {
+        header.push_back(name);
+      }
+      header.emplace_back("cost");
+      header.emplace_back("valid");
+      log_ = std::make_unique<common::csv_writer>(opts_.log_path, header);
+    }
+  }
+
+  /// The widest batch the engine can evaluate concurrently (1 in
+  /// sequential mode) — what the tuner passes to propose_batch.
+  [[nodiscard]] std::size_t batch_limit() const noexcept {
+    return batch_limit_;
+  }
+
+  /// Evaluates a batch and commits the results in proposal order. Exceptions
+  /// other than atf::evaluation_error propagate after every earlier
+  /// configuration of the batch has been committed — the same order of
+  /// effects as evaluating one by one.
+  batch_outcome evaluate(const std::vector<configuration>& batch) {
+    batch_outcome out;
+    if (batch.empty()) {
+      return out;
+    }
+
+    std::vector<pending> slots(batch.size());
+    if (pool_ && batch.size() > 1) {
+      dispatch(batch, slots);
+    }
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      pending& slot = slots[i];
+      const std::optional<std::uint64_t> index = batch[i].space_index();
+      if (!slot.evaluated && index.has_value()) {
+        // Sequential path: replay into the ambient context, exactly like
+        // the pre-engine tuner loop (batched workers replayed into their
+        // own context already, inside dispatch).
+        space_->apply(*index);
+      }
+
+      std::optional<CostT> cost;
+      bool from_cache = false;
+      if (opts_.cache && index.has_value()) {
+        const auto hit = cache_.find(*index);
+        if (hit != cache_.end()) {
+          from_cache = true;
+          cost = hit->second;
+          ++result_.cached_evaluations;
+        }
+      }
+      if (!from_cache) {
+        if (!slot.evaluated) {
+          run_cost(batch[i], slot);
+        }
+        if (slot.error) {
+          std::rethrow_exception(slot.error);
+        }
+        cost = std::move(slot.cost);
+        if (opts_.cache && index.has_value()) {
+          cache_.emplace(*index, cost);
+        }
+      }
+
+      out.scalars.push_back(commit(batch[i], cost, from_cache, slot.failure));
+      if (abort_(status_)) {
+        out.aborted = true;
+        break;
+      }
+    }
+    return out;
+  }
+
+  /// Finishes the run: stamps the total elapsed time and hands the
+  /// accumulated result over.
+  [[nodiscard]] tuning_result<CostT> finish() {
+    result_.elapsed = timer_.elapsed();
+    return std::move(result_);
+  }
+
+  [[nodiscard]] const tuning_status& status() const noexcept {
+    return status_;
+  }
+
+private:
+  /// One batch entry's evaluation outcome, filled either by a pool worker
+  /// or inline during the commit loop.
+  struct pending {
+    std::optional<CostT> cost;
+    std::string failure;         ///< evaluation_error message, if any
+    std::exception_ptr error;    ///< non-evaluation_error escape
+    bool evaluated = false;
+  };
+
+  /// Runs the cost function for one configuration on the calling thread.
+  /// Expressions over tuning parameters read the calling thread's current
+  /// evaluation context, into which the configuration was already replayed.
+  void run_cost(const configuration& config, pending& slot) {
+    try {
+      slot.cost = cost_(config);
+    } catch (const evaluation_error& error) {
+      slot.failure = error.what();
+    } catch (...) {
+      slot.error = std::current_exception();
+    }
+    slot.evaluated = true;
+  }
+
+  /// Batched path: evaluates every batch entry that cannot be served from
+  /// the cache on the pool, each under a freshly leased evaluation context.
+  void dispatch(const std::vector<configuration>& batch,
+                std::vector<pending>& slots) {
+    // Decide in proposal order which entries actually run the cost
+    // function: with caching on, an index that is already cached — or that
+    // a preceding entry of this same batch will evaluate — is served from
+    // the cache at commit time instead, exactly as the sequential loop
+    // would have done.
+    std::vector<std::size_t> to_run;
+    to_run.reserve(batch.size());
+    std::unordered_set<std::uint64_t> scheduled;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const std::optional<std::uint64_t> index = batch[i].space_index();
+      if (opts_.cache && index.has_value()) {
+        if (cache_.contains(*index) || !scheduled.insert(*index).second) {
+          continue;
+        }
+      }
+      to_run.push_back(i);
+    }
+
+    std::vector<std::future<void>> futures;
+    futures.reserve(to_run.size());
+    for (const std::size_t i : to_run) {
+      futures.push_back(pool_->submit([this, &batch, &slots, i] {
+        detail::scoped_eval_context context;
+        const std::optional<std::uint64_t> index = batch[i].space_index();
+        if (index.has_value()) {
+          space_->apply(*index, context);
+        }
+        run_cost(batch[i], slots[i]);
+      }));
+    }
+    for (auto& future : futures) {
+      future.get();
+    }
+  }
+
+  /// Folds one evaluated configuration into the run's accumulated state and
+  /// returns the scalar reported to the search technique.
+  double commit(const configuration& config, const std::optional<CostT>& cost,
+                bool from_cache, const std::string& failure) {
+    double scalar = std::numeric_limits<double>::infinity();
+    if (cost.has_value()) {
+      scalar = traits::scalar(*cost);
+    } else if (!from_cache) {
+      ++result_.failed_evaluations;
+      ++status_.failed_evaluations;
+      common::log_debug("evaluation failed: ", failure);
+    }
+
+    ++result_.evaluations;
+    status_.evaluations = result_.evaluations;
+    status_.elapsed = timer_.elapsed();
+
+    if (cost.has_value() &&
+        (!result_.best_cost.has_value() || *cost < *result_.best_cost)) {
+      result_.best_cost = cost;
+      result_.best = config;
+      const improvement event{status_.elapsed, result_.evaluations, scalar};
+      result_.history.push_back(event);
+      status_.history.push_back(event);
+      status_.best_cost = scalar;
+      common::log_info("new best after ", result_.evaluations,
+                       " evaluations: cost=", traits::describe(*cost), " [",
+                       config.to_string(), "]");
+    }
+
+    if (log_) {
+      std::vector<std::string> row{
+          std::to_string(result_.evaluations),
+          std::to_string(status_.elapsed.count()),
+          config.space_index().has_value()
+              ? std::to_string(*config.space_index())
+              : std::string("-")};
+      // Align values to the header by *name*: a custom search technique
+      // may hand back a configuration with fewer or reordered entries, and
+      // positional emission would corrupt columns (or throw mid-run on a
+      // row-length mismatch) — absent parameters log as "-".
+      for (const auto& name : log_names_) {
+        row.push_back(config.contains(name)
+                          ? atf::to_string(config.value_of(name))
+                          : std::string("-"));
+      }
+      row.push_back(cost.has_value() ? traits::describe(*cost)
+                                     : std::string("failed"));
+      row.push_back(cost.has_value() ? "1" : "0");
+      log_->write_row(row);
+    }
+    return scalar;
+  }
+
+  const search_space* space_;
+  cost_function cost_;
+  abort_condition abort_;
+  options opts_;
+  std::size_t batch_limit_ = 1;
+  std::unique_ptr<common::thread_pool> pool_;
+  std::unique_ptr<common::csv_writer> log_;
+  std::vector<std::string> log_names_;
+  std::unordered_map<std::uint64_t, std::optional<CostT>> cache_;
+  tuning_result<CostT> result_;
+  tuning_status status_;
+  common::stopwatch timer_;
+};
+
+}  // namespace atf

@@ -2,7 +2,9 @@
 // the search space and therefore finds the provably best configuration. It
 // is the tuner's default technique. finalize and report_cost are no-ops;
 // get_next_config returns each configuration in turn (wrapping around if the
-// abort condition allows more evaluations than the space holds).
+// abort condition allows more evaluations than the space holds). Every
+// proposal is independent of every cost, so the whole sweep is a natural
+// batch: propose_batch hands out the next `max_configs` indices at once.
 #pragma once
 
 #include "atf/search_technique.hpp"
@@ -23,6 +25,16 @@ public:
   }
 
   void report_cost(double /*cost*/) override {}
+
+  [[nodiscard]] std::vector<configuration> propose_batch(
+      std::size_t max_configs) override {
+    std::vector<configuration> batch;
+    batch.reserve(max_configs);
+    for (std::size_t i = 0; i < max_configs; ++i) {
+      batch.push_back(get_next_config());
+    }
+    return batch;
+  }
 
 private:
   std::uint64_t next_ = 0;

@@ -74,8 +74,18 @@ public:
   [[nodiscard]] configuration config_at(std::uint64_t index) const;
 
   /// Replays configuration `index` into the shared tp slots so dependent
-  /// expressions (e.g. atf::glb_size arithmetic) evaluate against it.
+  /// expressions (e.g. atf::glb_size arithmetic) evaluate against it. The
+  /// values land in the calling thread's *current* evaluation context.
   void apply(std::uint64_t index) const;
+
+  /// Replays configuration `index` into the private evaluation context
+  /// leased by `context`, leaving the calling thread's current context
+  /// untouched. Holding one lease per configuration keeps several applied
+  /// configurations alive at once — the batched cost-evaluation pattern:
+  /// expressions read the replayed values while the lease's context is
+  /// active (scoped_eval_context::activate, or evaluating on the thread
+  /// that constructed the lease).
+  void apply(std::uint64_t index, const scoped_eval_context& context) const;
 
   [[nodiscard]] std::uint64_t random_index(common::xoshiro256& rng) const;
 

@@ -12,7 +12,19 @@
 // configuration via get_next_config, evaluate it with the cost function, and
 // feed the (scalarized) cost back via report_cost — until the abort
 // condition fires. New techniques are added by deriving from this class.
+//
+// Batch extension. Techniques that can propose several *independent*
+// configurations before seeing any of their costs may override
+// propose_batch/report_batch; the evaluation engine then measures a whole
+// batch concurrently (each configuration replayed into its own evaluation
+// context). The default implementations shim onto the sequential protocol —
+// propose_batch returns exactly the one configuration get_next_config would
+// have returned, and report_batch forwards each cost to report_cost — so
+// every existing technique keeps its exact sequential behaviour without
+// changes.
 #pragma once
+
+#include <vector>
 
 #include "atf/configuration.hpp"
 #include "atf/search_space.hpp"
@@ -36,6 +48,34 @@ public:
   /// Reports the (scalarized) cost of the configuration last returned by
   /// get_next_config. Failed evaluations are reported as +infinity.
   virtual void report_cost(double cost) = 0;
+
+  /// Up to `max_configs` configurations whose evaluations are independent —
+  /// none of them depends on the cost of another configuration in the same
+  /// batch. Returning fewer (but at least one) is always allowed; the
+  /// default returns a single configuration, which keeps techniques whose
+  /// next proposal depends on the last reported cost (annealing, simplex
+  /// methods) strictly sequential.
+  [[nodiscard]] virtual std::vector<configuration> propose_batch(
+      std::size_t max_configs) {
+    (void)max_configs;
+    std::vector<configuration> batch;
+    batch.push_back(get_next_config());
+    return batch;
+  }
+
+  /// Reports the costs of a batch previously returned by propose_batch:
+  /// costs[i] belongs to configs[i]. When the abort condition fires inside a
+  /// batch, `costs` covers only the evaluations that were committed —
+  /// costs.size() <= configs.size(); the surplus configurations were never
+  /// measured. The default forwards each cost to report_cost in order,
+  /// which is exactly the sequential protocol.
+  virtual void report_batch(const std::vector<configuration>& configs,
+                            const std::vector<double>& costs) {
+    (void)configs;
+    for (const double cost : costs) {
+      report_cost(cost);
+    }
+  }
 
 protected:
   [[nodiscard]] const search_space& space() const { return *space_; }

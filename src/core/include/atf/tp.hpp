@@ -46,6 +46,15 @@ namespace detail {
 /// ids 1..max_eval_contexts-1 are leased through eval_context_registry.
 inline constexpr std::size_t max_eval_contexts = 64;
 
+/// Largest number of *leased* contexts that can be live simultaneously
+/// (context 0 is never leased). Thread pools and evaluation batches are
+/// clamped to this width: a wider pool whose tasks all lease a context
+/// would leave the excess tasks blocked in eval_context_registry::acquire,
+/// and any future nesting of leases could then deadlock the registry.
+[[nodiscard]] inline constexpr std::size_t max_leased_contexts() noexcept {
+  return max_eval_contexts - 1;
+}
+
 /// The evaluation context this thread reads and writes tp slots through.
 /// Plain thread_local integer: no dynamic initialization, so the access in
 /// tp::eval() compiles to a single TLS load.
@@ -100,9 +109,30 @@ private:
   }
 };
 
+/// RAII switch of the calling thread onto an already-leased context id; the
+/// previous context is restored on destruction. Lets one thread hold several
+/// scoped_eval_context leases and hop between them (e.g. replaying a second
+/// configuration while the first stays applied in its own context).
+class eval_context_switch {
+public:
+  explicit eval_context_switch(std::size_t id) noexcept
+      : previous_(eval_context_id) {
+    eval_context_id = id;
+  }
+
+  eval_context_switch(const eval_context_switch&) = delete;
+  eval_context_switch& operator=(const eval_context_switch&) = delete;
+
+  ~eval_context_switch() { eval_context_id = previous_; }
+
+private:
+  std::size_t previous_;
+};
+
 /// RAII lease of a private evaluation context: acquires an id, installs it as
 /// this thread's context, and restores the previous context on destruction.
-/// Used by the intra-group parallel generator around each chunk expansion.
+/// Used by the intra-group parallel generator around each chunk expansion and
+/// by the evaluation engine around each batched cost evaluation.
 class scoped_eval_context {
 public:
   scoped_eval_context()
@@ -119,6 +149,13 @@ public:
   }
 
   [[nodiscard]] std::size_t id() const noexcept { return id_; }
+
+  /// Switches the calling thread onto this lease's context for the guard's
+  /// lifetime — expressions over tuning parameters then read the values
+  /// replayed into this context (see search_space::apply(index, context)).
+  [[nodiscard]] eval_context_switch activate() const noexcept {
+    return eval_context_switch(id_);
+  }
 
 private:
   std::size_t id_;
@@ -142,6 +179,12 @@ struct tp_state {
 };
 
 }  // namespace detail
+
+/// Public spelling of the private-context lease: callers that keep several
+/// applied configurations alive at once (batched cost evaluation) hold one
+/// scoped_eval_context per configuration and replay through
+/// search_space::apply(index, context).
+using scoped_eval_context = detail::scoped_eval_context;
 
 /// User-facing tuning-parameter handle. Copies share state, so a parameter
 /// can appear both in the tuner's parameter list and inside the constraints

@@ -3,26 +3,30 @@
 // abort condition fires (paper, Section II). The cost function may return
 // any type with operator< (multi-objective tuning via lexicographic
 // composites); the best configuration under that order is returned.
+//
+// The exploration loop itself is a thin shell: the tuner asks the technique
+// for a batch of configurations (one, unless the technique supports batch
+// proposals and batched evaluation is enabled), hands the batch to the
+// evaluation engine — which owns the measure/cache/log/best-tracking
+// pipeline, see evaluation_engine.hpp — and reports the committed costs
+// back. Batched evaluation measures independent configurations concurrently
+// and is bit-identical to sequential evaluation for pure cost functions.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
-#include <limits>
 #include <memory>
 #include <optional>
 #include <stdexcept>
-#include <unordered_map>
 #include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "atf/abort_condition.hpp"
-#include "atf/common/csv_writer.hpp"
 #include "atf/common/logging.hpp"
-#include "atf/common/stopwatch.hpp"
 #include "atf/configuration.hpp"
 #include "atf/cost.hpp"
+#include "atf/evaluation_engine.hpp"
 #include "atf/exhaustive.hpp"
 #include "atf/search_space.hpp"
 #include "atf/search_technique.hpp"
@@ -36,31 +40,6 @@ namespace atf {
 class empty_search_space_error : public std::runtime_error {
 public:
   using std::runtime_error::runtime_error;
-};
-
-/// The outcome of a tuning run.
-template <typename CostT>
-struct tuning_result {
-  configuration best;                 ///< valid only if best_cost has a value
-  std::optional<CostT> best_cost;
-  std::uint64_t evaluations = 0;      ///< configurations tested
-  std::uint64_t failed_evaluations = 0;
-  std::uint64_t cached_evaluations = 0;  ///< duplicates served from the cache
-  std::chrono::nanoseconds elapsed{};
-  std::uint64_t search_space_size = 0;
-  std::vector<improvement> history;   ///< best-cost improvement trace
-
-  [[nodiscard]] bool has_best() const noexcept {
-    return best_cost.has_value();
-  }
-
-  /// The best configuration found; throws if every evaluation failed.
-  [[nodiscard]] const configuration& best_configuration() const {
-    if (!has_best()) {
-      throw std::logic_error("tuning_result: no valid configuration found");
-    }
-    return best;
-  }
 };
 
 class tuner {
@@ -117,6 +96,27 @@ public:
                               : generation_mode::sequential);
   }
 
+  /// Chooses how proposed configurations are evaluated. The default is
+  /// sequential — safe for every cost function. Batched mode measures the
+  /// configurations of a batch concurrently on worker threads (each one
+  /// replayed into a private evaluation context) and is the right choice
+  /// for pure cost functions such as the simulator-backed ones; results
+  /// are bit-identical to sequential mode there. A cost function that is
+  /// not annotated thread-safe (see atf::declares_thread_safe_cost) earns
+  /// a warning but the explicit choice is honoured.
+  tuner& evaluation(evaluation_mode mode) {
+    evaluation_mode_ = mode;
+    return *this;
+  }
+
+  /// Worker count for batched evaluation (0 = hardware concurrency).
+  /// Clamped to the number of leasable evaluation contexts
+  /// (detail::max_eval_contexts - 1), with a logged warning.
+  tuner& concurrency(std::size_t workers) {
+    concurrency_ = workers;
+    return *this;
+  }
+
   /// Appends every evaluation to a CSV file.
   tuner& log_file(std::string path) {
     log_path_ = std::move(path);
@@ -150,13 +150,23 @@ public:
     return *this;
   }
 
-  /// Forces regeneration and returns the search space (generates lazily on
-  /// first use otherwise).
+  /// The search space, generated lazily on first use and reused afterwards.
+  /// Declaring parameters or changing the generation mode discards the
+  /// cached space; call invalidate_space() to force regeneration by hand.
   const search_space& space() {
     if (!space_.has_value()) {
       space_ = search_space::generate(groups_, generation_mode_);
     }
     return *space_;
+  }
+
+  /// Discards the cached search space so the next space()/tune() call
+  /// regenerates it from the declared parameters — for callers that mutate
+  /// ranges or constraints behind the tp handles and genuinely need a
+  /// fresh generation.
+  tuner& invalidate_space() {
+    space_.reset();
+    return *this;
   }
 
   /// Runs the exploration loop. CF is any callable taking a
@@ -166,7 +176,6 @@ public:
       -> tuning_result<std::decay_t<std::invoke_result_t<CF&, const configuration&>>> {
     using cost_t =
         std::decay_t<std::invoke_result_t<CF&, const configuration&>>;
-    using traits = cost_traits<cost_t>;
 
     const search_space& sp = space();
     if (sp.empty()) {
@@ -177,118 +186,44 @@ public:
     if (!technique_) {
       technique_ = std::make_unique<exhaustive>();
     }
-    atf::abort_condition abort =
-        abort_.valid() ? abort_ : cond::evaluations(sp.size());
 
-    std::unique_ptr<common::csv_writer> log;
-    const std::vector<std::string> log_names = sp.parameter_names();
-    if (!log_path_.empty()) {
-      std::vector<std::string> header{"evaluation", "elapsed_ns", "index"};
-      for (const auto& name : log_names) {
-        header.push_back(name);
-      }
-      header.emplace_back("cost");
-      header.emplace_back("valid");
-      log = std::make_unique<common::csv_writer>(log_path_, header);
+    typename evaluation_engine<cost_t>::options opts;
+    opts.mode = evaluation_mode_;
+    opts.concurrency = concurrency_;
+    opts.cache = cache_;
+    opts.log_path = log_path_;
+    if (opts.mode == evaluation_mode::batched &&
+        !declares_thread_safe_cost(cost_function)) {
+      common::log_warn(
+          "atf::tuner: batched evaluation requested for a cost function "
+          "that is not annotated thread-safe — batched mode assumes a pure "
+          "cost function; keep real-measurement backends sequential");
     }
 
-    tuning_result<cost_t> result;
-    result.search_space_size = sp.size();
-
-    // index -> (cost or failure) for cache_evaluations(true).
-    std::unordered_map<std::uint64_t, std::optional<cost_t>> seen;
-
-    tuning_status status;
-    status.search_space_size = sp.size();
+    evaluation_engine<cost_t> engine(
+        sp,
+        [&cost_function](const configuration& config) -> cost_t {
+          return cost_function(config);
+        },
+        abort_.valid() ? abort_ : cond::evaluations(sp.size()),
+        std::move(opts));
 
     technique_->initialize(sp);
-    common::stopwatch timer;
-
+    const std::size_t batch_limit = engine.batch_limit();
     for (;;) {
-      configuration config = technique_->get_next_config();
-      // Replay the configuration into the shared tp slots so that dependent
-      // expressions (kernel launch geometry etc.) evaluate against it.
-      if (config.space_index().has_value()) {
-        sp.apply(*config.space_index());
+      const std::vector<configuration> batch =
+          technique_->propose_batch(batch_limit);
+      if (batch.empty()) {
+        break;  // the technique has nothing left to propose
       }
-
-      std::optional<cost_t> cost;
-      double scalar = std::numeric_limits<double>::infinity();
-      bool from_cache = false;
-      if (cache_ && config.space_index().has_value()) {
-        const auto hit = seen.find(*config.space_index());
-        if (hit != seen.end()) {
-          from_cache = true;
-          cost = hit->second;
-          if (cost.has_value()) {
-            scalar = traits::scalar(*cost);
-          }
-          ++result.cached_evaluations;
-        }
-      }
-      if (!from_cache) {
-        try {
-          cost = cost_function(static_cast<const configuration&>(config));
-          scalar = traits::scalar(*cost);
-        } catch (const evaluation_error& error) {
-          ++result.failed_evaluations;
-          ++status.failed_evaluations;
-          common::log_debug("evaluation failed: ", error.what());
-        }
-        if (cache_ && config.space_index().has_value()) {
-          seen.emplace(*config.space_index(), cost);
-        }
-      }
-
-      ++result.evaluations;
-      status.evaluations = result.evaluations;
-      status.elapsed = timer.elapsed();
-
-      if (cost.has_value() &&
-          (!result.best_cost.has_value() || *cost < *result.best_cost)) {
-        result.best_cost = cost;
-        result.best = config;
-        const improvement event{status.elapsed, result.evaluations, scalar};
-        result.history.push_back(event);
-        status.history.push_back(event);
-        status.best_cost = scalar;
-        common::log_info("new best after ", result.evaluations,
-                         " evaluations: cost=", traits::describe(*cost), " [",
-                         config.to_string(), "]");
-      }
-
-      if (log) {
-        std::vector<std::string> row{
-            std::to_string(result.evaluations),
-            std::to_string(status.elapsed.count()),
-            config.space_index().has_value()
-                ? std::to_string(*config.space_index())
-                : std::string("-")};
-        // Align values to the header by *name*: a custom search technique
-        // may hand back a configuration with fewer or reordered entries, and
-        // positional emission would corrupt columns (or throw mid-run on a
-        // row-length mismatch) — absent parameters log as "-".
-        for (const auto& name : log_names) {
-          row.push_back(config.contains(name)
-                            ? atf::to_string(config.value_of(name))
-                            : std::string("-"));
-        }
-        row.push_back(cost.has_value() ? traits::describe(*cost)
-                                       : std::string("failed"));
-        row.push_back(cost.has_value() ? "1" : "0");
-        log->write_row(row);
-      }
-
-      technique_->report_cost(scalar);
-
-      if (abort(status)) {
+      const auto outcome = engine.evaluate(batch);
+      technique_->report_batch(batch, outcome.scalars);
+      if (outcome.aborted) {
         break;
       }
     }
-
     technique_->finalize();
-    result.elapsed = timer.elapsed();
-    return result;
+    return engine.finish();
   }
 
   /// Paper-style spelling: the tuner object is callable.
@@ -303,6 +238,8 @@ private:
   atf::abort_condition abort_;
   std::optional<search_space> space_;
   generation_mode generation_mode_ = generation_mode::intra_group;
+  evaluation_mode evaluation_mode_ = evaluation_mode::sequential;
+  std::size_t concurrency_ = 0;
   std::optional<common::log_level> pre_verbose_log_level_;
   bool cache_ = false;
   std::string log_path_;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "atf/common/logging.hpp"
 #include "atf/common/stopwatch.hpp"
 #include "atf/common/thread_pool.hpp"
 
@@ -69,7 +70,20 @@ search_space search_space::generate(const std::vector<tp_group>& groups,
       // onto the same pool (parallel_for is re-entrant — the group task
       // itself drains chunk iterations). Per-thread evaluation contexts keep
       // concurrent chunks of the same group from racing on the tp slots.
-      common::thread_pool pool(threads);
+      // The pool is clamped to the number of leasable contexts: a wider
+      // pool gains nothing (every chunk task leases a context, so the
+      // excess workers would only block inside the lease registry).
+      std::size_t resolved = common::thread_pool::resolve_num_threads(threads);
+      if (resolved > detail::max_leased_contexts()) {
+        common::log_warn(
+            "search_space: clamping the generation pool from ", resolved,
+            " to ", detail::max_leased_contexts(),
+            " threads — the per-parameter slot registry holds ",
+            detail::max_eval_contexts,
+            " evaluation contexts (one is the ambient context)");
+        resolved = detail::max_leased_contexts();
+      }
+      common::thread_pool pool(resolved);
       pool.parallel_for(groups.size(), [&](std::size_t g) {
         space.trees_[g] = space_tree::generate(groups[g], pool);
       });
@@ -146,6 +160,12 @@ void search_space::apply(std::uint64_t index) const {
   for (std::size_t g = 0; g < trees_.size(); ++g) {
     trees_[g].apply(leaves[g]);
   }
+}
+
+void search_space::apply(std::uint64_t index,
+                         const scoped_eval_context& context) const {
+  const auto guard = context.activate();
+  apply(index);
 }
 
 std::uint64_t search_space::random_index(common::xoshiro256& rng) const {

@@ -16,7 +16,8 @@ namespace atf::cf {
 template <typename F>
 class generic_cf {
 public:
-  explicit generic_cf(F fn) : fn_(std::move(fn)) {}
+  explicit generic_cf(F fn, bool thread_safe = false)
+      : fn_(std::move(fn)), thread_safe_(thread_safe) {}
 
   auto operator()(const atf::configuration& config) const {
     try {
@@ -28,14 +29,28 @@ public:
     }
   }
 
+  /// Purity annotation consumed by atf::declares_thread_safe_cost — true
+  /// only when constructed via cf::pure (or with thread_safe = true),
+  /// promising the wrapped callable is safe to invoke concurrently.
+  [[nodiscard]] bool thread_safe() const noexcept { return thread_safe_; }
+
 private:
   F fn_;
+  bool thread_safe_;
 };
 
 /// Wraps an arbitrary callable returning any type with operator<.
 template <typename F>
 generic_cf<std::decay_t<F>> generic(F&& fn) {
   return generic_cf<std::decay_t<F>>(std::forward<F>(fn));
+}
+
+/// Like cf::generic, but annotates the callable as pure — invocations share
+/// no mutable state, so the tuner's batched evaluation mode can run them
+/// concurrently without a warning. The promise is the caller's.
+template <typename F>
+generic_cf<std::decay_t<F>> pure(F&& fn) {
+  return generic_cf<std::decay_t<F>>(std::forward<F>(fn), true);
 }
 
 }  // namespace atf::cf

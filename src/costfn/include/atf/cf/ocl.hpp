@@ -124,6 +124,12 @@ public:
   /// multi-objective tuning (runtime first, energy second).
   atf::cost_pair runtime_energy(const atf::configuration& config) const;
 
+  /// Purity annotation (atf::declares_thread_safe_cost): evaluations are
+  /// pure — the analytic performance model reads only immutable session
+  /// state — unless verify_output enabled functional execution, which runs
+  /// the kernel against the shared argument buffers.
+  [[nodiscard]] bool thread_safe() const noexcept { return !verify_; }
+
   [[nodiscard]] const ocls::device& dev() const;
 
 private:
@@ -188,6 +194,11 @@ public:
 
   double operator()(const atf::configuration& config) const {
     return impl_(config);
+  }
+
+  /// Purity annotation, delegated to the underlying OpenCL cost function.
+  [[nodiscard]] bool thread_safe() const noexcept {
+    return impl_.thread_safe();
   }
 
 private:

@@ -45,6 +45,11 @@ public:
 
   program_cost operator()(const atf::configuration& config) const;
 
+  /// Never thread-safe: the compile and run scripts rewrite the source
+  /// file's build artifacts in place, so concurrent evaluations would race
+  /// on the filesystem.
+  static constexpr bool thread_safe = false;
+
 private:
   std::string source_path_;
   std::string compile_script_;

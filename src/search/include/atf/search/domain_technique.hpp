@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "atf/search/numeric_domain.hpp"
 
@@ -29,6 +30,28 @@ public:
   /// The cost of the point last returned by next_point. Failed evaluations
   /// are reported as +infinity.
   virtual void report(double cost) = 0;
+
+  /// Batch extension mirroring search_technique's: up to max_points points
+  /// whose costs can be measured independently before any is reported. The
+  /// default shims keep every existing technique working unchanged (a batch
+  /// of one); techniques with a natural batch — genetic's generation —
+  /// override both natively.
+  [[nodiscard]] virtual std::vector<point> propose_points(
+      std::size_t max_points) {
+    (void)max_points;
+    std::vector<point> batch;
+    batch.push_back(next_point());
+    return batch;
+  }
+
+  /// Reports the costs of the points from the last propose_points call, in
+  /// proposal order. costs.size() may be smaller than the proposed batch
+  /// when the driver aborted mid-batch; unreported points are forgotten.
+  virtual void report_points(const std::vector<double>& costs) {
+    for (const double cost : costs) {
+      report(cost);
+    }
+  }
 };
 
 }  // namespace atf::search

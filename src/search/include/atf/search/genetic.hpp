@@ -34,6 +34,14 @@ public:
   [[nodiscard]] point next_point() override;
   void report(double cost) override;
 
+  /// Native batch: the unevaluated tail of the current generation, clamped
+  /// to max_points. Individuals of one generation are independent by
+  /// construction, so they can be measured concurrently; a batch never
+  /// crosses a generation boundary — breeding needs the full fitness
+  /// vector, and the per-cost report() keeps advancing the cursor.
+  [[nodiscard]] std::vector<point> propose_points(
+      std::size_t max_points) override;
+
 private:
   void breed_next_generation();
   [[nodiscard]] std::size_t tournament_select();

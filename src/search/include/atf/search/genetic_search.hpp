@@ -1,0 +1,43 @@
+// The genetic algorithm as a standalone ATF search technique.
+//
+// Like opentuner_search, the adapter exposes ATF's constrained space to the
+// numeric technique as a single integer axis in [0, S) — every index is a
+// valid configuration by construction. Where opentuner_search wraps the
+// whole AUC-bandit ensemble, this adapter drives the genetic engine alone,
+// and forwards the batch protocol natively: one generation's individuals
+// are independent, so the evaluation engine can measure a whole generation
+// (or a pool-sized slice of it) concurrently.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atf/search/genetic.hpp"
+#include "atf/search/numeric_domain.hpp"
+#include "atf/search_technique.hpp"
+
+namespace atf::search {
+
+class genetic_search final : public atf::search_technique {
+public:
+  explicit genetic_search(std::uint64_t seed = 0x5eed);
+  genetic_search(genetic::options opts, std::uint64_t seed = 0x5eed);
+
+  void initialize(const search_space& space) override;
+  [[nodiscard]] configuration get_next_config() override;
+  void report_cost(double cost) override;
+
+  /// Forwards to genetic::propose_points — the unevaluated slice of the
+  /// current generation, clamped to max_configs.
+  [[nodiscard]] std::vector<configuration> propose_batch(
+      std::size_t max_configs) override;
+  void report_batch(const std::vector<configuration>& configs,
+                    const std::vector<double>& costs) override;
+
+private:
+  genetic engine_;
+  numeric_domain domain_;  ///< genetic keeps a pointer into this
+  std::uint64_t seed_;
+};
+
+}  // namespace atf::search

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "atf/common/rng.hpp"
 #include "atf/search_technique.hpp"
@@ -16,6 +17,12 @@ public:
   void initialize(const search_space& space) override;
   [[nodiscard]] configuration get_next_config() override;
   void report_cost(double cost) override;
+
+  /// Native batch proposal: random draws are independent, so a batch is
+  /// simply the next max_configs draws of the same RNG stream — the
+  /// proposal sequence is identical for every batch width.
+  [[nodiscard]] std::vector<configuration> propose_batch(
+      std::size_t max_configs) override;
 
 private:
   common::xoshiro256 rng_;

@@ -22,6 +22,17 @@ void genetic::initialize(const numeric_domain& domain, std::uint64_t seed) {
 
 point genetic::next_point() { return population_[cursor_]; }
 
+std::vector<point> genetic::propose_points(std::size_t max_points) {
+  const std::size_t count =
+      std::min(max_points, population_.size() - cursor_);
+  std::vector<point> batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    batch.push_back(population_[cursor_ + i]);
+  }
+  return batch;
+}
+
 void genetic::report(double cost) {
   fitness_[cursor_] = cost;
   if (++cursor_ == population_.size()) {

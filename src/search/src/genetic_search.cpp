@@ -1,0 +1,42 @@
+#include "atf/search/genetic_search.hpp"
+
+namespace atf::search {
+
+genetic_search::genetic_search(std::uint64_t seed) : seed_(seed) {}
+
+genetic_search::genetic_search(genetic::options opts, std::uint64_t seed)
+    : engine_(opts), seed_(seed) {}
+
+void genetic_search::initialize(const search_space& space) {
+  search_technique::initialize(space);
+  // One axis: the configuration index TP in [0, S). The engine stores a
+  // pointer to the domain, so it lives here as a member.
+  domain_ = numeric_domain({space.size()});
+  engine_.initialize(domain_, seed_);
+}
+
+configuration genetic_search::get_next_config() {
+  const point p = engine_.next_point();
+  return space().config_at(p[0]);
+}
+
+void genetic_search::report_cost(double cost) { engine_.report(cost); }
+
+std::vector<configuration> genetic_search::propose_batch(
+    std::size_t max_configs) {
+  const std::vector<point> points = engine_.propose_points(max_configs);
+  std::vector<configuration> batch;
+  batch.reserve(points.size());
+  for (const point& p : points) {
+    batch.push_back(space().config_at(p[0]));
+  }
+  return batch;
+}
+
+void genetic_search::report_batch(const std::vector<configuration>& configs,
+                                  const std::vector<double>& costs) {
+  (void)configs;
+  engine_.report_points(costs);
+}
+
+}  // namespace atf::search

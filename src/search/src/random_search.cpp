@@ -15,4 +15,14 @@ configuration random_search::get_next_config() {
 
 void random_search::report_cost(double /*cost*/) {}
 
+std::vector<configuration> random_search::propose_batch(
+    std::size_t max_configs) {
+  std::vector<configuration> batch;
+  batch.reserve(max_configs);
+  for (std::size_t i = 0; i < max_configs; ++i) {
+    batch.push_back(get_next_config());
+  }
+  return batch;
+}
+
 }  // namespace atf::search

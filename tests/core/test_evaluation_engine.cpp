@@ -1,0 +1,271 @@
+// Evaluation-engine tests: batch limits and the concurrency clamp, proposal-
+// order commits, cache semantics within and across batches, abort truncation
+// and exception ordering — the determinism contract batched tuning relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "atf/atf.hpp"
+#include "atf/evaluation_engine.hpp"
+
+namespace {
+
+using engine_t = atf::evaluation_engine<double>;
+
+atf::search_space make_space(int lo, int hi) {
+  auto x = atf::tp("x", atf::interval<int>(lo, hi));
+  return atf::search_space::generate({atf::G(x)},
+                                     atf::generation_mode::sequential);
+}
+
+std::vector<atf::configuration> configs_of(const atf::search_space& space,
+                                           std::vector<std::uint64_t> indices) {
+  std::vector<atf::configuration> batch;
+  batch.reserve(indices.size());
+  for (const std::uint64_t index : indices) {
+    batch.push_back(space.config_at(index));
+  }
+  return batch;
+}
+
+TEST(EvaluationEngine, SequentialModeProposesOneAtATime) {
+  const auto space = make_space(1, 10);
+  engine_t engine(
+      space, [](const atf::configuration& c) { return double(int(c["x"])); },
+      atf::cond::evaluations(10), {});
+  EXPECT_EQ(engine.batch_limit(), 1u);
+}
+
+TEST(EvaluationEngine, BatchedModeProposesConcurrencyMany) {
+  const auto space = make_space(1, 10);
+  engine_t::options opts;
+  opts.mode = atf::evaluation_mode::batched;
+  opts.concurrency = 4;
+  engine_t engine(
+      space, [](const atf::configuration& c) { return double(int(c["x"])); },
+      atf::cond::evaluations(10), opts);
+  EXPECT_EQ(engine.batch_limit(), 4u);
+}
+
+TEST(EvaluationEngine, ConcurrencyClampedToLeasableContexts) {
+  const auto space = make_space(1, 10);
+  engine_t::options opts;
+  opts.mode = atf::evaluation_mode::batched;
+  opts.concurrency = atf::detail::max_eval_contexts + 100;
+  engine_t engine(
+      space, [](const atf::configuration& c) { return double(int(c["x"])); },
+      atf::cond::evaluations(10), opts);
+  EXPECT_EQ(engine.batch_limit(), atf::detail::max_leased_contexts());
+}
+
+TEST(EvaluationEngine, BatchedCommitsInProposalOrder) {
+  const auto space = make_space(1, 10);
+  engine_t::options opts;
+  opts.mode = atf::evaluation_mode::batched;
+  opts.concurrency = 4;
+  engine_t engine(
+      space, [](const atf::configuration& c) { return double(int(c["x"])); },
+      atf::cond::evaluations(100), opts);
+
+  const auto batch = configs_of(space, {7, 2, 9, 0});
+  const auto outcome = engine.evaluate(batch);
+  ASSERT_EQ(outcome.scalars.size(), 4u);
+  EXPECT_FALSE(outcome.aborted);
+  // x spans 1..10, so index i holds value i+1.
+  EXPECT_EQ(outcome.scalars[0], 8.0);
+  EXPECT_EQ(outcome.scalars[1], 3.0);
+  EXPECT_EQ(outcome.scalars[2], 10.0);
+  EXPECT_EQ(outcome.scalars[3], 1.0);
+
+  const auto result = engine.finish();
+  EXPECT_EQ(result.evaluations, 4u);
+  ASSERT_TRUE(result.has_best());
+  EXPECT_EQ(*result.best_cost, 1.0);
+  EXPECT_EQ(int(result.best_configuration()["x"]), 1);
+}
+
+TEST(EvaluationEngine, WorkersSeeTheirOwnConfiguration) {
+  // The launch-geometry property under concurrency: an expression over the
+  // tp must evaluate against the *worker's* configuration, not whichever
+  // configuration another thread applied last.
+  auto x = atf::tp("x", atf::interval<int>(1, 16));
+  auto derived = 2 * x;
+  const auto space = atf::search_space::generate(
+      {atf::G(x)}, atf::generation_mode::sequential);
+
+  engine_t::options opts;
+  opts.mode = atf::evaluation_mode::batched;
+  opts.concurrency = 8;
+  std::atomic<int> mismatches{0};
+  engine_t engine(
+      space,
+      [&](const atf::configuration& c) {
+        const int v = c["x"];
+        if (derived.eval() != 2 * v) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+        return double(v);
+      },
+      atf::cond::evaluations(100), opts);
+
+  const auto batch =
+      configs_of(space, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15});
+  const auto outcome = engine.evaluate(batch);
+  EXPECT_EQ(outcome.scalars.size(), 16u);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(EvaluationEngine, WithinBatchDuplicatesEvaluateOnceWhenCached) {
+  const auto space = make_space(1, 10);
+  engine_t::options opts;
+  opts.mode = atf::evaluation_mode::batched;
+  opts.concurrency = 4;
+  opts.cache = true;
+  std::atomic<int> calls{0};
+  engine_t engine(
+      space,
+      [&](const atf::configuration& c) {
+        calls.fetch_add(1, std::memory_order_relaxed);
+        return double(int(c["x"]));
+      },
+      atf::cond::evaluations(100), opts);
+
+  const auto outcome = engine.evaluate(configs_of(space, {3, 3, 5, 3}));
+  ASSERT_EQ(outcome.scalars.size(), 4u);
+  EXPECT_EQ(outcome.scalars[0], 4.0);
+  EXPECT_EQ(outcome.scalars[1], 4.0);
+  EXPECT_EQ(outcome.scalars[2], 6.0);
+  EXPECT_EQ(outcome.scalars[3], 4.0);
+  EXPECT_EQ(calls.load(), 2);  // index 3 once, index 5 once
+
+  // A later batch over the same indices is served entirely from the cache.
+  (void)engine.evaluate(configs_of(space, {5, 3}));
+  EXPECT_EQ(calls.load(), 2);
+
+  const auto result = engine.finish();
+  EXPECT_EQ(result.evaluations, 6u);
+  EXPECT_EQ(result.cached_evaluations, 4u);
+}
+
+TEST(EvaluationEngine, AbortTruncatesTheCommittedBatch) {
+  const auto space = make_space(1, 10);
+  engine_t::options opts;
+  opts.mode = atf::evaluation_mode::batched;
+  opts.concurrency = 4;
+  engine_t engine(
+      space, [](const atf::configuration& c) { return double(int(c["x"])); },
+      atf::cond::evaluations(3), opts);
+
+  const auto outcome = engine.evaluate(configs_of(space, {0, 1, 2, 3, 4}));
+  EXPECT_TRUE(outcome.aborted);
+  EXPECT_EQ(outcome.scalars.size(), 3u);  // configs 3 and 4 never committed
+  const auto result = engine.finish();
+  EXPECT_EQ(result.evaluations, 3u);
+}
+
+TEST(EvaluationEngine, FailedEvaluationsScalarizeToInfinity) {
+  const auto space = make_space(1, 10);
+  engine_t::options opts;
+  opts.mode = atf::evaluation_mode::batched;
+  opts.concurrency = 4;
+  engine_t engine(
+      space,
+      [](const atf::configuration& c) -> double {
+        const int v = c["x"];
+        if (v % 2 == 0) {
+          throw atf::evaluation_error("even x unsupported");
+        }
+        return double(v);
+      },
+      atf::cond::evaluations(100), opts);
+
+  const auto outcome = engine.evaluate(configs_of(space, {0, 1, 2, 3}));
+  ASSERT_EQ(outcome.scalars.size(), 4u);
+  EXPECT_EQ(outcome.scalars[0], 1.0);
+  EXPECT_TRUE(std::isinf(outcome.scalars[1]));
+  EXPECT_EQ(outcome.scalars[2], 3.0);
+  EXPECT_TRUE(std::isinf(outcome.scalars[3]));
+  const auto result = engine.finish();
+  EXPECT_EQ(result.failed_evaluations, 2u);
+}
+
+TEST(EvaluationEngine, ForeignExceptionsRethrowAtTheirCommitPosition) {
+  const auto space = make_space(1, 10);
+  engine_t::options opts;
+  opts.mode = atf::evaluation_mode::batched;
+  opts.concurrency = 4;
+  engine_t engine(
+      space,
+      [](const atf::configuration& c) -> double {
+        const int v = c["x"];
+        if (v == 3) {
+          throw std::logic_error("not an evaluation failure");
+        }
+        return double(v);
+      },
+      atf::cond::evaluations(100), opts);
+
+  // Index 2 holds x = 3; the two earlier entries must commit before the
+  // escape propagates — the same order of effects as a sequential loop.
+  EXPECT_THROW((void)engine.evaluate(configs_of(space, {0, 1, 2, 3})),
+               std::logic_error);
+  const auto result = engine.finish();
+  EXPECT_EQ(result.evaluations, 2u);
+}
+
+TEST(EvaluationEngine, BatchedMatchesSequentialOutcome) {
+  const auto space = make_space(1, 50);
+  const auto cost = [](const atf::configuration& c) {
+    const int v = c["x"];
+    return double((v - 20) * (v - 20));
+  };
+
+  std::vector<std::uint64_t> indices;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    indices.push_back((i * 17) % 50);  // deterministic shuffle
+  }
+
+  engine_t sequential(space, cost, atf::cond::evaluations(50), {});
+  std::vector<double> seq_scalars;
+  for (const std::uint64_t index : indices) {
+    const auto outcome = sequential.evaluate(configs_of(space, {index}));
+    seq_scalars.insert(seq_scalars.end(), outcome.scalars.begin(),
+                       outcome.scalars.end());
+  }
+  const auto seq_result = sequential.finish();
+
+  engine_t::options opts;
+  opts.mode = atf::evaluation_mode::batched;
+  opts.concurrency = 4;
+  engine_t batched(space, cost, atf::cond::evaluations(50), opts);
+  std::vector<double> bat_scalars;
+  for (std::size_t at = 0; at < indices.size(); at += 4) {
+    std::vector<std::uint64_t> slice(
+        indices.begin() + at,
+        indices.begin() + std::min(at + 4, indices.size()));
+    const auto outcome = batched.evaluate(configs_of(space, std::move(slice)));
+    bat_scalars.insert(bat_scalars.end(), outcome.scalars.begin(),
+                       outcome.scalars.end());
+  }
+  const auto bat_result = batched.finish();
+
+  EXPECT_EQ(seq_scalars, bat_scalars);
+  EXPECT_EQ(seq_result.evaluations, bat_result.evaluations);
+  ASSERT_TRUE(seq_result.has_best() && bat_result.has_best());
+  EXPECT_EQ(*seq_result.best_cost, *bat_result.best_cost);
+  EXPECT_EQ(int(seq_result.best_configuration()["x"]),
+            int(bat_result.best_configuration()["x"]));
+  ASSERT_EQ(seq_result.history.size(), bat_result.history.size());
+  for (std::size_t i = 0; i < seq_result.history.size(); ++i) {
+    EXPECT_EQ(seq_result.history[i].evaluations,
+              bat_result.history[i].evaluations);
+    EXPECT_EQ(seq_result.history[i].cost, bat_result.history[i].cost);
+  }
+}
+
+}  // namespace

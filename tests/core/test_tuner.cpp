@@ -350,6 +350,112 @@ TEST(Tuner, GroupedParametersExploreTheProduct) {
   EXPECT_EQ(int(result.best_configuration()["c"]), 10);
 }
 
+TEST(Tuner, SpaceIsGeneratedLazilyAndCached) {
+  std::uint64_t constraint_calls = 0;
+  auto x = atf::tp("x", atf::interval<int>(1, 8), [&](int) {
+    ++constraint_calls;
+    return true;
+  });
+  atf::tuner t;
+  t.generation(atf::generation_mode::sequential).tuning_parameters(x);
+  EXPECT_EQ(constraint_calls, 0u);  // declaring parameters generates nothing
+
+  (void)t.space();
+  const std::uint64_t after_first = constraint_calls;
+  EXPECT_GT(after_first, 0u);
+
+  (void)t.space();  // cached — no regeneration
+  EXPECT_EQ(constraint_calls, after_first);
+
+  t.invalidate_space();
+  (void)t.space();
+  EXPECT_EQ(constraint_calls, 2 * after_first);
+}
+
+TEST(Tuner, CacheIsConsultedBeforeTheCostFunction) {
+  // Propose the same configuration twice in a row: with caching on, the
+  // cost function must run exactly once — the second proposal is answered
+  // from the cache without invoking it.
+  class repeat_first final : public atf::search_technique {
+  public:
+    atf::configuration get_next_config() override {
+      return space().config_at(0);
+    }
+    void report_cost(double) override {}
+  };
+
+  auto x = atf::tp("x", atf::interval<int>(1, 5));
+  std::uint64_t calls = 0;
+  auto result = atf::tuner{}
+                    .tuning_parameters(x)
+                    .search_technique(std::make_unique<repeat_first>())
+                    .cache_evaluations(true)
+                    .abort_condition(atf::cond::evaluations(4))
+                    .tune([&](const atf::configuration& config) {
+                      ++calls;
+                      return double(int(config["x"]));
+                    });
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(result.evaluations, 4u);
+  EXPECT_EQ(result.cached_evaluations, 3u);
+}
+
+TEST(Tuner, FullyConstrainedAwaySpaceThrowsEmptySpaceError) {
+  // Every value of the dependent parameter is rejected once the constraint
+  // chain is applied — the CLTune-on-CLBlast failure mode from the paper's
+  // Section VI-A, surfaced as a typed error instead of a silent zero-config
+  // sweep.
+  auto a = atf::tp("A", atf::set(2, 4, 8));
+  auto b = atf::tp("B", atf::set(3, 5, 7), atf::divides(a));
+  atf::tuner t;
+  t.tuning_parameters(a, b);
+  EXPECT_THROW((void)t.tune([](const atf::configuration&) { return 1.0; }),
+               atf::empty_search_space_error);
+}
+
+TEST(Tuner, BatchedEvaluationMatchesSequentialExhaustive) {
+  const auto cost = [](const atf::configuration& config) {
+    const int v = config["x"];
+    return double((v - 13) * (v - 13));
+  };
+  auto make = [] { return atf::tp("x", atf::interval<int>(1, 40)); };
+
+  auto x_seq = make();
+  const auto sequential =
+      atf::tuner{}.tuning_parameters(x_seq).tune(cost);
+
+  auto x_bat = make();
+  const auto batched = atf::tuner{}
+                           .tuning_parameters(x_bat)
+                           .evaluation(atf::evaluation_mode::batched)
+                           .concurrency(4)
+                           .tune(cost);
+
+  EXPECT_EQ(sequential.evaluations, batched.evaluations);
+  EXPECT_EQ(*sequential.best_cost, *batched.best_cost);
+  EXPECT_EQ(int(sequential.best_configuration()["x"]),
+            int(batched.best_configuration()["x"]));
+  ASSERT_EQ(sequential.history.size(), batched.history.size());
+  for (std::size_t i = 0; i < sequential.history.size(); ++i) {
+    EXPECT_EQ(sequential.history[i].evaluations,
+              batched.history[i].evaluations);
+    EXPECT_EQ(sequential.history[i].cost, batched.history[i].cost);
+  }
+}
+
+TEST(Tuner, BatchedEvaluationRespectsEvaluationAbort) {
+  auto x = atf::tp("x", atf::interval<int>(1, 100));
+  auto result = atf::tuner{}
+                    .tuning_parameters(x)
+                    .evaluation(atf::evaluation_mode::batched)
+                    .concurrency(8)
+                    .abort_condition(atf::cond::evaluations(10))
+                    .tune([](const atf::configuration& config) {
+                      return double(int(config["x"]));
+                    });
+  EXPECT_EQ(result.evaluations, 10u);  // not rounded up to a batch multiple
+}
+
 TEST(Tuner, SharedSlotsFollowEvaluatedConfig) {
   // The launch-geometry use case: an expression over tps must evaluate
   // against the configuration currently being measured.

@@ -1,0 +1,177 @@
+// The determinism contract of batched evaluation, end to end: for a pure
+// cost function, a fixed-seed tuning run in batched mode — at any worker
+// count — must produce exactly the sequential run's best configuration,
+// improvement history and CSV log (modulo the wall-clock column). Exercised
+// on the two paper spaces with real constraint structure: XgemmDirect
+// (one 10-parameter group, 17 constraints) and conv2d (two groups).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "atf/atf.hpp"
+#include "atf/cf/generic.hpp"
+#include "atf/common/string_utils.hpp"
+#include "atf/kernels/conv2d.hpp"
+#include "atf/kernels/xgemm_direct.hpp"
+#include "atf/search/genetic_search.hpp"
+#include "atf/search/random_search.hpp"
+
+namespace {
+
+namespace xg = atf::kernels::xgemm;
+namespace cv = atf::kernels::conv2d;
+
+constexpr std::uint64_t kSeed = 0x5eed;
+
+// A deterministic, pure stand-in cost: an FNV-1a hash over the
+// configuration's entries, mapped into [0, 1) — every parameter changes the
+// cost, the landscape is rugged, and the value is identical on every
+// platform and thread.
+double pseudo_cost(const atf::configuration& config) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const auto& [name, value] : config.entries()) {
+    for (const std::string& text : {name, atf::to_string(value)}) {
+      for (const char c : text) {
+        hash ^= std::uint64_t(static_cast<unsigned char>(c));
+        hash *= 1099511628211ull;
+      }
+    }
+  }
+  return double(hash >> 11) / double(1ull << 53);
+}
+
+struct run_outcome {
+  atf::tuning_result<double> result;
+  std::vector<std::string> rows;  ///< CSV rows, elapsed_ns column removed
+};
+
+std::vector<std::string> read_rows_without_elapsed(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::vector<std::string> rows;
+  for (std::string line; std::getline(in, line);) {
+    auto fields = atf::common::split(line, ',');
+    if (fields.size() > 1) {
+      fields.erase(fields.begin() + 1);  // elapsed_ns differs across runs
+    }
+    std::string stripped;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i != 0) {
+        stripped += ',';
+      }
+      stripped += fields[i];
+    }
+    rows.push_back(std::move(stripped));
+  }
+  return rows;
+}
+
+enum class technique_kind { random, genetic };
+
+std::unique_ptr<atf::search_technique> make_technique(technique_kind kind) {
+  if (kind == technique_kind::genetic) {
+    return std::make_unique<atf::search::genetic_search>(kSeed);
+  }
+  return std::make_unique<atf::search::random_search>(kSeed);
+}
+
+run_outcome run_xgemm(atf::evaluation_mode mode, std::size_t workers,
+                      technique_kind kind) {
+  const std::string path = ::testing::TempDir() + "atf_equiv_xgemm_" +
+                           std::to_string(workers) + ".csv";
+  const xg::problem prob{16, 16, 16};
+  const xg::device_limits limits{64, 8 * 1024};
+  auto setup =
+      xg::make_tuning_parameters(prob, xg::size_mode::general, limits);
+  atf::tuner tuner;
+  tuner.tuning_parameters(setup.group());
+  tuner.search_technique(make_technique(kind));
+  tuner.abort_condition(atf::cond::evaluations(300));
+  tuner.evaluation(mode).concurrency(workers).log_file(path);
+  run_outcome out{tuner.tune(atf::cf::pure(pseudo_cost)), {}};
+  out.rows = read_rows_without_elapsed(path);
+  std::remove(path.c_str());
+  return out;
+}
+
+run_outcome run_conv2d(atf::evaluation_mode mode, std::size_t workers,
+                       technique_kind kind) {
+  const std::string path = ::testing::TempDir() + "atf_equiv_conv2d_" +
+                           std::to_string(workers) + ".csv";
+  const cv::problem prob{16, 20, 3, 3};
+  auto setup = cv::make_tuning_parameters(prob, 64, 2048);
+  atf::tuner tuner;
+  tuner.tuning_parameters(setup.groups()[0], setup.groups()[1]);
+  tuner.search_technique(make_technique(kind));
+  tuner.abort_condition(atf::cond::evaluations(300));
+  tuner.evaluation(mode).concurrency(workers).log_file(path);
+  run_outcome out{tuner.tune(atf::cf::pure(pseudo_cost)), {}};
+  out.rows = read_rows_without_elapsed(path);
+  std::remove(path.c_str());
+  return out;
+}
+
+void expect_equivalent(const run_outcome& sequential,
+                       const run_outcome& batched) {
+  EXPECT_EQ(sequential.result.evaluations, batched.result.evaluations);
+  ASSERT_TRUE(sequential.result.has_best());
+  ASSERT_TRUE(batched.result.has_best());
+  EXPECT_EQ(*sequential.result.best_cost, *batched.result.best_cost);
+  EXPECT_EQ(sequential.result.best_configuration().to_string(),
+            batched.result.best_configuration().to_string());
+  ASSERT_EQ(sequential.result.history.size(), batched.result.history.size());
+  for (std::size_t i = 0; i < sequential.result.history.size(); ++i) {
+    EXPECT_EQ(sequential.result.history[i].evaluations,
+              batched.result.history[i].evaluations);
+    EXPECT_EQ(sequential.result.history[i].cost,
+              batched.result.history[i].cost);
+  }
+  EXPECT_EQ(sequential.rows, batched.rows);
+}
+
+TEST(BatchedEquivalence, RandomSearchOnXgemmDirect) {
+  const auto sequential =
+      run_xgemm(atf::evaluation_mode::sequential, 0, technique_kind::random);
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    const auto batched = run_xgemm(atf::evaluation_mode::batched, workers,
+                                   technique_kind::random);
+    expect_equivalent(sequential, batched);
+  }
+}
+
+TEST(BatchedEquivalence, GeneticSearchOnXgemmDirect) {
+  const auto sequential =
+      run_xgemm(atf::evaluation_mode::sequential, 0, technique_kind::genetic);
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    const auto batched = run_xgemm(atf::evaluation_mode::batched, workers,
+                                   technique_kind::genetic);
+    expect_equivalent(sequential, batched);
+  }
+}
+
+TEST(BatchedEquivalence, RandomSearchOnConv2d) {
+  const auto sequential =
+      run_conv2d(atf::evaluation_mode::sequential, 0, technique_kind::random);
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    const auto batched = run_conv2d(atf::evaluation_mode::batched, workers,
+                                    technique_kind::random);
+    expect_equivalent(sequential, batched);
+  }
+}
+
+TEST(BatchedEquivalence, GeneticSearchOnConv2d) {
+  const auto sequential =
+      run_conv2d(atf::evaluation_mode::sequential, 0, technique_kind::genetic);
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    const auto batched = run_conv2d(atf::evaluation_mode::batched, workers,
+                                    technique_kind::genetic);
+    expect_equivalent(sequential, batched);
+  }
+}
+
+}  // namespace
