@@ -47,9 +47,13 @@ public:
   /// Runs `evaluations` steps of the ensemble. `cost` returns the
   /// configuration's cost, or `penalty` for invalid configurations;
   /// `penalty` marks the evaluation as invalid in the result statistics.
+  /// `batch` > 1 drives the ensemble through its mixed-batch protocol —
+  /// the bandit proposes up to `batch` configurations from distinct member
+  /// techniques before seeing any of their costs (batch == 1 is the
+  /// sequential protocol and proposes the identical stream).
   result run(std::uint64_t evaluations, double penalty,
              const std::function<double(const configuration&)>& cost,
-             std::uint64_t seed = 0x07);
+             std::uint64_t seed = 0x07, std::size_t batch = 1);
 
 private:
   std::vector<std::string> names_;

@@ -1,5 +1,6 @@
 #include "baselines/opentuner_like.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -36,9 +37,12 @@ std::uint64_t tuner::space_size() const {
 
 result tuner::run(std::uint64_t evaluations, double penalty,
                   const std::function<double(const configuration&)>& cost,
-                  std::uint64_t seed) {
+                  std::uint64_t seed, std::size_t batch) {
   if (values_.empty()) {
     throw std::logic_error("opentuner: no parameters declared");
+  }
+  if (batch == 0) {
+    throw std::invalid_argument("opentuner: batch must be at least 1");
   }
 
   std::vector<std::uint64_t> axes;
@@ -50,24 +54,35 @@ result tuner::run(std::uint64_t evaluations, double penalty,
   engine.initialize(atf::search::numeric_domain(std::move(axes)), seed);
 
   result out;
-  for (std::uint64_t step = 0; step < evaluations; ++step) {
-    const atf::search::point p = engine.next_point();
-    configuration config;
-    for (std::size_t i = 0; i < names_.size(); ++i) {
-      config[names_[i]] = values_[i][p[i]];
+  while (out.evaluations < evaluations) {
+    const std::size_t width = static_cast<std::size_t>(
+        std::min<std::uint64_t>(batch, evaluations - out.evaluations));
+    const std::vector<atf::search::point> points =
+        engine.propose_batch(width);
+    if (points.empty()) {
+      break;
     }
-    const double c = cost(config);
-    ++out.evaluations;
-    const bool is_valid = c < penalty;
-    if (is_valid) {
-      ++out.valid_evaluations;
+    std::vector<double> costs;
+    costs.reserve(points.size());
+    for (const atf::search::point& p : points) {
+      configuration config;
+      for (std::size_t i = 0; i < names_.size(); ++i) {
+        config[names_[i]] = values_[i][p[i]];
+      }
+      const double c = cost(config);
+      costs.push_back(c);
+      ++out.evaluations;
+      const bool is_valid = c < penalty;
+      if (is_valid) {
+        ++out.valid_evaluations;
+      }
+      if (is_valid && (!out.found_valid || c < out.best_cost)) {
+        out.best_cost = c;
+        out.best = config;
+        out.found_valid = true;
+      }
     }
-    if (is_valid && (!out.found_valid || c < out.best_cost)) {
-      out.best_cost = c;
-      out.best = config;
-      out.found_valid = true;
-    }
-    engine.report(c);
+    engine.report_batch(costs);
   }
   return out;
 }

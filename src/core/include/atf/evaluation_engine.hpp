@@ -90,6 +90,12 @@ public:
     std::size_t concurrency = 0;  ///< batched-mode workers; 0 = hardware
     bool cache = false;           ///< serve repeated indices from a cache
     std::string log_path;         ///< CSV log; empty = no log
+    /// Whether the cost function is annotated thread-safe (see
+    /// atf::declares_thread_safe_cost). Batched mode with an unannotated
+    /// cost function logs a warning on the first evaluated batch — once
+    /// per engine lifetime (i.e. once per tune), not once per batch — but
+    /// the caller's explicit mode choice is honoured.
+    bool cost_thread_safe = true;
   };
 
   /// The committed slice of one evaluated batch: scalars[i] is the
@@ -154,6 +160,18 @@ public:
     batch_outcome out;
     if (batch.empty()) {
       return out;
+    }
+
+    if (opts_.mode == evaluation_mode::batched && !opts_.cost_thread_safe &&
+        !warned_unsafe_cost_) {
+      // Deduped across batches: evaluate() runs once per batch, but the
+      // warning is per tune.
+      warned_unsafe_cost_ = true;
+      common::log_warn(
+          "evaluation_engine: batched evaluation requested for a cost "
+          "function that is not annotated thread-safe — batched mode "
+          "assumes a pure cost function; keep real-measurement backends "
+          "sequential");
     }
 
     std::vector<pending> slots(batch.size());
@@ -343,6 +361,7 @@ private:
   tuning_result<CostT> result_;
   tuning_status status_;
   common::stopwatch timer_;
+  bool warned_unsafe_cost_ = false;
 };
 
 }  // namespace atf

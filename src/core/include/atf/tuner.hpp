@@ -192,13 +192,9 @@ public:
     opts.concurrency = concurrency_;
     opts.cache = cache_;
     opts.log_path = log_path_;
-    if (opts.mode == evaluation_mode::batched &&
-        !declares_thread_safe_cost(cost_function)) {
-      common::log_warn(
-          "atf::tuner: batched evaluation requested for a cost function "
-          "that is not annotated thread-safe — batched mode assumes a pure "
-          "cost function; keep real-measurement backends sequential");
-    }
+    // The engine warns (once per tune, deduped across batches) when
+    // batched mode meets a cost function without a purity annotation.
+    opts.cost_thread_safe = declares_thread_safe_cost(cost_function);
 
     evaluation_engine<cost_t> engine(
         sp,

@@ -27,11 +27,22 @@ public:
   /// The arm with the highest score; ties break toward the lowest index.
   [[nodiscard]] std::size_t select() const;
 
+  /// The highest-scoring arm among those with eligible[arm] == true — how
+  /// the batch-aware ensemble re-asks the bandit once a member has already
+  /// filled its share of the batch. eligible.size() must equal the arm
+  /// count and at least one arm must be eligible.
+  [[nodiscard]] std::size_t select_among(
+      const std::vector<bool>& eligible) const;
+
   /// Records the outcome of one use of `arm`.
   void record(std::size_t arm, bool new_global_best);
 
   [[nodiscard]] double auc(std::size_t arm) const;
+  /// Uses of `arm` inside the sliding window (what the score is based on).
   [[nodiscard]] std::uint64_t uses(std::size_t arm) const;
+  /// Uses of `arm` over the bandit's whole lifetime (never evicted).
+  [[nodiscard]] std::uint64_t lifetime_uses(std::size_t arm) const;
+  [[nodiscard]] std::size_t arms() const noexcept { return arms_; }
 
 private:
   struct entry {

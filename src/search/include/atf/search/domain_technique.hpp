@@ -31,11 +31,22 @@ public:
   /// are reported as +infinity.
   virtual void report(double cost) = 0;
 
+  /// The widest batch this technique can propose *right now* — how many
+  /// mutually independent points it could hand out before seeing any cost.
+  /// The default of 1 keeps techniques whose next proposal depends on the
+  /// last reported cost (the simplex state machines, annealing-style
+  /// climbers) strictly sequential; batch-capable techniques override it
+  /// (random: unbounded; genetic: the unevaluated tail of the current
+  /// generation). The ensemble's batch filler never assigns a technique
+  /// more slots than this. Must be at least 1.
+  [[nodiscard]] virtual std::size_t max_batch() const { return 1; }
+
   /// Batch extension mirroring search_technique's: up to max_points points
   /// whose costs can be measured independently before any is reported. The
   /// default shims keep every existing technique working unchanged (a batch
   /// of one); techniques with a natural batch — genetic's generation —
-  /// override both natively.
+  /// override both natively. Callers must not request more than
+  /// max_batch() points.
   [[nodiscard]] virtual std::vector<point> propose_points(
       std::size_t max_points) {
     (void)max_points;

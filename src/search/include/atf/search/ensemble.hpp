@@ -4,6 +4,19 @@
 // technique (over the 1-D constrained-space index domain, Section IV-C) and
 // the OpenTuner baseline tuner (over the unconstrained per-parameter
 // domain, Section VI).
+//
+// Batch extension. A batch of size k is filled by asking the bandit for up
+// to k member techniques: the first picks prefer *distinct* members (one
+// slot per member, the ROADMAP's mixed-batch shape), and once every member
+// holds a slot the remaining slots fall back to repeated top-AUC picks
+// among the members that can still take one (max_batch() capacity —
+// simplex state machines declare 1 and never receive a second slot;
+// random is unbounded; genetic caps at its generation tail). Every slot is
+// tagged with its proposing member, so report_batch can credit AUC history
+// per member in proposal order. At batch size 1 the fill degenerates to
+// exactly the sequential bandit pick — next_point()/report() are routed
+// through the same code path, which makes batched exploration at
+// concurrency 1 bit-identical to sequential exploration by construction.
 #pragma once
 
 #include <cstdint>
@@ -27,12 +40,33 @@ public:
 
   void initialize(const numeric_domain& domain, std::uint64_t seed);
 
-  /// Asks the bandit-selected technique for its next point.
+  /// Asks the bandit-selected technique for its next point. Equivalent to
+  /// propose_batch(1) — implemented as exactly that.
   [[nodiscard]] point next_point();
 
   /// Reports the cost of the last proposed point to its technique and
   /// updates the bandit (success = new global best).
   void report(double cost);
+
+  /// Fills a mixed batch of up to `max_points` points as described above.
+  /// Returns at least one point (and possibly fewer than max_points when
+  /// the pool's combined capacity is smaller). Every call discards the
+  /// unreported remainder of the previous batch.
+  [[nodiscard]] std::vector<point> propose_batch(std::size_t max_points);
+
+  /// Reports the costs of the last proposed batch in proposal order:
+  /// costs[i] belongs to the batch's i-th point. costs.size() may be
+  /// smaller than the batch when the driver aborted mid-batch; the surplus
+  /// points are forgotten (their members are never credited). Each member
+  /// receives its own costs in its own proposal order via report_points,
+  /// and the bandit is credited slot by slot.
+  void report_batch(const std::vector<double>& costs);
+
+  /// The members backing each point of the last proposed batch, in
+  /// proposal order (diagnostics/tests).
+  [[nodiscard]] const std::vector<std::size_t>& batch_members() const noexcept {
+    return batch_members_;
+  }
 
   [[nodiscard]] double best_cost() const noexcept { return best_cost_; }
   [[nodiscard]] const point& best_point() const noexcept { return best_; }
@@ -40,6 +74,10 @@ public:
 
   /// Lifetime use counts per pool member (diagnostics/tests).
   [[nodiscard]] std::vector<std::uint64_t> technique_uses() const;
+
+  /// The bandit's current state (diagnostics/tests). Valid only after
+  /// initialize().
+  [[nodiscard]] const auc_bandit& bandit() const { return *bandit_; }
 
   [[nodiscard]] std::size_t pool_size() const noexcept {
     return pool_.size();
@@ -53,8 +91,8 @@ private:
   std::unique_ptr<auc_bandit> bandit_;
   std::vector<std::uint64_t> uses_;
   numeric_domain domain_;
-  std::size_t active_ = 0;
-  point last_point_;
+  std::vector<std::size_t> batch_members_;  ///< proposing member per slot
+  std::vector<point> batch_points_;         ///< proposed point per slot
   point best_;
   double best_cost_ = 0.0;
   bool has_best_ = false;

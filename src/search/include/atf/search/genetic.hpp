@@ -42,6 +42,12 @@ public:
   [[nodiscard]] std::vector<point> propose_points(
       std::size_t max_points) override;
 
+  /// Exactly the unevaluated tail of the current generation (always ≥ 1 —
+  /// the cursor wraps when a generation completes).
+  [[nodiscard]] std::size_t max_batch() const override {
+    return population_.empty() ? 1 : population_.size() - cursor_;
+  }
+
 private:
   void breed_next_generation();
   [[nodiscard]] std::size_t tournament_select();

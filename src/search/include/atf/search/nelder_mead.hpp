@@ -31,6 +31,11 @@ public:
   [[nodiscard]] point next_point() override;
   void report(double cost) override;
 
+  /// Inherently sequential: the state machine decides reflect vs expand vs
+  /// contract from each reported cost, so the simplex never hands out more
+  /// than one slot of an ensemble batch.
+  [[nodiscard]] std::size_t max_batch() const override { return 1; }
+
 private:
   enum class stage { init, reflect, expand, contract, shrink };
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "atf/search/ensemble.hpp"
 #include "atf/search_technique.hpp"
@@ -23,6 +24,19 @@ public:
   void initialize(const search_space& space) override;
   [[nodiscard]] configuration get_next_config() override;
   void report_cost(double cost) override;
+
+  /// Native batch: the ensemble fills a mixed batch — the bandit picks up
+  /// to max_configs member techniques (distinct first, then repeated
+  /// top-AUC picks up to each member's max_batch() capacity), so batched
+  /// evaluation amortizes measurement latency across the pool. At
+  /// max_configs == 1 this is exactly the sequential bandit step.
+  [[nodiscard]] std::vector<configuration> propose_batch(
+      std::size_t max_configs) override;
+
+  /// Forwards the committed costs to the ensemble, which credits AUC
+  /// history per proposing member in proposal order.
+  void report_batch(const std::vector<configuration>& configs,
+                    const std::vector<double>& costs) override;
 
   [[nodiscard]] const ensemble& engine() const noexcept { return engine_; }
 

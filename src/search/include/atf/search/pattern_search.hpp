@@ -24,6 +24,11 @@ public:
   [[nodiscard]] point next_point() override;
   void report(double cost) override;
 
+  /// Inherently sequential: every probe depends on the cost of the
+  /// previous one (center promotion, step halving), so the technique never
+  /// takes more than one slot of an ensemble batch.
+  [[nodiscard]] std::size_t max_batch() const override { return 1; }
+
 private:
   void restart();
   void advance_probe();

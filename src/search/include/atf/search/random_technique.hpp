@@ -2,6 +2,8 @@
 // baseline (OpenTuner keeps a pure-random technique in every pool).
 #pragma once
 
+#include <limits>
+
 #include "atf/common/rng.hpp"
 #include "atf/search/domain_technique.hpp"
 
@@ -21,6 +23,22 @@ public:
   }
 
   void report(double /*cost*/) override {}
+
+  /// Draws are independent, so any batch width is fine; the stream of
+  /// proposals is the same regardless of how it is sliced into batches.
+  [[nodiscard]] std::size_t max_batch() const override {
+    return std::numeric_limits<std::size_t>::max();
+  }
+
+  [[nodiscard]] std::vector<point> propose_points(
+      std::size_t max_points) override {
+    std::vector<point> batch;
+    batch.reserve(max_points);
+    for (std::size_t i = 0; i < max_points; ++i) {
+      batch.push_back(domain_->random_point(rng_));
+    }
+    return batch;
+  }
 
 private:
   const numeric_domain* domain_ = nullptr;

@@ -27,6 +27,11 @@ public:
   [[nodiscard]] point next_point() override;
   void report(double cost) override;
 
+  /// Inherently sequential: whether the simplex expands or contracts is
+  /// decided from each trial's reported cost, so the technique never takes
+  /// more than one slot of an ensemble batch.
+  [[nodiscard]] std::size_t max_batch() const override { return 1; }
+
 private:
   enum class stage { init, reflect, expand, contract };
 

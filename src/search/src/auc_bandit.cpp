@@ -44,12 +44,30 @@ std::uint64_t auc_bandit::uses(std::size_t arm) const {
   return n;
 }
 
+std::uint64_t auc_bandit::lifetime_uses(std::size_t arm) const {
+  if (arm >= arms_) {
+    throw std::out_of_range("auc_bandit: arm out of range");
+  }
+  return total_uses_[arm];
+}
+
 std::size_t auc_bandit::select() const {
+  return select_among(std::vector<bool>(arms_, true));
+}
+
+std::size_t auc_bandit::select_among(const std::vector<bool>& eligible) const {
+  if (eligible.size() != arms_) {
+    throw std::invalid_argument(
+        "auc_bandit: eligibility mask size does not match arm count");
+  }
   // Any arm never used inside the window gets priority (infinite bonus).
   const double total = static_cast<double>(history_.size());
-  std::size_t best_arm = 0;
+  std::size_t best_arm = arms_;
   double best_score = -std::numeric_limits<double>::infinity();
   for (std::size_t arm = 0; arm < arms_; ++arm) {
+    if (!eligible[arm]) {
+      continue;
+    }
     const auto n = uses(arm);
     double score;
     if (n == 0) {
@@ -58,10 +76,13 @@ std::size_t auc_bandit::select() const {
       score = auc(arm) + exploration_ * std::sqrt(2.0 * std::log(total) /
                                                   static_cast<double>(n));
     }
-    if (score > best_score) {
+    if (best_arm == arms_ || score > best_score) {
       best_score = score;
       best_arm = arm;
     }
+  }
+  if (best_arm == arms_) {
+    throw std::invalid_argument("auc_bandit: no eligible arm");
   }
   return best_arm;
 }

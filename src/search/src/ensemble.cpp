@@ -1,5 +1,6 @@
 #include "atf/search/ensemble.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -38,27 +39,109 @@ void ensemble::initialize(const numeric_domain& domain, std::uint64_t seed) {
     // Distinct deterministic stream per member.
     pool_[i]->initialize(domain_, seed * 0x9e3779b97f4a7c15ull + i + 1);
   }
+  batch_members_.clear();
+  batch_points_.clear();
   has_best_ = false;
   best_cost_ = 0.0;
 }
 
 point ensemble::next_point() {
-  active_ = bandit_->select();
-  ++uses_[active_];
-  last_point_ = pool_[active_]->next_point();
-  return last_point_;
+  // The sequential protocol is the batch protocol at width 1 — one code
+  // path, so batched exploration at concurrency 1 cannot drift from
+  // sequential exploration.
+  const std::vector<point> batch = propose_batch(1);
+  if (batch.empty()) {
+    throw std::logic_error("ensemble: pool member proposed no point");
+  }
+  return batch.front();
 }
 
-void ensemble::report(double cost) {
-  pool_[active_]->report(cost);
-  const bool improved =
-      std::isfinite(cost) && (!has_best_ || cost < best_cost_);
-  if (improved) {
-    best_cost_ = cost;
-    best_ = last_point_;
-    has_best_ = true;
+void ensemble::report(double cost) { report_batch({cost}); }
+
+std::vector<point> ensemble::propose_batch(std::size_t max_points) {
+  batch_members_.clear();
+  batch_points_.clear();
+  if (max_points == 0) {
+    return {};
   }
-  bandit_->record(active_, improved);
+
+  // Phase 1 — assign slots to members, bandit-guided. The first picks
+  // prefer members that do not hold a slot yet (a mixed batch, one slot
+  // per member); once every member holds one, the remaining slots repeat
+  // the top-scoring members that still have capacity.
+  std::vector<std::size_t> requested(pool_.size(), 0);
+  std::vector<std::size_t> slots;
+  slots.reserve(max_points);
+  while (slots.size() < max_points) {
+    std::vector<bool> eligible(pool_.size(), false);
+    std::vector<bool> fresh(pool_.size(), false);
+    bool any_eligible = false;
+    bool any_fresh = false;
+    for (std::size_t m = 0; m < pool_.size(); ++m) {
+      eligible[m] = requested[m] < pool_[m]->max_batch();
+      any_eligible = any_eligible || eligible[m];
+      fresh[m] = eligible[m] && requested[m] == 0;
+      any_fresh = any_fresh || fresh[m];
+    }
+    if (!any_eligible) {
+      break;  // the pool's combined capacity is exhausted
+    }
+    const std::size_t m = bandit_->select_among(any_fresh ? fresh : eligible);
+    ++requested[m];
+    slots.push_back(m);
+  }
+
+  // Phase 2 — fetch each member's points with a single propose_points call
+  // (a technique mid-sequence hands its points out in order; one-point
+  // calls would not compose for generation-cursor techniques), then
+  // interleave them back into slot order. A member that returns fewer
+  // points than requested forfeits its surplus slots.
+  std::vector<std::vector<point>> member_points(pool_.size());
+  std::vector<std::size_t> next_of(pool_.size(), 0);
+  for (std::size_t m = 0; m < pool_.size(); ++m) {
+    if (requested[m] > 0) {
+      member_points[m] = pool_[m]->propose_points(requested[m]);
+    }
+  }
+  for (const std::size_t m : slots) {
+    if (next_of[m] >= member_points[m].size()) {
+      continue;
+    }
+    batch_members_.push_back(m);
+    batch_points_.push_back(std::move(member_points[m][next_of[m]]));
+    ++next_of[m];
+    ++uses_[m];
+  }
+  return batch_points_;
+}
+
+void ensemble::report_batch(const std::vector<double>& costs) {
+  // Walk the committed prefix in proposal order: track the global best and
+  // credit the bandit slot by slot, collecting each member's costs in its
+  // own proposal order.
+  const std::size_t reported = std::min(costs.size(), batch_members_.size());
+  std::vector<std::vector<double>> per_member(pool_.size());
+  for (std::size_t i = 0; i < reported; ++i) {
+    const std::size_t m = batch_members_[i];
+    const double cost = costs[i];
+    const bool improved =
+        std::isfinite(cost) && (!has_best_ || cost < best_cost_);
+    if (improved) {
+      best_cost_ = cost;
+      best_ = batch_points_[i];
+      has_best_ = true;
+    }
+    per_member[m].push_back(cost);
+    bandit_->record(m, improved);
+  }
+  for (std::size_t m = 0; m < pool_.size(); ++m) {
+    if (!per_member[m].empty()) {
+      pool_[m]->report_points(per_member[m]);
+    }
+  }
+  // Unreported surplus points (abort mid-batch) are forgotten.
+  batch_members_.clear();
+  batch_points_.clear();
 }
 
 std::vector<std::uint64_t> ensemble::technique_uses() const { return uses_; }

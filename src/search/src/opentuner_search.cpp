@@ -17,4 +17,22 @@ configuration opentuner_search::get_next_config() {
 
 void opentuner_search::report_cost(double cost) { engine_.report(cost); }
 
+std::vector<configuration> opentuner_search::propose_batch(
+    std::size_t max_configs) {
+  const std::vector<point> points = engine_.propose_batch(max_configs);
+  std::vector<configuration> batch;
+  batch.reserve(points.size());
+  for (const point& p : points) {
+    batch.push_back(space().config_at(p[0]));
+  }
+  return batch;
+}
+
+void opentuner_search::report_batch(
+    const std::vector<configuration>& configs,
+    const std::vector<double>& costs) {
+  (void)configs;
+  engine_.report_batch(costs);
+}
+
 }  // namespace atf::search

@@ -8,9 +8,12 @@
 #include <cmath>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "atf/atf.hpp"
+#include "atf/cf/generic.hpp"
+#include "atf/common/logging.hpp"
 #include "atf/evaluation_engine.hpp"
 
 namespace {
@@ -266,6 +269,103 @@ TEST(EvaluationEngine, BatchedMatchesSequentialOutcome) {
               bat_result.history[i].evaluations);
     EXPECT_EQ(seq_result.history[i].cost, bat_result.history[i].cost);
   }
+}
+
+// --- the unannotated-cost warning: once per engine lifetime, not per batch.
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::string::size_type at = haystack.find(needle);
+       at != std::string::npos; at = haystack.find(needle, at + 1)) {
+    ++count;
+  }
+  return count;
+}
+
+/// Runs `body` with the log threshold raised to `warn` and returns
+/// everything written to stderr meanwhile.
+template <typename Body>
+std::string capture_warnings(Body&& body) {
+  const auto previous = atf::common::get_log_level();
+  atf::common::set_log_level(atf::common::log_level::warn);
+  ::testing::internal::CaptureStderr();
+  body();
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  atf::common::set_log_level(previous);
+  return output;
+}
+
+constexpr const char* kUnsafeCostNeedle = "not annotated thread-safe";
+
+TEST(EvaluationEngine, UnsafeCostWarningFiresOncePerEngineNotPerBatch) {
+  const auto space = make_space(1, 20);
+  engine_t::options opts;
+  opts.mode = atf::evaluation_mode::batched;
+  opts.concurrency = 2;
+  opts.cost_thread_safe = false;
+  engine_t engine(
+      space, [](const atf::configuration& c) { return double(int(c["x"])); },
+      atf::cond::evaluations(100), opts);
+
+  const std::string output = capture_warnings([&] {
+    for (const auto& indices :
+         {std::vector<std::uint64_t>{0, 1}, {2, 3}, {4, 5}}) {
+      (void)engine.evaluate(configs_of(space, indices));
+    }
+  });
+  EXPECT_EQ(count_occurrences(output, kUnsafeCostNeedle), 1u)
+      << "three evaluated batches must produce exactly one warning, got:\n"
+      << output;
+}
+
+TEST(EvaluationEngine, AnnotatedOrSequentialCostsNeverWarn) {
+  const auto space = make_space(1, 20);
+  const auto cost = [](const atf::configuration& c) {
+    return double(int(c["x"]));
+  };
+
+  engine_t::options batched;
+  batched.mode = atf::evaluation_mode::batched;
+  batched.concurrency = 2;
+  batched.cost_thread_safe = true;  // annotated -> silent
+  engine_t annotated(space, cost, atf::cond::evaluations(100), batched);
+
+  engine_t::options sequential;
+  sequential.cost_thread_safe = false;  // unannotated but sequential -> silent
+  engine_t seq(space, cost, atf::cond::evaluations(100), sequential);
+
+  const std::string output = capture_warnings([&] {
+    (void)annotated.evaluate(configs_of(space, {0, 1}));
+    (void)seq.evaluate(configs_of(space, {2}));
+  });
+  EXPECT_EQ(count_occurrences(output, kUnsafeCostNeedle), 0u) << output;
+}
+
+TEST(EvaluationEngine, TunerDerivesAnnotationFromCostFunction) {
+  // Through the tuner: a cf::pure-wrapped cost is annotated thread-safe and
+  // must tune silently in batched mode; a bare lambda is not and must warn
+  // exactly once for the whole tune (many batches).
+  const auto tune = [](auto&& cf) {
+    auto x = atf::tp("x", atf::interval<int>(1, 40));
+    atf::tuner tuner;
+    tuner.tuning_parameters(x);
+    tuner.abort_condition(atf::cond::evaluations(40));
+    tuner.evaluation(atf::evaluation_mode::batched).concurrency(4);
+    (void)tuner.tune(cf);
+  };
+  const auto plain = [](const atf::configuration& c) {
+    return double(int(c["x"]));
+  };
+
+  const std::string annotated_output =
+      capture_warnings([&] { tune(atf::cf::pure(plain)); });
+  EXPECT_EQ(count_occurrences(annotated_output, kUnsafeCostNeedle), 0u)
+      << annotated_output;
+
+  const std::string plain_output = capture_warnings([&] { tune(plain); });
+  EXPECT_EQ(count_occurrences(plain_output, kUnsafeCostNeedle), 1u)
+      << plain_output;
 }
 
 }  // namespace

@@ -19,6 +19,7 @@
 #include "atf/kernels/conv2d.hpp"
 #include "atf/kernels/xgemm_direct.hpp"
 #include "atf/search/genetic_search.hpp"
+#include "atf/search/opentuner_search.hpp"
 #include "atf/search/random_search.hpp"
 
 namespace {
@@ -71,11 +72,14 @@ std::vector<std::string> read_rows_without_elapsed(const std::string& path) {
   return rows;
 }
 
-enum class technique_kind { random, genetic };
+enum class technique_kind { random, genetic, opentuner };
 
 std::unique_ptr<atf::search_technique> make_technique(technique_kind kind) {
   if (kind == technique_kind::genetic) {
     return std::make_unique<atf::search::genetic_search>(kSeed);
+  }
+  if (kind == technique_kind::opentuner) {
+    return std::make_unique<atf::search::opentuner_search>(kSeed);
   }
   return std::make_unique<atf::search::random_search>(kSeed);
 }
@@ -171,6 +175,48 @@ TEST(BatchedEquivalence, GeneticSearchOnConv2d) {
     const auto batched = run_conv2d(atf::evaluation_mode::batched, workers,
                                     technique_kind::genetic);
     expect_equivalent(sequential, batched);
+  }
+}
+
+// The batch-aware ensemble (opentuner_search). At concurrency 1 its mixed
+// batch degenerates to the sequential bandit step, so the full equivalence
+// contract holds. Wider batches deliberately change the proposal stream
+// (one slot per bandit-picked member instead of one pick per step), so
+// there the contract is rerun-determinism: same seed and worker count ->
+// identical exploration, twice.
+TEST(BatchedEquivalence, OpentunerSearchOnXgemmDirectAtConcurrencyOne) {
+  const auto sequential = run_xgemm(atf::evaluation_mode::sequential, 0,
+                                    technique_kind::opentuner);
+  const auto batched =
+      run_xgemm(atf::evaluation_mode::batched, 1, technique_kind::opentuner);
+  expect_equivalent(sequential, batched);
+}
+
+TEST(BatchedEquivalence, OpentunerSearchOnConv2dAtConcurrencyOne) {
+  const auto sequential = run_conv2d(atf::evaluation_mode::sequential, 0,
+                                     technique_kind::opentuner);
+  const auto batched =
+      run_conv2d(atf::evaluation_mode::batched, 1, technique_kind::opentuner);
+  expect_equivalent(sequential, batched);
+}
+
+TEST(BatchedEquivalence, OpentunerSearchRerunsDeterministicallyOnXgemmDirect) {
+  for (const std::size_t workers : {2u, 4u, 8u}) {
+    const auto first = run_xgemm(atf::evaluation_mode::batched, workers,
+                                 technique_kind::opentuner);
+    const auto second = run_xgemm(atf::evaluation_mode::batched, workers,
+                                  technique_kind::opentuner);
+    expect_equivalent(first, second);
+  }
+}
+
+TEST(BatchedEquivalence, OpentunerSearchRerunsDeterministicallyOnConv2d) {
+  for (const std::size_t workers : {2u, 4u, 8u}) {
+    const auto first = run_conv2d(atf::evaluation_mode::batched, workers,
+                                  technique_kind::opentuner);
+    const auto second = run_conv2d(atf::evaluation_mode::batched, workers,
+                                   technique_kind::opentuner);
+    expect_equivalent(first, second);
   }
 }
 

@@ -1,0 +1,142 @@
+// Direct unit tests for the sliding-window AUC bandit: exact credit
+// assignment (the area-under-curve weighting), window eviction vs lifetime
+// accounting, and the eligibility-masked selection the batch-aware ensemble
+// uses to fill mixed batches.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "atf/search/auc_bandit.hpp"
+
+namespace {
+
+using atf::search::auc_bandit;
+
+TEST(AucBanditCredit, AucWeightsLateSuccessesMore) {
+  auc_bandit bandit(1, 100, 0.0);
+  // Bits for arm 0, in order: T F T. The i-th use (1-based) weighs i, the
+  // normalizer is n(n+1)/2 = 6 -> AUC = (1 + 3) / 6.
+  bandit.record(0, true);
+  bandit.record(0, false);
+  bandit.record(0, true);
+  EXPECT_DOUBLE_EQ(bandit.auc(0), 4.0 / 6.0);
+}
+
+TEST(AucBanditCredit, AllSuccessesGiveFullCredit) {
+  auc_bandit bandit(2, 100, 0.0);
+  for (int i = 0; i < 5; ++i) {
+    bandit.record(1, true);
+  }
+  EXPECT_DOUBLE_EQ(bandit.auc(1), 1.0);
+  EXPECT_DOUBLE_EQ(bandit.auc(0), 0.0);  // never used
+}
+
+TEST(AucBanditCredit, CreditIsPerArmNotGlobal) {
+  auc_bandit bandit(2, 100, 0.0);
+  // Interleave: arm 0 always fails, arm 1 always succeeds. Arm 1's AUC
+  // must be computed over its own bit sequence only.
+  for (int i = 0; i < 4; ++i) {
+    bandit.record(0, false);
+    bandit.record(1, true);
+  }
+  EXPECT_DOUBLE_EQ(bandit.auc(0), 0.0);
+  EXPECT_DOUBLE_EQ(bandit.auc(1), 1.0);
+  EXPECT_EQ(bandit.uses(0), 4u);
+  EXPECT_EQ(bandit.uses(1), 4u);
+}
+
+TEST(AucBanditWindow, EvictionDropsOldestEntries) {
+  auc_bandit bandit(1, 4, 0.0);
+  for (int i = 0; i < 4; ++i) {
+    bandit.record(0, true);
+  }
+  EXPECT_DOUBLE_EQ(bandit.auc(0), 1.0);
+  // Four failures push every success out of the window.
+  for (int i = 0; i < 4; ++i) {
+    bandit.record(0, false);
+  }
+  EXPECT_DOUBLE_EQ(bandit.auc(0), 0.0);
+  EXPECT_EQ(bandit.uses(0), 4u);           // window-bounded
+  EXPECT_EQ(bandit.lifetime_uses(0), 8u);  // never evicted
+}
+
+TEST(AucBanditWindow, EvictionIsSharedAcrossArms) {
+  // The window holds entries of *all* arms: arm 0's old successes are
+  // evicted by arm 1's later uses.
+  auc_bandit bandit(2, 3, 0.0);
+  bandit.record(0, true);
+  bandit.record(1, false);
+  bandit.record(1, false);
+  EXPECT_EQ(bandit.uses(0), 1u);
+  bandit.record(1, false);  // evicts arm 0's only entry
+  EXPECT_EQ(bandit.uses(0), 0u);
+  EXPECT_EQ(bandit.lifetime_uses(0), 1u);
+  EXPECT_DOUBLE_EQ(bandit.auc(0), 0.0);
+}
+
+TEST(AucBanditSelect, RecordRejectsOutOfRangeArm) {
+  auc_bandit bandit(2);
+  EXPECT_THROW(bandit.record(2, true), std::out_of_range);
+  EXPECT_THROW((void)bandit.lifetime_uses(2), std::out_of_range);
+}
+
+TEST(AucBanditSelect, SelectAmongMatchesSelectWhenAllEligible) {
+  auc_bandit bandit(4, 50, 0.05);
+  atf::search::auc_bandit reference(4, 50, 0.05);
+  // Replay an arbitrary deterministic history into both.
+  for (int i = 0; i < 60; ++i) {
+    const std::size_t arm = static_cast<std::size_t>(i * 7 % 4);
+    const bool success = (i % 3) == 0;
+    bandit.record(arm, success);
+    reference.record(arm, success);
+  }
+  EXPECT_EQ(bandit.select_among(std::vector<bool>(4, true)),
+            reference.select());
+}
+
+TEST(AucBanditSelect, SelectAmongHonorsEligibilityMask) {
+  auc_bandit bandit(3, 100, 0.0);
+  // Arm 1 is clearly the best; with arm 1 masked out the choice must fall
+  // to the best of the rest (arm 2 succeeds sometimes, arm 0 never).
+  for (int i = 0; i < 10; ++i) {
+    bandit.record(0, false);
+    bandit.record(1, true);
+    bandit.record(2, i % 2 == 0);
+  }
+  EXPECT_EQ(bandit.select(), 1u);
+  EXPECT_EQ(bandit.select_among({true, false, true}), 2u);
+  EXPECT_EQ(bandit.select_among({true, false, false}), 0u);
+}
+
+TEST(AucBanditSelect, UnusedEligibleArmHasPriority) {
+  auc_bandit bandit(3, 100, 0.05);
+  bandit.record(0, true);
+  bandit.record(1, true);
+  // Arm 2 was never used inside the window -> infinite exploration bonus.
+  EXPECT_EQ(bandit.select_among({true, true, true}), 2u);
+  // Masked out, the successful arms compete normally.
+  const std::size_t pick = bandit.select_among({true, true, false});
+  EXPECT_LT(pick, 2u);
+}
+
+TEST(AucBanditSelect, SelectAmongRejectsBadMasks) {
+  auc_bandit bandit(2);
+  EXPECT_THROW((void)bandit.select_among({true}), std::invalid_argument);
+  EXPECT_THROW((void)bandit.select_among({false, false}),
+               std::invalid_argument);
+}
+
+TEST(AucBanditSelect, TiesBreakTowardLowestIndex) {
+  auc_bandit bandit(3, 100, 0.0);
+  // Identical histories for every arm -> identical scores.
+  for (int i = 0; i < 3; ++i) {
+    bandit.record(0, true);
+    bandit.record(1, true);
+    bandit.record(2, true);
+  }
+  EXPECT_EQ(bandit.select(), 0u);
+  EXPECT_EQ(bandit.select_among({false, true, true}), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,462 @@
+// The batch-aware AUC-bandit ensemble: mixed-technique batch proposals,
+// per-member credit accounting, max_batch() honoring, sequential/batched
+// equivalence at width 1, and a property test that no interleaving of
+// member proposals ever double-reports or drops a result. Also covers the
+// search_technique default propose_batch shim and the exhausted-space
+// (empty/short proposal) edge through the tuner loop.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "atf/atf.hpp"
+#include "atf/cf/generic.hpp"
+#include "atf/common/rng.hpp"
+#include "atf/search/ensemble.hpp"
+#include "atf/search/nelder_mead.hpp"
+#include "atf/search/opentuner_search.hpp"
+#include "atf/search/pattern_search.hpp"
+#include "atf/search/random_technique.hpp"
+#include "atf/search/torczon.hpp"
+
+namespace {
+
+using namespace atf::search;
+
+// An instrumented pool member: proposes identifiable points, counts every
+// proposal and every reported cost, and verifies the ensemble never asks
+// for more points than its declared capacity.
+class stub_technique final : public domain_technique {
+public:
+  stub_technique(std::string name, std::size_t capacity)
+      : name_(std::move(name)), capacity_(capacity) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  void initialize(const numeric_domain& domain, std::uint64_t) override {
+    domain_ = &domain;
+    proposed_ = 0;
+    reported_ = 0;
+  }
+
+  [[nodiscard]] std::size_t max_batch() const override { return capacity_; }
+
+  [[nodiscard]] point next_point() override {
+    point p(domain_->dimensions(), 0);
+    p[0] = proposed_++ % domain_->axis_size(0);
+    return p;
+  }
+
+  [[nodiscard]] std::vector<point> propose_points(
+      std::size_t max_points) override {
+    EXPECT_LE(max_points, capacity_)
+        << name_ << ": asked for more points than max_batch()";
+    std::vector<point> batch;
+    batch.reserve(max_points);
+    for (std::size_t i = 0; i < max_points; ++i) {
+      batch.push_back(next_point());
+    }
+    return batch;
+  }
+
+  void report(double) override { ++reported_; }
+
+  [[nodiscard]] std::uint64_t proposed() const { return proposed_; }
+  [[nodiscard]] std::uint64_t reported() const { return reported_; }
+
+private:
+  std::string name_;
+  std::size_t capacity_;
+  const numeric_domain* domain_ = nullptr;
+  std::uint64_t proposed_ = 0;
+  std::uint64_t reported_ = 0;
+};
+
+/// Builds an ensemble over `count` stubs with the given capacities and
+/// returns raw pointers for inspection (the ensemble owns them).
+std::pair<ensemble, std::vector<stub_technique*>> make_stub_ensemble(
+    const std::vector<std::size_t>& capacities) {
+  std::vector<std::unique_ptr<domain_technique>> pool;
+  std::vector<stub_technique*> raw;
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    auto stub = std::make_unique<stub_technique>("stub" + std::to_string(i),
+                                                 capacities[i]);
+    raw.push_back(stub.get());
+    pool.push_back(std::move(stub));
+  }
+  return {ensemble(std::move(pool)), raw};
+}
+
+constexpr std::size_t kUnbounded = std::numeric_limits<std::size_t>::max();
+
+TEST(BatchedEnsemble, MixedBatchFillsDistinctMembersFirst) {
+  auto [engine, stubs] =
+      make_stub_ensemble({kUnbounded, kUnbounded, kUnbounded, kUnbounded});
+  engine.initialize(numeric_domain({1024}), 1);
+  const auto batch = engine.propose_batch(4);
+  ASSERT_EQ(batch.size(), 4u);
+  std::vector<std::size_t> members = engine.batch_members();
+  ASSERT_EQ(members.size(), 4u);
+  std::sort(members.begin(), members.end());
+  EXPECT_EQ(members, (std::vector<std::size_t>{0, 1, 2, 3}))
+      << "a batch no wider than the pool must use distinct members";
+}
+
+TEST(BatchedEnsemble, OverflowSlotsRepeatMembersWithCapacity) {
+  // Member 0 can take one slot per batch; member 1 is unbounded. A batch
+  // of 5 gives member 0 exactly one slot and the rest to member 1.
+  auto [engine, stubs] = make_stub_ensemble({1, kUnbounded});
+  engine.initialize(numeric_domain({1024}), 2);
+  const auto batch = engine.propose_batch(5);
+  ASSERT_EQ(batch.size(), 5u);
+  const auto& members = engine.batch_members();
+  EXPECT_EQ(std::count(members.begin(), members.end(), 0u), 1);
+  EXPECT_EQ(std::count(members.begin(), members.end(), 1u), 4);
+  EXPECT_EQ(stubs[0]->proposed(), 1u);
+  EXPECT_EQ(stubs[1]->proposed(), 4u);
+}
+
+TEST(BatchedEnsemble, BatchClampsToCombinedPoolCapacity) {
+  // Three members, one slot each: a requested batch of 9 yields 3 points.
+  auto [engine, stubs] = make_stub_ensemble({1, 1, 1});
+  engine.initialize(numeric_domain({1024}), 3);
+  const auto batch = engine.propose_batch(9);
+  EXPECT_EQ(batch.size(), 3u);
+}
+
+TEST(BatchedEnsemble, SimplexTechniquesDeclareAndKeepSingleSlots) {
+  // The real simplex state machines declare max_batch() == 1; in any batch
+  // the ensemble must give each at most one slot.
+  EXPECT_EQ(nelder_mead().max_batch(), 1u);
+  EXPECT_EQ(torczon().max_batch(), 1u);
+  EXPECT_EQ(pattern_search().max_batch(), 1u);
+
+  std::vector<std::unique_ptr<domain_technique>> pool;
+  pool.push_back(std::make_unique<nelder_mead>());
+  pool.push_back(std::make_unique<torczon>());
+  pool.push_back(std::make_unique<pattern_search>());
+  ensemble engine(std::move(pool));
+  engine.initialize(numeric_domain({64, 64}), 5);
+  for (int round = 0; round < 20; ++round) {
+    const auto batch = engine.propose_batch(8);
+    ASSERT_LE(batch.size(), 3u);
+    ASSERT_GE(batch.size(), 1u);
+    const auto& members = engine.batch_members();
+    for (std::size_t m = 0; m < 3; ++m) {
+      EXPECT_LE(std::count(members.begin(), members.end(), m), 1)
+          << "simplex member " << m << " received two slots in one batch";
+    }
+    std::vector<double> costs;
+    for (const point& p : batch) {
+      costs.push_back(static_cast<double>(p[0] + p[1]));
+    }
+    engine.report_batch(costs);
+  }
+}
+
+TEST(BatchedEnsemble, RandomTechniqueIsUnbounded) {
+  EXPECT_EQ(random_technique().max_batch(), kUnbounded);
+}
+
+// Satellite: fixed-seed determinism of the sequential protocol — two
+// identically seeded ensembles driven step by step produce the identical
+// proposal stream, member usage and best. Guards the bit-identical claim
+// the batched variant builds on.
+TEST(BatchedEnsemble, SequentialModeIsDeterministicUnderFixedSeed) {
+  const auto cost_of = [](const point& p) {
+    return static_cast<double>((p[0] * 31 + p[1] * 7) % 101);
+  };
+  ensemble a;
+  ensemble b;
+  const numeric_domain domain({96, 80});
+  a.initialize(domain, 0x5eed);
+  b.initialize(domain, 0x5eed);
+  for (int i = 0; i < 400; ++i) {
+    const point pa = a.next_point();
+    const point pb = b.next_point();
+    ASSERT_EQ(pa, pb) << "proposal streams diverged at step " << i;
+    a.report(cost_of(pa));
+    b.report(cost_of(pb));
+  }
+  EXPECT_EQ(a.technique_uses(), b.technique_uses());
+  EXPECT_EQ(a.best_cost(), b.best_cost());
+  EXPECT_EQ(a.best_point(), b.best_point());
+}
+
+// The tentpole's equivalence guarantee at the unit level: driving the
+// ensemble through propose_batch(1)/report_batch is bit-identical to the
+// sequential next_point()/report() protocol.
+TEST(BatchedEnsemble, BatchOfOneIsBitIdenticalToSequential) {
+  const auto cost_of = [](const point& p) {
+    return static_cast<double>((p[0] * 13 + p[1] * 3) % 97);
+  };
+  ensemble sequential;
+  ensemble batched;
+  const numeric_domain domain({64, 48});
+  sequential.initialize(domain, 0xabc);
+  batched.initialize(domain, 0xabc);
+  for (int i = 0; i < 400; ++i) {
+    const point ps = sequential.next_point();
+    const auto batch = batched.propose_batch(1);
+    ASSERT_EQ(batch.size(), 1u);
+    ASSERT_EQ(ps, batch[0]) << "streams diverged at step " << i;
+    sequential.report(cost_of(ps));
+    batched.report_batch({cost_of(batch[0])});
+  }
+  EXPECT_EQ(sequential.technique_uses(), batched.technique_uses());
+  EXPECT_EQ(sequential.best_cost(), batched.best_cost());
+}
+
+TEST(BatchedEnsemble, PerMemberAucCreditFollowsProposalOrder) {
+  auto [engine, stubs] =
+      make_stub_ensemble({kUnbounded, kUnbounded, kUnbounded});
+  engine.initialize(numeric_domain({1024}), 7);
+
+  auto batch = engine.propose_batch(3);
+  ASSERT_EQ(batch.size(), 3u);
+  ASSERT_EQ(engine.batch_members(), (std::vector<std::size_t>{0, 1, 2}));
+  // Walking in proposal order: 1.0 is a first best (slot 0 improves),
+  // 0.5 improves again (slot 1), 2.0 does not (slot 2).
+  engine.report_batch({1.0, 0.5, 2.0});
+  EXPECT_DOUBLE_EQ(engine.bandit().auc(0), 1.0);
+  EXPECT_DOUBLE_EQ(engine.bandit().auc(1), 1.0);
+  EXPECT_DOUBLE_EQ(engine.bandit().auc(2), 0.0);
+  EXPECT_EQ(engine.best_cost(), 0.5);
+
+  batch = engine.propose_batch(3);
+  ASSERT_EQ(engine.batch_members(), (std::vector<std::size_t>{0, 1, 2}));
+  // 3.0 no improvement; 0.1 improves; +inf never counts as improvement.
+  engine.report_batch({3.0, 0.1, std::numeric_limits<double>::infinity()});
+  // Member 0's window bits: T then F -> (1*1)/(2*3/2) = 1/3.
+  EXPECT_DOUBLE_EQ(engine.bandit().auc(0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(engine.bandit().auc(1), 1.0);
+  EXPECT_DOUBLE_EQ(engine.bandit().auc(2), 0.0);
+  EXPECT_EQ(engine.best_cost(), 0.1);
+
+  for (std::size_t m = 0; m < 3; ++m) {
+    EXPECT_EQ(engine.bandit().lifetime_uses(m), 2u);
+    EXPECT_EQ(stubs[m]->proposed(), 2u);
+    EXPECT_EQ(stubs[m]->reported(), 2u);
+  }
+}
+
+TEST(BatchedEnsemble, TruncatedReportForgetsSurplusWithoutDoubleCredit) {
+  auto [engine, stubs] = make_stub_ensemble({kUnbounded, kUnbounded});
+  engine.initialize(numeric_domain({1024}), 11);
+  const auto batch = engine.propose_batch(4);
+  ASSERT_EQ(batch.size(), 4u);
+  const auto members = engine.batch_members();
+  // Only the first two evaluations were committed (abort mid-batch).
+  engine.report_batch({5.0, 6.0});
+  std::vector<std::uint64_t> expected_reports(2, 0);
+  ++expected_reports[members[0]];
+  ++expected_reports[members[1]];
+  for (std::size_t m = 0; m < 2; ++m) {
+    EXPECT_EQ(stubs[m]->reported(), expected_reports[m]);
+    EXPECT_EQ(engine.bandit().lifetime_uses(m), expected_reports[m]);
+  }
+  // The next batch starts clean: a full report must not resurrect the
+  // forgotten slots.
+  const auto next = engine.propose_batch(2);
+  ASSERT_EQ(next.size(), 2u);
+  engine.report_batch({1.0, 2.0});
+  EXPECT_EQ(engine.bandit().lifetime_uses(0) + engine.bandit().lifetime_uses(1),
+            4u);
+}
+
+// Property test: across many rounds of random batch widths and random
+// commit truncations, every member's reported-cost count exactly matches
+// its committed slots — nothing is double-reported, nothing is dropped,
+// and bandit credit stays in lockstep with member reports.
+TEST(BatchedEnsemble, NoInterleavingDoubleReportsOrDropsResults) {
+  auto [engine, stubs] = make_stub_ensemble({1, 3, kUnbounded});
+  engine.initialize(numeric_domain({1024}), 13);
+  atf::common::xoshiro256 rng(0xfeed);
+
+  std::vector<std::uint64_t> proposed_slots(3, 0);
+  std::vector<std::uint64_t> committed_slots(3, 0);
+  for (int round = 0; round < 500; ++round) {
+    const std::size_t width = 1 + rng.below(8);
+    const auto batch = engine.propose_batch(width);
+    ASSERT_GE(batch.size(), 1u);
+    ASSERT_LE(batch.size(), std::min<std::size_t>(width, 1 + 3 + width));
+    const auto members = engine.batch_members();
+    ASSERT_EQ(members.size(), batch.size());
+    for (const std::size_t m : members) {
+      ++proposed_slots[m];
+    }
+
+    // Commit a random prefix (simulating an abort mid-batch), sometimes
+    // the full batch.
+    const std::size_t committed = rng.below(batch.size() + 1);
+    std::vector<double> costs;
+    for (std::size_t i = 0; i < committed; ++i) {
+      costs.push_back(static_cast<double>(rng.below(1000)));
+    }
+    for (std::size_t i = 0; i < committed; ++i) {
+      ++committed_slots[members[i]];
+    }
+    engine.report_batch(costs);
+
+    for (std::size_t m = 0; m < 3; ++m) {
+      ASSERT_EQ(stubs[m]->proposed(), proposed_slots[m])
+          << "member " << m << " round " << round;
+      ASSERT_EQ(stubs[m]->reported(), committed_slots[m])
+          << "member " << m << " round " << round;
+      ASSERT_EQ(engine.bandit().lifetime_uses(m), committed_slots[m])
+          << "bandit credit diverged from member reports";
+    }
+  }
+}
+
+// --- search_technique default shim & exhausted-space edges, through the
+// --- tuner loop.
+
+double index_cost(const atf::configuration& config) {
+  return static_cast<double>(int(config["x"]));
+}
+
+/// Proposes each of the first `limit` space indices once — in short batches
+/// of at most two — then returns empty batches (exhausted space).
+class finite_technique final : public atf::search_technique {
+public:
+  explicit finite_technique(std::uint64_t limit) : limit_(limit) {}
+
+  [[nodiscard]] atf::configuration get_next_config() override {
+    return space().config_at(next_++ % space().size());
+  }
+  void report_cost(double) override {}
+
+  [[nodiscard]] std::vector<atf::configuration> propose_batch(
+      std::size_t max_configs) override {
+    const std::uint64_t remaining = limit_ > next_ ? limit_ - next_ : 0;
+    const std::size_t count = static_cast<std::size_t>(
+        std::min<std::uint64_t>({max_configs, remaining, 2}));
+    std::vector<atf::configuration> batch;
+    for (std::size_t i = 0; i < count; ++i) {
+      batch.push_back(get_next_config());
+    }
+    return batch;  // empty once exhausted -> the tuner must stop
+  }
+
+private:
+  std::uint64_t limit_;
+  std::uint64_t next_ = 0;
+};
+
+/// A purely sequential technique (no batch override): exercises the
+/// default one-config propose_batch shim under a wide batch limit.
+class shim_only_technique final : public atf::search_technique {
+public:
+  [[nodiscard]] atf::configuration get_next_config() override {
+    return space().config_at(next_++ % space().size());
+  }
+  void report_cost(double cost) override { last_cost_ = cost; }
+  [[nodiscard]] double last_cost() const { return last_cost_; }
+
+private:
+  std::uint64_t next_ = 0;
+  double last_cost_ = 0.0;
+};
+
+TEST(ProposeBatchShim, EmptyProposalStopsTheTuneEarly) {
+  auto x = atf::tp("x", atf::interval<int>(1, 50));
+  atf::tuner tuner;
+  tuner.tuning_parameters(x);
+  tuner.search_technique(std::make_unique<finite_technique>(7));
+  tuner.abort_condition(atf::cond::evaluations(100));
+  const auto result = tuner.tune(atf::cf::pure(index_cost));
+  EXPECT_EQ(result.evaluations, 7u) << "the tuner must stop on an empty batch";
+  ASSERT_TRUE(result.has_best());
+  EXPECT_EQ(*result.best_cost, 1.0);
+}
+
+TEST(ProposeBatchShim, ShortProposalsStillReachTheBudgetInBatchedMode) {
+  auto x = atf::tp("x", atf::interval<int>(1, 50));
+  atf::tuner tuner;
+  tuner.tuning_parameters(x);
+  // limit > budget: the technique never exhausts, but each batch holds at
+  // most two configurations even though the engine offers four slots.
+  tuner.search_technique(std::make_unique<finite_technique>(1000));
+  tuner.abort_condition(atf::cond::evaluations(20));
+  tuner.evaluation(atf::evaluation_mode::batched).concurrency(4);
+  const auto result = tuner.tune(atf::cf::pure(index_cost));
+  EXPECT_EQ(result.evaluations, 20u);
+}
+
+TEST(ProposeBatchShim, DefaultShimKeepsSequentialBehaviourUnderBatchedMode) {
+  auto run = [](atf::evaluation_mode mode, std::size_t workers) {
+    auto x = atf::tp("x", atf::interval<int>(1, 30));
+    atf::tuner tuner;
+    tuner.tuning_parameters(x);
+    tuner.search_technique(std::make_unique<shim_only_technique>());
+    tuner.abort_condition(atf::cond::evaluations(30));
+    tuner.evaluation(mode).concurrency(workers);
+    return tuner.tune(atf::cf::pure(index_cost));
+  };
+  const auto sequential = run(atf::evaluation_mode::sequential, 0);
+  const auto batched = run(atf::evaluation_mode::batched, 4);
+  // The default shim proposes one config per batch, so batched mode walks
+  // the identical stream: same count, same best, same history.
+  EXPECT_EQ(sequential.evaluations, batched.evaluations);
+  EXPECT_EQ(*sequential.best_cost, *batched.best_cost);
+  ASSERT_EQ(sequential.history.size(), batched.history.size());
+  for (std::size_t i = 0; i < sequential.history.size(); ++i) {
+    EXPECT_EQ(sequential.history[i].evaluations,
+              batched.history[i].evaluations);
+    EXPECT_EQ(sequential.history[i].cost, batched.history[i].cost);
+  }
+}
+
+// --- opentuner_search end to end on a real constrained space (small).
+
+TEST(BatchedOpentunerSearch, ConcurrencyOneIsBitIdenticalToSequential) {
+  auto run = [](atf::evaluation_mode mode, std::size_t workers) {
+    auto x = atf::tp("x", atf::interval<int>(1, 64),
+                     [](int v) { return v % 3 != 0; });
+    atf::tuner tuner;
+    tuner.tuning_parameters(x);
+    tuner.search_technique(
+        std::make_unique<atf::search::opentuner_search>(0x5eed));
+    tuner.abort_condition(atf::cond::evaluations(250));
+    tuner.evaluation(mode).concurrency(workers);
+    return tuner.tune(atf::cf::pure(index_cost));
+  };
+  const auto sequential = run(atf::evaluation_mode::sequential, 0);
+  const auto batched = run(atf::evaluation_mode::batched, 1);
+  EXPECT_EQ(sequential.evaluations, batched.evaluations);
+  EXPECT_EQ(*sequential.best_cost, *batched.best_cost);
+  ASSERT_EQ(sequential.history.size(), batched.history.size());
+  for (std::size_t i = 0; i < sequential.history.size(); ++i) {
+    EXPECT_EQ(sequential.history[i].evaluations,
+              batched.history[i].evaluations);
+    EXPECT_EQ(sequential.history[i].cost, batched.history[i].cost);
+  }
+}
+
+TEST(BatchedOpentunerSearch, WideBatchesAreDeterministicPerWorkerCount) {
+  auto run = [](std::size_t workers) {
+    auto x = atf::tp("x", atf::interval<int>(1, 64));
+    atf::tuner tuner;
+    tuner.tuning_parameters(x);
+    tuner.search_technique(
+        std::make_unique<atf::search::opentuner_search>(0x777));
+    tuner.abort_condition(atf::cond::evaluations(250));
+    tuner.evaluation(atf::evaluation_mode::batched).concurrency(workers);
+    return tuner.tune(atf::cf::pure(index_cost));
+  };
+  for (const std::size_t workers : {2u, 4u}) {
+    const auto first = run(workers);
+    const auto second = run(workers);
+    EXPECT_EQ(first.evaluations, second.evaluations);
+    EXPECT_EQ(*first.best_cost, *second.best_cost);
+    ASSERT_EQ(first.history.size(), second.history.size());
+  }
+}
+
+}  // namespace
