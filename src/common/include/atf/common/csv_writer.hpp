@@ -18,7 +18,7 @@ public:
 
   [[nodiscard]] bool is_open() const noexcept { return stream_.is_open(); }
 
-  /// Writes one row; fields are quoted when they contain , " or newline.
+  /// Writes one row; fields are quoted when they contain , " CR or LF.
   void write_row(const std::vector<std::string>& fields);
 
   void flush();

@@ -29,13 +29,15 @@ private:
 };
 
 /// Percentile with linear interpolation; `p` in [0,100]. The input vector is
-/// copied and sorted. Returns 0 for an empty input.
+/// copied and sorted. Returns NaN for an empty input — there is no
+/// measurement, and 0.0 would masquerade as one.
 [[nodiscard]] double percentile(std::vector<double> values, double p);
 
 /// Geometric mean; values must be positive. Returns 0 for an empty input.
 [[nodiscard]] double geometric_mean(const std::vector<double>& values);
 
 /// Median absolute deviation (scaled by 1.4826 for normal consistency).
+/// Returns NaN for an empty input, like percentile.
 [[nodiscard]] double mad(const std::vector<double>& values);
 
 }  // namespace atf::common

@@ -9,15 +9,25 @@
 // iteration drain, so a task running on a pool worker may itself call
 // parallel_for on the same pool without deadlocking (nested calls degrade to
 // the caller draining its own iterations when every worker is busy).
+//
+// work_queue is the dynamic counterpart of a fixed pre-partition: consumers
+// *pull* items one at a time and a running handler may push follow-up items,
+// so producers of uneven work (the adaptive chunk scheduler of intra-group
+// generation) re-split hot items while the drain is underway.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <queue>
+#include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace atf::common {
@@ -35,7 +45,15 @@ public:
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueues a task and returns a future for its result.
+  /// Begins shutdown: subsequent submit() calls are rejected with
+  /// std::runtime_error while tasks already queued still drain. Idempotent;
+  /// the destructor calls it before joining. Without the rejection, a task
+  /// enqueued while the destructor drains races the join and can be dropped
+  /// silently, leaving its future a broken promise.
+  void stop() noexcept;
+
+  /// Enqueues a task and returns a future for its result. Throws
+  /// std::runtime_error if the pool is stopping (see stop()).
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using result_t = std::invoke_result_t<F>;
@@ -44,6 +62,9 @@ public:
     std::future<result_t> future = task->get_future();
     {
       std::lock_guard lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("thread_pool: submit on a stopping pool");
+      }
       tasks_.emplace([task]() mutable { (*task)(); });
     }
     cv_.notify_one();
@@ -68,6 +89,112 @@ private:
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+};
+
+/// Dynamic work queue: the pull-based counterpart of handing each worker a
+/// fixed pre-partition. Consumers take items one at a time, and a handler
+/// running under drain() may push follow-up items — the re-split halves of a
+/// chunk that turned out hot — so load balance adapts to skew no static
+/// split can anticipate.
+///
+/// drain() runs handlers on every pool worker *and* the calling thread (so
+/// it is safe to call from inside a task of the same pool, like
+/// parallel_for) and returns once the queue is empty and no handler is in
+/// flight. One drain at a time per queue; push() is safe from any thread
+/// while a drain is running.
+template <typename Item>
+class work_queue {
+public:
+  work_queue() = default;
+  work_queue(const work_queue&) = delete;
+  work_queue& operator=(const work_queue&) = delete;
+
+  /// Enqueues an item; safe from any thread, including from inside a
+  /// handler running under drain().
+  void push(Item item) {
+    {
+      std::lock_guard lock(mutex_);
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  /// Items currently queued (a snapshot — concurrent consumers may take
+  /// them right after).
+  [[nodiscard]] std::size_t pending() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  /// Consumers currently blocked waiting for an item — the starvation
+  /// signal adaptive re-split policies key on: non-zero means an item
+  /// pushed now is picked up by an idle thread immediately.
+  [[nodiscard]] std::size_t starving() const noexcept {
+    return starving_.load(std::memory_order_relaxed);
+  }
+
+  /// Drains the queue with `fn`; the first handler exception is rethrown
+  /// after the drain completes (remaining items are still handled).
+  void drain(thread_pool& pool, const std::function<void(Item)>& fn) {
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto consume = [&] {
+      for (;;) {
+        std::optional<Item> item;
+        {
+          std::unique_lock lock(mutex_);
+          if (items_.empty() && active_ != 0) {
+            starving_.fetch_add(1, std::memory_order_relaxed);
+            cv_.wait(lock,
+                     [this] { return !items_.empty() || active_ == 0; });
+            starving_.fetch_sub(1, std::memory_order_relaxed);
+          }
+          if (items_.empty()) {
+            return;  // active_ == 0: nothing queued, nothing in flight
+          }
+          item.emplace(std::move(items_.front()));
+          items_.pop_front();
+          ++active_;
+        }
+        try {
+          fn(std::move(*item));
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) {
+            first_error = std::current_exception();
+          }
+        }
+        {
+          std::lock_guard lock(mutex_);
+          --active_;
+          if (active_ == 0 && items_.empty()) {
+            cv_.notify_all();  // release consumers parked in the wait above
+          }
+        }
+      }
+    };
+
+    std::vector<std::future<void>> helpers;
+    helpers.reserve(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      helpers.push_back(pool.submit(consume));
+    }
+    consume();  // the calling thread participates
+    for (auto& helper : helpers) {
+      helper.wait();
+    }
+    if (first_error) {
+      std::rethrow_exception(first_error);
+    }
+  }
+
+private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Item> items_;
+  std::size_t active_ = 0;  ///< handlers currently running
+  std::atomic<std::size_t> starving_{0};
 };
 
 /// Splits [0, count) into `parts` contiguous, maximally even spans and

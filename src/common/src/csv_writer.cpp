@@ -16,7 +16,9 @@ csv_writer::csv_writer(const std::string& path,
 }
 
 std::string csv_writer::escape(const std::string& field) {
-  if (field.find_first_of(",\"\n") == std::string::npos) {
+  // \r must trigger quoting too: a bare CR (or the CR of an embedded CRLF)
+  // splits the row for any reader that treats CR as a line break.
+  if (field.find_first_of(",\"\n\r") == std::string::npos) {
     return field;
   }
   std::string out = "\"";

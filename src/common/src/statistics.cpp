@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace atf::common {
 
@@ -29,7 +30,9 @@ double running_stats::stddev() const noexcept { return std::sqrt(variance()); }
 
 double percentile(std::vector<double> values, double p) {
   if (values.empty()) {
-    return 0.0;
+    // NaN, not 0: a silent 0.0 reads like a real measurement in a bench
+    // table; NaN poisons downstream arithmetic and is visibly wrong.
+    return std::numeric_limits<double>::quiet_NaN();
   }
   std::sort(values.begin(), values.end());
   p = std::clamp(p, 0.0, 100.0);
@@ -53,7 +56,7 @@ double geometric_mean(const std::vector<double>& values) {
 
 double mad(const std::vector<double>& values) {
   if (values.empty()) {
-    return 0.0;
+    return std::numeric_limits<double>::quiet_NaN();
   }
   const double med = percentile(values, 50.0);
   std::vector<double> deviations;

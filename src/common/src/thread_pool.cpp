@@ -22,14 +22,18 @@ thread_pool::thread_pool(std::size_t num_threads) {
 }
 
 thread_pool::~thread_pool() {
+  stop();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void thread_pool::stop() noexcept {
   {
     std::lock_guard lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
-  for (auto& worker : workers_) {
-    worker.join();
-  }
 }
 
 void thread_pool::worker_loop() {

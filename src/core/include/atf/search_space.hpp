@@ -40,10 +40,14 @@ public:
 
   /// Generates the space for the given groups. `threads` sizes the pool for
   /// intra_group mode (0 = hardware concurrency) and is ignored by the
-  /// other modes.
+  /// other modes. `policy` tunes the adaptive chunk scheduler of intra_group
+  /// mode (over-partition factor, hot-chunk re-splitting — see
+  /// generation_policy); it never affects the generated space, only load
+  /// balance.
   static search_space generate(const std::vector<tp_group>& groups,
                                generation_mode mode,
-                               std::size_t threads = 0);
+                               std::size_t threads = 0,
+                               const generation_policy& policy = {});
 
   /// Back-compat convenience: `parallel` maps to intra_group (the fastest
   /// mode; bit-identical results) and false to sequential — used by benches

@@ -28,15 +28,61 @@
 
 namespace atf {
 
+/// Knobs of the adaptive intra-group chunk scheduler (DESIGN.md §7).
+///
+/// Generation starts from an over-partition of the root range and re-splits
+/// chunks that turn out hot — on skewed constraint spaces (divides-chains)
+/// a few root values own nearly all surviving prefixes, so no static split
+/// can balance the load. None of these knobs affects the generated tree,
+/// only how the work is scheduled: all settings produce spaces bit-identical
+/// to sequential generation.
+struct generation_policy {
+  /// Initial over-partition: the root range starts as (workers + 1) × this
+  /// many chunks. Re-splitting refines from there, so this only sets the
+  /// granularity floor; 4 matches the pre-adaptive fixed factor.
+  std::size_t over_partition = 4;
+  /// A running chunk is *hot* — eligible for re-splitting — once its
+  /// visited-value count exceeds this factor × the median visited-value
+  /// count of the chunks completed so far.
+  double hot_factor = 2.0;
+  /// Never re-split before a chunk has tested at least this many candidate
+  /// values; also the median stand-in while no chunk has completed. Keeps
+  /// the split bookkeeping amortized against real expansion work.
+  std::uint64_t min_split_visited = 512;
+  /// Upper bound on total chunks, bounding stitch overhead however skewed
+  /// the space is (0 = automatic: max(initial chunks, 32 × workers)).
+  std::size_t max_chunks = 0;
+  /// Only re-split while some consumer is starving (the shared queue ran
+  /// dry) — splitting when work is still queued adds overhead for nothing.
+  /// Tests turn this off to make the re-split path deterministic.
+  bool split_only_when_starving = true;
+  /// false restores the legacy fixed pre-partition (equal chunks, workers
+  /// pull but never re-split) — the benches' imbalance baseline.
+  bool adaptive = true;
+};
+
 class space_tree {
 public:
+  /// Per-chunk cost accounting (one entry per expanded root-range chunk, in
+  /// root-value order) — what makes generation imbalance measurable.
+  struct chunk_stat {
+    std::uint64_t root_lo = 0;         ///< first root value of the chunk
+    std::uint64_t root_hi = 0;         ///< one past the last root value
+    std::uint64_t visited_values = 0;  ///< candidate values tested
+    std::uint64_t leaves = 0;          ///< valid configurations survived
+    std::uint64_t nodes = 0;           ///< stored tree nodes contributed
+    double seconds = 0.0;              ///< wall-clock expansion time
+  };
+
   /// Statistics about a generation run (reported by benches and tests).
   struct generation_stats {
     std::uint64_t nodes = 0;            ///< stored tree nodes (all levels)
     std::uint64_t visited_values = 0;   ///< candidate values tested
     std::uint64_t dead_prefixes = 0;    ///< prefixes discarded for lack of completion
     std::uint64_t chunks = 1;           ///< root-range chunks expanded (1 = sequential)
+    std::uint64_t resplits = 0;         ///< hot chunks re-split by the scheduler
     double seconds = 0.0;               ///< wall-clock generation time
+    std::vector<chunk_stat> per_chunk;  ///< per-chunk accounting, root order
   };
 
   space_tree() = default;
@@ -46,16 +92,21 @@ public:
   /// configuration through this tree updates the caller's expressions.
   static space_tree generate(const tp_group& group);
 
-  /// Intra-group parallel generation: the root parameter's range is split
-  /// into contiguous chunks dispatched on `pool`, each chunk expanded into a
-  /// private partial tree under its own evaluation context (tp.hpp), and the
-  /// partial trees stitched back in root-value order. The result is
+  /// Intra-group parallel generation: the root parameter's range is over-
+  /// partitioned into contiguous chunks that workers *pull* from a shared
+  /// work queue, each chunk expanded into a private partial tree under its
+  /// own evaluation context (tp.hpp). A chunk whose cost races ahead of the
+  /// completed-chunk median while other workers starve gives away the tail
+  /// half of its remaining root span as a new chunk (generation_policy).
+  /// Partial trees are stitched back in root-value order, so the result is
   /// bit-identical to sequential generation — same node order, child spans,
-  /// leaf counts and flat-index order — so every index-based consumer is
-  /// oblivious to how the tree was built. This is what parallelizes the
-  /// Fig. 2 XgemmDirect case, a *single* group that Section V's one-thread-
+  /// leaf counts and flat-index order, regardless of worker count, chunk
+  /// schedule or re-splits — and every index-based consumer is oblivious to
+  /// how the tree was built. This is what parallelizes the Fig. 2
+  /// XgemmDirect case, a *single* group that Section V's one-thread-
   /// per-group scheme cannot speed up.
-  static space_tree generate(const tp_group& group, common::thread_pool& pool);
+  static space_tree generate(const tp_group& group, common::thread_pool& pool,
+                             const generation_policy& policy = {});
 
   /// Number of valid configurations (leaves).
   [[nodiscard]] std::uint64_t size() const noexcept { return leaf_total_; }
@@ -128,7 +179,8 @@ private:
       const std::vector<std::shared_ptr<itp>>& params, std::size_t lvl,
       std::uint64_t lo, std::uint64_t hi, partial& out);
   static space_tree generate_impl(const tp_group& group,
-                                  common::thread_pool* pool);
+                                  common::thread_pool* pool,
+                                  const generation_policy& policy);
   void stitch(std::vector<partial>& parts);
   [[nodiscard]] std::uint64_t descend_random(std::size_t lvl,
                                              std::uint64_t node,

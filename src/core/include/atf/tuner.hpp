@@ -89,6 +89,19 @@ public:
     return *this;
   }
 
+  /// Chooses the generation mode *and* tunes the adaptive chunk scheduler
+  /// behind intra_group mode — the over-partition factor and the hot-chunk
+  /// re-split policy (see generation_policy). The policy affects generation
+  /// speed only; the generated space stays bit-identical across all
+  /// settings.
+  tuner& generation(generation_mode mode,
+                    const atf::generation_policy& policy) {
+    generation_mode_ = mode;
+    generation_policy_ = policy;
+    space_.reset();
+    return *this;
+  }
+
   /// Back-compat toggle: disables parallel generation entirely (false) or
   /// selects the full nested mode (true). Diagnostics/benches.
   tuner& parallel_generation(bool enabled) {
@@ -155,7 +168,8 @@ public:
   /// cached space; call invalidate_space() to force regeneration by hand.
   const search_space& space() {
     if (!space_.has_value()) {
-      space_ = search_space::generate(groups_, generation_mode_);
+      space_ = search_space::generate(groups_, generation_mode_,
+                                      /*threads=*/0, generation_policy_);
     }
     return *space_;
   }
@@ -234,6 +248,7 @@ private:
   atf::abort_condition abort_;
   std::optional<search_space> space_;
   generation_mode generation_mode_ = generation_mode::intra_group;
+  atf::generation_policy generation_policy_;
   evaluation_mode evaluation_mode_ = evaluation_mode::sequential;
   std::size_t concurrency_ = 0;
   std::optional<common::log_level> pre_verbose_log_level_;

@@ -19,7 +19,8 @@ search_space search_space::generate(const std::vector<tp_group>& groups,
 
 search_space search_space::generate(const std::vector<tp_group>& groups,
                                     generation_mode mode,
-                                    std::size_t threads) {
+                                    std::size_t threads,
+                                    const generation_policy& policy) {
   search_space space;
   space.trees_.resize(groups.size());
 
@@ -85,7 +86,7 @@ search_space search_space::generate(const std::vector<tp_group>& groups,
       }
       common::thread_pool pool(resolved);
       pool.parallel_for(groups.size(), [&](std::size_t g) {
-        space.trees_[g] = space_tree::generate(groups[g], pool);
+        space.trees_[g] = space_tree::generate(groups[g], pool, policy);
       });
       break;
     }

@@ -2,33 +2,119 @@
 
 #include <algorithm>
 #include <limits>
+#include <mutex>
 #include <stdexcept>
 
 #include "atf/common/stopwatch.hpp"
 
 namespace atf {
 
+namespace {
+
+/// A unit of generation work: one contiguous span of root values. Chunks
+/// are pulled from a shared work queue; a hot chunk pushes the tail half of
+/// its remaining span back as a fresh task.
+struct chunk_task {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+};
+
+/// Shared mutable state of one adaptive scheduling run: the completed-chunk
+/// cost ledger the hot-chunk predicate compares against, and the chunk
+/// budget that bounds re-splitting.
+class chunk_scheduler {
+public:
+  chunk_scheduler(const generation_policy& policy, std::size_t initial_chunks,
+                  std::size_t workers)
+      : policy_(policy), chunk_count_(initial_chunks) {
+    max_chunks_ = policy.max_chunks != 0
+                      ? policy.max_chunks
+                      : std::max(initial_chunks, workers * 32);
+    completed_.reserve(max_chunks_);
+  }
+
+  /// Decides between root values of a running chunk whether to re-split.
+  /// `visited` is the chunk's work so far, `remaining` its unexpanded root
+  /// values, `starving` the queue's blocked-consumer count. On true, the
+  /// chunk budget is already debited for the new chunk.
+  bool should_split(std::uint64_t visited, std::uint64_t remaining,
+                    std::size_t starving) {
+    if (!policy_.adaptive || remaining < 2 ||
+        visited < policy_.min_split_visited) {
+      return false;
+    }
+    if (policy_.split_only_when_starving && starving == 0) {
+      return false;
+    }
+    std::lock_guard lock(mutex_);
+    if (chunk_count_ >= max_chunks_) {
+      return false;
+    }
+    // Median completed-chunk cost, floored by the split grain so a burst of
+    // near-empty chunks cannot make everything look hot.
+    std::uint64_t median = policy_.min_split_visited;
+    if (!completed_.empty()) {
+      median = std::max(median, completed_[completed_.size() / 2]);
+    }
+    if (static_cast<double>(visited) <=
+        policy_.hot_factor * static_cast<double>(median)) {
+      return false;
+    }
+    ++chunk_count_;
+    ++resplits_;
+    return true;
+  }
+
+  /// Records a finished chunk's cost (kept sorted for O(1) median reads).
+  void complete(std::uint64_t visited) {
+    std::lock_guard lock(mutex_);
+    completed_.insert(
+        std::upper_bound(completed_.begin(), completed_.end(), visited),
+        visited);
+  }
+
+  [[nodiscard]] std::uint64_t resplits() const noexcept { return resplits_; }
+
+private:
+  generation_policy policy_;
+  std::size_t max_chunks_;
+  std::size_t chunk_count_;               ///< chunks created (initial + splits)
+  std::uint64_t resplits_ = 0;
+  std::vector<std::uint64_t> completed_;  ///< sorted completed-chunk costs
+  std::mutex mutex_;
+};
+
+}  // namespace
+
 /// Per-chunk expansion buffers: a full set of levels plus the counters that
-/// sum across chunks. Chunk c expands root values [lo_c, hi_c) only; deeper
-/// levels always iterate their full range.
+/// sum across chunks. Chunk c expands root values [root_lo, root_hi) only;
+/// deeper levels always iterate their full range. root_lo keys the stitch
+/// order — spans are disjoint and contiguous, so sorting partials by root_lo
+/// reproduces the sequential expansion order no matter which worker ran a
+/// chunk or how often it was re-split.
 struct space_tree::partial {
   std::vector<level> levels;
+  std::uint64_t root_lo = 0;
+  std::uint64_t root_hi = 0;
   std::uint64_t leaves = 0;
   std::uint64_t visited_values = 0;
   std::uint64_t dead_prefixes = 0;
+  double seconds = 0.0;
 };
 
 space_tree space_tree::generate(const tp_group& group) {
-  return generate_impl(group, nullptr);
+  return generate_impl(group, nullptr, generation_policy{});
 }
 
 space_tree space_tree::generate(const tp_group& group,
-                                common::thread_pool& pool) {
-  return generate_impl(group, &pool);
+                                common::thread_pool& pool,
+                                const generation_policy& policy) {
+  return generate_impl(group, &pool, policy);
 }
 
 space_tree space_tree::generate_impl(const tp_group& group,
-                                     common::thread_pool* pool) {
+                                     common::thread_pool* pool,
+                                     const generation_policy& policy) {
   space_tree tree;
   tree.params_.reserve(group.size());
   for (const auto& param : group.params()) {
@@ -49,38 +135,82 @@ space_tree space_tree::generate_impl(const tp_group& group,
     tree.leaf_total_ = 1;
   } else {
     const std::uint64_t root_range = tree.params_[0]->range_size();
-    // Over-partition relative to the worker count so chunks whose root
-    // values die early (or prune cheaply) do not straggle the rest; the
-    // chunk boundaries never affect the result, only load balance.
-    std::size_t chunks = 1;
-    if (pool != nullptr) {
-      chunks = static_cast<std::size_t>(std::min<std::uint64_t>(
-          root_range, static_cast<std::uint64_t>((pool->size() + 1) * 4)));
-    }
-    auto bounds = common::partition_evenly(
-        static_cast<std::size_t>(root_range), chunks);
-    if (bounds.size() < 2) {
-      bounds = {0, 0};  // empty root range: one chunk expanding nothing
-    }
-    chunks = bounds.size() - 1;
+    std::vector<partial> parts;
 
-    std::vector<partial> parts(chunks);
-    if (chunks <= 1) {
-      parts[0].levels.resize(tree.params_.size());
-      parts[0].leaves = expand_range(tree.params_, 0, 0, root_range, parts[0]);
+    if (pool == nullptr || root_range <= 1) {
+      // Sequential generation (or nothing to split): one chunk expanded on
+      // the calling thread in the ambient evaluation context.
+      partial part;
+      part.levels.resize(tree.params_.size());
+      part.root_hi = root_range;
+      common::stopwatch chunk_timer;
+      part.leaves = expand_range(tree.params_, 0, 0, root_range, part);
+      part.seconds = chunk_timer.elapsed_seconds();
+      parts.push_back(std::move(part));
     } else {
-      pool->parallel_for(chunks, [&](std::size_t c) {
+      // Over-partition the root range relative to the worker count so chunks
+      // whose root values die early do not straggle the rest, then let
+      // workers pull chunks from a shared queue. Chunk boundaries never
+      // affect the result, only load balance.
+      const std::size_t workers = pool->size() + 1;
+      const std::size_t initial = static_cast<std::size_t>(
+          std::min<std::uint64_t>(root_range,
+                                  static_cast<std::uint64_t>(std::max<std::size_t>(
+                                      1, workers * policy.over_partition))));
+      const auto bounds = common::partition_evenly(
+          static_cast<std::size_t>(root_range), initial);
+
+      chunk_scheduler scheduler(policy, bounds.size() - 1, workers);
+      common::work_queue<chunk_task> queue;
+      for (std::size_t c = 0; c + 1 < bounds.size(); ++c) {
+        queue.push({bounds[c], bounds[c + 1]});
+      }
+
+      std::mutex parts_mutex;
+      queue.drain(*pool, [&](chunk_task task) {
         // Lease a private evaluation context so this chunk's constraint
         // evaluations read/write slots disjoint from every concurrent chunk
         // (and from the ambient context of per-group generation threads).
         detail::scoped_eval_context context;
-        parts[c].levels.resize(tree.params_.size());
-        parts[c].leaves =
-            expand_range(tree.params_, 0, bounds[c], bounds[c + 1], parts[c]);
+        partial part;
+        part.levels.resize(tree.params_.size());
+        part.root_lo = task.lo;
+        common::stopwatch chunk_timer;
+        // Expand one root value at a time so the hot-chunk check runs
+        // between values; appending value-by-value writes exactly the same
+        // bytes as expanding the span in one call.
+        std::uint64_t hi = task.hi;
+        for (std::uint64_t i = task.lo; i < hi; ++i) {
+          part.leaves += expand_range(tree.params_, 0, i, i + 1, part);
+          const std::uint64_t remaining = hi - (i + 1);
+          if (scheduler.should_split(part.visited_values, remaining,
+                                     queue.starving())) {
+            // Give away the tail half of the remaining span; the new chunk
+            // carries its own root_lo, so stitching stays order-exact.
+            const std::uint64_t mid = (i + 1) + remaining / 2;
+            queue.push({mid, hi});
+            hi = mid;
+          }
+        }
+        part.root_hi = hi;
+        part.seconds = chunk_timer.elapsed_seconds();
+        scheduler.complete(part.visited_values);
+        std::lock_guard lock(parts_mutex);
+        parts.push_back(std::move(part));
       });
+
+      // Chunks completed in scheduling order; restore root-value order. The
+      // spans are disjoint and cover [0, root_range), so this is exactly the
+      // sequential expansion order.
+      std::sort(parts.begin(), parts.end(),
+                [](const partial& a, const partial& b) {
+                  return a.root_lo < b.root_lo;
+                });
+      tree.stats_.resplits = scheduler.resplits();
     }
+
     tree.stitch(parts);
-    tree.stats_.chunks = chunks;
+    tree.stats_.chunks = parts.size();
   }
   tree.stats_.seconds = timer.elapsed_seconds();
   tree.stats_.nodes = tree.node_count();
@@ -140,10 +270,22 @@ void space_tree::stitch(std::vector<partial>& parts) {
   leaf_total_ = 0;
   stats_.visited_values = 0;
   stats_.dead_prefixes = 0;
+  stats_.per_chunk.clear();
+  stats_.per_chunk.reserve(parts.size());
   for (const partial& part : parts) {
     leaf_total_ += part.leaves;
     stats_.visited_values += part.visited_values;
     stats_.dead_prefixes += part.dead_prefixes;
+    chunk_stat stat;
+    stat.root_lo = part.root_lo;
+    stat.root_hi = part.root_hi;
+    stat.visited_values = part.visited_values;
+    stat.leaves = part.leaves;
+    for (const level& nodes : part.levels) {
+      stat.nodes += nodes.size();
+    }
+    stat.seconds = part.seconds;
+    stats_.per_chunk.push_back(stat);
   }
 
   for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {

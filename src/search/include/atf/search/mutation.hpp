@@ -23,6 +23,12 @@ public:
   [[nodiscard]] point next_point() override;
   void report(double cost) override;
 
+  /// Inherently sequential: every mutant is bred from the best point as of
+  /// the last report, so the technique never takes more than one slot of an
+  /// ensemble batch. Pinned explicitly (like the simplex methods) so the
+  /// capacity accounting cannot regress if the base-class default changes.
+  [[nodiscard]] std::size_t max_batch() const override { return 1; }
+
 private:
   [[nodiscard]] point mutate(const point& base);
 

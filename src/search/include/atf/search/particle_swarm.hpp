@@ -32,6 +32,13 @@ public:
   [[nodiscard]] point next_point() override;
   void report(double cost) override;
 
+  /// Inherently sequential as implemented: report() advances the proposed
+  /// particle using the *current* global best, so the next proposal depends
+  /// on the last reported cost. Pinned explicitly so the ensemble's batch
+  /// capacity accounting cannot change underneath us if the base-class
+  /// default ever does.
+  [[nodiscard]] std::size_t max_batch() const override { return 1; }
+
 private:
   void advance(std::size_t i);
 

@@ -40,6 +40,29 @@ public:
   [[nodiscard]] configuration get_next_config() override;
   void report_cost(double cost) override;
 
+  /// Inherently sequential: each proposal is a neighbor of the walk's
+  /// current configuration, which moves (or not) only when the previous
+  /// cost is reported. Pinned to a batch of one explicitly — independent of
+  /// the base-class shim — so batched evaluation can never hand the walk
+  /// two unreported neighbors.
+  [[nodiscard]] std::vector<configuration> propose_batch(
+      std::size_t max_configs) override {
+    (void)max_configs;
+    std::vector<configuration> batch;
+    batch.push_back(get_next_config());
+    return batch;
+  }
+
+  /// Sequential counterpart of the pin above: forwards the (at most one)
+  /// cost to report_cost.
+  void report_batch(const std::vector<configuration>& configs,
+                    const std::vector<double>& costs) override {
+    (void)configs;
+    for (const double cost : costs) {
+      report_cost(cost);
+    }
+  }
+
   [[nodiscard]] std::uint64_t current_index() const noexcept {
     return current_;
   }

@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <limits>
 #include <set>
+#include <sstream>
 
 #include "atf/common/csv_writer.hpp"
 #include "atf/common/math_utils.hpp"
@@ -162,7 +164,15 @@ TEST(Statistics, Percentile) {
   EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 50), 2.5);
   EXPECT_DOUBLE_EQ(percentile({1, 2, 3}, 0), 1.0);
   EXPECT_DOUBLE_EQ(percentile({1, 2, 3}, 100), 3.0);
-  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Statistics, PercentileAndMadOfEmptyInputAreNaN) {
+  // 0.0 would read as a real measurement in a bench table; an absent sample
+  // must poison downstream arithmetic instead.
+  EXPECT_TRUE(std::isnan(percentile({}, 50)));
+  EXPECT_TRUE(std::isnan(percentile({}, 0)));
+  EXPECT_TRUE(std::isnan(mad({})));
+  EXPECT_DOUBLE_EQ(mad({3.0}), 0.0);  // one sample: defined, zero deviation
 }
 
 TEST(Statistics, GeometricMean) {
@@ -229,6 +239,80 @@ TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
   EXPECT_EQ(total.load(), 32);
 }
 
+TEST(ThreadPool, SubmitOnStoppingPoolThrowsWhileQueuedTasksDrain) {
+  // A task enqueued during/after shutdown used to race the drain-and-join in
+  // the destructor and could be dropped with a broken-promise future; now
+  // the submission is rejected up front, and work queued *before* the stop
+  // still runs to completion.
+  thread_pool pool(2);
+  auto queued = pool.submit([] { return 42; });
+  pool.stop();
+  EXPECT_THROW((void)pool.submit([] { return 0; }), std::runtime_error);
+  EXPECT_EQ(queued.get(), 42);
+  pool.stop();  // idempotent
+  EXPECT_THROW((void)pool.submit([] { return 0; }), std::runtime_error);
+}
+
+TEST(WorkQueue, DrainHandlesEveryInitialItem) {
+  thread_pool pool(4);
+  work_queue<std::size_t> queue;
+  std::vector<std::atomic<int>> hits(100);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    queue.push(i);
+  }
+  queue.drain(pool, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(WorkQueue, HandlersMayPushFollowUpItems) {
+  // The re-split pattern: a handler splits its item and pushes the halves
+  // back; drain must not return until the pushed items are handled too.
+  thread_pool pool(2);
+  work_queue<std::pair<int, int>> queue;  // [lo, hi) spans
+  std::atomic<int> singletons{0};
+  queue.push({0, 64});
+  queue.drain(pool, [&](std::pair<int, int> span) {
+    const int width = span.second - span.first;
+    if (width <= 1) {
+      singletons += width;
+      return;
+    }
+    const int mid = span.first + width / 2;
+    queue.push({span.first, mid});
+    queue.push({mid, span.second});
+  });
+  EXPECT_EQ(singletons.load(), 64);
+}
+
+TEST(WorkQueue, DrainOnEmptyQueueReturnsImmediately) {
+  thread_pool pool(2);
+  work_queue<int> queue;
+  int calls = 0;
+  queue.drain(pool, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(WorkQueue, DrainRethrowsFirstHandlerError) {
+  thread_pool pool(2);
+  work_queue<int> queue;
+  std::atomic<int> handled{0};
+  for (int i = 0; i < 10; ++i) {
+    queue.push(i);
+  }
+  EXPECT_THROW(queue.drain(pool,
+                           [&](int i) {
+                             if (i == 3) {
+                               throw std::runtime_error("boom");
+                             }
+                             handled++;
+                           }),
+               std::runtime_error);
+  EXPECT_EQ(handled.load(), 9);  // remaining items were still handled
+}
+
 TEST(PartitionEvenly, CoversRangeWithBalancedSpans) {
   for (const std::size_t count : {1u, 7u, 16u, 100u, 101u}) {
     for (const std::size_t parts : {1u, 2u, 3u, 16u}) {
@@ -279,6 +363,65 @@ TEST(CsvWriter, WrongColumnCountThrows) {
   const std::string path = ::testing::TempDir() + "atf_csv_test2.csv";
   csv_writer csv(path, {"a", "b"});
   EXPECT_THROW(csv.write_row({"only-one"}), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// RFC-4180 parse of a whole file: quoted fields may span lines and contain
+// escaped quotes — the inverse of csv_writer::escape.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (quoted) {
+      if (c == '"' && i + 1 < text.size() && text[i + 1] == '"') {
+        field += '"';
+        ++i;
+      } else if (c == '"') {
+        quoted = false;
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      row.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      row.push_back(std::move(field));
+      field.clear();
+      rows.push_back(std::move(row));
+      row.clear();
+    } else {
+      field += c;
+    }
+  }
+  return rows;
+}
+
+TEST(CsvWriter, CarriageReturnFieldsAreQuotedAndRoundTrip) {
+  // A field holding CRLF (or a bare CR) must come back intact — without the
+  // \r quote trigger the CR leaks into the stream unquoted and splits the
+  // row for any reader that honours CR line breaks.
+  const std::vector<std::string> tricky = {
+      "crlf\r\ninside", "bare\rcr", "trailing\r", "plain"};
+  const std::string path = ::testing::TempDir() + "atf_csv_test3.csv";
+  {
+    csv_writer csv(path, {"w", "x", "y", "z"});
+    csv.write_row(tricky);
+    csv.flush();
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto rows = parse_csv(buffer.str());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], tricky);
+  // And the raw bytes of every CR-carrying field are quoted.
+  EXPECT_NE(buffer.str().find("\"crlf\r\ninside\""), std::string::npos);
+  EXPECT_NE(buffer.str().find("\"bare\rcr\""), std::string::npos);
   std::remove(path.c_str());
 }
 

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "atf/atf.hpp"
 #include "atf/common/rng.hpp"
 #include "atf/kernels/conv2d.hpp"
 #include "atf/kernels/xgemm_direct.hpp"
@@ -105,6 +106,51 @@ TEST(GenerationModes, IntraGroupReportsChunkedGeneration) {
   const auto space =
       search_space::generate(groups, generation_mode::intra_group, 4);
   EXPECT_GT(space.group(0).stats().chunks, 1u);
+}
+
+// A divides-chain whose subtree sizes fall off sharply with the root value:
+// B ranges over divisors of n/A, so A = 1 owns a subtree scanning the whole
+// n-element range per level while large A values are nearly free. This is
+// the workload the adaptive re-split path exists for.
+std::vector<atf::tp_group> skewed_groups(std::size_t n) {
+  auto a = atf::tp("skewA", atf::interval<std::size_t>(1, n), atf::divides(n));
+  auto b =
+      atf::tp("skewB", atf::interval<std::size_t>(1, n), atf::divides(n / a));
+  auto c = atf::tp("skewC", atf::interval<std::size_t>(1, n), atf::divides(b));
+  auto d = atf::tp("skewD", atf::interval<std::size_t>(1, n), atf::divides(c));
+  return {atf::G(a, b, c, d)};
+}
+
+TEST(GenerationModes, SkewedDividesChainIsModeAndWorkerInvariant) {
+  const auto groups = skewed_groups(512);
+  const auto sequential =
+      search_space::generate(groups, generation_mode::sequential);
+  ASSERT_GT(sequential.size(), 0u);
+
+  // An aggressive policy so the hot-chunk re-split path actually runs in a
+  // test-sized space: split whenever a chunk's visited count exceeds twice
+  // the running median (floored at 16), even when no worker is starving.
+  atf::generation_policy aggressive;
+  aggressive.min_split_visited = 16;
+  aggressive.split_only_when_starving = false;
+
+  for (const auto mode :
+       {generation_mode::per_group, generation_mode::intra_group}) {
+    for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+      const auto space = search_space::generate(groups, mode, workers);
+      expect_spaces_identical(sequential, space, mode_name(mode));
+      const auto tuned =
+          search_space::generate(groups, mode, workers, aggressive);
+      expect_spaces_identical(sequential, tuned, mode_name(mode));
+      if (mode == generation_mode::intra_group) {
+        // The A = 1 subtree alone visits far more than twice the median
+        // chunk cost, so at least one re-split must have fired — and the
+        // space above is still bit-identical to the sequential one.
+        EXPECT_GE(tuned.group(0).stats().resplits, 1u)
+            << "workers " << workers;
+      }
+    }
+  }
 }
 
 // A fixed-seed tuning run must produce the identical improvement trace no

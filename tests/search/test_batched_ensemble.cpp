@@ -18,7 +18,9 @@
 #include "atf/cf/generic.hpp"
 #include "atf/common/rng.hpp"
 #include "atf/search/ensemble.hpp"
+#include "atf/search/mutation.hpp"
 #include "atf/search/nelder_mead.hpp"
+#include "atf/search/particle_swarm.hpp"
 #include "atf/search/opentuner_search.hpp"
 #include "atf/search/pattern_search.hpp"
 #include "atf/search/random_technique.hpp"
@@ -161,6 +163,14 @@ TEST(BatchedEnsemble, SimplexTechniquesDeclareAndKeepSingleSlots) {
 
 TEST(BatchedEnsemble, RandomTechniqueIsUnbounded) {
   EXPECT_EQ(random_technique().max_batch(), kUnbounded);
+}
+
+TEST(BatchedEnsemble, SequentialPoolMembersDeclareSingleSlots) {
+  // pso advances the proposed particle with the current global best on
+  // report(); mutation breeds from the best-as-of-last-report. Both are
+  // pinned to one slot per batch like the simplex methods.
+  EXPECT_EQ(particle_swarm().max_batch(), 1u);
+  EXPECT_EQ(mutation().max_batch(), 1u);
 }
 
 // Satellite: fixed-seed determinism of the sequential protocol — two

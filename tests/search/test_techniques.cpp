@@ -128,6 +128,22 @@ TEST(SimulatedAnnealing, SurvivesFailedEvaluations) {
   EXPECT_GT(result.failed_evaluations, 0u);
 }
 
+TEST(SimulatedAnnealing, ProposeBatchIsPinnedToOneConfiguration) {
+  // The walk must never hold two unreported neighbors: however wide the
+  // batch limit, propose_batch yields exactly one configuration and
+  // report_batch feeds its cost back into the sequential protocol.
+  auto x = atf::tp("x", atf::interval<int>(0, 99));
+  const auto space = atf::search_space::generate({atf::G(x)},
+                                                 atf::generation_mode::sequential);
+  atf::search::simulated_annealing sa(4.0, 11);
+  sa.initialize(space);
+  for (int round = 0; round < 10; ++round) {
+    const auto batch = sa.propose_batch(8);
+    ASSERT_EQ(batch.size(), 1u) << "round " << round;
+    sa.report_batch(batch, {double(int(batch[0]["x"]))});
+  }
+}
+
 TEST(OpenTunerSearch, ConvergesOnRuggedLandscape) {
   auto t = make_rugged_tuner();
   t.search_technique(std::make_unique<atf::search::opentuner_search>(21));
