@@ -1,0 +1,112 @@
+// Crash-safe, resumable tuning of CLBlast's XgemmDirect (DESIGN.md §9).
+//
+// Every measured evaluation is appended to a JSONL journal; run the binary
+// twice with the same journal and the second process serves the first one's
+// measurements from the replayed result store instead of re-running the
+// cost function — the cross-process analogue of the in-memory evaluation
+// cache. Kill the first run at any point (Ctrl-C, SIGKILL, power loss up
+// to the fsync policy) and the next invocation resumes where it stopped:
+// with a fixed seed it converges to the same best as an uninterrupted run.
+//
+// Build & run:  ./examples/resumable_tuning [journal.jsonl] [evaluations]
+//               (run it twice to see the warm start)
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "atf/atf.hpp"
+#include "atf/cf/ocl.hpp"
+#include "atf/kernels/xgemm_direct.hpp"
+#include "atf/search/random_search.hpp"
+
+namespace xg = atf::kernels::xgemm;
+
+int main(int argc, char** argv) {
+  const std::string journal = argc > 1 ? argv[1] : "xgemm_session.jsonl";
+  const std::uint64_t evaluations =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 500;
+
+  const xg::problem prob = xg::caffe_input_size(4);
+  const auto dev = ocls::find_device("", "K20m");
+
+  // Open the session up front to report what a resume is starting from.
+  const auto session = atf::session::tuning_session::open(journal);
+  if (!session->store().empty()) {
+    std::printf("resuming from '%s': %zu configuration(s) already measured",
+                journal.c_str(), session->store().size());
+    if (const auto prior = session->store().best()) {
+      std::printf(", prior best %.2f us", prior->scalar / 1e3);
+    }
+    std::printf("\n");
+  } else {
+    std::printf("fresh session at '%s'\n", journal.c_str());
+  }
+  std::printf("this run is %s\n", session->run_id().c_str());
+
+  auto setup = xg::make_tuning_parameters(
+      prob, xg::size_mode::general, xg::device_limits::of(dev.profile()));
+  auto m = static_cast<std::uint64_t>(prob.m);
+  auto n = static_cast<std::uint64_t>(prob.n);
+  auto cf = atf::cf::ocl(dev, xg::make_kernel())
+                .inputs(atf::cf::scalar<std::size_t>(prob.m),
+                        atf::cf::scalar<std::size_t>(prob.n),
+                        atf::cf::scalar<std::size_t>(prob.k),
+                        atf::cf::buffer<float>(prob.m * prob.k),
+                        atf::cf::buffer<float>(prob.k * prob.n),
+                        atf::cf::buffer<float>(prob.m * prob.n))
+                .define("M", prob.m)
+                .define("N", prob.n)
+                .define("K", prob.k)
+                .glb_size(atf::ceil_div(m, setup.wgd) * setup.mdimcd,
+                          atf::ceil_div(n, setup.wgd) * setup.ndimcd)
+                .lcl_size(setup.mdimcd, setup.ndimcd);
+
+  // Failed kernel launches (device-limit violations) already surface as
+  // atf::evaluation_error; the fault policy additionally retries transient
+  // faults once so a single hiccup doesn't burn a configuration.
+  atf::fault_policy faults;
+  faults.max_retries = 1;
+
+  atf::tuner tuner;
+  tuner.tuning_parameters(setup.group());
+  // The fixed seed is what makes interrupted and uninterrupted runs
+  // converge to the same best: a resumed run re-proposes the same stream
+  // and the journal serves the prefix it already measured.
+  tuner.search_technique(std::make_unique<atf::search::random_search>(42));
+  tuner.abort_condition(atf::cond::evaluations(evaluations));
+  tuner.session(session);
+  tuner.fault_tolerance(faults);
+
+  auto result = tuner.tune(cf);
+
+  std::printf("\n%llu evaluations: %llu measured this run, %llu served from "
+              "previous runs, %llu failed\n",
+              static_cast<unsigned long long>(result.evaluations),
+              static_cast<unsigned long long>(
+                  result.evaluations - result.store_hits -
+                  result.cached_evaluations),
+              static_cast<unsigned long long>(result.store_hits),
+              static_cast<unsigned long long>(result.failed_evaluations));
+  std::printf("best kernel time: %.2f us  [%s]\n", *result.best_cost / 1e3,
+              result.best_configuration().to_string().c_str());
+
+  // The store doubles as a queryable tuning database.
+  std::printf("\ntop 3 across all runs:\n");
+  for (const auto& record : session->store().top_k(3)) {
+    std::printf("  %.2f us  (%s, %s)  %s\n", record.scalar / 1e3,
+                record.run_id.c_str(), record.technique.c_str(),
+                record.to_configuration().to_string().c_str());
+  }
+  for (const auto& [technique, stats] : session->store().per_technique()) {
+    std::printf("technique %s: %llu measured, %llu failed\n",
+                technique.c_str(),
+                static_cast<unsigned long long>(stats.measured),
+                static_cast<unsigned long long>(stats.failed));
+  }
+  std::printf("journal now holds %zu record(s) across %zu run(s); rerun me "
+              "to warm-start from it\n",
+              session->store().records().size(),
+              session->store().run_ids().size());
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Stable, dependency-free hashing primitives for the persistence layer:
+// FNV-1a for 64-bit content hashes (configuration identity across runs and
+// processes) and CRC-32 (IEEE) for per-line integrity guards in the tuning
+// journal. Both are fully specified algorithms, so the values written by one
+// build of the library are reproducible by every other build — a hard
+// requirement for warm-start resume, which matches configurations measured
+// by an earlier (possibly crashed) process against fresh proposals.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace atf::common {
+
+inline constexpr std::uint64_t fnv1a_offset_basis = 14695981039346656037ull;
+inline constexpr std::uint64_t fnv1a_prime = 1099511628211ull;
+
+/// Folds `size` bytes into a running FNV-1a state. Start from
+/// fnv1a_offset_basis and chain calls to hash heterogeneous fields.
+[[nodiscard]] constexpr std::uint64_t fnv1a(const void* data, std::size_t size,
+                                            std::uint64_t state =
+                                                fnv1a_offset_basis) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state ^= std::uint64_t{bytes[i]};
+    state *= fnv1a_prime;
+  }
+  return state;
+}
+
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view text,
+                                            std::uint64_t state =
+                                                fnv1a_offset_basis) noexcept {
+  for (const char c : text) {
+    state ^= std::uint64_t{static_cast<unsigned char>(c)};
+    state *= fnv1a_prime;
+  }
+  return state;
+}
+
+/// Folds an integral value into the state as 8 little-endian bytes, so the
+/// hash does not depend on the host's endianness or integer widths.
+[[nodiscard]] constexpr std::uint64_t fnv1a_u64(std::uint64_t value,
+                                                std::uint64_t state) noexcept {
+  for (int shift = 0; shift < 64; shift += 8) {
+    state ^= (value >> shift) & 0xffu;
+    state *= fnv1a_prime;
+  }
+  return state;
+}
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout 0xffffffff) over a byte range —
+/// the guard appended to every journal line so a torn or bit-rotted record is
+/// detected and skipped instead of poisoning a resumed run.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size) noexcept;
+
+[[nodiscard]] std::uint32_t crc32(std::string_view text) noexcept;
+
+}  // namespace atf::common

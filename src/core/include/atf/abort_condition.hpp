@@ -30,6 +30,7 @@ struct improvement {
 struct tuning_status {
   std::uint64_t evaluations = 0;        ///< configurations tested so far
   std::uint64_t failed_evaluations = 0; ///< evaluations whose cost function failed
+  std::uint64_t store_hits = 0;         ///< served from a resumed session's journal
   std::chrono::nanoseconds elapsed{};   ///< wall time since tuning started
   std::uint64_t search_space_size = 0;
   std::optional<double> best_cost;      ///< scalarized; empty until a success

@@ -74,6 +74,16 @@ public:
   /// "WPT=8, LS=64" — used in logs and reports.
   [[nodiscard]] std::string to_string() const;
 
+  /// A stable 64-bit content hash: FNV-1a over the (name, value) pairs in
+  /// canonical order (lexicographic by parameter name, so the hash does not
+  /// depend on entry order), each value folded as a type tag plus a
+  /// canonical 8-byte payload. The algorithm is fully specified — the same
+  /// configuration hashes to the same value in every process, build and
+  /// run, which is what lets a tuning session match journal records written
+  /// by an earlier process against freshly proposed configurations. The
+  /// space index does not participate (it is layout-, not content-derived).
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+
   /// Equality compares names and values (not the space index).
   friend bool operator==(const configuration& a, const configuration& b) {
     return a.entries_ == b.entries_;

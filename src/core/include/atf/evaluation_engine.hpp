@@ -1,9 +1,10 @@
 // The evaluation engine: everything that happens between "the search
 // technique proposed a configuration" and "the technique learns its cost" —
-// cache lookup, cost-function invocation, failure accounting, best-cost
-// tracking, improvement history, CSV logging and abort-condition updates —
-// factored out of the tuner's exploration loop so the same pipeline serves
-// both sequential and batched evaluation.
+// cache lookup, session-store lookup, cost-function invocation, fault
+// handling, best-cost tracking, improvement history, CSV logging, journal
+// appends and abort-condition updates — factored out of the tuner's
+// exploration loop so the same pipeline serves both sequential and batched
+// evaluation.
 //
 // Batched mode measures the configurations of one batch concurrently on a
 // shared thread pool. Each worker leases a private evaluation context
@@ -15,6 +16,17 @@
 // improvement history, abort accounting, the returned best — identical to
 // sequential evaluation for pure cost functions, regardless of worker
 // count or completion order. Only wall-clock timestamps differ.
+//
+// Crash-safe sessions (DESIGN.md §9). With options::session set the engine
+// becomes durable: at construction it *replays* every journal record into
+// its cache (keyed by configuration::hash(), so records match across
+// processes and even across space-layout changes) and seeds the best
+// tracker; during the run every fresh measurement is appended to the
+// journal in commit (i.e. proposal) order. A proposal whose hash is already
+// in the store is served without invoking the cost function and counted as
+// a store hit — re-proposing is what keeps a fixed-seed resumed run on the
+// uninterrupted run's exact proposal stream, because the technique sees
+// bit-identical scalars either way.
 #pragma once
 
 #include <chrono>
@@ -39,7 +51,10 @@
 #include "atf/common/thread_pool.hpp"
 #include "atf/configuration.hpp"
 #include "atf/cost.hpp"
+#include "atf/fault_policy.hpp"
 #include "atf/search_space.hpp"
+#include "atf/session/cost_codec.hpp"
+#include "atf/session/session.hpp"
 #include "atf/tp.hpp"
 
 namespace atf {
@@ -62,9 +77,11 @@ struct tuning_result {
   std::uint64_t evaluations = 0;      ///< configurations tested
   std::uint64_t failed_evaluations = 0;
   std::uint64_t cached_evaluations = 0;  ///< duplicates served from the cache
+  std::uint64_t store_hits = 0;  ///< served from a prior run's journal records
   std::chrono::nanoseconds elapsed{};
   std::uint64_t search_space_size = 0;
   std::vector<improvement> history;   ///< best-cost improvement trace
+  std::string run_id;                 ///< session run id; empty without session
 
   [[nodiscard]] bool has_best() const noexcept {
     return best_cost.has_value();
@@ -88,7 +105,7 @@ public:
   struct options {
     evaluation_mode mode = evaluation_mode::sequential;
     std::size_t concurrency = 0;  ///< batched-mode workers; 0 = hardware
-    bool cache = false;           ///< serve repeated indices from a cache
+    bool cache = false;           ///< serve repeated configurations from a cache
     std::string log_path;         ///< CSV log; empty = no log
     /// Whether the cost function is annotated thread-safe (see
     /// atf::declares_thread_safe_cost). Batched mode with an unannotated
@@ -96,12 +113,21 @@ public:
     /// per engine lifetime (i.e. once per tune), not once per batch — but
     /// the caller's explicit mode choice is honoured.
     bool cost_thread_safe = true;
+    /// Durable session: replayed into the cache/best-tracker at
+    /// construction, appended with every fresh measurement. Requires a
+    /// session::cost_codec for CostT; without one the engine warns and
+    /// runs the session non-persistently (dropped).
+    std::shared_ptr<session::tuning_session> session;
+    /// Fault tolerance for the cost function (see atf/fault_policy.hpp).
+    fault_policy faults;
+    /// Tag recorded on journal records: the proposing technique's name.
+    std::string technique;
   };
 
   /// The committed slice of one evaluated batch: scalars[i] is the
-  /// (scalarized, +inf on failure) cost of the batch's i-th configuration.
-  /// When the abort condition fires mid-batch, scalars covers only the
-  /// configurations committed before the stop.
+  /// (scalarized; fault_policy::penalty on failure) cost of the batch's
+  /// i-th configuration. When the abort condition fires mid-batch, scalars
+  /// covers only the configurations committed before the stop.
   struct batch_outcome {
     std::vector<double> scalars;
     bool aborted = false;
@@ -134,6 +160,8 @@ public:
       }
     }
 
+    replay_session();
+
     if (!opts_.log_path.empty()) {
       std::vector<std::string> header{"evaluation", "elapsed_ns", "index"};
       log_names_ = space_->parameter_names();
@@ -142,6 +170,11 @@ public:
       }
       header.emplace_back("cost");
       header.emplace_back("valid");
+      // Resumed-run auditability: which run produced the row, and whether
+      // the cost was freshly measured, a this-run cache duplicate, or
+      // replayed from a previous run's journal.
+      header.emplace_back("run");
+      header.emplace_back("source");
       log_ = std::make_unique<common::csv_writer>(opts_.log_path, header);
     }
   }
@@ -155,7 +188,8 @@ public:
   /// Evaluates a batch and commits the results in proposal order. Exceptions
   /// other than atf::evaluation_error propagate after every earlier
   /// configuration of the batch has been committed — the same order of
-  /// effects as evaluating one by one.
+  /// effects as evaluating one by one — unless fault_policy::catch_all
+  /// turns them into recorded failures.
   batch_outcome evaluate(const std::vector<configuration>& batch) {
     batch_outcome out;
     if (batch.empty()) {
@@ -174,9 +208,17 @@ public:
           "sequential");
     }
 
+    // One content hash per entry: the cache/store key (stable across runs,
+    // unlike the space index) — computed once, used by the dispatch skip
+    // logic, the commit-time lookup and the journal append.
+    std::vector<std::uint64_t> hashes(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      hashes[i] = batch[i].hash();
+    }
+
     std::vector<pending> slots(batch.size());
     if (pool_ && batch.size() > 1) {
-      dispatch(batch, slots);
+      dispatch(batch, hashes, slots);
     }
 
     for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -190,16 +232,12 @@ public:
       }
 
       std::optional<CostT> cost;
-      bool from_cache = false;
-      if (opts_.cache && index.has_value()) {
-        const auto hit = cache_.find(*index);
-        if (hit != cache_.end()) {
-          from_cache = true;
-          cost = hit->second;
-          ++result_.cached_evaluations;
-        }
-      }
-      if (!from_cache) {
+      eval_source source = eval_source::measured;
+      const cache_entry* hit = lookup(hashes[i]);
+      if (hit != nullptr) {
+        source = hit->from_store ? eval_source::store : eval_source::cache;
+        cost = hit->cost;
+      } else {
         if (!slot.evaluated) {
           run_cost(batch[i], slot);
         }
@@ -207,12 +245,13 @@ public:
           std::rethrow_exception(slot.error);
         }
         cost = std::move(slot.cost);
-        if (opts_.cache && index.has_value()) {
-          cache_.emplace(*index, cost);
+        if (opts_.cache) {
+          cache_[hashes[i]] = cache_entry{cost, /*from_store=*/false};
         }
       }
 
-      out.scalars.push_back(commit(batch[i], cost, from_cache, slot.failure));
+      out.scalars.push_back(
+          commit(batch[i], hashes[i], cost, source, slot.failure));
       if (abort_(status_)) {
         out.aborted = true;
         break;
@@ -233,6 +272,16 @@ public:
   }
 
 private:
+  /// Where a committed cost came from.
+  enum class eval_source { measured, cache, store };
+
+  /// A cached (or journal-replayed) evaluation outcome. `cost` is empty for
+  /// known-failing configurations.
+  struct cache_entry {
+    std::optional<CostT> cost;
+    bool from_store = false;  ///< replayed from a previous run's journal
+  };
+
   /// One batch entry's evaluation outcome, filled either by a pool worker
   /// or inline during the commit loop.
   struct pending {
@@ -242,38 +291,156 @@ private:
     bool evaluated = false;
   };
 
-  /// Runs the cost function for one configuration on the calling thread.
-  /// Expressions over tuning parameters read the calling thread's current
-  /// evaluation context, into which the configuration was already replayed.
+  /// Cache lookup honouring the two independent reuse channels: this-run
+  /// duplicates require opts_.cache, journal-replayed entries are always
+  /// served (skipping re-measurement is the whole point of resume).
+  [[nodiscard]] const cache_entry* lookup(std::uint64_t hash) const {
+    if (cache_.empty()) {
+      return nullptr;
+    }
+    const auto it = cache_.find(hash);
+    if (it == cache_.end()) {
+      return nullptr;
+    }
+    if (!it->second.from_store && !opts_.cache) {
+      return nullptr;
+    }
+    return &it->second;
+  }
+
+  /// Replays the session's result store into the cache and best tracker.
+  void replay_session() {
+    if (!opts_.session) {
+      return;
+    }
+    if constexpr (!session::has_cost_codec<CostT>) {
+      common::log_warn(
+          "evaluation_engine: cost type has no atf::session::cost_codec "
+          "specialization — tuning continues but nothing is persisted and "
+          "no warm start is possible");
+      opts_.session.reset();
+      return;
+    } else {
+      result_.run_id = opts_.session->run_id();
+      std::size_t undecodable = 0;
+      for (const session::tuning_record& record :
+           opts_.session->store().records()) {
+        cache_entry entry;
+        entry.from_store = true;
+        if (record.valid) {
+          const std::optional<CostT> decoded =
+              session::cost_codec<CostT>::decode(record.cost);
+          if (!decoded.has_value()) {
+            ++undecodable;
+            continue;
+          }
+          entry.cost = decoded;
+        }
+        // Later records supersede earlier ones for the same hash (the
+        // journal is append-only; re-measurements happen with caching off).
+        cache_[record.config_hash] = entry;
+
+        // Seed the best tracker so the prior best survives even if this
+        // run's technique never re-proposes it. No history event: history
+        // documents improvements observed during *this* run.
+        if (entry.cost.has_value() &&
+            (!result_.best_cost.has_value() ||
+             *entry.cost < *result_.best_cost)) {
+          result_.best_cost = entry.cost;
+          result_.best = record.to_configuration();
+          status_.best_cost = traits::scalar(*entry.cost);
+        }
+      }
+      if (undecodable > 0) {
+        common::log_warn("evaluation_engine: skipped ", undecodable,
+                         " journal record(s) whose stored cost does not "
+                         "decode as this run's cost type");
+      }
+      if (!cache_.empty()) {
+        common::log_info("session ", opts_.session->run_id(),
+                         ": warm start with ", cache_.size(),
+                         " previously measured configuration(s)");
+      }
+    }
+  }
+
+  /// Runs the cost function for one configuration on the calling thread,
+  /// applying the fault policy: retries, catch-all conversion, post-hoc
+  /// timeout. Expressions over tuning parameters read the calling thread's
+  /// current evaluation context, into which the configuration was already
+  /// replayed.
   void run_cost(const configuration& config, pending& slot) {
-    try {
-      slot.cost = cost_(config);
-    } catch (const evaluation_error& error) {
-      slot.failure = error.what();
-    } catch (...) {
-      slot.error = std::current_exception();
+    const fault_policy& faults = opts_.faults;
+    for (std::size_t attempt = 0;; ++attempt) {
+      slot.cost.reset();
+      slot.failure.clear();
+      slot.error = nullptr;
+      common::stopwatch attempt_timer;
+      try {
+        slot.cost = cost_(config);
+      } catch (const evaluation_error& error) {
+        slot.failure = error.what();
+      } catch (const std::exception& error) {
+        if (faults.catch_all) {
+          slot.failure = std::string("unhandled cost-function exception: ") +
+                         error.what();
+        } else {
+          slot.error = std::current_exception();
+        }
+      } catch (...) {
+        if (faults.catch_all) {
+          slot.failure = "unhandled non-exception throw from cost function";
+        } else {
+          slot.error = std::current_exception();
+        }
+      }
+      const std::chrono::nanoseconds took = attempt_timer.elapsed();
+      if (faults.timeout.count() > 0 && took > faults.timeout &&
+          !slot.error) {
+        // Post-hoc deadline: the invocation cannot be preempted, but its
+        // result must not contaminate the run. Not retried — an overlong
+        // configuration would just time out again, twice as slowly.
+        slot.cost.reset();
+        slot.failure =
+            "timed out: evaluation took " +
+            std::to_string(
+                std::chrono::duration_cast<std::chrono::milliseconds>(took)
+                    .count()) +
+            " ms against a " +
+            std::to_string(std::chrono::duration_cast<std::chrono::milliseconds>(
+                               faults.timeout)
+                               .count()) +
+            " ms deadline";
+        break;
+      }
+      if (slot.cost.has_value() || slot.error || attempt >= faults.max_retries) {
+        break;
+      }
+      common::log_debug("retrying failed evaluation (attempt ", attempt + 2,
+                        " of ", faults.max_retries + 1, "): ", slot.failure);
     }
     slot.evaluated = true;
   }
 
   /// Batched path: evaluates every batch entry that cannot be served from
-  /// the cache on the pool, each under a freshly leased evaluation context.
+  /// the cache or the session store on the pool, each under a freshly
+  /// leased evaluation context.
   void dispatch(const std::vector<configuration>& batch,
+                const std::vector<std::uint64_t>& hashes,
                 std::vector<pending>& slots) {
     // Decide in proposal order which entries actually run the cost
-    // function: with caching on, an index that is already cached — or that
-    // a preceding entry of this same batch will evaluate — is served from
-    // the cache at commit time instead, exactly as the sequential loop
-    // would have done.
+    // function: an entry that commit() will serve from the store/cache —
+    // or that a preceding entry of this same batch will evaluate into the
+    // cache — is skipped, exactly as the sequential loop would have done.
     std::vector<std::size_t> to_run;
     to_run.reserve(batch.size());
     std::unordered_set<std::uint64_t> scheduled;
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      const std::optional<std::uint64_t> index = batch[i].space_index();
-      if (opts_.cache && index.has_value()) {
-        if (cache_.contains(*index) || !scheduled.insert(*index).second) {
-          continue;
-        }
+      if (lookup(hashes[i]) != nullptr) {
+        continue;
+      }
+      if (opts_.cache && !scheduled.insert(hashes[i]).second) {
+        continue;
       }
       to_run.push_back(i);
     }
@@ -297,12 +464,13 @@ private:
 
   /// Folds one evaluated configuration into the run's accumulated state and
   /// returns the scalar reported to the search technique.
-  double commit(const configuration& config, const std::optional<CostT>& cost,
-                bool from_cache, const std::string& failure) {
-    double scalar = std::numeric_limits<double>::infinity();
+  double commit(const configuration& config, std::uint64_t hash,
+                const std::optional<CostT>& cost, eval_source source,
+                const std::string& failure) {
+    double scalar = opts_.faults.penalty;
     if (cost.has_value()) {
       scalar = traits::scalar(*cost);
-    } else if (!from_cache) {
+    } else if (source == eval_source::measured) {
       ++result_.failed_evaluations;
       ++status_.failed_evaluations;
       common::log_debug("evaluation failed: ", failure);
@@ -311,6 +479,12 @@ private:
     ++result_.evaluations;
     status_.evaluations = result_.evaluations;
     status_.elapsed = timer_.elapsed();
+    if (source == eval_source::cache) {
+      ++result_.cached_evaluations;
+    } else if (source == eval_source::store) {
+      ++result_.store_hits;
+      status_.store_hits = result_.store_hits;
+    }
 
     if (cost.has_value() &&
         (!result_.best_cost.has_value() || *cost < *result_.best_cost)) {
@@ -324,6 +498,8 @@ private:
                        " evaluations: cost=", traits::describe(*cost), " [",
                        config.to_string(), "]");
     }
+
+    journal(config, hash, cost, source, failure, scalar);
 
     if (log_) {
       std::vector<std::string> row{
@@ -344,9 +520,39 @@ private:
       row.push_back(cost.has_value() ? traits::describe(*cost)
                                      : std::string("failed"));
       row.push_back(cost.has_value() ? "1" : "0");
+      row.push_back(result_.run_id.empty() ? "-" : result_.run_id);
+      row.push_back(source == eval_source::measured
+                        ? "measured"
+                        : (source == eval_source::cache ? "cache" : "store"));
       log_->write_row(row);
     }
     return scalar;
+  }
+
+  /// Appends a freshly measured evaluation to the session journal. Called
+  /// from commit, i.e. in proposal order — the journal is as deterministic
+  /// as the CSV log.
+  void journal(const configuration& config, std::uint64_t hash,
+               const std::optional<CostT>& cost, eval_source source,
+               const std::string& failure, double scalar) {
+    if (!opts_.session || source != eval_source::measured) {
+      return;
+    }
+    if constexpr (session::has_cost_codec<CostT>) {
+      session::tuning_record record;
+      record.values = config.entries();
+      record.config_hash = hash;
+      record.space_index = config.space_index();
+      record.technique = opts_.technique;
+      record.valid = cost.has_value();
+      if (cost.has_value()) {
+        record.scalar = scalar;
+        record.cost = session::cost_codec<CostT>::encode(*cost);
+      } else {
+        record.failure = failure;
+      }
+      opts_.session->append(std::move(record));
+    }
   }
 
   const search_space* space_;
@@ -357,7 +563,7 @@ private:
   std::unique_ptr<common::thread_pool> pool_;
   std::unique_ptr<common::csv_writer> log_;
   std::vector<std::string> log_names_;
-  std::unordered_map<std::uint64_t, std::optional<CostT>> cache_;
+  std::unordered_map<std::uint64_t, cache_entry> cache_;
   tuning_result<CostT> result_;
   tuning_status status_;
   common::stopwatch timer_;

@@ -13,6 +13,8 @@ namespace atf {
 
 class exhaustive final : public search_technique {
 public:
+  [[nodiscard]] const char* name() const override { return "exhaustive"; }
+
   void initialize(const search_space& space) override {
     search_technique::initialize(space);
     next_ = 0;

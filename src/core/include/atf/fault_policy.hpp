@@ -1,0 +1,43 @@
+// Fault tolerance for cost functions. Real tuning workloads fail in ways
+// evaluation_error cannot anticipate: a compile script segfaults its
+// toolchain (std::runtime_error from cf::program), a driver wedges and a
+// measurement takes minutes instead of milliseconds, a flaky device drops
+// one measurement out of fifty. Without a policy any one of those kills a
+// multi-hour run; with a journaled session that is doubly wasteful because
+// every completed measurement was already durable.
+//
+// The policy turns faults into recorded-invalid evaluations instead of
+// crashes:
+//   * catch_all   — exceptions other than atf::evaluation_error are also
+//                   recorded as failures (off by default: an unknown escape
+//                   is a bug in the cost function and hiding it silently
+//                   would be worse — opt in for long unattended runs);
+//   * max_retries — a failing invocation is retried up to this many extra
+//                   times before being recorded invalid (transient faults:
+//                   flaky devices, busy filesystems);
+//   * timeout     — *post-hoc* deadline: an invocation whose wall time
+//                   exceeds it is recorded invalid even if it returned a
+//                   cost. A C++ library cannot preempt an arbitrary
+//                   callable, so the overlong call itself still completes;
+//                   the policy refuses to let its result contaminate the
+//                   tuning result, and a timed-out call is not retried;
+//   * penalty     — the scalar reported to the search technique (and the
+//                   abort condition) for invalid evaluations. +infinity by
+//                   default; finite penalties help techniques that rank
+//                   rather than threshold (the OpenTuner-style ensemble).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <limits>
+
+namespace atf {
+
+struct fault_policy {
+  bool catch_all = false;
+  std::size_t max_retries = 0;
+  std::chrono::nanoseconds timeout{0};  ///< 0 = no deadline
+  double penalty = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace atf

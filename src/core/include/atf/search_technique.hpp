@@ -35,6 +35,12 @@ class search_technique {
 public:
   virtual ~search_technique() = default;
 
+  /// A short stable identifier for this technique ("exhaustive",
+  /// "random_search", ...), recorded on session journal records and used by
+  /// per-technique store statistics. Stability matters more than beauty:
+  /// journals written with one build are read by later ones.
+  [[nodiscard]] virtual const char* name() const { return "unknown"; }
+
   /// Called once before exploration starts. The space outlives the
   /// exploration; the default implementation stores a pointer to it.
   virtual void initialize(const search_space& space) { space_ = &space; }

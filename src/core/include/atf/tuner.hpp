@@ -28,8 +28,10 @@
 #include "atf/cost.hpp"
 #include "atf/evaluation_engine.hpp"
 #include "atf/exhaustive.hpp"
+#include "atf/fault_policy.hpp"
 #include "atf/search_space.hpp"
 #include "atf/search_technique.hpp"
+#include "atf/session/session.hpp"
 #include "atf/tp.hpp"
 
 namespace atf {
@@ -136,13 +138,52 @@ public:
     return *this;
   }
 
-  /// Caches evaluation results by configuration index: when a search
+  /// Caches evaluation results by configuration content: when a search
   /// technique proposes a configuration it has already measured, the cost
   /// is served from the cache instead of re-running the cost function
   /// (the results-database idea of OpenTuner). Off by default — real
-  /// measurements are noisy and some users want re-measurement.
+  /// measurements are noisy and some users want re-measurement. Results
+  /// replayed from a resumed session (see session()) are always served
+  /// regardless of this flag.
   tuner& cache_evaluations(bool enabled) {
     cache_ = enabled;
+    return *this;
+  }
+
+  /// Attaches a crash-safe tuning session backed by the JSONL journal at
+  /// `path` (created if absent; DESIGN.md §9). Every measured evaluation
+  /// is appended to the journal, and an existing journal warm-starts the
+  /// run: previously measured configurations are served from the replayed
+  /// store — counted toward the abort condition but never re-measured —
+  /// and the prior best seeds the best tracker, so a killed run resumed
+  /// with the same seed converges to the same result as an uninterrupted
+  /// one. A locked or unreadable journal degrades to a non-persistent
+  /// session with a warning; it never aborts the run.
+  tuner& session(const std::string& path,
+                 const atf::session::options& session_opts = {}) {
+    session_ = atf::session::tuning_session::open(path, session_opts);
+    return *this;
+  }
+
+  /// Attaches an already opened session (sharing one across tuners, or
+  /// passing a preconfigured fsync policy/read-only store).
+  tuner& session(std::shared_ptr<atf::session::tuning_session> session) {
+    session_ = std::move(session);
+    return *this;
+  }
+
+  /// The attached session, if any — for inspecting the store after tuning.
+  [[nodiscard]] const std::shared_ptr<atf::session::tuning_session>&
+  current_session() const noexcept {
+    return session_;
+  }
+
+  /// Fault tolerance for the cost function: retries, catch-all exception
+  /// conversion, a post-hoc timeout and the penalty scalar reported for
+  /// invalid evaluations (see atf/fault_policy.hpp). Default: only
+  /// atf::evaluation_error is tolerated, no retries, no deadline.
+  tuner& fault_tolerance(const fault_policy& policy) {
+    faults_ = policy;
     return *this;
   }
 
@@ -209,6 +250,9 @@ public:
     // The engine warns (once per tune, deduped across batches) when
     // batched mode meets a cost function without a purity annotation.
     opts.cost_thread_safe = declares_thread_safe_cost(cost_function);
+    opts.session = session_;
+    opts.faults = faults_;
+    opts.technique = technique_->name();
 
     evaluation_engine<cost_t> engine(
         sp,
@@ -254,6 +298,8 @@ private:
   std::optional<common::log_level> pre_verbose_log_level_;
   bool cache_ = false;
   std::string log_path_;
+  std::shared_ptr<atf::session::tuning_session> session_;
+  fault_policy faults_;
 };
 
 }  // namespace atf

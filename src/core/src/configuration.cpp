@@ -1,6 +1,10 @@
 #include "atf/configuration.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <stdexcept>
+
+#include "atf/common/hash.hpp"
 
 namespace atf {
 
@@ -29,6 +33,44 @@ const tp_value& configuration::value_of(std::string_view name) const {
   }
   throw std::out_of_range("configuration: unknown parameter '" +
                           std::string(name) + "'");
+}
+
+std::uint64_t configuration::hash() const noexcept {
+  // Canonical order: lexicographic by name. Sorting a name view (not the
+  // entries) keeps hash() const and cheap for the typical <=16 parameters.
+  std::vector<const std::pair<std::string, tp_value>*> ordered;
+  ordered.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    ordered.push_back(&entry);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+
+  std::uint64_t state = common::fnv1a_offset_basis;
+  for (const auto* entry : ordered) {
+    state = common::fnv1a(entry->first, state);
+    // Separator byte so ("AB", x) and ("A", ...) prefixes cannot alias.
+    state ^= 0x1fu;
+    state *= common::fnv1a_prime;
+    // Type tag + canonical 8-byte payload per variant alternative.
+    const auto tag = static_cast<std::uint64_t>(entry->second.index());
+    state ^= tag;
+    state *= common::fnv1a_prime;
+    const std::uint64_t payload = std::visit(
+        [](auto v) -> std::uint64_t {
+          using V = decltype(v);
+          if constexpr (std::is_same_v<V, bool>) {
+            return v ? 1u : 0u;
+          } else if constexpr (std::is_same_v<V, double>) {
+            return std::bit_cast<std::uint64_t>(v);
+          } else {
+            return static_cast<std::uint64_t>(v);
+          }
+        },
+        entry->second);
+    state = common::fnv1a_u64(payload, state);
+  }
+  return state;
 }
 
 std::string configuration::to_string() const {

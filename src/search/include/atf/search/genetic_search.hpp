@@ -23,6 +23,8 @@ public:
   explicit genetic_search(std::uint64_t seed = 0x5eed);
   genetic_search(genetic::options opts, std::uint64_t seed = 0x5eed);
 
+  [[nodiscard]] const char* name() const override { return "genetic_search"; }
+
   void initialize(const search_space& space) override;
   [[nodiscard]] configuration get_next_config() override;
   void report_cost(double cost) override;

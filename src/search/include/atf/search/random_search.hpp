@@ -14,6 +14,8 @@ class random_search final : public atf::search_technique {
 public:
   explicit random_search(std::uint64_t seed = 0x5eed);
 
+  [[nodiscard]] const char* name() const override { return "random_search"; }
+
   void initialize(const search_space& space) override;
   [[nodiscard]] configuration get_next_config() override;
   void report_cost(double cost) override;

@@ -36,6 +36,10 @@ public:
                                std::uint64_t seed = 0x5eed);
   simulated_annealing(options opts, std::uint64_t seed);
 
+  [[nodiscard]] const char* name() const override {
+    return "simulated_annealing";
+  }
+
   void initialize(const search_space& space) override;
   [[nodiscard]] configuration get_next_config() override;
   void report_cost(double cost) override;

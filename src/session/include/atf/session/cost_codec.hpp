@@ -1,0 +1,107 @@
+// Round-trip codec between cost values and journal JSON. The journal must
+// store the *full* cost — not just its scalarization — so a resumed run can
+// replay a record into the engine's typed cache and best-tracker: cost_pair
+// keeps its tie-breaking secondary objective, and the technique receives a
+// bit-identical scalar (cost_traits::scalar over the decoded value), which
+// is what keeps a fixed-seed resumed proposal stream on the baseline path.
+//
+// Specialize atf::session::cost_codec for user-defined cost types to make
+// them session-persistable; encode must be the exact inverse of decode.
+// Cost types without a codec can still be tuned — the engine detects the
+// absence at compile time and runs the session in non-persistent mode with
+// a warning instead of failing the build or the run.
+#pragma once
+
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "atf/cost.hpp"
+#include "atf/session/json.hpp"
+
+namespace atf::session {
+
+template <typename CostT, typename Enable = void>
+struct cost_codec;  // undefined primary: detected via has_cost_codec
+
+template <typename CostT>
+struct cost_codec<CostT, std::enable_if_t<std::is_arithmetic_v<CostT>>> {
+  static json::value encode(const CostT& cost) {
+    if constexpr (std::is_same_v<CostT, bool>) {
+      return json::value(bool{cost});
+    } else if constexpr (std::is_floating_point_v<CostT>) {
+      return json::value(static_cast<double>(cost));
+    } else if constexpr (std::is_signed_v<CostT>) {
+      return json::value(static_cast<std::int64_t>(cost));
+    } else {
+      return json::value(static_cast<std::uint64_t>(cost));
+    }
+  }
+
+  static std::optional<CostT> decode(const json::value& v) {
+    if constexpr (std::is_same_v<CostT, bool>) {
+      if (v.is_bool()) {
+        return v.as_bool();
+      }
+      return std::nullopt;
+    } else {
+      if (!v.is_number()) {
+        return std::nullopt;
+      }
+      if constexpr (std::is_floating_point_v<CostT>) {
+        return static_cast<CostT>(v.as_double());
+      } else if constexpr (std::is_signed_v<CostT>) {
+        return static_cast<CostT>(v.as_int64());
+      } else {
+        return static_cast<CostT>(v.as_uint64());
+      }
+    }
+  }
+};
+
+template <>
+struct cost_codec<cost_pair> {
+  static json::value encode(const cost_pair& cost) {
+    return json::value(json::array{json::value(cost.primary),
+                                   json::value(cost.secondary)});
+  }
+
+  static std::optional<cost_pair> decode(const json::value& v) {
+    if (!v.is_array() || v.as_array().size() != 2 ||
+        !v.as_array()[0].is_number() || !v.as_array()[1].is_number()) {
+      return std::nullopt;
+    }
+    return cost_pair{v.as_array()[0].as_double(), v.as_array()[1].as_double()};
+  }
+};
+
+template <typename A, typename B>
+struct cost_codec<std::pair<A, B>,
+                  std::enable_if_t<std::is_arithmetic_v<A> &&
+                                   std::is_arithmetic_v<B>>> {
+  static json::value encode(const std::pair<A, B>& cost) {
+    return json::value(json::array{cost_codec<A>::encode(cost.first),
+                                   cost_codec<B>::encode(cost.second)});
+  }
+
+  static std::optional<std::pair<A, B>> decode(const json::value& v) {
+    if (!v.is_array() || v.as_array().size() != 2) {
+      return std::nullopt;
+    }
+    const std::optional<A> a = cost_codec<A>::decode(v.as_array()[0]);
+    const std::optional<B> b = cost_codec<B>::decode(v.as_array()[1]);
+    if (!a.has_value() || !b.has_value()) {
+      return std::nullopt;
+    }
+    return std::pair<A, B>{*a, *b};
+  }
+};
+
+/// True when CostT can round-trip through the journal.
+template <typename CostT>
+concept has_cost_codec = requires(const CostT& cost, const json::value& v) {
+  { cost_codec<CostT>::encode(cost) } -> std::convertible_to<json::value>;
+  { cost_codec<CostT>::decode(v) } -> std::convertible_to<std::optional<CostT>>;
+};
+
+}  // namespace atf::session

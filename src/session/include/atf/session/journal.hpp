@@ -1,0 +1,115 @@
+// The append-only tuning journal: one JSONL file per session.
+//
+// Format (DESIGN.md §9):
+//   line 1    {"type":"header","magic":"atf-journal","version":1,"crc":"…"}
+//   line 2..  {"type":"record", … ,"crc":"c4f9aa12"}
+//
+// Every line carries a CRC-32 guard over its own bytes: the writer
+// serializes the object without the crc field, computes the CRC over that
+// byte string, and splices `,"crc":"%08x"` in front of the closing brace.
+// The reader verifies at the byte level (reconstructing the guarded prefix
+// from the raw line), so verification never depends on re-serialization.
+//
+// Robustness contract — a journal must never abort a tuning run:
+//   * a missing or empty file reads as zero records;
+//   * a torn tail (the writer was SIGKILLed mid-append) is dropped and
+//     flagged, earlier records survive;
+//   * a CRC-mismatched or unparsable line mid-file is skipped and counted;
+//   * a header from a *newer* format version yields zero records plus a
+//     version_mismatch flag — the caller degrades to non-persistent mode
+//     rather than misinterpreting an unknown format;
+//   * concurrent appends are rejected up front: the writer takes an
+//     exclusive advisory lock (flock) on the journal fd and throws
+//     journal_locked_error when another process (or another writer in this
+//     process) already holds it.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "atf/session/tuning_record.hpp"
+
+namespace atf::session {
+
+class journal_error : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Another writer holds the journal's append lock.
+class journal_locked_error : public journal_error {
+public:
+  using journal_error::journal_error;
+};
+
+/// The journal was written by a newer format version than this build
+/// understands; appending to it could corrupt it.
+class journal_version_error : public journal_error {
+public:
+  using journal_error::journal_error;
+};
+
+/// Durability of each appended record. `flush` pushes the line into the
+/// kernel per append (survives SIGKILL of the writer — the kill-and-resume
+/// guarantee); `full_sync` additionally fsyncs (survives power loss);
+/// `none` leaves records in the stdio buffer until flush()/close (fastest,
+/// loses the tail on a crash).
+enum class fsync_policy { none, flush, full_sync };
+
+inline constexpr std::uint32_t journal_format_version = 1;
+
+class journal_writer {
+public:
+  /// Opens `path` for appending (creating it, with a header line, when new
+  /// or empty) and takes the exclusive append lock. Throws
+  /// journal_locked_error when the lock is held elsewhere,
+  /// journal_version_error when the existing header announces a newer
+  /// format, journal_error on I/O failure.
+  explicit journal_writer(const std::string& path,
+                          fsync_policy policy = fsync_policy::flush);
+  ~journal_writer();
+
+  journal_writer(const journal_writer&) = delete;
+  journal_writer& operator=(const journal_writer&) = delete;
+
+  /// Appends one CRC-guarded record line and applies the fsync policy.
+  void append(const tuning_record& record);
+
+  /// Flushes stdio buffers into the kernel (and fsyncs under full_sync).
+  void flush();
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+private:
+  void write_line(const std::string& guarded_line);
+
+  std::string path_;
+  fsync_policy policy_;
+  void* file_ = nullptr;  ///< FILE*, type-erased to keep <cstdio> out of the header
+};
+
+/// The outcome of reading a journal — records plus the degradation
+/// diagnostics a resuming session reports to the user.
+struct journal_read_report {
+  std::vector<tuning_record> records;  ///< journal order (replay order)
+  std::uint32_t version = 0;           ///< header version, 0 when absent
+  bool header_ok = false;
+  bool version_mismatch = false;  ///< newer format: records intentionally empty
+  std::size_t corrupt_lines = 0;  ///< CRC-mismatched or unparsable mid-file lines
+  bool truncated_tail = false;    ///< torn final line was dropped
+  std::size_t total_lines = 0;    ///< physical lines seen (incl. header)
+};
+
+/// Reads a journal tolerantly (see the robustness contract above). A
+/// missing file yields an empty report; no lock is taken — the format is
+/// append-only, so a concurrent writer at worst produces a torn tail,
+/// which reading tolerates anyway.
+[[nodiscard]] journal_read_report read_journal(const std::string& path);
+
+/// Builds the CRC-guarded journal line (without trailing newline) for a
+/// serialized JSON object. Exposed for tests that forge corrupt journals.
+[[nodiscard]] std::string guard_line(const json::value& object);
+
+}  // namespace atf::session

@@ -1,0 +1,84 @@
+// An in-memory index over journal records: every record ever read or
+// appended, in journal order, plus an O(1) configuration-hash index to the
+// *latest* record per configuration — the lookup the evaluation engine hits
+// once per proposal on a warm-started run. Query helpers (best, top-k,
+// counts, per-technique and per-run stats) serve reporting and the
+// resumable-tuning example.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "atf/session/journal.hpp"
+#include "atf/session/tuning_record.hpp"
+
+namespace atf::session {
+
+class result_store {
+public:
+  result_store() = default;
+
+  /// Builds a store from a journal read report (replay order preserved).
+  static result_store from_report(const journal_read_report& report);
+
+  /// Appends a record; a repeated configuration hash keeps both records but
+  /// re-points the index at the newer one (a later measurement supersedes —
+  /// the journal itself stays append-only).
+  void insert(tuning_record record);
+
+  /// Latest record for a configuration hash; nullptr when never measured.
+  [[nodiscard]] const tuning_record* find(
+      std::uint64_t config_hash) const noexcept;
+
+  [[nodiscard]] bool contains(std::uint64_t config_hash) const noexcept {
+    return find(config_hash) != nullptr;
+  }
+
+  /// Distinct measured configurations.
+  [[nodiscard]] std::size_t size() const noexcept { return latest_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return latest_.empty(); }
+
+  /// All records in journal order, including superseded duplicates.
+  [[nodiscard]] const std::vector<tuning_record>& records() const noexcept {
+    return records_;
+  }
+
+  [[nodiscard]] std::uint64_t valid_count() const noexcept { return valid_; }
+  [[nodiscard]] std::uint64_t invalid_count() const noexcept {
+    return invalid_;
+  }
+
+  /// Lowest-scalar valid record (latest per configuration); empty when no
+  /// valid measurement exists.
+  [[nodiscard]] std::optional<tuning_record> best() const;
+
+  /// The k lowest-scalar valid records (latest per configuration),
+  /// ascending by scalar; fewer when the store is smaller.
+  [[nodiscard]] std::vector<tuning_record> top_k(std::size_t k) const;
+
+  struct technique_stats {
+    std::uint64_t measured = 0;
+    std::uint64_t failed = 0;
+    double best_scalar = 0.0;  ///< meaningful when measured > failed
+    bool has_best = false;
+  };
+
+  /// Per-technique measurement statistics over all records (records with no
+  /// technique tag group under "").
+  [[nodiscard]] std::map<std::string, technique_stats> per_technique() const;
+
+  /// Distinct run ids in first-seen order.
+  [[nodiscard]] std::vector<std::string> run_ids() const;
+
+private:
+  std::vector<tuning_record> records_;
+  std::unordered_map<std::uint64_t, std::size_t> latest_;  ///< hash -> records_ index
+  std::uint64_t valid_ = 0;
+  std::uint64_t invalid_ = 0;
+};
+
+}  // namespace atf::session

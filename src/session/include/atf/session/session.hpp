@@ -1,0 +1,71 @@
+// The session handle: one journal file, loaded once, appended for the rest
+// of the run. `tuning_session::open` never throws for the degradations the
+// robustness contract covers — a locked journal (another tuner is writing),
+// a newer-format journal, or an unwritable path all yield a *degraded*
+// session: the store still warm-starts the run when readable, appends
+// become in-memory only, and `degraded_reason()` says why. Crashing a
+// tuning run over its telemetry would invert the subsystem's whole point.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "atf/session/journal.hpp"
+#include "atf/session/result_store.hpp"
+#include "atf/session/tuning_record.hpp"
+
+namespace atf::session {
+
+struct options {
+  fsync_policy fsync = fsync_policy::flush;
+  /// Load the store but never append — for inspection tooling and for
+  /// processes that only want the warm start.
+  bool read_only = false;
+};
+
+class tuning_session {
+public:
+  /// Opens (or creates) the journal at `path`: reads every surviving
+  /// record into the result store, assigns this run the next run id
+  /// ("run-N"), and takes the append lock unless read_only. Throws only
+  /// journal_error on hard I/O faults while *reading*; append-side
+  /// problems degrade instead (see class comment).
+  static std::shared_ptr<tuning_session> open(const std::string& path,
+                                              const options& opts = {});
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] const result_store& store() const noexcept { return store_; }
+  [[nodiscard]] const journal_read_report& load_report() const noexcept {
+    return report_;
+  }
+
+  /// "run-N": N-1 runs wrote to this journal before.
+  [[nodiscard]] const std::string& run_id() const noexcept { return run_id_; }
+
+  /// False when appends cannot reach the journal (degraded mode).
+  [[nodiscard]] bool persistent() const noexcept { return writer_ != nullptr; }
+  [[nodiscard]] const std::string& degraded_reason() const noexcept {
+    return degraded_reason_;
+  }
+
+  /// Stamps run id / sequence / timestamp onto the record, appends it to
+  /// the journal (when persistent) and folds it into the in-memory store.
+  void append(tuning_record record);
+
+  /// Records appended through this session (this run).
+  [[nodiscard]] std::uint64_t appended() const noexcept { return appended_; }
+
+private:
+  tuning_session() = default;
+
+  std::string path_;
+  std::string run_id_;
+  result_store store_;
+  journal_read_report report_;
+  std::unique_ptr<journal_writer> writer_;
+  std::string degraded_reason_;
+  std::uint64_t appended_ = 0;
+};
+
+}  // namespace atf::session

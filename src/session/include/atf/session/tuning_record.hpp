@@ -1,0 +1,66 @@
+// One measured (configuration, cost) observation, the unit of persistence.
+//
+// A record carries everything a later run needs to reuse the measurement
+// without re-running the cost function: the configuration's values by
+// parameter name (type-tagged so tp_value round-trips exactly), its stable
+// content hash (the store's index key), validity, the scalarized cost plus
+// the full encoded cost value (so multi-objective costs such as cost_pair
+// survive the round trip), and provenance — which run measured it, with
+// which search technique, when, and at which per-run sequence number.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "atf/configuration.hpp"
+#include "atf/session/json.hpp"
+#include "atf/value.hpp"
+
+namespace atf::session {
+
+struct tuning_record {
+  /// configuration::hash() of `values` — the cross-run identity.
+  std::uint64_t config_hash = 0;
+
+  /// (name, value) pairs in the configuration's declaration order.
+  std::vector<std::pair<std::string, tp_value>> values;
+
+  /// Flat index within the search space of the measuring run, if known.
+  /// Informational only — a resumed run matches by hash, never by index,
+  /// because the space layout may legitimately differ across versions.
+  std::optional<std::uint64_t> space_index;
+
+  bool valid = true;            ///< false: the cost function failed
+  double scalar = 0.0;          ///< scalarized cost (meaningful when valid)
+  json::value cost;             ///< full encoded cost; null when invalid
+  std::string failure;          ///< failure message for invalid records
+
+  std::string technique;        ///< proposing search technique, if known
+  std::string run_id;           ///< which run measured this record
+  std::uint64_t sequence = 0;   ///< per-run evaluation number (1-based)
+  std::int64_t timestamp_ms = 0;  ///< unix epoch milliseconds
+
+  /// Rebuilds an atf::configuration from the stored values (without a
+  /// space index — the record's index belongs to a possibly different
+  /// space layout).
+  [[nodiscard]] configuration to_configuration() const;
+
+  /// Builds a record skeleton from a configuration: values, hash, index.
+  [[nodiscard]] static tuning_record from_configuration(
+      const configuration& config);
+};
+
+/// Serializes a record to its journal JSON object (without the CRC field —
+/// the journal writer owns the integrity guard).
+[[nodiscard]] json::value to_json(const tuning_record& record);
+
+/// Decodes a journal JSON object; std::nullopt when the object is not a
+/// well-formed record (missing fields, malformed value tags) — the reader
+/// treats that as a corrupt line and skips it.
+[[nodiscard]] std::optional<tuning_record> record_from_json(
+    const json::value& v);
+
+}  // namespace atf::session

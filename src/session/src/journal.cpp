@@ -1,0 +1,252 @@
+#include "atf/session/journal.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/file.h>
+#include <unistd.h>
+#define ATF_SESSION_HAVE_FLOCK 1
+#endif
+
+#include "atf/common/hash.hpp"
+
+namespace atf::session {
+
+namespace {
+
+constexpr std::string_view crc_suffix_marker = ",\"crc\":\"";
+
+json::value make_header() {
+  json::value header{json::object{}};
+  header.set("type", "header");
+  header.set("magic", "atf-journal");
+  header.set("version", std::uint64_t{journal_format_version});
+  return header;
+}
+
+/// Splits `line` into the guarded payload (the original object with the crc
+/// field removed, byte-exact) and the claimed CRC; false when the line does
+/// not end in a crc field.
+bool split_guard(std::string_view line, std::string& payload,
+                 std::uint32_t& claimed) {
+  // The crc field is always last: …,"crc":"xxxxxxxx"}
+  if (line.size() < crc_suffix_marker.size() + 10 || line.back() != '}') {
+    return false;
+  }
+  const std::size_t marker = line.rfind(crc_suffix_marker);
+  if (marker == std::string_view::npos) {
+    return false;
+  }
+  const std::string_view hex = line.substr(marker + crc_suffix_marker.size());
+  if (hex.size() != 10 || hex[8] != '"' || hex[9] != '}') {
+    return false;
+  }
+  std::uint32_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    const char c = hex[i];
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint32_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  claimed = value;
+  payload.assign(line.substr(0, marker));
+  payload += '}';
+  return true;
+}
+
+}  // namespace
+
+std::string guard_line(const json::value& object) {
+  std::string payload = json::serialize(object);
+  const std::uint32_t crc = common::crc32(payload);
+  char guard[16];
+  std::snprintf(guard, sizeof(guard), "%08x", crc);
+  // Splice `,"crc":"…"` in front of the payload's closing brace.
+  payload.pop_back();
+  payload += crc_suffix_marker;
+  payload += guard;
+  payload += "\"}";
+  return payload;
+}
+
+journal_writer::journal_writer(const std::string& path, fsync_policy policy)
+    : path_(path), policy_(policy) {
+  // "a+" creates the file when missing and forces appends regardless of any
+  // racing writer's offset.
+  FILE* file = std::fopen(path.c_str(), "a+");
+  if (file == nullptr) {
+    throw journal_error("journal: cannot open '" + path +
+                        "' for appending: " + std::strerror(errno));
+  }
+#if ATF_SESSION_HAVE_FLOCK
+  if (flock(fileno(file), LOCK_EX | LOCK_NB) != 0) {
+    const int lock_errno = errno;
+    std::fclose(file);
+    if (lock_errno == EWOULDBLOCK || lock_errno == EAGAIN) {
+      throw journal_locked_error("journal: '" + path +
+                                 "' is locked by another writer");
+    }
+    throw journal_error("journal: cannot lock '" + path +
+                        "': " + std::strerror(lock_errno));
+  }
+#endif
+  file_ = file;
+
+  // Existing content: honour a newer-version header instead of appending
+  // records a future reader would misinterpret among its own.
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  if (size > 0) {
+    std::fseek(file, 0, SEEK_SET);
+    std::string first_line;
+    int c;
+    while ((c = std::fgetc(file)) != EOF && c != '\n') {
+      first_line += static_cast<char>(c);
+    }
+    std::fseek(file, 0, SEEK_END);
+    std::string payload;
+    std::uint32_t claimed = 0;
+    if (split_guard(first_line, payload, claimed) &&
+        common::crc32(payload) == claimed) {
+      try {
+        const json::value header = json::parse(payload);
+        const json::value* type = header.find("type");
+        const json::value* version = header.find("version");
+        if (type != nullptr && type->is_string() &&
+            type->as_string() == "header" && version != nullptr &&
+            version->is_number() &&
+            version->as_uint64() > journal_format_version) {
+          std::fclose(file);
+          file_ = nullptr;
+          throw journal_version_error(
+              "journal: '" + path + "' uses format version " +
+              std::to_string(version->as_uint64()) +
+              ", newer than this build's version " +
+              std::to_string(journal_format_version));
+        }
+      } catch (const json::parse_error&) {
+        // Unreadable header: records are still CRC-guarded individually,
+        // so appending stays safe; the reader flags the header separately.
+      }
+    }
+  } else {
+    write_line(guard_line(make_header()));
+  }
+}
+
+journal_writer::~journal_writer() {
+  if (file_ != nullptr) {
+    FILE* file = static_cast<FILE*>(file_);
+    std::fflush(file);
+    std::fclose(file);  // releases the flock
+  }
+}
+
+void journal_writer::append(const tuning_record& record) {
+  write_line(guard_line(to_json(record)));
+}
+
+void journal_writer::write_line(const std::string& guarded_line) {
+  FILE* file = static_cast<FILE*>(file_);
+  if (std::fwrite(guarded_line.data(), 1, guarded_line.size(), file) !=
+          guarded_line.size() ||
+      std::fputc('\n', file) == EOF) {
+    throw journal_error("journal: write to '" + path_ +
+                        "' failed: " + std::strerror(errno));
+  }
+  if (policy_ != fsync_policy::none) {
+    flush();
+  }
+}
+
+void journal_writer::flush() {
+  FILE* file = static_cast<FILE*>(file_);
+  if (std::fflush(file) != 0) {
+    throw journal_error("journal: flush of '" + path_ +
+                        "' failed: " + std::strerror(errno));
+  }
+#if ATF_SESSION_HAVE_FLOCK
+  if (policy_ == fsync_policy::full_sync) {
+    ::fsync(fileno(file));
+  }
+#endif
+}
+
+journal_read_report read_journal(const std::string& path) {
+  journal_read_report report;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return report;  // missing journal: a fresh session
+  }
+
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    // getline strips '\n'; a final line without one is the torn-tail case —
+    // detectable because eof fires with a non-empty buffer.
+    const bool has_newline = !in.eof();
+    ++report.total_lines;
+    if (line.empty()) {
+      continue;
+    }
+
+    std::string payload;
+    std::uint32_t claimed = 0;
+    const bool guarded = split_guard(line, payload, claimed) &&
+                         common::crc32(payload) == claimed;
+    if (!guarded) {
+      if (!has_newline) {
+        report.truncated_tail = true;  // torn mid-append, expected after a kill
+      } else {
+        ++report.corrupt_lines;
+      }
+      continue;
+    }
+
+    json::value parsed;
+    try {
+      parsed = json::parse(payload);
+    } catch (const json::parse_error&) {
+      ++report.corrupt_lines;
+      continue;
+    }
+
+    const json::value* type = parsed.find("type");
+    if (first && type != nullptr && type->is_string() &&
+        type->as_string() == "header") {
+      first = false;
+      const json::value* version = parsed.find("version");
+      if (version != nullptr && version->is_number()) {
+        report.version = static_cast<std::uint32_t>(version->as_uint64());
+        report.header_ok = true;
+        if (report.version > journal_format_version) {
+          // A newer format may have changed record semantics; refuse to
+          // guess and let the caller degrade gracefully.
+          report.version_mismatch = true;
+          return report;
+        }
+      }
+      continue;
+    }
+    first = false;
+
+    std::optional<tuning_record> record = record_from_json(parsed);
+    if (!record.has_value()) {
+      ++report.corrupt_lines;
+      continue;
+    }
+    report.records.push_back(std::move(*record));
+  }
+  return report;
+}
+
+}  // namespace atf::session

@@ -1,0 +1,95 @@
+#include "atf/session/result_store.hpp"
+
+#include <algorithm>
+
+namespace atf::session {
+
+result_store result_store::from_report(const journal_read_report& report) {
+  result_store store;
+  store.records_.reserve(report.records.size());
+  for (const tuning_record& record : report.records) {
+    store.insert(record);
+  }
+  return store;
+}
+
+void result_store::insert(tuning_record record) {
+  if (record.valid) {
+    ++valid_;
+  } else {
+    ++invalid_;
+  }
+  latest_[record.config_hash] = records_.size();
+  records_.push_back(std::move(record));
+}
+
+const tuning_record* result_store::find(
+    std::uint64_t config_hash) const noexcept {
+  const auto it = latest_.find(config_hash);
+  if (it == latest_.end()) {
+    return nullptr;
+  }
+  return &records_[it->second];
+}
+
+std::optional<tuning_record> result_store::best() const {
+  std::vector<tuning_record> top = top_k(1);
+  if (top.empty()) {
+    return std::nullopt;
+  }
+  return std::move(top.front());
+}
+
+std::vector<tuning_record> result_store::top_k(std::size_t k) const {
+  std::vector<const tuning_record*> valid;
+  valid.reserve(latest_.size());
+  for (const auto& [hash, at] : latest_) {
+    if (records_[at].valid) {
+      valid.push_back(&records_[at]);
+    }
+  }
+  const std::size_t count = std::min(k, valid.size());
+  std::partial_sort(valid.begin(), valid.begin() + count, valid.end(),
+                    [](const tuning_record* a, const tuning_record* b) {
+                      if (a->scalar != b->scalar) {
+                        return a->scalar < b->scalar;
+                      }
+                      // Stable tie-break so top_k is deterministic across
+                      // unordered_map iteration orders.
+                      return a->config_hash < b->config_hash;
+                    });
+  std::vector<tuning_record> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(*valid[i]);
+  }
+  return out;
+}
+
+std::map<std::string, result_store::technique_stats>
+result_store::per_technique() const {
+  std::map<std::string, technique_stats> stats;
+  for (const tuning_record& record : records_) {
+    technique_stats& entry = stats[record.technique];
+    ++entry.measured;
+    if (!record.valid) {
+      ++entry.failed;
+    } else if (!entry.has_best || record.scalar < entry.best_scalar) {
+      entry.best_scalar = record.scalar;
+      entry.has_best = true;
+    }
+  }
+  return stats;
+}
+
+std::vector<std::string> result_store::run_ids() const {
+  std::vector<std::string> ids;
+  for (const tuning_record& record : records_) {
+    if (std::find(ids.begin(), ids.end(), record.run_id) == ids.end()) {
+      ids.push_back(record.run_id);
+    }
+  }
+  return ids;
+}
+
+}  // namespace atf::session

@@ -1,0 +1,86 @@
+#include "atf/session/session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "atf/common/logging.hpp"
+
+namespace atf::session {
+
+namespace {
+
+/// Next run number: one past the highest "run-N" id seen in the journal
+/// (foreign id formats count as 0, so a merged or hand-edited journal still
+/// yields a fresh, unique-enough id).
+std::string next_run_id(const result_store& store) {
+  std::uint64_t highest = 0;
+  for (const std::string& id : store.run_ids()) {
+    if (id.rfind("run-", 0) == 0) {
+      const std::uint64_t n = std::strtoull(id.c_str() + 4, nullptr, 10);
+      highest = std::max(highest, n);
+    }
+  }
+  return "run-" + std::to_string(highest + 1);
+}
+
+}  // namespace
+
+std::shared_ptr<tuning_session> tuning_session::open(const std::string& path,
+                                                     const options& opts) {
+  auto session = std::shared_ptr<tuning_session>(new tuning_session());
+  session->path_ = path;
+  session->report_ = read_journal(path);
+  session->store_ = result_store::from_report(session->report_);
+  session->run_id_ = next_run_id(session->store_);
+
+  if (session->report_.version_mismatch) {
+    session->degraded_reason_ =
+        "journal format version " + std::to_string(session->report_.version) +
+        " is newer than this build supports (" +
+        std::to_string(journal_format_version) + ")";
+  } else if (!opts.read_only) {
+    try {
+      session->writer_ = std::make_unique<journal_writer>(path, opts.fsync);
+    } catch (const journal_error& error) {
+      session->degraded_reason_ = error.what();
+    }
+  }
+
+  if (!session->degraded_reason_.empty()) {
+    common::log_warn("session: continuing without persistence — ",
+                     session->degraded_reason_);
+  }
+  if (session->report_.corrupt_lines > 0 || session->report_.truncated_tail) {
+    common::log_warn(
+        "session: journal '", path, "' recovered with ",
+        session->report_.corrupt_lines, " corrupt line(s)",
+        session->report_.truncated_tail ? " and a truncated tail" : "",
+        "; ", session->store_.size(), " configuration(s) survive");
+  }
+  return session;
+}
+
+void tuning_session::append(tuning_record record) {
+  record.run_id = run_id_;
+  record.sequence = ++appended_;
+  record.timestamp_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  if (writer_ != nullptr) {
+    try {
+      writer_->append(record);
+    } catch (const journal_error& error) {
+      // Disk-full and friends mid-run: drop to in-memory mode, keep tuning.
+      writer_.reset();
+      degraded_reason_ = error.what();
+      common::log_warn("session: journal append failed, continuing without "
+                       "persistence — ",
+                       degraded_reason_);
+    }
+  }
+  store_.insert(std::move(record));
+}
+
+}  // namespace atf::session

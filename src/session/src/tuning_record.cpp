@@ -1,0 +1,190 @@
+#include "atf/session/tuning_record.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace atf::session {
+
+namespace {
+
+// tp_value alternatives serialize as {"t":"b|i|u|d","v":"<text>"}. The
+// value is a *string* on purpose: int64/uint64 round-trip exactly without
+// relying on the JSON number path, and doubles reuse atf::to_string's
+// %.17g rendering (bit-exact round trip).
+constexpr const char* type_tag(const tp_value& v) {
+  switch (v.index()) {
+    case 0: return "b";
+    case 1: return "i";
+    case 2: return "u";
+    default: return "d";
+  }
+}
+
+std::optional<tp_value> decode_value(const json::value& v) {
+  const json::value* tag = v.find("t");
+  const json::value* payload = v.find("v");
+  if (tag == nullptr || payload == nullptr || !tag->is_string() ||
+      !payload->is_string()) {
+    return std::nullopt;
+  }
+  const std::string& text = payload->as_string();
+  errno = 0;
+  char* end = nullptr;
+  if (tag->as_string() == "b") {
+    if (text == "true") {
+      return tp_value(true);
+    }
+    if (text == "false") {
+      return tp_value(false);
+    }
+    return std::nullopt;
+  }
+  if (tag->as_string() == "i") {
+    const long long parsed = std::strtoll(text.c_str(), &end, 10);
+    if (errno == ERANGE || end != text.c_str() + text.size() || text.empty()) {
+      return std::nullopt;
+    }
+    return tp_value(static_cast<std::int64_t>(parsed));
+  }
+  if (tag->as_string() == "u") {
+    const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+    if (errno == ERANGE || end != text.c_str() + text.size() || text.empty()) {
+      return std::nullopt;
+    }
+    return tp_value(static_cast<std::uint64_t>(parsed));
+  }
+  if (tag->as_string() == "d") {
+    const double parsed = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || text.empty()) {
+      return std::nullopt;
+    }
+    return tp_value(parsed);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+configuration tuning_record::to_configuration() const {
+  configuration config;
+  for (const auto& [name, value] : values) {
+    config.add(name, value);
+  }
+  return config;
+}
+
+tuning_record tuning_record::from_configuration(const configuration& config) {
+  tuning_record record;
+  record.values = config.entries();
+  record.config_hash = config.hash();
+  record.space_index = config.space_index();
+  return record;
+}
+
+json::value to_json(const tuning_record& record) {
+  json::value out{json::object{}};
+  out.set("type", "record");
+  out.set("run", record.run_id);
+  out.set("seq", std::uint64_t{record.sequence});
+  out.set("ts_ms", std::int64_t{record.timestamp_ms});
+  // The hash serializes as fixed-width hex: immune to JSON-number integer
+  // precision and trivially greppable.
+  char hash_text[32];
+  std::snprintf(hash_text, sizeof(hash_text), "%016llx",
+                static_cast<unsigned long long>(record.config_hash));
+  out.set("hash", std::string(hash_text));
+  if (record.space_index.has_value()) {
+    out.set("index", std::uint64_t{*record.space_index});
+  }
+  if (!record.technique.empty()) {
+    out.set("tech", record.technique);
+  }
+  json::value config{json::object{}};
+  for (const auto& [name, value] : record.values) {
+    json::value encoded{json::object{}};
+    encoded.set("t", type_tag(value));
+    encoded.set("v", atf::to_string(value));
+    config.set(name, std::move(encoded));
+  }
+  out.set("config", std::move(config));
+  out.set("valid", record.valid);
+  if (record.valid) {
+    out.set("scalar", record.scalar);
+    out.set("cost", record.cost);
+  } else if (!record.failure.empty()) {
+    out.set("failure", record.failure);
+  }
+  return out;
+}
+
+std::optional<tuning_record> record_from_json(const json::value& v) {
+  const json::value* type = v.find("type");
+  if (type == nullptr || !type->is_string() || type->as_string() != "record") {
+    return std::nullopt;
+  }
+  const json::value* hash = v.find("hash");
+  const json::value* config = v.find("config");
+  const json::value* valid = v.find("valid");
+  if (hash == nullptr || !hash->is_string() || config == nullptr ||
+      !config->is_object() || valid == nullptr || !valid->is_bool()) {
+    return std::nullopt;
+  }
+
+  tuning_record record;
+  errno = 0;
+  char* end = nullptr;
+  const std::string& hash_text = hash->as_string();
+  record.config_hash = std::strtoull(hash_text.c_str(), &end, 16);
+  if (hash_text.empty() || end != hash_text.c_str() + hash_text.size()) {
+    return std::nullopt;
+  }
+
+  for (const auto& [name, encoded] : config->as_object()) {
+    const std::optional<tp_value> value = decode_value(encoded);
+    if (!value.has_value()) {
+      return std::nullopt;
+    }
+    record.values.emplace_back(name, *value);
+  }
+
+  record.valid = valid->as_bool();
+  if (record.valid) {
+    const json::value* scalar = v.find("scalar");
+    if (scalar == nullptr || !scalar->is_number()) {
+      return std::nullopt;
+    }
+    record.scalar = scalar->as_double();
+    if (const json::value* cost = v.find("cost")) {
+      record.cost = *cost;
+    }
+  } else if (const json::value* failure = v.find("failure")) {
+    if (failure->is_string()) {
+      record.failure = failure->as_string();
+    }
+  }
+
+  if (const json::value* run = v.find("run"); run != nullptr &&
+                                              run->is_string()) {
+    record.run_id = run->as_string();
+  }
+  if (const json::value* seq = v.find("seq"); seq != nullptr &&
+                                              seq->is_number()) {
+    record.sequence = seq->as_uint64();
+  }
+  if (const json::value* ts = v.find("ts_ms"); ts != nullptr &&
+                                               ts->is_number()) {
+    record.timestamp_ms = ts->as_int64();
+  }
+  if (const json::value* index = v.find("index"); index != nullptr &&
+                                                  index->is_number()) {
+    record.space_index = index->as_uint64();
+  }
+  if (const json::value* tech = v.find("tech"); tech != nullptr &&
+                                                tech->is_string()) {
+    record.technique = tech->as_string();
+  }
+  return record;
+}
+
+}  // namespace atf::session

@@ -209,7 +209,7 @@ TEST(Tuner, CsvLogIsWritten) {
   ASSERT_TRUE(in.good());
   std::string header;
   std::getline(in, header);
-  EXPECT_EQ(header, "evaluation,elapsed_ns,index,x,cost,valid");
+  EXPECT_EQ(header, "evaluation,elapsed_ns,index,x,cost,valid,run,source");
   int rows = 0;
   for (std::string line; std::getline(in, line);) {
     ++rows;
@@ -268,18 +268,20 @@ TEST(Tuner, CsvLogAlignsPartialConfigsByName) {
   ASSERT_TRUE(in.good());
   std::string header;
   std::getline(in, header);
-  EXPECT_EQ(header, "evaluation,elapsed_ns,index,a,b,cost,valid");
+  EXPECT_EQ(header, "evaluation,elapsed_ns,index,a,b,cost,valid,run,source");
   std::string row;
   std::getline(in, row);
   // No space index, "a" absent -> "-", "b" in its own column (positional
   // emission would have written 2 under "a" and thrown on column count).
   const auto fields = atf::common::split(row, ',');
-  ASSERT_EQ(fields.size(), 7u);
+  ASSERT_EQ(fields.size(), 9u);
   EXPECT_EQ(fields[0], "1");
   EXPECT_EQ(fields[2], "-");  // index
   EXPECT_EQ(fields[3], "-");  // a
   EXPECT_EQ(fields[4], "2");  // b
   EXPECT_EQ(fields[6], "1");  // valid
+  EXPECT_EQ(fields[7], "-");  // run: no session attached
+  EXPECT_EQ(fields[8], "measured");  // source
   std::remove(path.c_str());
 }
 

@@ -192,7 +192,10 @@ TEST(GenericCostFunction, PassesResultsThrough) {
 class ProgramCostFunctionTest : public ::testing::Test {
 protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "atf_program_cf";
+    // Per-test directory: ctest runs every test case as its own process,
+    // so a fixture-shared path races under parallel ctest.
+    dir_ = ::testing::TempDir() + "atf_program_cf_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     const std::string mk = "mkdir -p '" + dir_ + "'";
     ASSERT_EQ(std::system(mk.c_str()), 0);
     source_ = dir_ + "/app.txt";

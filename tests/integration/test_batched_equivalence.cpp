@@ -86,8 +86,12 @@ std::unique_ptr<atf::search_technique> make_technique(technique_kind kind) {
 
 run_outcome run_xgemm(atf::evaluation_mode mode, std::size_t workers,
                       technique_kind kind) {
-  const std::string path = ::testing::TempDir() + "atf_equiv_xgemm_" +
-                           std::to_string(workers) + ".csv";
+  // The test name disambiguates the file per ctest process: the per-case
+  // processes run concurrently and would otherwise interleave one CSV.
+  const std::string path =
+      ::testing::TempDir() + "atf_equiv_xgemm_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() + "_" +
+      std::to_string(workers) + ".csv";
   const xg::problem prob{16, 16, 16};
   const xg::device_limits limits{64, 8 * 1024};
   auto setup =
@@ -105,8 +109,10 @@ run_outcome run_xgemm(atf::evaluation_mode mode, std::size_t workers,
 
 run_outcome run_conv2d(atf::evaluation_mode mode, std::size_t workers,
                        technique_kind kind) {
-  const std::string path = ::testing::TempDir() + "atf_equiv_conv2d_" +
-                           std::to_string(workers) + ".csv";
+  const std::string path =
+      ::testing::TempDir() + "atf_equiv_conv2d_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() + "_" +
+      std::to_string(workers) + ".csv";
   const cv::problem prob{16, 20, 3, 3};
   auto setup = cv::make_tuning_parameters(prob, 64, 2048);
   atf::tuner tuner;

@@ -1,0 +1,62 @@
+// Helper binary for the kill-and-resume integration test: runs a fixed-seed
+// random search over a deterministic arithmetic cost function against a
+// session journal, optionally SIGKILLing itself from *inside* the cost
+// function after a given number of fresh measurements — the most honest
+// crash a test can stage, because it interrupts the writer wherever the
+// append protocol happens to be.
+//
+// Usage: resume_driver <journal> <evaluations> [kill_after_measurements]
+//
+// On a completed run prints a parseable summary:
+//   best=<scalar> evaluations=<n> store_hits=<n> measured=<n> run=<id>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "atf/atf.hpp"
+#include "atf/search/random_search.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <journal> <evaluations> [kill_after]\n", argv[0]);
+    return 2;
+  }
+  const std::string journal = argv[1];
+  const auto evaluations = std::strtoull(argv[2], nullptr, 10);
+  const auto kill_after =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 0ull;
+
+  auto x = atf::tp("x", atf::interval<int>(1, 50));
+  auto y = atf::tp("y", atf::interval<int>(1, 8));
+
+  unsigned long long measured = 0;
+  atf::tuner tuner;
+  const auto result =
+      tuner.tuning_parameters(x, y)
+          .search_technique(
+              std::make_unique<atf::search::random_search>(0x5eed))
+          .abort_condition(atf::cond::evaluations(evaluations))
+          .session(journal)
+          .tune([&](const atf::configuration& config) {
+            ++measured;
+            if (kill_after != 0 && measured >= kill_after) {
+              // Die the way a crashed machine dies: no destructors, no
+              // stdio flush — only what the journal already pushed to the
+              // kernel survives.
+              std::raise(SIGKILL);
+            }
+            const int xv = config["x"];
+            const int yv = config["y"];
+            return double((xv * 37 + yv * 11) % 101) + double(xv) / 1024.0;
+          });
+
+  std::printf("best=%.17g evaluations=%llu store_hits=%llu measured=%llu "
+              "run=%s\n",
+              result.best_cost.value_or(-1.0),
+              static_cast<unsigned long long>(result.evaluations),
+              static_cast<unsigned long long>(result.store_hits),
+              measured, result.run_id.c_str());
+  return 0;
+}

@@ -1,0 +1,214 @@
+// The journal's robustness contract (journal.hpp): every flavour of damage
+// a crashed or concurrent writer can inflict must degrade gracefully —
+// fewer records, a diagnostic flag, never an exception from the reader and
+// never a misread record.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "atf/session/journal.hpp"
+#include "atf/session/json.hpp"
+#include "atf/session/tuning_record.hpp"
+#include "atf/value.hpp"
+
+namespace {
+
+using atf::session::fsync_policy;
+using atf::session::journal_read_report;
+using atf::session::journal_writer;
+using atf::session::read_journal;
+using atf::session::tuning_record;
+namespace json = atf::session::json;
+
+tuning_record make_record(int x, double cost) {
+  atf::configuration config;
+  config.add("x", atf::to_tp_value<int>(x));
+  tuning_record record = tuning_record::from_configuration(config);
+  record.valid = true;
+  record.scalar = cost;
+  record.cost = json::value(cost);
+  record.run_id = "run-1";
+  record.sequence = static_cast<std::uint64_t>(x);
+  return record;
+}
+
+class JournalTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "atf_journal_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".jsonl";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void write_records(int count) {
+    journal_writer writer(path_);
+    for (int i = 0; i < count; ++i) {
+      writer.append(make_record(i, 100.0 - i));
+    }
+  }
+
+  [[nodiscard]] std::string slurp() const {
+    std::ifstream in(path_, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  void dump(const std::string& bytes) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  std::string path_;
+};
+
+TEST_F(JournalTest, RoundTripsRecords) {
+  write_records(3);
+  const journal_read_report report = read_journal(path_);
+  EXPECT_TRUE(report.header_ok);
+  EXPECT_EQ(report.version, atf::session::journal_format_version);
+  EXPECT_FALSE(report.version_mismatch);
+  EXPECT_FALSE(report.truncated_tail);
+  EXPECT_EQ(report.corrupt_lines, 0u);
+  ASSERT_EQ(report.records.size(), 3u);
+  EXPECT_EQ(report.records[0].scalar, 100.0);
+  EXPECT_EQ(report.records[2].scalar, 98.0);
+  EXPECT_EQ(report.records[1].to_configuration().get<int>("x"), 1);
+}
+
+TEST_F(JournalTest, MissingFileReadsAsEmpty) {
+  const journal_read_report report = read_journal(path_);
+  EXPECT_TRUE(report.records.empty());
+  EXPECT_FALSE(report.header_ok);
+  EXPECT_EQ(report.total_lines, 0u);
+}
+
+TEST_F(JournalTest, EmptyFileReadsAsEmpty) {
+  dump("");
+  const journal_read_report report = read_journal(path_);
+  EXPECT_TRUE(report.records.empty());
+  EXPECT_FALSE(report.header_ok);
+}
+
+TEST_F(JournalTest, TruncatedTailIsDroppedAndFlagged) {
+  write_records(4);
+  // Simulate a SIGKILL mid-append: chop the file mid-way through the last
+  // line (strip the trailing newline plus a dozen bytes).
+  std::string bytes = slurp();
+  ASSERT_GT(bytes.size(), 13u);
+  bytes.resize(bytes.size() - 13);
+  dump(bytes);
+
+  const journal_read_report report = read_journal(path_);
+  EXPECT_TRUE(report.truncated_tail);
+  EXPECT_EQ(report.corrupt_lines, 0u);  // a torn tail is not "corruption"
+  ASSERT_EQ(report.records.size(), 3u);
+  EXPECT_EQ(report.records.back().scalar, 98.0);
+}
+
+TEST_F(JournalTest, CrcMismatchMidFileIsSkippedAndCounted) {
+  write_records(3);
+  // Flip one payload byte inside the middle record line (not its CRC
+  // field): the guard must catch it and the reader must keep the rest.
+  std::string bytes = slurp();
+  const std::size_t second_line = bytes.find('\n', bytes.find('\n') + 1) + 1;
+  const std::size_t scalar_pos = bytes.find("\"scalar\"", second_line);
+  ASSERT_NE(scalar_pos, std::string::npos);
+  bytes[scalar_pos + 9] ^= 0x01;
+  dump(bytes);
+
+  const journal_read_report report = read_journal(path_);
+  EXPECT_EQ(report.corrupt_lines, 1u);
+  EXPECT_FALSE(report.truncated_tail);
+  ASSERT_EQ(report.records.size(), 2u);
+  EXPECT_EQ(report.records[0].scalar, 100.0);
+  EXPECT_EQ(report.records[1].scalar, 98.0);
+}
+
+TEST_F(JournalTest, UnparsableLineMidFileIsSkippedAndCounted) {
+  write_records(2);
+  std::string bytes = slurp();
+  const std::size_t first_record = bytes.find('\n') + 1;
+  bytes.insert(first_record, "not json at all\n");
+  dump(bytes);
+
+  const journal_read_report report = read_journal(path_);
+  EXPECT_EQ(report.corrupt_lines, 1u);
+  EXPECT_EQ(report.records.size(), 2u);
+}
+
+TEST_F(JournalTest, NewerVersionYieldsNoRecordsAndAFlag) {
+  json::value header{json::object{}};
+  header.set("type", "header");
+  header.set("magic", "atf-journal");
+  header.set("version",
+             std::uint64_t{atf::session::journal_format_version + 1});
+  dump(atf::session::guard_line(header) + "\n" +
+       atf::session::guard_line(to_json(make_record(1, 1.0))) + "\n");
+
+  const journal_read_report report = read_journal(path_);
+  EXPECT_TRUE(report.version_mismatch);
+  EXPECT_TRUE(report.records.empty());
+
+  // And the writer refuses to append to a journal it cannot re-read.
+  EXPECT_THROW(journal_writer{path_}, atf::session::journal_version_error);
+}
+
+TEST_F(JournalTest, ConcurrentAppendIsRejected) {
+  journal_writer first(path_);
+  first.append(make_record(1, 1.0));
+  // The append lock is per file, advisory and exclusive: a second writer —
+  // same process or another one — must be turned away immediately, not
+  // block and not interleave.
+  std::optional<journal_writer> second;
+  EXPECT_THROW(second.emplace(path_), atf::session::journal_locked_error);
+}
+
+TEST_F(JournalTest, LockIsReleasedOnDestruction) {
+  { journal_writer first(path_); }
+  journal_writer second(path_);  // must not throw
+  second.append(make_record(2, 2.0));
+  EXPECT_EQ(read_journal(path_).records.size(), 1u);
+}
+
+TEST_F(JournalTest, ReappendingAfterReopenExtendsTheFile) {
+  write_records(2);
+  {
+    journal_writer writer(path_);
+    writer.append(make_record(7, 93.0));
+  }
+  const journal_read_report report = read_journal(path_);
+  ASSERT_EQ(report.records.size(), 3u);
+  EXPECT_EQ(report.records.back().scalar, 93.0);
+  // Exactly one header even after three opens.
+  EXPECT_EQ(report.total_lines, 4u);
+}
+
+TEST_F(JournalTest, FsyncPoliciesAllProduceReadableJournals) {
+  for (const fsync_policy policy :
+       {fsync_policy::none, fsync_policy::flush, fsync_policy::full_sync}) {
+    std::remove(path_.c_str());
+    {
+      journal_writer writer(path_, policy);
+      writer.append(make_record(1, 1.0));
+      writer.flush();
+    }
+    EXPECT_EQ(read_journal(path_).records.size(), 1u)
+        << "policy=" << static_cast<int>(policy);
+  }
+}
+
+TEST_F(JournalTest, GuardLineVerifiesByteExactly) {
+  json::value obj{json::object{}};
+  obj.set("type", "record");
+  const std::string line = atf::session::guard_line(obj);
+  // The guard splices the crc field before the closing brace.
+  EXPECT_NE(line.find(",\"crc\":\""), std::string::npos);
+  EXPECT_EQ(line.back(), '}');
+}
+
+}  // namespace

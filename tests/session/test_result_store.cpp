@@ -1,0 +1,127 @@
+// The result store's index and query helpers: latest-wins per hash, best /
+// top-k over valid records only, per-technique stats, run ids in first-seen
+// order.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "atf/configuration.hpp"
+#include "atf/session/result_store.hpp"
+#include "atf/session/tuning_record.hpp"
+#include "atf/value.hpp"
+
+namespace {
+
+using atf::session::result_store;
+using atf::session::tuning_record;
+namespace json = atf::session::json;
+
+tuning_record make_record(int x, double cost, bool valid = true,
+                          const std::string& technique = "exhaustive",
+                          const std::string& run = "run-1") {
+  atf::configuration config;
+  config.add("x", atf::to_tp_value<int>(x));
+  tuning_record record = tuning_record::from_configuration(config);
+  record.valid = valid;
+  if (valid) {
+    record.scalar = cost;
+    record.cost = json::value(cost);
+  } else {
+    record.failure = "boom";
+  }
+  record.technique = technique;
+  record.run_id = run;
+  return record;
+}
+
+TEST(ResultStore, FindsLatestRecordPerHash) {
+  result_store store;
+  store.insert(make_record(1, 10.0));
+  store.insert(make_record(2, 20.0));
+  store.insert(make_record(1, 5.0));  // re-measurement supersedes
+
+  EXPECT_EQ(store.size(), 2u);           // distinct configurations
+  EXPECT_EQ(store.records().size(), 3u); // journal keeps both measurements
+
+  const std::uint64_t hash = make_record(1, 0.0).config_hash;
+  const tuning_record* found = store.find(hash);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->scalar, 5.0);
+  EXPECT_FALSE(store.contains(make_record(99, 0.0).config_hash));
+}
+
+TEST(ResultStore, BestIgnoresInvalidAndSupersededRecords) {
+  result_store store;
+  EXPECT_FALSE(store.best().has_value());
+
+  store.insert(make_record(1, 3.0, /*valid=*/false));
+  EXPECT_FALSE(store.best().has_value());  // a failure is never "best"
+
+  store.insert(make_record(2, 7.0));
+  store.insert(make_record(3, 4.0));
+  ASSERT_TRUE(store.best().has_value());
+  EXPECT_EQ(store.best()->scalar, 4.0);
+
+  // Superseding the best configuration with a worse re-measurement moves
+  // the best elsewhere: only the latest record per hash counts.
+  store.insert(make_record(3, 9.0));
+  EXPECT_EQ(store.best()->scalar, 7.0);
+}
+
+TEST(ResultStore, TopKIsAscendingAndClamped) {
+  result_store store;
+  store.insert(make_record(1, 5.0));
+  store.insert(make_record(2, 1.0));
+  store.insert(make_record(3, 3.0));
+  store.insert(make_record(4, 2.0, /*valid=*/false));
+
+  const auto top = store.top_k(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].scalar, 1.0);
+  EXPECT_EQ(top[1].scalar, 3.0);
+
+  EXPECT_EQ(store.top_k(100).size(), 3u);  // invalid record excluded
+  EXPECT_TRUE(store.top_k(0).empty());
+}
+
+TEST(ResultStore, CountsValidAndInvalid) {
+  result_store store;
+  store.insert(make_record(1, 1.0));
+  store.insert(make_record(2, 2.0, /*valid=*/false));
+  store.insert(make_record(3, 3.0));
+  EXPECT_EQ(store.valid_count(), 2u);
+  EXPECT_EQ(store.invalid_count(), 1u);
+}
+
+TEST(ResultStore, PerTechniqueStats) {
+  result_store store;
+  store.insert(make_record(1, 5.0, true, "random_search"));
+  store.insert(make_record(2, 3.0, true, "random_search"));
+  store.insert(make_record(3, 0.0, false, "random_search"));
+  store.insert(make_record(4, 1.0, true, "simulated_annealing"));
+
+  const auto stats = store.per_technique();
+  ASSERT_EQ(stats.size(), 2u);
+  const auto& random = stats.at("random_search");
+  EXPECT_EQ(random.measured, 3u);
+  EXPECT_EQ(random.failed, 1u);
+  EXPECT_TRUE(random.has_best);
+  EXPECT_EQ(random.best_scalar, 3.0);
+  const auto& annealing = stats.at("simulated_annealing");
+  EXPECT_EQ(annealing.measured, 1u);
+  EXPECT_EQ(annealing.failed, 0u);
+  EXPECT_EQ(annealing.best_scalar, 1.0);
+}
+
+TEST(ResultStore, RunIdsInFirstSeenOrder) {
+  result_store store;
+  store.insert(make_record(1, 1.0, true, "t", "run-2"));
+  store.insert(make_record(2, 2.0, true, "t", "run-1"));
+  store.insert(make_record(3, 3.0, true, "t", "run-2"));
+  const auto runs = store.run_ids();
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], "run-2");
+  EXPECT_EQ(runs[1], "run-1");
+}
+
+}  // namespace

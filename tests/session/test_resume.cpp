@@ -1,0 +1,146 @@
+// Kill-and-resume equivalence, end to end across real processes: a run
+// SIGKILLed from inside its cost function, resumed on the same journal,
+// must converge to the same best as an uninterrupted fixed-seed baseline —
+// with the already-measured prefix served from the store instead of being
+// re-measured. The driver binary path is injected by CMake via
+// ATF_RESUME_DRIVER.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#ifndef ATF_RESUME_DRIVER
+#error "ATF_RESUME_DRIVER must be defined by the build system"
+#endif
+
+namespace {
+
+struct command_result {
+  int exit_code;
+  std::string stdout_text;
+};
+
+command_result run_command(const std::string& command) {
+  const std::string with_redirect = command + " 2>/dev/null";
+  FILE* pipe = popen(with_redirect.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string output;
+  std::array<char, 256> buffer{};
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  return {WEXITSTATUS(status), output};
+}
+
+/// Extracts "<key>=<token>" from the driver's summary line.
+std::string field(const std::string& output, const std::string& key) {
+  const std::size_t at = output.find(key + "=");
+  EXPECT_NE(at, std::string::npos) << output;
+  if (at == std::string::npos) {
+    return {};
+  }
+  const std::size_t start = at + key.size() + 1;
+  std::size_t end = start;
+  while (end < output.size() && output[end] != ' ' && output[end] != '\n') {
+    ++end;
+  }
+  return output.substr(start, end - start);
+}
+
+class ResumeTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    // Per-test directory: ctest runs every test case as its own process,
+    // so a fixture-shared journal path races under parallel ctest.
+    dir_ = ::testing::TempDir() + "atf_resume_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ASSERT_EQ(std::system(("mkdir -p '" + dir_ + "'").c_str()), 0);
+    baseline_journal_ = dir_ + "/baseline.jsonl";
+    crashed_journal_ = dir_ + "/crashed.jsonl";
+    std::remove(baseline_journal_.c_str());
+    std::remove(crashed_journal_.c_str());
+  }
+  void TearDown() override {
+    std::remove(baseline_journal_.c_str());
+    std::remove(crashed_journal_.c_str());
+  }
+
+  [[nodiscard]] static std::string driver(const std::string& journal,
+                                          int evaluations,
+                                          int kill_after = 0) {
+    std::string cmd = std::string(ATF_RESUME_DRIVER) + " '" + journal + "' " +
+                      std::to_string(evaluations);
+    if (kill_after != 0) {
+      cmd += " " + std::to_string(kill_after);
+    }
+    return cmd;
+  }
+
+  std::string dir_, baseline_journal_, crashed_journal_;
+};
+
+TEST_F(ResumeTest, KilledAndResumedRunMatchesUninterruptedBaseline) {
+  constexpr int kEvaluations = 40;
+  constexpr int kKillAfter = 15;
+
+  // Uninterrupted fixed-seed baseline.
+  const command_result baseline =
+      run_command(driver(baseline_journal_, kEvaluations));
+  ASSERT_EQ(baseline.exit_code, 0) << baseline.stdout_text;
+  const std::string baseline_best = field(baseline.stdout_text, "best");
+  EXPECT_EQ(field(baseline.stdout_text, "evaluations"),
+            std::to_string(kEvaluations));
+  EXPECT_EQ(field(baseline.stdout_text, "store_hits"), "0");
+  EXPECT_EQ(field(baseline.stdout_text, "run"), "run-1");
+
+  // The same run, SIGKILLed from inside the cost function mid-search: the
+  // process dies without unwinding, so only journal appends that reached
+  // the kernel survive.
+  const command_result killed =
+      run_command(driver(crashed_journal_, kEvaluations, kKillAfter));
+  EXPECT_NE(killed.exit_code, 0);  // died by signal, no summary printed
+  EXPECT_EQ(killed.stdout_text.find("best="), std::string::npos);
+
+  // Resume on the crashed journal. The fixed seed re-proposes the same
+  // stream; the measured prefix is served from the store (never
+  // re-measured), and the final best is the baseline's, to the last bit of
+  // the %.17g rendering.
+  const command_result resumed =
+      run_command(driver(crashed_journal_, kEvaluations));
+  ASSERT_EQ(resumed.exit_code, 0) << resumed.stdout_text;
+  EXPECT_EQ(field(resumed.stdout_text, "best"), baseline_best);
+  EXPECT_EQ(field(resumed.stdout_text, "evaluations"),
+            std::to_string(kEvaluations));
+  EXPECT_EQ(field(resumed.stdout_text, "run"), "run-2");
+
+  // The killed run completed kKillAfter-1 appends before dying inside
+  // measurement kKillAfter; every one of them must come back as a store
+  // hit, and the resumed run must only measure the remainder.
+  const int store_hits = std::atoi(field(resumed.stdout_text,
+                                         "store_hits").c_str());
+  const int measured = std::atoi(field(resumed.stdout_text,
+                                       "measured").c_str());
+  EXPECT_GE(store_hits, kKillAfter - 1);
+  EXPECT_EQ(measured, kEvaluations - store_hits);
+}
+
+TEST_F(ResumeTest, SecondResumeServesEverythingFromTheStore) {
+  constexpr int kEvaluations = 25;
+  const command_result first =
+      run_command(driver(baseline_journal_, kEvaluations));
+  ASSERT_EQ(first.exit_code, 0);
+
+  const command_result second =
+      run_command(driver(baseline_journal_, kEvaluations));
+  ASSERT_EQ(second.exit_code, 0) << second.stdout_text;
+  EXPECT_EQ(field(second.stdout_text, "best"),
+            field(first.stdout_text, "best"));
+  EXPECT_EQ(field(second.stdout_text, "measured"), "0");
+  EXPECT_EQ(field(second.stdout_text, "store_hits"),
+            std::to_string(kEvaluations));
+}
+
+}  // namespace

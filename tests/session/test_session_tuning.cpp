@@ -1,0 +1,366 @@
+// The session subsystem end to end through the tuner: warm-start resume
+// serves store hits instead of re-measuring, the prior best seeds the best
+// tracker, the abort condition is credited for replayed points, runs get
+// distinct ids, the CSV log carries run/source provenance, a locked journal
+// degrades instead of aborting, and the fault policy turns throwing and
+// overlong cost functions into recorded failures.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "atf/atf.hpp"
+#include "atf/session/journal.hpp"
+#include "atf/session/session.hpp"
+
+namespace {
+
+class SessionTuningTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "atf_session_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".jsonl";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  // cost(x) = (x-7)^2, minimum at x=7 within [1,10].
+  static atf::tuner make_tuner() {
+    atf::tuner t;
+    auto x = atf::tp("x", atf::interval<int>(1, 10));
+    t.tuning_parameters(x);
+    return t;
+  }
+
+  static double cost_of(const atf::configuration& config) {
+    const int x = config["x"];
+    return double((x - 7) * (x - 7));
+  }
+
+  std::string path_;
+};
+
+TEST_F(SessionTuningTest, WarmStartServesStoreHitsWithoutReMeasuring) {
+  int first_calls = 0;
+  {
+    auto t = make_tuner();
+    const auto result = t.session(path_).tune([&](const auto& config) {
+      ++first_calls;
+      return cost_of(config);
+    });
+    EXPECT_EQ(first_calls, 10);
+    EXPECT_EQ(result.store_hits, 0u);
+    EXPECT_EQ(result.run_id, "run-1");
+    EXPECT_EQ(result.best_cost, 0.0);
+  }
+
+  int second_calls = 0;
+  auto t = make_tuner();
+  const auto result = t.session(path_).tune([&](const auto& config) {
+    ++second_calls;
+    return cost_of(config);
+  });
+  // Every configuration was measured by run-1: the whole sweep is served
+  // from the replayed store, the cost function never runs, and the abort
+  // condition (one full sweep) is still credited with 10 evaluations.
+  EXPECT_EQ(second_calls, 0);
+  EXPECT_EQ(result.evaluations, 10u);
+  EXPECT_EQ(result.store_hits, 10u);
+  EXPECT_EQ(result.run_id, "run-2");
+  EXPECT_EQ(result.best_cost, 0.0);
+  EXPECT_EQ(result.best_configuration().get<int>("x"), 7);
+}
+
+TEST_F(SessionTuningTest, PriorBestSeedsTheResultEvenIfNotReProposed) {
+  {
+    auto t = make_tuner();
+    (void)t.session(path_).tune(
+        [&](const auto& config) { return cost_of(config); });
+  }
+  // The resumed run is allowed a single evaluation — exhaustive proposes
+  // x=1 (cost 36) — yet the result reports run-1's optimum from the store.
+  auto t = make_tuner();
+  const auto result =
+      t.session(path_)
+          .abort_condition(atf::cond::evaluations(1))
+          .tune([&](const auto& config) { return cost_of(config); });
+  EXPECT_EQ(result.evaluations, 1u);
+  EXPECT_EQ(result.best_cost, 0.0);
+  EXPECT_EQ(result.best_configuration().get<int>("x"), 7);
+}
+
+TEST_F(SessionTuningTest, JournalRecordsProvenance) {
+  {
+    auto t = make_tuner();
+    (void)t.session(path_).tune(
+        [&](const auto& config) { return cost_of(config); });
+  }
+  const auto report = atf::session::read_journal(path_);
+  ASSERT_EQ(report.records.size(), 10u);
+  for (const auto& record : report.records) {
+    EXPECT_EQ(record.run_id, "run-1");
+    EXPECT_EQ(record.technique, "exhaustive");
+    EXPECT_TRUE(record.valid);
+    EXPECT_GT(record.timestamp_ms, 0);
+  }
+  EXPECT_EQ(report.records.front().sequence, 1u);
+  EXPECT_EQ(report.records.back().sequence, 10u);
+
+  const auto stats =
+      atf::session::result_store::from_report(report).per_technique();
+  ASSERT_EQ(stats.count("exhaustive"), 1u);
+  EXPECT_EQ(stats.at("exhaustive").measured, 10u);
+  EXPECT_EQ(stats.at("exhaustive").best_scalar, 0.0);
+}
+
+TEST_F(SessionTuningTest, CsvLogCarriesRunAndSource) {
+  const std::string csv = path_ + ".csv";
+  {
+    auto t = make_tuner();
+    (void)t.session(path_).tune(
+        [&](const auto& config) { return cost_of(config); });
+  }
+  {
+    auto t = make_tuner();
+    (void)t.session(path_).log_file(csv).tune(
+        [&](const auto& config) { return cost_of(config); });
+  }
+  std::ifstream in(csv);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "evaluation,elapsed_ns,index,x,cost,valid,run,source");
+  int store_rows = 0;
+  for (std::string line; std::getline(in, line);) {
+    EXPECT_NE(line.find(",run-2,"), std::string::npos) << line;
+    if (line.size() >= 6 && line.rfind(",store") == line.size() - 6) {
+      ++store_rows;
+    }
+  }
+  EXPECT_EQ(store_rows, 10);
+  std::remove(csv.c_str());
+}
+
+TEST_F(SessionTuningTest, LockedJournalDegradesInsteadOfAborting) {
+  // Another writer holds the journal: tuning must proceed, just without
+  // persistence.
+  atf::session::journal_writer holder(path_);
+  auto t = make_tuner();
+  t.session(path_);
+  ASSERT_NE(t.current_session(), nullptr);
+  EXPECT_FALSE(t.current_session()->persistent());
+  EXPECT_FALSE(t.current_session()->degraded_reason().empty());
+
+  int calls = 0;
+  const auto result = t.tune([&](const auto& config) {
+    ++calls;
+    return cost_of(config);
+  });
+  EXPECT_EQ(calls, 10);
+  EXPECT_EQ(result.best_cost, 0.0);
+  // Nothing leaked past the lock holder into the file.
+  EXPECT_TRUE(atf::session::read_journal(path_).records.empty());
+}
+
+struct opaque_cost {
+  double v = 0.0;
+  friend bool operator<(const opaque_cost& a, const opaque_cost& b) {
+    return a.v < b.v;
+  }
+};
+
+}  // namespace
+
+// cost_traits must live in atf's namespace for the tuner to scalarize the
+// opaque type; no session::cost_codec is provided on purpose.
+template <>
+struct atf::cost_traits<opaque_cost> {
+  static double scalar(const opaque_cost& c) { return c.v; }
+  static std::string describe(const opaque_cost& c) {
+    return std::to_string(c.v);
+  }
+};
+
+namespace {
+
+TEST_F(SessionTuningTest, CostTypeWithoutCodecRunsNonPersistently) {
+  auto t = make_tuner();
+  const auto result = t.session(path_).tune([&](const auto& config) {
+    return opaque_cost{cost_of(config)};
+  });
+  EXPECT_EQ(result.best_cost->v, 0.0);
+  // The session was dropped (with a warning): no records were journaled.
+  EXPECT_TRUE(atf::session::read_journal(path_).records.empty());
+}
+
+TEST_F(SessionTuningTest, CostPairSurvivesTheRoundTrip) {
+  {
+    auto t = make_tuner();
+    (void)t.session(path_).tune([&](const auto& config) {
+      return atf::cost_pair{cost_of(config), 0.5};
+    });
+  }
+  auto t = make_tuner();
+  int calls = 0;
+  const auto result = t.session(path_).tune([&](const auto& config) {
+    ++calls;
+    return atf::cost_pair{cost_of(config), 0.5};
+  });
+  EXPECT_EQ(calls, 0);
+  ASSERT_TRUE(result.best_cost.has_value());
+  EXPECT_EQ(result.best_cost->primary, 0.0);
+  EXPECT_EQ(result.best_cost->secondary, 0.5);  // the tie-breaker survived
+}
+
+TEST_F(SessionTuningTest, EvaluationErrorIsJournaledAsInvalid) {
+  auto t = make_tuner();
+  const auto result = t.session(path_).tune([&](const auto& config) -> double {
+    const int x = config["x"];
+    if (x % 2 == 0) {
+      throw atf::evaluation_error("even x rejected");
+    }
+    return cost_of(config);
+  });
+  EXPECT_EQ(result.failed_evaluations, 5u);
+  const auto report = atf::session::read_journal(path_);
+  ASSERT_EQ(report.records.size(), 10u);
+  int invalid = 0;
+  for (const auto& record : report.records) {
+    if (!record.valid) {
+      ++invalid;
+      EXPECT_EQ(record.failure, "even x rejected");
+    }
+  }
+  EXPECT_EQ(invalid, 5);
+}
+
+TEST(FaultPolicy, ForeignExceptionsPropagateByDefault) {
+  auto x = atf::tp("x", atf::interval<int>(1, 4));
+  atf::tuner t;
+  t.tuning_parameters(x);
+  EXPECT_THROW((void)t.tune([](const auto&) -> double {
+                 throw std::runtime_error("segfaulting toolchain");
+               }),
+               std::runtime_error);
+}
+
+TEST(FaultPolicy, CatchAllRecordsForeignExceptionsAsFailures) {
+  auto x = atf::tp("x", atf::interval<int>(1, 4));
+  atf::fault_policy faults;
+  faults.catch_all = true;
+  atf::tuner t;
+  int calls = 0;
+  const auto result = t.tuning_parameters(x).fault_tolerance(faults).tune(
+      [&](const auto& config) -> double {
+        ++calls;
+        const int value = config["x"];
+        if (value != 3) {
+          throw std::runtime_error("segfaulting toolchain");
+        }
+        return 1.0;
+      });
+  EXPECT_EQ(calls, 4);  // the tuner survived all three throws
+  EXPECT_EQ(result.failed_evaluations, 3u);
+  EXPECT_EQ(result.best_cost, 1.0);
+  EXPECT_EQ(result.best_configuration().get<int>("x"), 3);
+}
+
+TEST(FaultPolicy, RetriesTransientFailures) {
+  auto x = atf::tp("x", atf::set(1));
+  atf::fault_policy faults;
+  faults.max_retries = 2;
+  atf::tuner t;
+  int calls = 0;
+  const auto result = t.tuning_parameters(x).fault_tolerance(faults).tune(
+      [&](const auto&) -> double {
+        if (++calls < 3) {
+          throw atf::evaluation_error("flaky device");
+        }
+        return 42.0;
+      });
+  EXPECT_EQ(calls, 3);  // two retries after the initial failure
+  EXPECT_EQ(result.failed_evaluations, 0u);
+  EXPECT_EQ(result.best_cost, 42.0);
+}
+
+TEST(FaultPolicy, RetriesAreBounded) {
+  auto x = atf::tp("x", atf::set(1));
+  atf::fault_policy faults;
+  faults.max_retries = 2;
+  atf::tuner t;
+  int calls = 0;
+  const auto result = t.tuning_parameters(x).fault_tolerance(faults).tune(
+      [&](const auto&) -> double {
+        ++calls;
+        throw atf::evaluation_error("always failing");
+      });
+  EXPECT_EQ(calls, 3);  // 1 + max_retries, then recorded invalid
+  EXPECT_EQ(result.failed_evaluations, 1u);
+  EXPECT_FALSE(result.has_best());
+}
+
+TEST(FaultPolicy, PostHocTimeoutRecordsOverlongEvaluationsInvalid) {
+  auto x = atf::tp("x", atf::interval<int>(1, 2));
+  atf::fault_policy faults;
+  faults.timeout = std::chrono::milliseconds(20);
+  faults.max_retries = 5;  // timeouts must NOT be retried
+  atf::tuner t;
+  int calls = 0;
+  const auto result = t.tuning_parameters(x).fault_tolerance(faults).tune(
+      [&](const auto& config) -> double {
+        ++calls;
+        const int value = config["x"];
+        if (value == 1) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        }
+        return double(value);
+      });
+  EXPECT_EQ(calls, 2);  // the overlong call completed once, no retries
+  EXPECT_EQ(result.failed_evaluations, 1u);
+  EXPECT_EQ(result.best_cost, 2.0);  // the timed-out result was discarded
+}
+
+TEST(FaultPolicy, PenaltyIsReportedToTheTechnique) {
+  // A capture technique records what the engine reports back.
+  class capture final : public atf::search_technique {
+  public:
+    explicit capture(std::vector<double>* sink) : sink_(sink) {}
+    [[nodiscard]] const char* name() const override { return "capture"; }
+    [[nodiscard]] atf::configuration get_next_config() override {
+      return space().config_at(next_++ % space().size());
+    }
+    void report_cost(double cost) override { sink_->push_back(cost); }
+
+  private:
+    std::vector<double>* sink_;
+    std::uint64_t next_ = 0;
+  };
+
+  auto x = atf::tp("x", atf::interval<int>(1, 2));
+  atf::fault_policy faults;
+  faults.penalty = 999.0;
+  std::vector<double> reported;
+  atf::tuner t;
+  (void)t.tuning_parameters(x)
+      .search_technique(std::make_unique<capture>(&reported))
+      .fault_tolerance(faults)
+      .tune([](const auto& config) -> double {
+        const int value = config["x"];
+        if (value == 1) {
+          throw atf::evaluation_error("invalid");
+        }
+        return double(value);
+      });
+  ASSERT_EQ(reported.size(), 2u);
+  EXPECT_EQ(reported[0], 999.0);  // the finite penalty, not +inf
+  EXPECT_EQ(reported[1], 2.0);
+}
+
+}  // namespace

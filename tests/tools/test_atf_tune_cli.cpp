@@ -37,7 +37,10 @@ command_result run_command(const std::string& command) {
 class AtfTuneCliTest : public ::testing::Test {
 protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "atf_tune_cli";
+    // Per-test directory: ctest runs every test case as its own process,
+    // so a fixture-shared path races under parallel ctest.
+    dir_ = ::testing::TempDir() + "atf_tune_cli_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     ASSERT_EQ(std::system(("mkdir -p '" + dir_ + "'").c_str()), 0);
     source_ = dir_ + "/app.txt";
     compile_ = dir_ + "/compile.sh";
@@ -150,7 +153,7 @@ TEST_F(AtfTuneCliTest, CsvLogIsWritten) {
   ASSERT_TRUE(in.good());
   std::string header;
   std::getline(in, header);
-  EXPECT_EQ(header, "evaluation,elapsed_ns,index,X,Y,cost,valid");
+  EXPECT_EQ(header, "evaluation,elapsed_ns,index,X,Y,cost,valid,run,source");
   int rows = 0;
   for (std::string line; std::getline(in, line);) {
     ++rows;
