@@ -1,0 +1,95 @@
+// Surrogate-model-guided tuning of CLBlast's XgemmDirect (DESIGN.md §10).
+//
+// The surrogate technique fits a random-forest regressor on every measured
+// (configuration → cost) pair and ranks a random candidate pool by a
+// lower-confidence-bound acquisition score, so most proposals are filtered
+// by the model instead of measured. Failed launches train a separate
+// invalid-region classifier rather than poisoning the regression.
+//
+// Run it under a session journal and the forest warm-starts from every
+// record of the previous runs before the first proposal — a resumed
+// session gets *smarter*, not just cheaper:
+//
+//   ./examples/surrogate_tuning [journal.jsonl] [evaluations]
+//   (run it twice; the second run starts from a trained model)
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "atf/atf.hpp"
+#include "atf/cf/ocl.hpp"
+#include "atf/kernels/xgemm_direct.hpp"
+#include "atf/search/surrogate_search.hpp"
+
+namespace xg = atf::kernels::xgemm;
+
+int main(int argc, char** argv) {
+  const std::string journal = argc > 1 ? argv[1] : "xgemm_surrogate.jsonl";
+  const std::uint64_t evaluations =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 300;
+
+  const xg::problem prob = xg::caffe_input_size(4);
+  const auto dev = ocls::find_device("", "K20m");
+
+  const auto session = atf::session::tuning_session::open(journal);
+  if (!session->store().empty()) {
+    std::printf("warm-starting the surrogate from '%s': %zu prior "
+                "measurement(s)\n",
+                journal.c_str(), session->store().size());
+  } else {
+    std::printf("fresh session at '%s' — the model trains from scratch\n",
+                journal.c_str());
+  }
+
+  auto setup = xg::make_tuning_parameters(
+      prob, xg::size_mode::general, xg::device_limits::of(dev.profile()));
+  auto m = static_cast<std::uint64_t>(prob.m);
+  auto n = static_cast<std::uint64_t>(prob.n);
+  auto cf = atf::cf::ocl(dev, xg::make_kernel())
+                .inputs(atf::cf::scalar<std::size_t>(prob.m),
+                        atf::cf::scalar<std::size_t>(prob.n),
+                        atf::cf::scalar<std::size_t>(prob.k),
+                        atf::cf::buffer<float>(prob.m * prob.k),
+                        atf::cf::buffer<float>(prob.k * prob.n),
+                        atf::cf::buffer<float>(prob.m * prob.n))
+                .define("M", prob.m)
+                .define("N", prob.n)
+                .define("K", prob.k)
+                .glb_size(atf::ceil_div(m, setup.wgd) * setup.mdimcd,
+                          atf::ceil_div(n, setup.wgd) * setup.ndimcd)
+                .lcl_size(setup.mdimcd, setup.ndimcd);
+
+  auto technique = std::make_unique<atf::search::surrogate_search>(42);
+  // Keep a handle for the diagnostics printed below; the tuner owns it.
+  const auto* surrogate = technique.get();
+
+  atf::tuner tuner;
+  tuner.tuning_parameters(setup.group());
+  tuner.search_technique(std::move(technique));
+  tuner.abort_condition(atf::cond::evaluations(evaluations));
+  tuner.session(session);
+
+  auto result = tuner.tune(cf);
+
+  std::printf("\n%llu evaluations: %llu measured this run, %llu served from "
+              "previous runs, %llu failed\n",
+              static_cast<unsigned long long>(result.evaluations),
+              static_cast<unsigned long long>(
+                  result.evaluations - result.store_hits -
+                  result.cached_evaluations),
+              static_cast<unsigned long long>(result.store_hits),
+              static_cast<unsigned long long>(result.failed_evaluations));
+  std::printf("best kernel time: %.2f us  [%s]\n", *result.best_cost / 1e3,
+              result.best_configuration().to_string().c_str());
+  std::printf("surrogate: %zu training sample(s) (%zu invalid), %llu "
+              "refit(s), model %s\n",
+              surrogate->training_samples(),
+              surrogate->invalid_training_samples(),
+              static_cast<unsigned long long>(surrogate->refits()),
+              surrogate->model_ready() ? "trained" : "not yet trained");
+  std::printf("rerun me on the same journal and the forest starts from all "
+              "%zu record(s)\n",
+              session->store().records().size());
+  return 0;
+}

@@ -7,6 +7,77 @@
 
 namespace blasmini {
 
+namespace {
+
+// The file format delimits records with tabs and newlines and config pairs
+// with spaces and '='. Free-form keys and values may contain any of those,
+// so every field is escaped on save and unescaped on load — symmetric, and
+// a database written by an older build (no backslashes) reads unchanged.
+std::string escape_field(const std::string& raw, bool config_field) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case ' ':
+        if (config_field) {
+          out += "\\s";
+        } else {
+          out += c;
+        }
+        break;
+      case '=':
+        if (config_field) {
+          out += "\\e";
+        } else {
+          out += c;
+        }
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_field(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '\\' || i + 1 == escaped.size()) {
+      out += escaped[i];
+      continue;
+    }
+    switch (escaped[++i]) {
+      case 't':
+        out += '\t';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 's':
+        out += ' ';
+        break;
+      case 'e':
+        out += '=';
+        break;
+      default:  // includes "\\\\"
+        out += escaped[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 tuning_db tuning_db::load(const std::string& path) {
   tuning_db db;
   std::ifstream in(path);
@@ -24,13 +95,17 @@ tuning_db tuning_db::load(const std::string& path) {
     }
     record config;
     for (const auto& pair : atf::common::split(fields[3], ' ')) {
+      // Literal '=' inside a name or value is escaped ("\e"), so the first
+      // raw '=' is always the delimiter.
       const auto eq = pair.find('=');
       if (eq == std::string::npos) {
         continue;
       }
-      config[pair.substr(0, eq)] = pair.substr(eq + 1);
+      config[unescape_field(pair.substr(0, eq))] =
+          unescape_field(pair.substr(eq + 1));
     }
-    db.entries_[{fields[0], fields[1], fields[2]}] = std::move(config);
+    db.entries_[{unescape_field(fields[0]), unescape_field(fields[1]),
+                 unescape_field(fields[2])}] = std::move(config);
   }
   return db;
 }
@@ -42,13 +117,15 @@ void tuning_db::save(const std::string& path) const {
   }
   out << "# blasmini tuning database: device\tkernel\tproblem\tconfig\n";
   for (const auto& [key, config] : entries_) {
-    out << key.device << '\t' << key.kernel << '\t' << key.problem << '\t';
+    out << escape_field(key.device, false) << '\t'
+        << escape_field(key.kernel, false) << '\t'
+        << escape_field(key.problem, false) << '\t';
     bool first = true;
     for (const auto& [name, value] : config) {
       if (!first) {
         out << ' ';
       }
-      out << name << '=' << value;
+      out << escape_field(name, true) << '=' << escape_field(value, true);
       first = false;
     }
     out << '\n';

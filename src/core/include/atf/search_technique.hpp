@@ -29,6 +29,10 @@
 #include "atf/configuration.hpp"
 #include "atf/search_space.hpp"
 
+namespace atf::session {
+class result_store;
+}  // namespace atf::session
+
 namespace atf {
 
 class search_technique {
@@ -47,6 +51,12 @@ public:
 
   /// Called once after exploration ends.
   virtual void finalize() {}
+
+  /// Called by the tuner after initialize() when running under
+  /// tuner::session(path): the store holds every record replayed from the
+  /// journal. Techniques that can learn from prior measurements (e.g. the
+  /// surrogate) override this; the default ignores the history.
+  virtual void warm_start(const session::result_store& store) { (void)store; }
 
   /// The next configuration to evaluate.
   [[nodiscard]] virtual configuration get_next_config() = 0;

@@ -263,6 +263,11 @@ public:
         std::move(opts));
 
     technique_->initialize(sp);
+    if (session_) {
+      // Replayed journal history shapes warm-start-capable techniques (the
+      // surrogate's training set) before the first proposal.
+      technique_->warm_start(session_->store());
+    }
     const std::size_t batch_limit = engine.batch_limit();
     for (;;) {
       const std::vector<configuration> batch =

@@ -29,6 +29,11 @@ public:
   /// capacity accounting cannot regress if the base-class default changes.
   [[nodiscard]] std::size_t max_batch() const override { return 1; }
 
+  /// Anchor state, observable for the invalid-cost contract tests: the
+  /// anchor only ever holds a finitely-costed point.
+  [[nodiscard]] bool has_best() const noexcept { return have_best_; }
+  [[nodiscard]] double best_cost() const noexcept { return best_cost_; }
+
 private:
   [[nodiscard]] point mutate(const point& base);
 

@@ -1,0 +1,157 @@
+// The surrogate regressor behind surrogate-guided search: a deterministic
+// random-forest model fit on measured (feature-vector → cost) pairs, plus
+// the bookkeeping that turns a stream of reported costs into training sets
+// (DESIGN.md §10).
+//
+// A forest — rather than gradient boosting — because the acquisition score
+// needs an uncertainty estimate: trees grown on independent bootstrap
+// resamples disagree where the landscape is unsampled, so the cross-tree
+// standard deviation is a usable confidence proxy (Falch & Elster's
+// ML-based auto-tuning uses the same replace-measurements-with-a-regressor
+// idea; the forest variant keeps everything pure C++ and bit-deterministic).
+//
+// Invalid-cost contract. Failed evaluations arrive as the fault policy's
+// penalty scalar — +infinity by default. Feeding those into the regression
+// would poison every split around a failure region, so the trainer routes
+// them into a *separate classifier head*: a second forest fit on 0/1
+// invalid labels whose prediction (an invalidity probability) is added to
+// the acquisition score as a penalty. Valid costs are compressed through
+// asinh before fitting — monotone, defined for every finite double, and it
+// tames the orders-of-magnitude spread of kernel runtimes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atf/common/rng.hpp"
+
+namespace atf::search {
+
+/// A fixed-width feature vector (see feature_encoder in
+/// surrogate_search.hpp and surrogate_arm's per-axis encoding).
+using feature_vector = std::vector<double>;
+
+/// A forest prediction: the mean over per-tree outputs and their
+/// population standard deviation (the uncertainty proxy).
+struct surrogate_prediction {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// A deterministic random-forest regressor. Fitting twice on the same
+/// (features, targets, seed) produces bit-identical predictions: all
+/// randomness flows from one xoshiro256 stream, ties in split selection
+/// break toward the lower feature index / threshold, and training order is
+/// the caller's sample order.
+class surrogate_model {
+public:
+  struct options {
+    std::size_t trees = 24;
+    std::size_t max_depth = 6;
+    std::size_t min_leaf = 2;        ///< minimum samples per leaf
+    double feature_fraction = 0.7;   ///< features tried per split
+  };
+
+  surrogate_model() = default;
+  explicit surrogate_model(options opts) : opts_(opts) {}
+
+  /// Fits the forest. features and targets must be parallel and non-empty,
+  /// every feature vector of the same width, every value finite.
+  void fit(const std::vector<feature_vector>& features,
+           const std::vector<double>& targets, std::uint64_t seed);
+
+  /// Discards a previous fit.
+  void reset() { forest_.clear(); }
+
+  [[nodiscard]] bool trained() const noexcept { return !forest_.empty(); }
+
+  /// Mean/stddev over the per-tree predictions; trained() must hold.
+  [[nodiscard]] surrogate_prediction predict(const feature_vector& x) const;
+
+  [[nodiscard]] const options& opts() const noexcept { return opts_; }
+
+private:
+  /// One node of one tree, stored flat. Leaves have feature == -1.
+  struct node {
+    std::int32_t feature = -1;
+    double threshold = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    double value = 0.0;  ///< leaf prediction (mean of its samples)
+  };
+  using tree = std::vector<node>;
+
+  std::int32_t build_node(tree& t, const std::vector<feature_vector>& features,
+                          const std::vector<double>& targets,
+                          std::vector<std::size_t>& samples, std::size_t lo,
+                          std::size_t hi, std::size_t depth,
+                          common::xoshiro256& rng) const;
+
+  options opts_;
+  std::vector<tree> forest_;
+};
+
+/// Shared training-set management for the surrogate techniques: keeps a
+/// bounded window of samples, refits the cost model (valid samples only)
+/// and the invalid classifier head (all samples) at deterministic points,
+/// and folds both into one acquisition score.
+class surrogate_trainer {
+public:
+  struct options {
+    std::size_t min_train = 16;       ///< valid samples before the model is used
+    std::size_t refit_interval = 16;  ///< new samples between refits
+    std::size_t max_train = 2048;     ///< newest samples kept
+    double kappa = 1.0;               ///< LCB weight on the cross-tree stddev
+    double invalid_weight = 4.0;      ///< acquisition penalty per unit P(invalid)
+    surrogate_model::options model;
+  };
+
+  surrogate_trainer() : surrogate_trainer(options{}, 0) {}
+  surrogate_trainer(options opts, std::uint64_t seed);
+
+  /// Resets samples and models; the RNG restarts from `seed`.
+  void reset(std::uint64_t seed);
+
+  /// Adds one observation. Invalid observations (the caller decides — the
+  /// techniques pass non-finite or penalty-threshold costs) never reach the
+  /// regression targets; they only train the classifier head. Triggers a
+  /// refit once enough new samples accumulated.
+  void add(feature_vector features, double cost, bool invalid);
+
+  /// True once the cost model is fit — i.e. at least min_train valid
+  /// samples were seen.
+  [[nodiscard]] bool ready() const noexcept { return cost_model_.trained(); }
+
+  /// Acquisition score, lower is better: LCB of the transformed cost
+  /// (mean − kappa·stddev) plus invalid_weight · P(invalid). Requires
+  /// ready().
+  [[nodiscard]] double score(const feature_vector& x) const;
+
+  [[nodiscard]] std::size_t samples() const noexcept {
+    return features_.size();
+  }
+  [[nodiscard]] std::size_t valid_samples() const noexcept { return valid_; }
+  [[nodiscard]] std::size_t invalid_samples() const noexcept {
+    return features_.size() - valid_;
+  }
+  [[nodiscard]] std::uint64_t refits() const noexcept { return refits_; }
+
+  [[nodiscard]] const options& opts() const noexcept { return opts_; }
+
+private:
+  void refit();
+
+  options opts_;
+  std::uint64_t seed_ = 0;
+  std::vector<feature_vector> features_;  ///< newest max_train samples
+  std::vector<double> targets_;           ///< asinh(cost); 0 for invalid
+  std::vector<char> invalid_;             ///< per-sample invalid label
+  std::size_t valid_ = 0;
+  std::size_t new_since_fit_ = 0;
+  std::uint64_t refits_ = 0;
+  surrogate_model cost_model_;
+  surrogate_model invalid_model_;
+  bool have_invalid_model_ = false;
+};
+
+}  // namespace atf::search

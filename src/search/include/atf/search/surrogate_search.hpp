@@ -1,0 +1,125 @@
+// Surrogate-model-guided search over the constrained space (DESIGN.md §10).
+//
+// The batched propose/report protocol is exactly the interface an
+// acquisition ranker wants: propose wide, filter by a cheap model, measure
+// few. Each batch is filled from a pool of random candidate configurations
+// ranked by the surrogate's acquisition score (LCB of the predicted cost
+// plus an invalidity penalty), with an ε-fraction of slots kept for pure
+// random exploration; already-measured configurations are filtered out of
+// the candidate pool, so the measurement budget is spent on new points.
+//
+// Under tuner::session(path) the technique warm-starts from the replayed
+// result store: every surviving journal record becomes a training sample
+// (invalid records feed the classifier head), so a resumed or merged
+// session shapes the acquisition landscape before the first proposal.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "atf/common/rng.hpp"
+#include "atf/search/surrogate_model.hpp"
+#include "atf/search_technique.hpp"
+
+namespace atf::search {
+
+/// Maps a configuration onto a fixed-width feature vector: two features
+/// per tuning parameter, the raw scalarized value and its asinh — the
+/// compressed copy makes power-of-two parameter axes (the common case)
+/// split evenly in tree depth. Parameter order is the space's declaration
+/// order, so the same configuration always encodes identically.
+class feature_encoder {
+public:
+  feature_encoder() = default;
+  explicit feature_encoder(std::vector<std::string> parameter_names);
+
+  [[nodiscard]] std::size_t width() const noexcept {
+    return 2 * names_.size();
+  }
+  [[nodiscard]] const std::vector<std::string>& names() const noexcept {
+    return names_;
+  }
+
+  /// Encodes by parameter *name*; std::nullopt when the configuration is
+  /// missing one of the encoder's parameters (e.g. a journal record from a
+  /// differently shaped space).
+  [[nodiscard]] std::optional<feature_vector> encode(
+      const configuration& config) const;
+
+private:
+  std::vector<std::string> names_;
+};
+
+class surrogate_search final : public atf::search_technique {
+public:
+  struct options {
+    /// Random candidate configurations ranked per batch.
+    std::size_t candidate_pool = 256;
+    /// ε-fraction of batch slots proposed uniformly at random (per-slot
+    /// Bernoulli draw, so the fraction holds at every batch width).
+    double exploration = 0.15;
+    /// Finite penalty detection: reported costs at or above this value are
+    /// treated as invalid, like non-finite costs (set it to the fault
+    /// policy's penalty when using a finite one).
+    double invalid_cost_threshold =
+        std::numeric_limits<double>::infinity();
+    surrogate_trainer::options trainer;
+  };
+
+  explicit surrogate_search(std::uint64_t seed = 0x5eed);
+  surrogate_search(options opts, std::uint64_t seed);
+
+  [[nodiscard]] const char* name() const override {
+    return "surrogate_search";
+  }
+
+  void initialize(const search_space& space) override;
+
+  /// Feeds every replayed store record into the model (valid records as
+  /// regression samples, invalid ones into the classifier head) and marks
+  /// their configurations as already measured. Records whose parameters do
+  /// not cover this space's are skipped.
+  void warm_start(const session::result_store& store) override;
+
+  /// Sequential protocol, routed through the batch protocol at width 1 —
+  /// one code path, so batched-at-1 is bit-identical by construction.
+  [[nodiscard]] configuration get_next_config() override;
+  void report_cost(double cost) override;
+
+  [[nodiscard]] std::vector<configuration> propose_batch(
+      std::size_t max_configs) override;
+  void report_batch(const std::vector<configuration>& configs,
+                    const std::vector<double>& costs) override;
+
+  /// Diagnostics (tests, benches).
+  [[nodiscard]] bool model_ready() const noexcept { return trainer_.ready(); }
+  [[nodiscard]] std::size_t training_samples() const noexcept {
+    return trainer_.samples();
+  }
+  [[nodiscard]] std::size_t invalid_training_samples() const noexcept {
+    return trainer_.invalid_samples();
+  }
+  [[nodiscard]] std::uint64_t refits() const noexcept {
+    return trainer_.refits();
+  }
+
+private:
+  [[nodiscard]] configuration random_fresh(
+      std::unordered_set<std::uint64_t>& batch_hashes);
+
+  options opts_;
+  std::uint64_t seed_;
+  common::xoshiro256 rng_{0};
+  feature_encoder encoder_;
+  surrogate_trainer trainer_;
+  /// Content hashes of every configuration already measured (reported or
+  /// warm-started) — candidates hitting this set are filtered out.
+  std::unordered_set<std::uint64_t> measured_;
+  std::vector<configuration> pending_;  ///< last proposed batch (sequential shim)
+};
+
+}  // namespace atf::search

@@ -10,6 +10,7 @@
 #include "atf/search/particle_swarm.hpp"
 #include "atf/search/pattern_search.hpp"
 #include "atf/search/random_technique.hpp"
+#include "atf/search/surrogate_arm.hpp"
 #include "atf/search/torczon.hpp"
 
 namespace atf::search {
@@ -22,6 +23,7 @@ ensemble::ensemble() {
   pool_.push_back(std::make_unique<genetic>());
   pool_.push_back(std::make_unique<particle_swarm>());
   pool_.push_back(std::make_unique<random_technique>());
+  pool_.push_back(std::make_unique<surrogate_arm>());
 }
 
 ensemble::ensemble(std::vector<std::unique_ptr<domain_technique>> pool)

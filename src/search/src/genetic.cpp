@@ -34,7 +34,12 @@ std::vector<point> genetic::propose_points(std::size_t max_points) {
 }
 
 void genetic::report(double cost) {
-  fitness_[cursor_] = cost;
+  // Cap non-finite costs at +infinity: NaN fitness would make the ranking
+  // comparator non-strict-weak (UB in stable_sort), and -infinity would
+  // crown an invalid individual as a permanent elite.
+  fitness_[cursor_] = std::isfinite(cost)
+                          ? cost
+                          : std::numeric_limits<double>::infinity();
   if (++cursor_ == population_.size()) {
     breed_next_generation();
     cursor_ = 0;

@@ -49,10 +49,16 @@ point mutation::next_point() {
 }
 
 void mutation::report(double cost) {
+  // Invalid evaluations (NaN, the fault policy's +infinity penalty, or a
+  // -infinity underflow) must never become the anchor the next mutants are
+  // bred from — and must not clear an anchor already held.
+  if (!std::isfinite(cost)) {
+    return;
+  }
   if (!have_best_ || cost < best_cost_) {
     best_ = proposed_;
     best_cost_ = cost;
-    have_best_ = std::isfinite(cost);
+    have_best_ = true;
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 namespace atf::search {
@@ -101,6 +102,12 @@ point nelder_mead::next_point() {
 }
 
 void nelder_mead::report(double cost) {
+  // Cap non-finite costs at +infinity before they reach the simplex: a NaN
+  // in costs_ breaks sort_vertices' strict-weak ordering (UB), and a
+  // -infinity vertex would anchor the simplex on an invalid point.
+  if (!std::isfinite(cost)) {
+    cost = std::numeric_limits<double>::infinity();
+  }
   const std::size_t k = domain_->dimensions();
   switch (stage_) {
     case stage::init:

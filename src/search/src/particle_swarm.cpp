@@ -64,7 +64,11 @@ void particle_swarm::advance(std::size_t i) {
 
 void particle_swarm::report(double cost) {
   const std::size_t i = cursor_;
-  if (cost < personal_best_cost_[i]) {
+  // A non-finite cost (NaN, the +infinity penalty, a -infinity underflow)
+  // must not become a personal best: particles would be attracted toward
+  // invalid regions forever. The update below then ignores it — personal
+  // bests start at +infinity, so invalid points simply never anchor.
+  if (cost < personal_best_cost_[i] && std::isfinite(cost)) {
     personal_best_cost_[i] = cost;
     personal_best_[i] = position_[i];
   }

@@ -1,6 +1,8 @@
 #include "atf/search/pattern_search.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 namespace atf::search {
 
@@ -73,6 +75,12 @@ void pattern_search::advance_probe() {
 }
 
 void pattern_search::report(double cost) {
+  // Cap non-finite costs at +infinity: a NaN center cost would reject every
+  // finite probe (all comparisons false), and a -infinity probe would pin
+  // the center on an invalid point forever.
+  if (!std::isfinite(cost)) {
+    cost = std::numeric_limits<double>::infinity();
+  }
   if (awaiting_center_) {
     center_cost_ = cost;
     have_center_ = true;

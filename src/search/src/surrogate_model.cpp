@@ -1,0 +1,291 @@
+#include "atf/search/surrogate_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace atf::search {
+
+namespace {
+
+/// Sum and sum-of-squares accumulator for O(1) SSE of a sample range.
+struct moments {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::size_t n = 0;
+
+  void add(double y) {
+    sum += y;
+    sum_sq += y * y;
+    ++n;
+  }
+  void remove(double y) {
+    sum -= y;
+    sum_sq -= y * y;
+    --n;
+  }
+  [[nodiscard]] double sse() const {
+    if (n == 0) {
+      return 0.0;
+    }
+    // Guard the subtraction against tiny negative rounding residue.
+    return std::max(0.0, sum_sq - sum * sum / static_cast<double>(n));
+  }
+  [[nodiscard]] double mean() const {
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  }
+};
+
+}  // namespace
+
+void surrogate_model::fit(const std::vector<feature_vector>& features,
+                          const std::vector<double>& targets,
+                          std::uint64_t seed) {
+  if (features.empty() || features.size() != targets.size()) {
+    throw std::invalid_argument(
+        "surrogate_model::fit: features/targets must be parallel and "
+        "non-empty");
+  }
+  forest_.clear();
+  forest_.reserve(opts_.trees);
+  common::xoshiro256 rng(seed);
+  const std::size_t n = features.size();
+  std::vector<std::size_t> bootstrap(n);
+  for (std::size_t t = 0; t < opts_.trees; ++t) {
+    for (auto& idx : bootstrap) {
+      idx = rng.below(n);
+    }
+    tree built;
+    std::vector<std::size_t> samples = bootstrap;
+    build_node(built, features, targets, samples, 0, samples.size(), 0, rng);
+    forest_.push_back(std::move(built));
+  }
+}
+
+std::int32_t surrogate_model::build_node(
+    tree& t, const std::vector<feature_vector>& features,
+    const std::vector<double>& targets, std::vector<std::size_t>& samples,
+    std::size_t lo, std::size_t hi, std::size_t depth,
+    common::xoshiro256& rng) const {
+  const std::size_t count = hi - lo;
+  moments all;
+  for (std::size_t i = lo; i < hi; ++i) {
+    all.add(targets[samples[i]]);
+  }
+
+  const auto make_leaf = [&]() -> std::int32_t {
+    node leaf;
+    leaf.value = all.mean();
+    t.push_back(leaf);
+    return static_cast<std::int32_t>(t.size() - 1);
+  };
+
+  if (depth >= opts_.max_depth || count < 2 * opts_.min_leaf ||
+      all.sse() == 0.0) {
+    return make_leaf();
+  }
+
+  // Try a deterministic random subset of features (partial Fisher-Yates
+  // over the feature indices), keeping the best (feature, threshold) by
+  // SSE reduction; ties break toward the first candidate tried, which is
+  // itself seed-determined.
+  const std::size_t width = features[samples[lo]].size();
+  std::vector<std::size_t> feature_order(width);
+  std::iota(feature_order.begin(), feature_order.end(), 0);
+  const std::size_t tries = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(opts_.feature_fraction * static_cast<double>(width))));
+  for (std::size_t i = 0; i < tries && i + 1 < width; ++i) {
+    const std::size_t j = i + rng.below(width - i);
+    std::swap(feature_order[i], feature_order[j]);
+  }
+
+  double best_sse = std::numeric_limits<double>::infinity();
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+  std::vector<std::size_t> sorted(samples.begin() + static_cast<std::ptrdiff_t>(lo),
+                                  samples.begin() + static_cast<std::ptrdiff_t>(hi));
+  for (std::size_t f = 0; f < tries; ++f) {
+    const std::size_t feature = feature_order[f];
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return features[a][feature] < features[b][feature];
+                     });
+    moments left;
+    moments right = all;
+    for (std::size_t i = 0; i + 1 < count; ++i) {
+      const double y = targets[sorted[i]];
+      left.add(y);
+      right.remove(y);
+      const double here = features[sorted[i]][feature];
+      const double next = features[sorted[i + 1]][feature];
+      if (here == next) {
+        continue;  // no threshold separates equal values
+      }
+      if (left.n < opts_.min_leaf || right.n < opts_.min_leaf) {
+        continue;
+      }
+      const double split_sse = left.sse() + right.sse();
+      if (split_sse < best_sse) {
+        best_sse = split_sse;
+        best_feature = feature;
+        best_threshold = here + (next - here) / 2.0;
+      }
+    }
+  }
+
+  if (!std::isfinite(best_sse) || best_sse >= all.sse()) {
+    return make_leaf();
+  }
+
+  // Partition [lo, hi) of `samples` by the chosen split, preserving
+  // relative order (stable) so the recursion is deterministic.
+  std::vector<std::size_t> left_part;
+  std::vector<std::size_t> right_part;
+  left_part.reserve(count);
+  right_part.reserve(count);
+  for (std::size_t i = lo; i < hi; ++i) {
+    if (features[samples[i]][best_feature] <= best_threshold) {
+      left_part.push_back(samples[i]);
+    } else {
+      right_part.push_back(samples[i]);
+    }
+  }
+  std::copy(left_part.begin(), left_part.end(),
+            samples.begin() + static_cast<std::ptrdiff_t>(lo));
+  std::copy(right_part.begin(), right_part.end(),
+            samples.begin() + static_cast<std::ptrdiff_t>(lo) +
+                static_cast<std::ptrdiff_t>(left_part.size()));
+  const std::size_t mid = lo + left_part.size();
+
+  const std::int32_t self = static_cast<std::int32_t>(t.size());
+  t.emplace_back();
+  t[self].feature = static_cast<std::int32_t>(best_feature);
+  t[self].threshold = best_threshold;
+  const std::int32_t left_child =
+      build_node(t, features, targets, samples, lo, mid, depth + 1, rng);
+  const std::int32_t right_child =
+      build_node(t, features, targets, samples, mid, hi, depth + 1, rng);
+  t[self].left = left_child;
+  t[self].right = right_child;
+  return self;
+}
+
+surrogate_prediction surrogate_model::predict(const feature_vector& x) const {
+  surrogate_prediction out;
+  if (forest_.empty()) {
+    return out;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const tree& t : forest_) {
+    // The root is always node 0: build_node pushes it before recursing.
+    std::int32_t at = 0;
+    while (t[static_cast<std::size_t>(at)].feature >= 0) {
+      const node& n = t[static_cast<std::size_t>(at)];
+      at = x[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                                 : n.right;
+    }
+    const double y = t[static_cast<std::size_t>(at)].value;
+    sum += y;
+    sum_sq += y * y;
+  }
+  const double count = static_cast<double>(forest_.size());
+  out.mean = sum / count;
+  out.stddev = std::sqrt(std::max(0.0, sum_sq / count - out.mean * out.mean));
+  return out;
+}
+
+surrogate_trainer::surrogate_trainer(options opts, std::uint64_t seed)
+    : opts_(opts),
+      cost_model_(opts.model),
+      invalid_model_(opts.model) {
+  reset(seed);
+}
+
+void surrogate_trainer::reset(std::uint64_t seed) {
+  seed_ = seed;
+  features_.clear();
+  targets_.clear();
+  invalid_.clear();
+  valid_ = 0;
+  new_since_fit_ = 0;
+  refits_ = 0;
+  cost_model_.reset();
+  invalid_model_.reset();
+  have_invalid_model_ = false;
+}
+
+void surrogate_trainer::add(feature_vector features, double cost,
+                            bool invalid) {
+  if (features_.size() >= opts_.max_train) {
+    // Drop the oldest sample; the window keeps the newest observations.
+    if (invalid_.front() == 0) {
+      --valid_;
+    }
+    features_.erase(features_.begin());
+    targets_.erase(targets_.begin());
+    invalid_.erase(invalid_.begin());
+  }
+  features_.push_back(std::move(features));
+  targets_.push_back(invalid ? 0.0 : std::asinh(cost));
+  invalid_.push_back(invalid ? 1 : 0);
+  if (!invalid) {
+    ++valid_;
+  }
+  ++new_since_fit_;
+
+  const bool due = cost_model_.trained()
+                       ? new_since_fit_ >= opts_.refit_interval
+                       : valid_ >= opts_.min_train;
+  if (due) {
+    refit();
+  }
+}
+
+void surrogate_trainer::refit() {
+  new_since_fit_ = 0;
+  ++refits_;
+  // Distinct deterministic seed per refit (and per head).
+  const std::uint64_t fit_seed =
+      seed_ + 0x9e3779b97f4a7c15ull * (refits_ + 1);
+
+  std::vector<feature_vector> x_valid;
+  std::vector<double> y_valid;
+  x_valid.reserve(valid_);
+  y_valid.reserve(valid_);
+  for (std::size_t i = 0; i < features_.size(); ++i) {
+    if (invalid_[i] == 0) {
+      x_valid.push_back(features_[i]);
+      y_valid.push_back(targets_[i]);
+    }
+  }
+  if (!x_valid.empty()) {
+    cost_model_.fit(x_valid, y_valid, fit_seed);
+  }
+
+  // The classifier head only exists once a failure was observed: an
+  // all-valid history predicts P(invalid) = 0 without a model.
+  if (valid_ < features_.size()) {
+    std::vector<double> labels(invalid_.size());
+    for (std::size_t i = 0; i < invalid_.size(); ++i) {
+      labels[i] = invalid_[i] != 0 ? 1.0 : 0.0;
+    }
+    invalid_model_.fit(features_, labels, fit_seed ^ 0xa5a5a5a5a5a5a5a5ull);
+    have_invalid_model_ = true;
+  }
+}
+
+double surrogate_trainer::score(const feature_vector& x) const {
+  const surrogate_prediction p = cost_model_.predict(x);
+  double s = p.mean - opts_.kappa * p.stddev;
+  if (have_invalid_model_) {
+    const double raw = invalid_model_.predict(x).mean;
+    s += opts_.invalid_weight * std::clamp(raw, 0.0, 1.0);
+  }
+  return s;
+}
+
+}  // namespace atf::search

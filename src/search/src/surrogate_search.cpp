@@ -1,0 +1,172 @@
+#include "atf/search/surrogate_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "atf/session/result_store.hpp"
+
+namespace atf::search {
+
+feature_encoder::feature_encoder(std::vector<std::string> parameter_names)
+    : names_(std::move(parameter_names)) {}
+
+std::optional<feature_vector> feature_encoder::encode(
+    const configuration& config) const {
+  feature_vector out;
+  out.reserve(width());
+  for (const std::string& name : names_) {
+    if (!config.contains(name)) {
+      return std::nullopt;
+    }
+    const double v = to_double(config.value_of(name));
+    out.push_back(v);
+    out.push_back(std::asinh(v));
+  }
+  return out;
+}
+
+surrogate_search::surrogate_search(std::uint64_t seed)
+    : surrogate_search(options{}, seed) {}
+
+surrogate_search::surrogate_search(options opts, std::uint64_t seed)
+    : opts_(opts), seed_(seed), trainer_(opts.trainer, seed) {}
+
+void surrogate_search::initialize(const search_space& space) {
+  search_technique::initialize(space);
+  rng_ = common::xoshiro256(seed_);
+  encoder_ = feature_encoder(space.parameter_names());
+  trainer_.reset(seed_);
+  measured_.clear();
+  pending_.clear();
+}
+
+void surrogate_search::warm_start(const session::result_store& store) {
+  for (const session::tuning_record& record : store.latest_records()) {
+    const configuration config = record.to_configuration();
+    const std::optional<feature_vector> features = encoder_.encode(config);
+    if (!features.has_value()) {
+      continue;  // a record from a differently shaped space
+    }
+    const bool invalid =
+        !record.valid || !std::isfinite(record.scalar) ||
+        record.scalar >= opts_.invalid_cost_threshold;
+    trainer_.add(*features, record.scalar, invalid);
+    measured_.insert(record.config_hash);
+  }
+}
+
+configuration surrogate_search::get_next_config() {
+  const std::vector<configuration> batch = propose_batch(1);
+  return batch.front();
+}
+
+void surrogate_search::report_cost(double cost) {
+  const std::vector<configuration> batch = std::move(pending_);
+  pending_.clear();
+  report_batch(batch, {cost});
+}
+
+configuration surrogate_search::random_fresh(
+    std::unordered_set<std::uint64_t>& batch_hashes) {
+  // Bounded rejection sampling against everything already measured (or
+  // already in this batch); small or exhausted spaces fall back to a plain
+  // random draw so the technique never stalls.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    configuration config = space().config_at(space().random_index(rng_));
+    const std::uint64_t hash = config.hash();
+    if (measured_.count(hash) == 0 && batch_hashes.insert(hash).second) {
+      return config;
+    }
+  }
+  configuration config = space().config_at(space().random_index(rng_));
+  batch_hashes.insert(config.hash());
+  return config;
+}
+
+std::vector<configuration> surrogate_search::propose_batch(
+    std::size_t max_configs) {
+  const std::size_t slots = std::max<std::size_t>(1, max_configs);
+  std::vector<configuration> batch;
+  batch.reserve(slots);
+  std::unordered_set<std::uint64_t> batch_hashes;
+
+  if (!trainer_.ready()) {
+    // Warm-up: uniform random exploration until the model has enough
+    // valid samples.
+    for (std::size_t s = 0; s < slots; ++s) {
+      batch.push_back(random_fresh(batch_hashes));
+    }
+    pending_ = batch;
+    return batch;
+  }
+
+  // Candidate pool: fresh random configurations scored by the model. Ties
+  // break toward the earlier draw, which is itself seed-determined.
+  struct candidate {
+    configuration config;
+    std::uint64_t hash = 0;
+    double score = 0.0;
+    std::size_t order = 0;
+  };
+  std::vector<candidate> pool;
+  pool.reserve(opts_.candidate_pool);
+  std::unordered_set<std::uint64_t> pool_hashes;
+  for (std::size_t draw = 0; draw < opts_.candidate_pool; ++draw) {
+    configuration config = space().config_at(space().random_index(rng_));
+    const std::uint64_t hash = config.hash();
+    if (measured_.count(hash) != 0 || !pool_hashes.insert(hash).second) {
+      continue;
+    }
+    const std::optional<feature_vector> features = encoder_.encode(config);
+    if (!features.has_value()) {
+      continue;
+    }
+    candidate c;
+    c.config = std::move(config);
+    c.hash = hash;
+    c.score = trainer_.score(*features);
+    c.order = pool.size();
+    pool.push_back(std::move(c));
+  }
+  std::stable_sort(pool.begin(), pool.end(),
+                   [](const candidate& a, const candidate& b) {
+                     if (a.score != b.score) {
+                       return a.score < b.score;
+                     }
+                     return a.order < b.order;
+                   });
+
+  std::size_t next_candidate = 0;
+  for (std::size_t s = 0; s < slots; ++s) {
+    const bool explore = rng_.uniform() < opts_.exploration;
+    if (!explore && next_candidate < pool.size()) {
+      candidate& c = pool[next_candidate++];
+      batch_hashes.insert(c.hash);
+      batch.push_back(std::move(c.config));
+    } else {
+      batch.push_back(random_fresh(batch_hashes));
+    }
+  }
+  pending_ = batch;
+  return batch;
+}
+
+void surrogate_search::report_batch(const std::vector<configuration>& configs,
+                                    const std::vector<double>& costs) {
+  const std::size_t reported = std::min(configs.size(), costs.size());
+  for (std::size_t i = 0; i < reported; ++i) {
+    const std::optional<feature_vector> features =
+        encoder_.encode(configs[i]);
+    if (!features.has_value()) {
+      continue;
+    }
+    const double cost = costs[i];
+    const bool invalid =
+        !std::isfinite(cost) || cost >= opts_.invalid_cost_threshold;
+    trainer_.add(*features, cost, invalid);
+    measured_.insert(configs[i].hash());
+  }
+  pending_.clear();
+}
+
+}  // namespace atf::search

@@ -1,6 +1,7 @@
 #include "atf/search/torczon.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 namespace atf::search {
@@ -81,6 +82,13 @@ point torczon::next_point() {
 }
 
 void torczon::report(double cost) {
+  // Cap non-finite costs at +infinity before they reach the simplex: NaN
+  // poisons the min_element comparisons and best-vertex selection, and a
+  // -infinity vertex would anchor every later reflection on an invalid
+  // point.
+  if (!std::isfinite(cost)) {
+    cost = std::numeric_limits<double>::infinity();
+  }
   switch (stage_) {
     case stage::init:
       costs_[pending_] = cost;

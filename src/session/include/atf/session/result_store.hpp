@@ -47,6 +47,11 @@ public:
     return records_;
   }
 
+  /// The latest record of every distinct configuration, in journal order of
+  /// each configuration's *latest* measurement — the training-set view:
+  /// superseded duplicates are dropped, order stays deterministic.
+  [[nodiscard]] std::vector<tuning_record> latest_records() const;
+
   [[nodiscard]] std::uint64_t valid_count() const noexcept { return valid_; }
   [[nodiscard]] std::uint64_t invalid_count() const noexcept {
     return invalid_;

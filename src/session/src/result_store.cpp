@@ -32,6 +32,18 @@ const tuning_record* result_store::find(
   return &records_[it->second];
 }
 
+std::vector<tuning_record> result_store::latest_records() const {
+  std::vector<tuning_record> out;
+  out.reserve(latest_.size());
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const auto it = latest_.find(records_[i].config_hash);
+    if (it != latest_.end() && it->second == i) {
+      out.push_back(records_[i]);
+    }
+  }
+  return out;
+}
+
 std::optional<tuning_record> result_store::best() const {
   std::vector<tuning_record> top = top_k(1);
   if (top.empty()) {

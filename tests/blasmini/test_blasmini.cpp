@@ -56,6 +56,33 @@ TEST(TuningDb, SaveLoadRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(TuningDb, RoundTripsValuesWithSpacesTabsAndDelimiters) {
+  // Regression: spaces and tabs inside free-form keys or values used to
+  // corrupt the tab/space-delimited format on save/load. All delimiter
+  // characters must now round-trip exactly (mirroring the CSV CRLF test).
+  const std::string path = ::testing::TempDir() + "blasmini_db_escape.tsv";
+  {
+    blasmini::tuning_db db;
+    db.store("NVIDIA Tesla K20m", "Xgemm Direct", "10 x 500",
+             {{"FLAGS", "-cl-fast-relaxed-math -DTS=16"},
+              {"NOTE", "tab\there"},
+              {"EQ", "a=b"},
+              {"SLASH", "back\\slash"},
+              {"LINE", "two\nlines"}});
+    db.save(path);
+  }
+  const auto db = blasmini::tuning_db::load(path);
+  EXPECT_EQ(db.size(), 1u);
+  const auto hit = db.lookup("NVIDIA Tesla K20m", "Xgemm Direct", "10 x 500");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->at("FLAGS"), "-cl-fast-relaxed-math -DTS=16");
+  EXPECT_EQ(hit->at("NOTE"), "tab\there");
+  EXPECT_EQ(hit->at("EQ"), "a=b");
+  EXPECT_EQ(hit->at("SLASH"), "back\\slash");
+  EXPECT_EQ(hit->at("LINE"), "two\nlines");
+  std::remove(path.c_str());
+}
+
 TEST(TuningDb, LoadMissingFileIsEmpty) {
   const auto db = blasmini::tuning_db::load("/nonexistent/path/db.tsv");
   EXPECT_EQ(db.size(), 0u);

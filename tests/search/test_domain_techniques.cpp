@@ -15,6 +15,7 @@
 #include "atf/search/particle_swarm.hpp"
 #include "atf/search/pattern_search.hpp"
 #include "atf/search/random_technique.hpp"
+#include "atf/search/surrogate_arm.hpp"
 #include "atf/search/torczon.hpp"
 
 namespace {
@@ -126,7 +127,8 @@ INSTANTIATE_TEST_SUITE_P(
         [] { return std::unique_ptr<domain_technique>(new particle_swarm()); },
         [] {
           return std::unique_ptr<domain_technique>(new random_technique());
-        }));
+        },
+        [] { return std::unique_ptr<domain_technique>(new surrogate_arm()); }));
 
 TEST(PatternSearch, DescendsMonotoneFunctionToOptimum) {
   numeric_domain domain({1024});
@@ -271,7 +273,7 @@ TEST(Ensemble, UsesEveryPoolMember) {
     engine.report(sphere(p, {10.0, 20.0}));
   }
   const auto uses = engine.technique_uses();
-  ASSERT_EQ(uses.size(), 7u);
+  ASSERT_EQ(uses.size(), 8u);  // 7 classic members + the surrogate arm
   for (const auto n : uses) {
     EXPECT_GT(n, 0u) << "bandit starved a pool member";
   }

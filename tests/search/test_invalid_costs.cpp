@@ -1,0 +1,205 @@
+// The invalid-cost contract, pinned over every bundled technique: an
+// invalid evaluation — NaN, -infinity, or the fault policy's +infinity
+// penalty — never becomes a technique's best/anchor, and all three invalid
+// encodings are behaviorally equivalent (identical proposal streams when
+// the same evaluations fail with different non-finite values).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "atf/atf.hpp"
+#include "atf/search/ensemble.hpp"
+#include "atf/search/genetic.hpp"
+#include "atf/search/mutation.hpp"
+#include "atf/search/nelder_mead.hpp"
+#include "atf/search/numeric_domain.hpp"
+#include "atf/search/opentuner_search.hpp"
+#include "atf/search/particle_swarm.hpp"
+#include "atf/search/pattern_search.hpp"
+#include "atf/search/random_technique.hpp"
+#include "atf/search/simulated_annealing.hpp"
+#include "atf/search/surrogate_arm.hpp"
+#include "atf/search/surrogate_search.hpp"
+#include "atf/search/torczon.hpp"
+
+namespace {
+
+using namespace atf::search;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/// Sphere cost with a failure stripe: points whose first coordinate is
+/// ≡ 1 (mod 3) fail and report `invalid_as`.
+double striped_cost(const point& p, double invalid_as) {
+  if (p[0] % 3 == 1) {
+    return invalid_as;
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double d = static_cast<double>(p[i]) - 20.0;
+    sum += d * d;
+  }
+  return sum;
+}
+
+/// Drives a fresh technique and records its proposal stream.
+std::vector<point> drive_stream(
+    const std::function<std::unique_ptr<domain_technique>()>& make,
+    double invalid_as, int budget) {
+  auto technique = make();
+  numeric_domain domain({64, 64});
+  technique->initialize(domain, 29);
+  std::vector<point> stream;
+  for (int i = 0; i < budget; ++i) {
+    const point p = technique->next_point();
+    stream.push_back(p);
+    technique->report(striped_cost(p, invalid_as));
+  }
+  return stream;
+}
+
+class InvalidCostContractTest
+    : public ::testing::TestWithParam<
+          std::function<std::unique_ptr<domain_technique>()>> {};
+
+TEST_P(InvalidCostContractTest, NanMinusInfAndPlusInfAreEquivalent) {
+  // Identical seeds, identical valid costs; only the encoding of the
+  // failures differs. Any divergence means an invalid cost leaked into the
+  // technique's internal ordering or anchor state.
+  const auto with_inf = drive_stream(GetParam(), kInf, 400);
+  const auto with_nan = drive_stream(GetParam(), kNan, 400);
+  const auto with_neg = drive_stream(GetParam(), -kInf, 400);
+  EXPECT_EQ(with_inf, with_nan);
+  EXPECT_EQ(with_inf, with_neg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTechniques, InvalidCostContractTest,
+    ::testing::Values(
+        [] { return std::unique_ptr<domain_technique>(new nelder_mead()); },
+        [] { return std::unique_ptr<domain_technique>(new torczon()); },
+        [] { return std::unique_ptr<domain_technique>(new pattern_search()); },
+        [] { return std::unique_ptr<domain_technique>(new mutation()); },
+        [] { return std::unique_ptr<domain_technique>(new genetic()); },
+        [] { return std::unique_ptr<domain_technique>(new particle_swarm()); },
+        [] {
+          return std::unique_ptr<domain_technique>(new random_technique());
+        },
+        [] { return std::unique_ptr<domain_technique>(new surrogate_arm()); }));
+
+// The ensemble drives all members through one code path; the contract must
+// hold for the composite too (it is not a domain_technique, so it gets its
+// own copy of the stream-equivalence check).
+TEST(EnsembleInvalidCost, NanMinusInfAndPlusInfAreEquivalent) {
+  const auto run = [](double invalid_as) {
+    ensemble engine;
+    numeric_domain domain({64, 64});
+    engine.initialize(domain, 29);
+    std::vector<point> stream;
+    for (int i = 0; i < 400; ++i) {
+      const point p = engine.next_point();
+      stream.push_back(p);
+      engine.report(striped_cost(p, invalid_as));
+    }
+    return stream;
+  };
+  const auto with_inf = run(kInf);
+  EXPECT_EQ(with_inf, run(kNan));
+  EXPECT_EQ(with_inf, run(-kInf));
+}
+
+TEST(MutationInvalidCost, NonFiniteNeverBecomesTheAnchor) {
+  // Regression: before the fix, a non-finite first report both seeded the
+  // anchor point and, once an anchor existed, -infinity overwrote it and
+  // cleared have_best_.
+  mutation technique;
+  numeric_domain domain({128});
+  technique.initialize(domain, 7);
+
+  // A +infinity penalty while no anchor exists must not establish one.
+  (void)technique.next_point();
+  technique.report(kInf);
+  EXPECT_FALSE(technique.has_best());
+
+  // Establish a real anchor.
+  (void)technique.next_point();
+  technique.report(5.0);
+  ASSERT_TRUE(technique.has_best());
+  ASSERT_EQ(technique.best_cost(), 5.0);
+
+  // Neither -infinity nor NaN may displace it.
+  (void)technique.next_point();
+  technique.report(-kInf);
+  EXPECT_TRUE(technique.has_best());
+  EXPECT_EQ(technique.best_cost(), 5.0);
+  (void)technique.next_point();
+  technique.report(kNan);
+  EXPECT_TRUE(technique.has_best());
+  EXPECT_EQ(technique.best_cost(), 5.0);
+
+  // A better finite cost still wins.
+  (void)technique.next_point();
+  technique.report(2.0);
+  EXPECT_EQ(technique.best_cost(), 2.0);
+}
+
+TEST(EnsembleInvalidCost, GlobalBestStaysFinite) {
+  ensemble engine;
+  numeric_domain domain({64});
+  engine.initialize(domain, 17);
+  for (int i = 0; i < 300; ++i) {
+    const point p = engine.next_point();
+    engine.report(striped_cost(p, -kInf));
+  }
+  ASSERT_TRUE(engine.has_best());
+  EXPECT_TRUE(std::isfinite(engine.best_cost()));
+}
+
+/// Tuner-level: every ATF-level technique must find the valid optimum on a
+/// landscape where a third of the space fails with the default +infinity
+/// penalty (and the reported best must be a valid configuration).
+TEST(TunerInvalidCost, TechniquesFindValidBestDespiteFailures) {
+  auto landscape = [](const atf::configuration& config) -> double {
+    const int x = config["x"];
+    if (x % 3 == 1) {
+      return kInf;
+    }
+    return static_cast<double>((x - 30) * (x - 30));
+  };
+  const auto run = [&](std::unique_ptr<atf::search_technique> technique) {
+    auto x = atf::tp("x", atf::interval<int>(0, 99));
+    atf::tuner t;
+    t.tuning_parameters(x);
+    t.search_technique(std::move(technique));
+    t.abort_condition(atf::cond::evaluations(300));
+    return t.tune(landscape);
+  };
+
+  for (int which = 0; which < 3; ++which) {
+    std::unique_ptr<atf::search_technique> technique;
+    switch (which) {
+      case 0:
+        technique = std::make_unique<simulated_annealing>(4.0, 3);
+        break;
+      case 1:
+        technique = std::make_unique<opentuner_search>(3);
+        break;
+      default:
+        technique = std::make_unique<surrogate_search>(3);
+        break;
+    }
+    const auto result = run(std::move(technique));
+    ASSERT_TRUE(result.best_cost.has_value());
+    EXPECT_TRUE(std::isfinite(*result.best_cost));
+    const int best_x = result.best_configuration()["x"];
+    EXPECT_NE(best_x % 3, 1);
+  }
+}
+
+}  // namespace

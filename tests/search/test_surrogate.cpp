@@ -1,0 +1,378 @@
+// Surrogate-guided search: the forest's determinism contract, the trainer's
+// invalid-cost routing, the feature encoder, and the technique end to end
+// through the tuner — fixed-seed bit-identity, batched-at-1 ≡ sequential,
+// warm-start-from-journal ≡ warm-start-from-in-memory-store, and the
+// empty/all-invalid edge cases (DESIGN.md §10).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "atf/atf.hpp"
+#include "atf/search/random_search.hpp"
+#include "atf/search/surrogate_arm.hpp"
+#include "atf/search/surrogate_model.hpp"
+#include "atf/search/surrogate_search.hpp"
+#include "atf/session/journal.hpp"
+#include "atf/session/result_store.hpp"
+#include "atf/session/session.hpp"
+
+namespace {
+
+using atf::search::feature_encoder;
+using atf::search::feature_vector;
+using atf::search::surrogate_model;
+using atf::search::surrogate_search;
+using atf::search::surrogate_trainer;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+atf::tuner make_rugged_tuner() {
+  auto x = atf::tp("x", atf::interval<int>(0, 63));
+  auto y = atf::tp("y", atf::interval<int>(0, 63));
+  atf::tuner t;
+  t.tuning_parameters(x, y);
+  return t;
+}
+
+double rugged_cost(const atf::configuration& config) {
+  const int x = config["x"];
+  const int y = config["y"];
+  double cost = (x - 17) * (x - 17) + (y - 42) * (y - 42);
+  if (x % 4 != 0) {
+    cost += 25;
+  }
+  if (y % 8 != 0) {
+    cost += 50;
+  }
+  return cost;
+}
+
+TEST(FeatureEncoder, TwoFeaturesPerParameterInDeclarationOrder) {
+  feature_encoder encoder({"a", "b"});
+  EXPECT_EQ(encoder.width(), 4u);
+  atf::configuration config;
+  config.add("b", 8);
+  config.add("a", 3);
+  const auto features = encoder.encode(config);
+  ASSERT_TRUE(features.has_value());
+  ASSERT_EQ(features->size(), 4u);
+  EXPECT_DOUBLE_EQ((*features)[0], 3.0);
+  EXPECT_DOUBLE_EQ((*features)[1], std::asinh(3.0));
+  EXPECT_DOUBLE_EQ((*features)[2], 8.0);
+  EXPECT_DOUBLE_EQ((*features)[3], std::asinh(8.0));
+}
+
+TEST(FeatureEncoder, MissingParameterYieldsNullopt) {
+  feature_encoder encoder({"a", "b"});
+  atf::configuration config;
+  config.add("a", 1);
+  EXPECT_FALSE(encoder.encode(config).has_value());
+}
+
+TEST(SurrogateModel, FitIsBitDeterministic) {
+  std::vector<feature_vector> features;
+  std::vector<double> targets;
+  for (int i = 0; i < 64; ++i) {
+    features.push_back({static_cast<double>(i), std::asinh(i)});
+    targets.push_back(static_cast<double>((i - 20) * (i - 20)));
+  }
+  surrogate_model a;
+  surrogate_model b;
+  a.fit(features, targets, 42);
+  b.fit(features, targets, 42);
+  for (int i = 0; i < 64; ++i) {
+    const feature_vector x{static_cast<double>(i) + 0.5,
+                           std::asinh(i + 0.5)};
+    const auto pa = a.predict(x);
+    const auto pb = b.predict(x);
+    EXPECT_EQ(pa.mean, pb.mean);
+    EXPECT_EQ(pa.stddev, pb.stddev);
+  }
+}
+
+TEST(SurrogateModel, LearnsWhichRegionIsCheap) {
+  // Low cost on the left half of the axis, high on the right.
+  std::vector<feature_vector> features;
+  std::vector<double> targets;
+  for (int i = 0; i < 100; ++i) {
+    features.push_back({static_cast<double>(i)});
+    targets.push_back(i < 50 ? 1.0 : 100.0);
+  }
+  surrogate_model model;
+  model.fit(features, targets, 7);
+  EXPECT_LT(model.predict({10.0}).mean, model.predict({90.0}).mean);
+}
+
+TEST(SurrogateModel, RejectsMismatchedInput) {
+  surrogate_model model;
+  EXPECT_THROW(model.fit({}, {}, 1), std::invalid_argument);
+  EXPECT_THROW(model.fit({{1.0}}, {1.0, 2.0}, 1), std::invalid_argument);
+}
+
+TEST(SurrogateTrainer, InvalidCostsNeverReachTheRegression) {
+  surrogate_trainer::options opts;
+  opts.min_train = 4;
+  surrogate_trainer trainer(opts, 3);
+  // Plenty of invalid samples alone never make the model ready: only valid
+  // samples count toward min_train.
+  for (int i = 0; i < 50; ++i) {
+    trainer.add({static_cast<double>(i)}, kInf, true);
+  }
+  EXPECT_FALSE(trainer.ready());
+  EXPECT_EQ(trainer.valid_samples(), 0u);
+  EXPECT_EQ(trainer.invalid_samples(), 50u);
+}
+
+TEST(SurrogateTrainer, InvalidRegionIsPenalizedInTheScore) {
+  surrogate_trainer::options opts;
+  opts.min_train = 8;
+  opts.refit_interval = 4;
+  surrogate_trainer trainer(opts, 5);
+  // Same flat valid cost everywhere, but the right half fails.
+  for (int i = 0; i < 100; ++i) {
+    const bool invalid = i >= 50;
+    trainer.add({static_cast<double>(i)}, invalid ? kInf : 10.0, invalid);
+  }
+  ASSERT_TRUE(trainer.ready());
+  EXPECT_LT(trainer.score({10.0}), trainer.score({90.0}));
+}
+
+TEST(SurrogateSearch, FixedSeedRerunIsBitIdentical) {
+  auto run = [] {
+    auto t = make_rugged_tuner();
+    t.search_technique(std::make_unique<surrogate_search>(1234));
+    t.abort_condition(atf::cond::evaluations(300));
+    std::vector<double> costs;
+    const auto result = t.tune([&](const atf::configuration& config) {
+      const double c = rugged_cost(config);
+      costs.push_back(c);
+      return c;
+    });
+    return std::make_pair(costs, result.best_configuration().to_string());
+  };
+  const auto a = run();
+  const auto b = run();
+  // The full measured-cost stream is identical, not just the final best —
+  // every proposal decision replayed bit-for-bit.
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(SurrogateSearch, BatchedAtOneEqualsSequential) {
+  auto t = make_rugged_tuner();
+  const atf::search_space& space = t.space();
+
+  surrogate_search sequential(7);
+  surrogate_search batched(7);
+  sequential.initialize(space);
+  batched.initialize(space);
+  for (int i = 0; i < 200; ++i) {
+    const atf::configuration a = sequential.get_next_config();
+    const std::vector<atf::configuration> b = batched.propose_batch(1);
+    ASSERT_EQ(b.size(), 1u);
+    ASSERT_EQ(a.to_string(), b.front().to_string());
+    const double cost = rugged_cost(a);
+    sequential.report_cost(cost);
+    batched.report_batch(b, {cost});
+  }
+}
+
+TEST(SurrogateSearch, ConvergesBetterThanWideMiss) {
+  auto t = make_rugged_tuner();
+  t.search_technique(std::make_unique<surrogate_search>(99));
+  t.abort_condition(atf::cond::evaluations(400));
+  const auto result = t.tune(rugged_cost);
+  EXPECT_LT(*result.best_cost, 100.0);
+}
+
+TEST(SurrogateSearch, SurvivesAllInvalidLandscape) {
+  // Every evaluation fails: the model never becomes ready, the technique
+  // keeps proposing random exploration, and nothing crashes.
+  auto t = make_rugged_tuner();
+  auto technique = std::make_unique<surrogate_search>(11);
+  surrogate_search* raw = technique.get();
+  t.search_technique(std::move(technique));
+  t.abort_condition(atf::cond::evaluations(100));
+  const auto result = t.tune([](const atf::configuration&) { return kInf; });
+  EXPECT_EQ(result.evaluations, 100u);
+  EXPECT_FALSE(raw->model_ready());
+  EXPECT_EQ(raw->invalid_training_samples(), raw->training_samples());
+}
+
+TEST(SurrogateSearch, AvoidsReMeasuringWhileFreshPointsExist) {
+  // 4096-point space, 64 evaluations: with the measured-set filter no
+  // configuration should be proposed twice.
+  auto t = make_rugged_tuner();
+  auto technique = std::make_unique<surrogate_search>(21);
+  t.search_technique(std::move(technique));
+  t.abort_condition(atf::cond::evaluations(64));
+  std::set<std::string> seen;
+  std::size_t calls = 0;
+  (void)t.tune([&](const atf::configuration& config) {
+    seen.insert(config.to_string());
+    ++calls;
+    return rugged_cost(config);
+  });
+  EXPECT_EQ(seen.size(), calls);
+}
+
+TEST(SurrogateSearch, ExhaustedSpaceFallsBackToRepeats) {
+  // A 4-point space with a 100-evaluation budget must not stall once every
+  // configuration was measured.
+  auto x = atf::tp("x", atf::interval<int>(0, 3));
+  atf::tuner t;
+  t.tuning_parameters(x);
+  t.search_technique(std::make_unique<surrogate_search>(13));
+  t.abort_condition(atf::cond::evaluations(100));
+  const auto result = t.tune([](const atf::configuration& config) {
+    return static_cast<double>(static_cast<int>(config["x"]));
+  });
+  EXPECT_EQ(result.evaluations, 100u);
+  EXPECT_EQ(*result.best_cost, 0.0);
+}
+
+class SurrogateWarmStartTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "atf_surrogate_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".jsonl";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(SurrogateWarmStartTest, JournalEqualsInMemoryStore) {
+  // Seed a journal with a random-search run.
+  {
+    auto t = make_rugged_tuner();
+    t.search_technique(std::make_unique<atf::search::random_search>(5));
+    t.abort_condition(atf::cond::evaluations(120));
+    (void)t.session(path_).tune(rugged_cost);
+  }
+
+  // Store A: replayed from the journal file. Store B: the same records
+  // inserted in-memory, no file involved.
+  const auto report = atf::session::read_journal(path_);
+  ASSERT_EQ(report.records.size(), 120u);
+  const auto from_journal = atf::session::result_store::from_report(report);
+  atf::session::result_store in_memory;
+  for (const auto& record : report.records) {
+    in_memory.insert(record);
+  }
+
+  auto t = make_rugged_tuner();
+  const atf::search_space& space = t.space();
+  surrogate_search a(77);
+  surrogate_search b(77);
+  a.initialize(space);
+  b.initialize(space);
+  a.warm_start(from_journal);
+  b.warm_start(in_memory);
+  EXPECT_EQ(a.training_samples(), b.training_samples());
+  EXPECT_TRUE(a.model_ready());
+  EXPECT_TRUE(b.model_ready());
+
+  // Identical warm-start state drives identical proposal streams.
+  for (int i = 0; i < 100; ++i) {
+    const atf::configuration ca = a.get_next_config();
+    const atf::configuration cb = b.get_next_config();
+    ASSERT_EQ(ca.to_string(), cb.to_string());
+    const double cost = rugged_cost(ca);
+    a.report_cost(cost);
+    b.report_cost(cost);
+  }
+}
+
+TEST_F(SurrogateWarmStartTest, TunerWiresTheStoreIntoTheTechnique) {
+  {
+    auto t = make_rugged_tuner();
+    t.search_technique(std::make_unique<atf::search::random_search>(5));
+    t.abort_condition(atf::cond::evaluations(80));
+    (void)t.session(path_).tune(rugged_cost);
+  }
+  auto t = make_rugged_tuner();
+  auto technique = std::make_unique<surrogate_search>(31);
+  surrogate_search* raw = technique.get();
+  t.search_technique(std::move(technique));
+  t.abort_condition(atf::cond::evaluations(81));
+  (void)t.session(path_).tune(rugged_cost);
+  // The 80 journal records warm-started the model before any proposal.
+  EXPECT_GE(raw->training_samples(), 80u);
+  EXPECT_TRUE(raw->model_ready());
+}
+
+TEST_F(SurrogateWarmStartTest, EmptyStoreIsANoOp) {
+  auto t = make_rugged_tuner();
+  surrogate_search technique(3);
+  technique.initialize(t.space());
+  atf::session::result_store empty;
+  technique.warm_start(empty);
+  EXPECT_EQ(technique.training_samples(), 0u);
+  EXPECT_FALSE(technique.model_ready());
+  (void)technique.get_next_config();  // still proposes
+}
+
+TEST(ResultStore, LatestRecordsDropsSupersededDuplicates) {
+  atf::session::result_store store;
+  atf::configuration c1;
+  c1.add("x", 1);
+  atf::configuration c2;
+  c2.add("x", 2);
+  auto r1 = atf::session::tuning_record::from_configuration(c1);
+  r1.scalar = 10.0;
+  auto r2 = atf::session::tuning_record::from_configuration(c2);
+  r2.scalar = 20.0;
+  auto r1b = atf::session::tuning_record::from_configuration(c1);
+  r1b.scalar = 5.0;  // supersedes r1
+  store.insert(r1);
+  store.insert(r2);
+  store.insert(r1b);
+  ASSERT_EQ(store.records().size(), 3u);
+  const auto latest = store.latest_records();
+  ASSERT_EQ(latest.size(), 2u);
+  EXPECT_EQ(latest[0].config_hash, r2.config_hash);
+  EXPECT_EQ(latest[0].scalar, 20.0);
+  EXPECT_EQ(latest[1].config_hash, r1b.config_hash);
+  EXPECT_EQ(latest[1].scalar, 5.0);
+}
+
+TEST(SurrogateArm, ExplicitBoundedMaxBatch) {
+  atf::search::surrogate_arm arm;
+  EXPECT_EQ(arm.max_batch(), 8u);
+  atf::search::numeric_domain domain({64, 64});
+  arm.initialize(domain, 9);
+  const auto batch = arm.propose_points(100);
+  EXPECT_EQ(batch.size(), 8u);  // clamped to the cap
+  std::vector<double> costs(batch.size(), 1.0);
+  arm.report_points(costs);
+}
+
+TEST(SurrogateArm, FixedSeedRerunIsBitIdentical) {
+  auto run = [] {
+    atf::search::surrogate_arm arm;
+    atf::search::numeric_domain domain({64, 64});
+    arm.initialize(domain, 123);
+    std::vector<atf::search::point> stream;
+    for (int i = 0; i < 120; ++i) {
+      const atf::search::point p = arm.next_point();
+      stream.push_back(p);
+      const double d0 = static_cast<double>(p[0]) - 20.0;
+      const double d1 = static_cast<double>(p[1]) - 40.0;
+      arm.report(d0 * d0 + d1 * d1);
+    }
+    return stream;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace

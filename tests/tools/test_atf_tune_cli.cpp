@@ -121,6 +121,15 @@ TEST_F(AtfTuneCliTest, AnnealingWithBudgetRuns) {
   EXPECT_NE(result.stdout_text.find("X="), std::string::npos);
 }
 
+TEST_F(AtfTuneCliTest, SurrogateWithBudgetRuns) {
+  const auto result = run_command(
+      base_command() +
+      " --param 'X=interval:1:50' --param 'Y=set:0,1'"
+      " --technique surrogate --evaluations 40 --seed 7");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.stdout_text.find("X="), std::string::npos);
+}
+
 TEST_F(AtfTuneCliTest, EmptySpaceExitsWithCode2) {
   const auto result = run_command(
       base_command() +

@@ -6,7 +6,7 @@
 //            --param "BLOCK=interval:1:64" \
 //            --param "BLOCK2=interval:1:64:divides=BLOCK" \
 //            --param "UNROLL=set:1,2,4,8" \
-//            [--technique exhaustive|annealing|opentuner|random] \
+//            [--technique exhaustive|annealing|opentuner|surrogate|random] \
 //            [--evaluations N] [--seconds S] [--seed N] [--csv out.csv]
 //
 // Parameter specs:
@@ -32,6 +32,7 @@
 #include "atf/search/opentuner_search.hpp"
 #include "atf/search/random_search.hpp"
 #include "atf/search/simulated_annealing.hpp"
+#include "atf/search/surrogate_search.hpp"
 
 namespace {
 
@@ -56,7 +57,7 @@ void usage(const char* argv0) {
       ":pow2]\"\n"
       "          --param \"NAME=set:v1,v2,...\"  [...]\n"
       "          [--log-file FILE] [--technique exhaustive|annealing|"
-      "opentuner|random]\n"
+      "opentuner|surrogate|random]\n"
       "          [--evaluations N] [--seconds S] [--seed N] [--csv FILE]\n",
       argv0);
 }
@@ -217,6 +218,9 @@ int main(int argc, char** argv) {
   } else if (opts->technique == "opentuner") {
     tuner.search_technique(
         std::make_unique<atf::search::opentuner_search>(opts->seed));
+  } else if (opts->technique == "surrogate") {
+    tuner.search_technique(
+        std::make_unique<atf::search::surrogate_search>(opts->seed));
   } else if (opts->technique == "random") {
     tuner.search_technique(
         std::make_unique<atf::search::random_search>(opts->seed));
