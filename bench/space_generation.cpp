@@ -175,6 +175,29 @@ int main() {
   std::printf("(*) extrapolated from the enumeration rate at the 3 s budget "
               "(the paper aborted the real CLTune after 3 HOURS at N=32)\n\n");
 
+  std::printf("=== Storage backends: memory per representation ===\n");
+  {
+    const xg::problem is4 = xg::caffe_input_size(4);
+    auto setup = xg::make_tuning_parameters(is4, xg::size_mode::general);
+    const auto group = setup.group();
+    const auto mb = [](std::size_t bytes) {
+      return static_cast<double>(bytes) / (1024.0 * 1024.0);
+    };
+    for (const auto backend : {atf::space_storage_backend::dense,
+                               atf::space_storage_backend::packed,
+                               atf::space_storage_backend::lazy}) {
+      atf::space_storage_policy storage;
+      storage.backend = backend;
+      atf::common::stopwatch timer;
+      const auto tree = atf::space_tree::generate(group, storage);
+      std::printf("IS4 %-6s  %10.2f MB   (%llu nodes, generated in %.3f s)\n",
+                  atf::to_string(backend), mb(tree.memory_bytes()),
+                  static_cast<unsigned long long>(tree.node_count()),
+                  timer.elapsed_seconds());
+    }
+  }
+  std::putchar('\n');
+
   std::printf("=== Intra-group parallel generation (single XgemmDirect "
               "group) ===\n");
   std::printf("hardware concurrency: %u core(s)\n",

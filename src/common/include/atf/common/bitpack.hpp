@@ -1,0 +1,94 @@
+// Fixed-width bit-packed integer vector.
+//
+// The packed space-storage backend stores the search-space tree's CSR node
+// arrays through this container: every element is written with exactly
+// bit_width(max element) bits, so a column whose largest entry fits in 9
+// bits costs 9 bits per node instead of the 32 or 64 of its std::vector
+// spelling. Reads are O(1) — at most two word fetches, no branches beyond
+// the straddle check — which keeps random access through the tree at the
+// same asymptotic cost as the dense backend.
+//
+// A column of all-equal zeros (e.g. the child_begin array of a leaf level)
+// packs to width 0 and stores no words at all.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace atf::common {
+
+class packed_u64_vector {
+public:
+  packed_u64_vector() = default;
+
+  /// Packs `values` with the minimal uniform width (bit_width of the
+  /// maximum element). Accepts any unsigned-convertible element type.
+  template <typename T>
+  [[nodiscard]] static packed_u64_vector pack(const std::vector<T>& values) {
+    std::uint64_t max_value = 0;
+    for (const T& v : values) {
+      const auto u = static_cast<std::uint64_t>(v);
+      if (u > max_value) {
+        max_value = u;
+      }
+    }
+    packed_u64_vector out;
+    out.size_ = values.size();
+    out.width_ = static_cast<std::uint32_t>(std::bit_width(max_value));
+    if (out.width_ == 0) {
+      return out;  // all zeros: no storage
+    }
+    out.mask_ = out.width_ == 64 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << out.width_) - 1;
+    out.words_.assign((out.size_ * out.width_ + 63) / 64, 0);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      out.set(i, static_cast<std::uint64_t>(values[i]));
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t operator[](std::size_t i) const noexcept {
+    if (width_ == 0) {
+      return 0;
+    }
+    const std::size_t bit = i * width_;
+    const std::size_t word = bit >> 6;
+    const std::size_t offset = bit & 63;
+    std::uint64_t value = words_[word] >> offset;
+    if (offset + width_ > 64) {
+      value |= words_[word + 1] << (64 - offset);
+    }
+    return value & mask_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Bits per element (0 when every element is zero).
+  [[nodiscard]] std::uint32_t width() const noexcept { return width_; }
+
+  /// Heap bytes held by the packed words.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return words_.capacity() * sizeof(std::uint64_t);
+  }
+
+private:
+  void set(std::size_t i, std::uint64_t value) noexcept {
+    const std::size_t bit = i * width_;
+    const std::size_t word = bit >> 6;
+    const std::size_t offset = bit & 63;
+    words_[word] |= (value & mask_) << offset;
+    if (offset + width_ > 64) {
+      words_[word + 1] |= (value & mask_) >> (64 - offset);
+    }
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+  std::uint32_t width_ = 0;
+  std::uint64_t mask_ = 0;
+};
+
+}  // namespace atf::common

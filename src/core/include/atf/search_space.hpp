@@ -43,11 +43,14 @@ public:
   /// other modes. `policy` tunes the adaptive chunk scheduler of intra_group
   /// mode (over-partition factor, hot-chunk re-splitting — see
   /// generation_policy); it never affects the generated space, only load
-  /// balance.
+  /// balance. `storage` chooses the per-group node representation
+  /// (space_storage.hpp: dense, packed, or lazy) — every backend produces
+  /// bit-identical configurations and index order.
   static search_space generate(const std::vector<tp_group>& groups,
                                generation_mode mode,
                                std::size_t threads = 0,
-                               const generation_policy& policy = {});
+                               const generation_policy& policy = {},
+                               const space_storage_policy& storage = {});
 
   /// Back-compat convenience: `parallel` maps to intra_group (the fastest
   /// mode; bit-identical results) and false to sequential — used by benches
@@ -107,6 +110,14 @@ public:
   }
 
   [[nodiscard]] std::uint64_t node_count() const noexcept;
+
+  /// Heap bytes the per-group node storages hold right now (for the lazy
+  /// backend this includes the currently materialized chunk caches).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+  /// Releases every group tree's per-chunk generation accounting
+  /// (space_tree::drop_stats) — long-lived processes holding many spaces.
+  void drop_stats();
 
 private:
   void decompose(std::uint64_t index, std::vector<std::uint64_t>& out) const;

@@ -9,11 +9,13 @@
 // product, which is what makes ATF's generation take under a second where a
 // product-then-filter generator (CLTune) runs for hours (paper, Section VI-A).
 //
-// The tree is stored level-by-level in CSR form; every node records the
-// number of leaves below it, so the tree supports random access by flat leaf
-// index in O(depth x average-branching). That random access is what lets the
-// OpenTuner-style search technique treat the whole constrained space as a
-// single integer parameter TP in [0, S) (paper, Section IV-C).
+// The tree is stored level-by-level in CSR form behind a pluggable
+// space_storage backend (space_storage.hpp): dense vectors, bit-packed
+// vectors, or lazily regenerated chunks. Every node records the number of
+// leaves below it, so the tree supports random access by flat leaf index in
+// O(depth x average-branching) in every backend. That random access is what
+// lets the OpenTuner-style search technique treat the whole constrained
+// space as a single integer parameter TP in [0, S) (paper, Section IV-C).
 #pragma once
 
 #include <cstdint>
@@ -23,6 +25,7 @@
 
 #include "atf/common/rng.hpp"
 #include "atf/common/thread_pool.hpp"
+#include "atf/space_storage.hpp"
 #include "atf/tp.hpp"
 #include "atf/value.hpp"
 
@@ -71,16 +74,19 @@ public:
     std::uint64_t visited_values = 0;  ///< candidate values tested
     std::uint64_t leaves = 0;          ///< valid configurations survived
     std::uint64_t nodes = 0;           ///< stored tree nodes contributed
+    std::uint64_t bytes = 0;           ///< dense CSR bytes of those nodes —
+                                       ///< what lazy streaming avoids holding
     double seconds = 0.0;              ///< wall-clock expansion time
   };
 
   /// Statistics about a generation run (reported by benches and tests).
   struct generation_stats {
-    std::uint64_t nodes = 0;            ///< stored tree nodes (all levels)
+    std::uint64_t nodes = 0;            ///< logical tree nodes (all levels)
     std::uint64_t visited_values = 0;   ///< candidate values tested
     std::uint64_t dead_prefixes = 0;    ///< prefixes discarded for lack of completion
     std::uint64_t chunks = 1;           ///< root-range chunks expanded (1 = sequential)
     std::uint64_t resplits = 0;         ///< hot chunks re-split by the scheduler
+    std::uint64_t bytes = 0;            ///< storage memory_bytes() right after generation
     double seconds = 0.0;               ///< wall-clock generation time
     std::vector<chunk_stat> per_chunk;  ///< per-chunk accounting, root order
   };
@@ -90,7 +96,10 @@ public:
   /// Generates the tree for a dependency group. The group's parameters keep
   /// sharing state with the caller's tp handles, so replaying a
   /// configuration through this tree updates the caller's expressions.
-  static space_tree generate(const tp_group& group);
+  /// `storage` chooses the node representation (space_storage.hpp); every
+  /// backend yields bit-identical leaves, order and access results.
+  static space_tree generate(const tp_group& group,
+                             const space_storage_policy& storage = {});
 
   /// Intra-group parallel generation: the root parameter's range is over-
   /// partitioned into contiguous chunks that workers *pull* from a shared
@@ -105,8 +114,14 @@ public:
   /// how the tree was built. This is what parallelizes the Fig. 2
   /// XgemmDirect case, a *single* group that Section V's one-thread-
   /// per-group scheme cannot speed up.
+  ///
+  /// With the lazy storage backend, generation *streams*: each chunk is
+  /// summarized ([root_lo, root_hi) → leaf/node counts) and its node
+  /// buffers dropped immediately, so peak memory scales with the largest
+  /// in-flight chunk plus the chunk cache — never with the space.
   static space_tree generate(const tp_group& group, common::thread_pool& pool,
-                             const generation_policy& policy = {});
+                             const generation_policy& policy = {},
+                             const space_storage_policy& storage = {});
 
   /// Number of valid configurations (leaves).
   [[nodiscard]] std::uint64_t size() const noexcept { return leaf_total_; }
@@ -122,9 +137,16 @@ public:
     return stats_;
   }
 
+  /// Releases the per-chunk accounting (generation_stats::per_chunk) while
+  /// keeping the aggregate counters. Long-lived processes holding many
+  /// large trees call this once the per-chunk breakdown has been consumed;
+  /// the lazy backend calls it automatically — its chunk counts are large
+  /// by design.
+  void drop_stats();
+
   /// Writes the per-level node positions of leaf `index` into `path` (which
   /// must have depth() slots). A node position is an index into that level's
-  /// node arrays.
+  /// node arrays (the global dense numbering, whatever the backend).
   void path_of(std::uint64_t index, std::uint64_t* path) const;
 
   /// The type-erased values of leaf `index`, one per parameter.
@@ -145,55 +167,32 @@ public:
   [[nodiscard]] std::uint64_t random_neighbor(std::uint64_t index,
                                               common::xoshiro256& rng) const;
 
-  /// Total stored nodes (memory diagnostics).
+  /// Total logical nodes — identical across storage backends.
   [[nodiscard]] std::uint64_t node_count() const noexcept;
 
+  /// Heap bytes the node storage holds right now. Dense counts its CSR
+  /// vectors, packed its bit-packed words, lazy its summaries plus the
+  /// chunks currently materialized in the cache.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+  /// Which representation backs this tree.
+  [[nodiscard]] space_storage_backend storage_backend() const noexcept;
+
 private:
-  /// CSR node storage for one level (= one parameter).
-  struct level {
-    std::vector<std::uint32_t> value_index;  ///< index into the parameter's range
-    std::vector<std::uint64_t> child_begin;  ///< first child in the next level
-    std::vector<std::uint32_t> child_count;  ///< number of children
-    std::vector<std::uint64_t> leaf_count;   ///< leaves in this node's subtree
-
-    [[nodiscard]] std::uint64_t size() const noexcept {
-      return value_index.size();
-    }
-  };
-
-  /// Children span of `node` at `lvl` (root: pass lvl == npos semantics via
-  /// the level-0 full span).
-  struct span {
-    std::uint64_t begin;
-    std::uint64_t count;
-  };
-
-  /// Buffers of one chunk expansion (levels + counters); defined in the
-  /// .cpp. Sequential generation is the one-chunk special case, so both
-  /// paths share expand_range and are identical by construction.
-  struct partial;
-
-  [[nodiscard]] span children_of(std::size_t lvl, std::uint64_t node) const;
-  [[nodiscard]] std::uint64_t leaf_index_of_path(const std::uint64_t* path) const;
-  static std::uint64_t expand_range(
-      const std::vector<std::shared_ptr<itp>>& params, std::size_t lvl,
-      std::uint64_t lo, std::uint64_t hi, partial& out);
   static space_tree generate_impl(const tp_group& group,
                                   common::thread_pool* pool,
-                                  const generation_policy& policy);
-  void stitch(std::vector<partial>& parts);
-  [[nodiscard]] std::uint64_t descend_random(std::size_t lvl,
-                                             std::uint64_t node,
-                                             common::xoshiro256& rng) const;
-  /// Flat leaf index of the first leaf under `node` at `lvl`, given the path
-  /// to its parent chain has already been accounted for; helper for
-  /// random_neighbor.
-  [[nodiscard]] std::uint64_t leaves_before_sibling(std::size_t lvl,
-                                                    std::uint64_t first_sibling,
-                                                    std::uint64_t node) const;
+                                  const generation_policy& policy,
+                                  const space_storage_policy& storage);
+
+  /// path_of against an existing cursor (one cursor per public operation:
+  /// the lazy backend pins the chunk it is walking on the cursor).
+  void path_of_with(detail::space_storage::cursor& cursor,
+                    std::uint64_t index, std::uint64_t* path) const;
+  [[nodiscard]] std::uint64_t leaf_index_of_path(
+      detail::space_storage::cursor& cursor, const std::uint64_t* path) const;
 
   std::vector<std::shared_ptr<itp>> params_;
-  std::vector<level> levels_;
+  std::shared_ptr<const detail::space_storage> storage_;
   std::uint64_t leaf_total_ = 0;
   generation_stats stats_;
 };

@@ -20,7 +20,8 @@ search_space search_space::generate(const std::vector<tp_group>& groups,
 search_space search_space::generate(const std::vector<tp_group>& groups,
                                     generation_mode mode,
                                     std::size_t threads,
-                                    const generation_policy& policy) {
+                                    const generation_policy& policy,
+                                    const space_storage_policy& storage) {
   search_space space;
   space.trees_.resize(groups.size());
 
@@ -28,14 +29,14 @@ search_space search_space::generate(const std::vector<tp_group>& groups,
   switch (mode) {
     case generation_mode::sequential:
       for (std::size_t g = 0; g < groups.size(); ++g) {
-        space.trees_[g] = space_tree::generate(groups[g]);
+        space.trees_[g] = space_tree::generate(groups[g], storage);
       }
       break;
 
     case generation_mode::per_group: {
       if (groups.size() <= 1) {
         for (std::size_t g = 0; g < groups.size(); ++g) {
-          space.trees_[g] = space_tree::generate(groups[g]);
+          space.trees_[g] = space_tree::generate(groups[g], storage);
         }
         break;
       }
@@ -48,7 +49,7 @@ search_space search_space::generate(const std::vector<tp_group>& groups,
       for (std::size_t g = 0; g < groups.size(); ++g) {
         workers.emplace_back([&, g] {
           try {
-            space.trees_[g] = space_tree::generate(groups[g]);
+            space.trees_[g] = space_tree::generate(groups[g], storage);
           } catch (...) {
             errors[g] = std::current_exception();
           }
@@ -86,7 +87,8 @@ search_space search_space::generate(const std::vector<tp_group>& groups,
       }
       common::thread_pool pool(resolved);
       pool.parallel_for(groups.size(), [&](std::size_t g) {
-        space.trees_[g] = space_tree::generate(groups[g], pool, policy);
+        space.trees_[g] = space_tree::generate(groups[g], pool, policy,
+                                               storage);
       });
       break;
     }
@@ -213,6 +215,20 @@ std::uint64_t search_space::node_count() const noexcept {
     total += tree.node_count();
   }
   return total;
+}
+
+std::size_t search_space::memory_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& tree : trees_) {
+    total += tree.memory_bytes();
+  }
+  return total;
+}
+
+void search_space::drop_stats() {
+  for (auto& tree : trees_) {
+    tree.drop_stats();
+  }
 }
 
 }  // namespace atf

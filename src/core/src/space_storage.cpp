@@ -1,0 +1,468 @@
+#include "atf/space_storage.hpp"
+
+#include <algorithm>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "atf/common/bitpack.hpp"
+
+namespace atf {
+
+const char* to_string(space_storage_backend backend) noexcept {
+  switch (backend) {
+    case space_storage_backend::dense:
+      return "dense";
+    case space_storage_backend::packed:
+      return "packed";
+    case space_storage_backend::lazy:
+      return "lazy";
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+std::uint64_t expand_levels(const std::vector<std::shared_ptr<itp>>& params,
+                            std::size_t lvl, std::uint64_t lo,
+                            std::uint64_t hi, expansion_buffers& out) {
+  csr_level& nodes = out.levels[lvl];
+  const itp& param = *params[lvl];
+  const bool is_last = lvl + 1 == out.levels.size();
+
+  std::uint64_t leaves = 0;
+  for (std::uint64_t i = lo; i < hi; ++i) {
+    ++out.visited_values;
+    if (!param.set_and_check(i)) {
+      continue;
+    }
+    const std::uint64_t node = nodes.size();
+    nodes.value_index.push_back(static_cast<std::uint32_t>(i));
+    nodes.child_begin.push_back(is_last ? 0 : out.levels[lvl + 1].size());
+    nodes.child_count.push_back(0);
+    nodes.leaf_count.push_back(0);
+
+    std::uint64_t sub = 1;
+    if (!is_last) {
+      sub = expand_levels(params, lvl + 1, 0, params[lvl + 1]->range_size(),
+                          out);
+      if (sub == 0) {
+        // No valid completion below this prefix: the recursive call left the
+        // deeper levels untouched (its own dead children were popped), so we
+        // only need to pop this node.
+        ++out.dead_prefixes;
+        nodes.value_index.pop_back();
+        nodes.child_begin.pop_back();
+        nodes.child_count.pop_back();
+        nodes.leaf_count.pop_back();
+        continue;
+      }
+      nodes.child_count[node] = static_cast<std::uint32_t>(
+          out.levels[lvl + 1].size() - nodes.child_begin[node]);
+    }
+    nodes.leaf_count[node] = sub;
+    leaves += sub;
+  }
+  return leaves;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// dense: the CSR vectors exactly as generation produced them.
+
+class dense_storage final : public space_storage {
+public:
+  explicit dense_storage(std::vector<csr_level> levels)
+      : levels_(std::move(levels)) {}
+
+  [[nodiscard]] space_storage_backend backend() const noexcept override {
+    return space_storage_backend::dense;
+  }
+  [[nodiscard]] std::size_t depth() const noexcept override {
+    return levels_.size();
+  }
+  [[nodiscard]] std::uint64_t level_size(
+      std::size_t lvl) const noexcept override {
+    return levels_[lvl].size();
+  }
+  [[nodiscard]] std::uint64_t node_count() const noexcept override {
+    std::uint64_t total = 0;
+    for (const csr_level& nodes : levels_) {
+      total += nodes.size();
+    }
+    return total;
+  }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept override {
+    std::size_t total = 0;
+    for (const csr_level& nodes : levels_) {
+      total += nodes.memory_bytes();
+    }
+    return total;
+  }
+
+  class dense_cursor final : public cursor {
+  public:
+    explicit dense_cursor(const std::vector<csr_level>& levels)
+        : levels_(levels) {}
+
+    [[nodiscard]] node_ref node(std::size_t lvl,
+                                std::uint64_t id) override {
+      const csr_level& nodes = levels_[lvl];
+      return {nodes.value_index[id], nodes.child_begin[id],
+              nodes.child_count[id], nodes.leaf_count[id]};
+    }
+    [[nodiscard]] std::uint64_t root_scan_start(std::uint64_t&) override {
+      return 0;
+    }
+    [[nodiscard]] std::uint64_t leaves_before_root(
+        std::uint64_t node) override {
+      const csr_level& roots = levels_[0];
+      std::uint64_t leaves = 0;
+      for (std::uint64_t sibling = 0; sibling < node; ++sibling) {
+        leaves += roots.leaf_count[sibling];
+      }
+      return leaves;
+    }
+
+  private:
+    const std::vector<csr_level>& levels_;
+  };
+
+  [[nodiscard]] std::unique_ptr<cursor> make_cursor() const override {
+    return std::make_unique<dense_cursor>(levels_);
+  }
+
+private:
+  std::vector<csr_level> levels_;
+};
+
+// ---------------------------------------------------------------------------
+// packed: the same levels, every array bit-packed to its minimal width.
+// Leaf levels nearly vanish: child_begin/child_count are all zero (width 0,
+// no words) and leaf_count is all ones (width 1).
+
+struct packed_level {
+  common::packed_u64_vector value_index;
+  common::packed_u64_vector child_begin;
+  common::packed_u64_vector child_count;
+  common::packed_u64_vector leaf_count;
+
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return value_index.size();
+  }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return value_index.memory_bytes() + child_begin.memory_bytes() +
+           child_count.memory_bytes() + leaf_count.memory_bytes();
+  }
+};
+
+class packed_storage final : public space_storage {
+public:
+  explicit packed_storage(const std::vector<csr_level>& levels) {
+    levels_.reserve(levels.size());
+    for (const csr_level& nodes : levels) {
+      packed_level packed;
+      packed.value_index = common::packed_u64_vector::pack(nodes.value_index);
+      packed.child_begin = common::packed_u64_vector::pack(nodes.child_begin);
+      packed.child_count = common::packed_u64_vector::pack(nodes.child_count);
+      packed.leaf_count = common::packed_u64_vector::pack(nodes.leaf_count);
+      levels_.push_back(std::move(packed));
+    }
+  }
+
+  [[nodiscard]] space_storage_backend backend() const noexcept override {
+    return space_storage_backend::packed;
+  }
+  [[nodiscard]] std::size_t depth() const noexcept override {
+    return levels_.size();
+  }
+  [[nodiscard]] std::uint64_t level_size(
+      std::size_t lvl) const noexcept override {
+    return levels_[lvl].size();
+  }
+  [[nodiscard]] std::uint64_t node_count() const noexcept override {
+    std::uint64_t total = 0;
+    for (const packed_level& nodes : levels_) {
+      total += nodes.size();
+    }
+    return total;
+  }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept override {
+    std::size_t total = 0;
+    for (const packed_level& nodes : levels_) {
+      total += nodes.memory_bytes();
+    }
+    return total;
+  }
+
+  class packed_cursor final : public cursor {
+  public:
+    explicit packed_cursor(const std::vector<packed_level>& levels)
+        : levels_(levels) {}
+
+    [[nodiscard]] node_ref node(std::size_t lvl,
+                                std::uint64_t id) override {
+      const packed_level& nodes = levels_[lvl];
+      return {static_cast<std::uint32_t>(nodes.value_index[id]),
+              nodes.child_begin[id],
+              static_cast<std::uint32_t>(nodes.child_count[id]),
+              nodes.leaf_count[id]};
+    }
+    [[nodiscard]] std::uint64_t root_scan_start(std::uint64_t&) override {
+      return 0;
+    }
+    [[nodiscard]] std::uint64_t leaves_before_root(
+        std::uint64_t node) override {
+      const packed_level& roots = levels_[0];
+      std::uint64_t leaves = 0;
+      for (std::uint64_t sibling = 0; sibling < node; ++sibling) {
+        leaves += roots.leaf_count[sibling];
+      }
+      return leaves;
+    }
+
+  private:
+    const std::vector<packed_level>& levels_;
+  };
+
+  [[nodiscard]] std::unique_ptr<cursor> make_cursor() const override {
+    return std::make_unique<packed_cursor>(levels_);
+  }
+
+private:
+  std::vector<packed_level> levels_;
+};
+
+// ---------------------------------------------------------------------------
+// lazy: per-chunk summaries + an LRU cache of regenerated chunk subtrees.
+//
+// Generation's chunks partition the root range into disjoint contiguous
+// spans, and sequential expansion numbers nodes chunk-by-chunk in root
+// order — so per-chunk node-count prefix sums translate between the global
+// dense numbering and a chunk-local one exactly, and re-expanding a span
+// reproduces its nodes bit-identically (constraints are deterministic).
+
+class lazy_storage final : public space_storage {
+public:
+  lazy_storage(std::vector<std::shared_ptr<itp>> params,
+               std::vector<lazy_chunk_summary> chunks,
+               std::size_t cache_bytes)
+      : params_(std::move(params)), budget_(cache_bytes) {
+    // Chunks whose every prefix died contribute no nodes and no leaves;
+    // keeping them would only pad the prefix arrays.
+    chunks_.reserve(chunks.size());
+    for (lazy_chunk_summary& chunk : chunks) {
+      if (chunk.leaves != 0) {
+        chunks_.push_back(std::move(chunk));
+      }
+    }
+    const std::size_t depth =
+        chunks_.empty() ? params_.size() : chunks_[0].level_nodes.size();
+    depth_ = depth;
+    leaf_before_.assign(chunks_.size() + 1, 0);
+    node_before_.assign(depth, std::vector<std::uint64_t>(chunks_.size() + 1, 0));
+    for (std::size_t c = 0; c < chunks_.size(); ++c) {
+      leaf_before_[c + 1] = leaf_before_[c] + chunks_[c].leaves;
+      for (std::size_t lvl = 0; lvl < depth; ++lvl) {
+        node_before_[lvl][c + 1] =
+            node_before_[lvl][c] + chunks_[c].level_nodes[lvl];
+      }
+    }
+  }
+
+  [[nodiscard]] space_storage_backend backend() const noexcept override {
+    return space_storage_backend::lazy;
+  }
+  [[nodiscard]] std::size_t depth() const noexcept override { return depth_; }
+  [[nodiscard]] std::uint64_t level_size(
+      std::size_t lvl) const noexcept override {
+    return node_before_[lvl].back();
+  }
+  [[nodiscard]] std::uint64_t node_count() const noexcept override {
+    std::uint64_t total = 0;
+    for (const auto& prefix : node_before_) {
+      total += prefix.back();
+    }
+    return total;
+  }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept override {
+    std::size_t total = leaf_before_.capacity() * sizeof(std::uint64_t);
+    for (const auto& prefix : node_before_) {
+      total += prefix.capacity() * sizeof(std::uint64_t);
+    }
+    for (const lazy_chunk_summary& chunk : chunks_) {
+      total += sizeof(lazy_chunk_summary) +
+               chunk.level_nodes.capacity() * sizeof(std::uint64_t);
+    }
+    std::lock_guard lock(mutex_);
+    return total + cached_bytes_;
+  }
+
+  /// A regenerated chunk subtree. Handed out as shared_ptr<const> so LRU
+  /// eviction can never free a chunk an in-flight cursor still reads.
+  struct materialized {
+    std::vector<csr_level> levels;
+    std::size_t bytes = 0;
+  };
+
+  [[nodiscard]] std::shared_ptr<const materialized> chunk(
+      std::size_t c) const {
+    {
+      std::lock_guard lock(mutex_);
+      const auto it = cache_.find(c);
+      if (it != cache_.end()) {
+        recency_.splice(recency_.begin(), recency_, it->second.position);
+        return it->second.data;
+      }
+    }
+    // Regenerate outside the lock: expansion replays set_and_check through
+    // the calling thread's current evaluation context (thread-exclusive, so
+    // concurrent regenerations cannot race; a concurrent regeneration of
+    // the same chunk just produces an identical duplicate and one wins).
+    auto data = std::make_shared<materialized>();
+    expansion_buffers buffers;
+    buffers.levels.resize(depth_);
+    (void)expand_levels(params_, 0, chunks_[c].root_lo, chunks_[c].root_hi,
+                        buffers);
+    data->levels = std::move(buffers.levels);
+    for (const csr_level& nodes : data->levels) {
+      data->bytes += nodes.memory_bytes();
+    }
+
+    std::lock_guard lock(mutex_);
+    const auto it = cache_.find(c);
+    if (it != cache_.end()) {
+      recency_.splice(recency_.begin(), recency_, it->second.position);
+      return it->second.data;
+    }
+    recency_.push_front(c);
+    cache_.emplace(c, entry{data, recency_.begin()});
+    cached_bytes_ += data->bytes;
+    // Evict least-recently-used chunks down to the budget, always keeping
+    // the chunk just inserted (a single oversized chunk must still work).
+    while (cached_bytes_ > budget_ && cache_.size() > 1) {
+      const std::size_t victim = recency_.back();
+      recency_.pop_back();
+      const auto victim_it = cache_.find(victim);
+      cached_bytes_ -= victim_it->second.data->bytes;
+      cache_.erase(victim_it);
+    }
+    return data;
+  }
+
+  class lazy_cursor final : public cursor {
+  public:
+    explicit lazy_cursor(const lazy_storage& storage) : storage_(storage) {}
+
+    [[nodiscard]] node_ref node(std::size_t lvl,
+                                std::uint64_t id) override {
+      const std::size_t c = chunk_of(storage_.node_before_[lvl], id);
+      pin(c);
+      const csr_level& nodes = pinned_->levels[lvl];
+      const std::uint64_t local = id - storage_.node_before_[lvl][c];
+      node_ref ref{nodes.value_index[local], nodes.child_begin[local],
+                   nodes.child_count[local], nodes.leaf_count[local]};
+      if (lvl + 1 < storage_.depth_) {
+        ref.child_begin += storage_.node_before_[lvl + 1][c];
+      }
+      return ref;
+    }
+
+    [[nodiscard]] std::uint64_t root_scan_start(
+        std::uint64_t& index) override {
+      const auto& before = storage_.leaf_before_;
+      const std::size_t c = static_cast<std::size_t>(
+          std::upper_bound(before.begin(), before.end(), index) -
+          before.begin() - 1);
+      index -= before[c];
+      return storage_.node_before_[0][c];
+    }
+
+    [[nodiscard]] std::uint64_t leaves_before_root(
+        std::uint64_t node) override {
+      const std::size_t c = chunk_of(storage_.node_before_[0], node);
+      pin(c);
+      std::uint64_t leaves = storage_.leaf_before_[c];
+      const csr_level& roots = pinned_->levels[0];
+      const std::uint64_t local_end = node - storage_.node_before_[0][c];
+      for (std::uint64_t local = 0; local < local_end; ++local) {
+        leaves += roots.leaf_count[local];
+      }
+      return leaves;
+    }
+
+  private:
+    [[nodiscard]] std::size_t chunk_of(
+        const std::vector<std::uint64_t>& before, std::uint64_t id) const {
+      // The pinned chunk almost always owns the next access (all nodes of
+      // one leaf's path live in one chunk); fall back to binary search.
+      if (pinned_ && id >= before[pinned_chunk_] &&
+          id < before[pinned_chunk_ + 1]) {
+        return pinned_chunk_;
+      }
+      return static_cast<std::size_t>(
+          std::upper_bound(before.begin(), before.end(), id) -
+          before.begin() - 1);
+    }
+
+    void pin(std::size_t c) {
+      if (pinned_ && pinned_chunk_ == c) {
+        return;
+      }
+      pinned_ = storage_.chunk(c);
+      pinned_chunk_ = c;
+    }
+
+    const lazy_storage& storage_;
+    std::shared_ptr<const materialized> pinned_;
+    std::size_t pinned_chunk_ = 0;
+  };
+
+  [[nodiscard]] std::unique_ptr<cursor> make_cursor() const override {
+    return std::make_unique<lazy_cursor>(*this);
+  }
+
+private:
+  struct entry {
+    std::shared_ptr<const materialized> data;
+    std::list<std::size_t>::iterator position;
+  };
+
+  std::vector<std::shared_ptr<itp>> params_;
+  std::vector<lazy_chunk_summary> chunks_;  ///< root order, leaves > 0 only
+  std::vector<std::uint64_t> leaf_before_;  ///< per-chunk leaf prefix sums
+  /// node_before_[lvl][c]: nodes of level lvl in chunks before c — the
+  /// translation between global dense node ids and chunk-local ones.
+  std::vector<std::vector<std::uint64_t>> node_before_;
+  std::size_t depth_ = 0;
+  std::size_t budget_;
+
+  mutable std::mutex mutex_;
+  mutable std::list<std::size_t> recency_;  ///< chunk ids, most recent first
+  mutable std::unordered_map<std::size_t, entry> cache_;
+  mutable std::size_t cached_bytes_ = 0;
+};
+
+}  // namespace
+
+std::shared_ptr<space_storage> make_dense_storage(
+    std::vector<csr_level> levels) {
+  return std::make_shared<dense_storage>(std::move(levels));
+}
+
+std::shared_ptr<space_storage> make_packed_storage(
+    const std::vector<csr_level>& levels) {
+  return std::make_shared<packed_storage>(levels);
+}
+
+std::shared_ptr<space_storage> make_lazy_storage(
+    std::vector<std::shared_ptr<itp>> params,
+    std::vector<lazy_chunk_summary> chunks, std::size_t cache_bytes) {
+  return std::make_shared<lazy_storage>(std::move(params), std::move(chunks),
+                                        cache_bytes);
+}
+
+}  // namespace detail
+}  // namespace atf

@@ -4,6 +4,7 @@
 #include <limits>
 #include <mutex>
 #include <stdexcept>
+#include <utility>
 
 #include "atf/common/stopwatch.hpp"
 
@@ -84,225 +85,64 @@ private:
   std::mutex mutex_;
 };
 
-}  // namespace
-
-/// Per-chunk expansion buffers: a full set of levels plus the counters that
-/// sum across chunks. Chunk c expands root values [root_lo, root_hi) only;
-/// deeper levels always iterate their full range. root_lo keys the stitch
-/// order — spans are disjoint and contiguous, so sorting partials by root_lo
-/// reproduces the sequential expansion order no matter which worker ran a
-/// chunk or how often it was re-split.
-struct space_tree::partial {
-  std::vector<level> levels;
+/// Per-chunk expansion output: a full set of CSR levels plus the counters
+/// that sum across chunks. Chunk c expands root values [root_lo, root_hi)
+/// only; deeper levels always iterate their full range. root_lo keys the
+/// stitch order — spans are disjoint and contiguous, so sorting chunks by
+/// root_lo reproduces the sequential expansion order no matter which worker
+/// ran a chunk or how often it was re-split.
+struct chunk_result {
+  detail::expansion_buffers buffers;
   std::uint64_t root_lo = 0;
   std::uint64_t root_hi = 0;
   std::uint64_t leaves = 0;
-  std::uint64_t visited_values = 0;
-  std::uint64_t dead_prefixes = 0;
   double seconds = 0.0;
 };
 
-space_tree space_tree::generate(const tp_group& group) {
-  return generate_impl(group, nullptr, generation_policy{});
+/// Dense CSR bytes of one chunk's nodes (by logical size, not capacity) —
+/// the representation-independent cost a chunk contributes if stitched.
+std::size_t chunk_dense_bytes(const chunk_result& part) {
+  std::size_t bytes = 0;
+  for (const detail::csr_level& nodes : part.buffers.levels) {
+    bytes += nodes.size() * (2 * sizeof(std::uint32_t) +
+                             2 * sizeof(std::uint64_t));
+  }
+  return bytes;
 }
 
-space_tree space_tree::generate(const tp_group& group,
-                                common::thread_pool& pool,
-                                const generation_policy& policy) {
-  return generate_impl(group, &pool, policy);
+std::uint64_t chunk_node_count(const chunk_result& part) {
+  std::uint64_t nodes = 0;
+  for (const detail::csr_level& level : part.buffers.levels) {
+    nodes += level.size();
+  }
+  return nodes;
 }
 
-space_tree space_tree::generate_impl(const tp_group& group,
-                                     common::thread_pool* pool,
-                                     const generation_policy& policy) {
-  space_tree tree;
-  tree.params_.reserve(group.size());
-  for (const auto& param : group.params()) {
-    if (param->range_size() >
-        std::numeric_limits<std::uint32_t>::max()) {
-      throw std::invalid_argument(
-          "space_tree: range of parameter '" + param->name() +
-          "' exceeds 2^32 values");
-    }
-    tree.params_.push_back(param);
-  }
-  tree.levels_.resize(tree.params_.size());
-
-  common::stopwatch timer;
-  if (tree.params_.empty()) {
-    // A group with no parameters contributes exactly one (empty)
-    // configuration so that cross-group products stay well-defined.
-    tree.leaf_total_ = 1;
-  } else {
-    const std::uint64_t root_range = tree.params_[0]->range_size();
-    std::vector<partial> parts;
-
-    if (pool == nullptr || root_range <= 1) {
-      // Sequential generation (or nothing to split): one chunk expanded on
-      // the calling thread in the ambient evaluation context.
-      partial part;
-      part.levels.resize(tree.params_.size());
-      part.root_hi = root_range;
-      common::stopwatch chunk_timer;
-      part.leaves = expand_range(tree.params_, 0, 0, root_range, part);
-      part.seconds = chunk_timer.elapsed_seconds();
-      parts.push_back(std::move(part));
-    } else {
-      // Over-partition the root range relative to the worker count so chunks
-      // whose root values die early do not straggle the rest, then let
-      // workers pull chunks from a shared queue. Chunk boundaries never
-      // affect the result, only load balance.
-      const std::size_t workers = pool->size() + 1;
-      const std::size_t initial = static_cast<std::size_t>(
-          std::min<std::uint64_t>(root_range,
-                                  static_cast<std::uint64_t>(std::max<std::size_t>(
-                                      1, workers * policy.over_partition))));
-      const auto bounds = common::partition_evenly(
-          static_cast<std::size_t>(root_range), initial);
-
-      chunk_scheduler scheduler(policy, bounds.size() - 1, workers);
-      common::work_queue<chunk_task> queue;
-      for (std::size_t c = 0; c + 1 < bounds.size(); ++c) {
-        queue.push({bounds[c], bounds[c + 1]});
-      }
-
-      std::mutex parts_mutex;
-      queue.drain(*pool, [&](chunk_task task) {
-        // Lease a private evaluation context so this chunk's constraint
-        // evaluations read/write slots disjoint from every concurrent chunk
-        // (and from the ambient context of per-group generation threads).
-        detail::scoped_eval_context context;
-        partial part;
-        part.levels.resize(tree.params_.size());
-        part.root_lo = task.lo;
-        common::stopwatch chunk_timer;
-        // Expand one root value at a time so the hot-chunk check runs
-        // between values; appending value-by-value writes exactly the same
-        // bytes as expanding the span in one call.
-        std::uint64_t hi = task.hi;
-        for (std::uint64_t i = task.lo; i < hi; ++i) {
-          part.leaves += expand_range(tree.params_, 0, i, i + 1, part);
-          const std::uint64_t remaining = hi - (i + 1);
-          if (scheduler.should_split(part.visited_values, remaining,
-                                     queue.starving())) {
-            // Give away the tail half of the remaining span; the new chunk
-            // carries its own root_lo, so stitching stays order-exact.
-            const std::uint64_t mid = (i + 1) + remaining / 2;
-            queue.push({mid, hi});
-            hi = mid;
-          }
-        }
-        part.root_hi = hi;
-        part.seconds = chunk_timer.elapsed_seconds();
-        scheduler.complete(part.visited_values);
-        std::lock_guard lock(parts_mutex);
-        parts.push_back(std::move(part));
-      });
-
-      // Chunks completed in scheduling order; restore root-value order. The
-      // spans are disjoint and cover [0, root_range), so this is exactly the
-      // sequential expansion order.
-      std::sort(parts.begin(), parts.end(),
-                [](const partial& a, const partial& b) {
-                  return a.root_lo < b.root_lo;
-                });
-      tree.stats_.resplits = scheduler.resplits();
-    }
-
-    tree.stitch(parts);
-    tree.stats_.chunks = parts.size();
-  }
-  tree.stats_.seconds = timer.elapsed_seconds();
-  tree.stats_.nodes = tree.node_count();
-  return tree;
-}
-
-std::uint64_t space_tree::expand_range(
-    const std::vector<std::shared_ptr<itp>>& params, std::size_t lvl,
-    std::uint64_t lo, std::uint64_t hi, partial& out) {
-  level& nodes = out.levels[lvl];
-  const itp& param = *params[lvl];
-  const bool is_last = lvl + 1 == out.levels.size();
-
-  std::uint64_t leaves = 0;
-  for (std::uint64_t i = lo; i < hi; ++i) {
-    ++out.visited_values;
-    if (!param.set_and_check(i)) {
-      continue;
-    }
-    const std::uint64_t node = nodes.size();
-    nodes.value_index.push_back(static_cast<std::uint32_t>(i));
-    nodes.child_begin.push_back(is_last ? 0 : out.levels[lvl + 1].size());
-    nodes.child_count.push_back(0);
-    nodes.leaf_count.push_back(0);
-
-    std::uint64_t sub = 1;
-    if (!is_last) {
-      sub = expand_range(params, lvl + 1, 0, params[lvl + 1]->range_size(),
-                         out);
-      if (sub == 0) {
-        // No valid completion below this prefix: the recursive call left the
-        // deeper levels untouched (its own dead children were popped), so we
-        // only need to pop this node.
-        ++out.dead_prefixes;
-        nodes.value_index.pop_back();
-        nodes.child_begin.pop_back();
-        nodes.child_count.pop_back();
-        nodes.leaf_count.pop_back();
-        continue;
-      }
-      nodes.child_count[node] = static_cast<std::uint32_t>(
-          out.levels[lvl + 1].size() - nodes.child_begin[node]);
-    }
-    nodes.leaf_count[node] = sub;
-    leaves += sub;
-  }
-  return leaves;
-}
-
-void space_tree::stitch(std::vector<partial>& parts) {
-  // Sequential expansion appends a level's nodes grouped by root value, in
-  // root-value order; chunks partition the root range contiguously, so
-  // concatenating the per-chunk level arrays in chunk order reproduces the
-  // sequential node order exactly. Only child_begin needs fixing up: chunk
-  // c's entries at level l index into its private level l+1 array, so they
-  // shift by the combined level-(l+1) size of all earlier chunks.
-  leaf_total_ = 0;
-  stats_.visited_values = 0;
-  stats_.dead_prefixes = 0;
-  stats_.per_chunk.clear();
-  stats_.per_chunk.reserve(parts.size());
-  for (const partial& part : parts) {
-    leaf_total_ += part.leaves;
-    stats_.visited_values += part.visited_values;
-    stats_.dead_prefixes += part.dead_prefixes;
-    chunk_stat stat;
-    stat.root_lo = part.root_lo;
-    stat.root_hi = part.root_hi;
-    stat.visited_values = part.visited_values;
-    stat.leaves = part.leaves;
-    for (const level& nodes : part.levels) {
-      stat.nodes += nodes.size();
-    }
-    stat.seconds = part.seconds;
-    stats_.per_chunk.push_back(stat);
-  }
-
-  for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
-    level& dst = levels_[lvl];
+/// Concatenates the per-chunk level arrays in root-value order into one
+/// global CSR level set. Sequential expansion appends a level's nodes
+/// grouped by root value, in root-value order; chunks partition the root
+/// range contiguously, so concatenating in chunk order reproduces the
+/// sequential node order exactly. Only child_begin needs fixing up: chunk
+/// c's entries at level l index into its private level l+1 array, so they
+/// shift by the combined level-(l+1) size of all earlier chunks.
+std::vector<detail::csr_level> stitch_levels(std::vector<chunk_result>& parts,
+                                             std::size_t depth) {
+  std::vector<detail::csr_level> levels(depth);
+  for (std::size_t lvl = 0; lvl < depth; ++lvl) {
+    detail::csr_level& dst = levels[lvl];
     std::uint64_t total = 0;
-    for (const partial& part : parts) {
-      total += part.levels[lvl].size();
+    for (const chunk_result& part : parts) {
+      total += part.buffers.levels[lvl].size();
     }
     dst.value_index.reserve(total);
     dst.child_begin.reserve(total);
     dst.child_count.reserve(total);
     dst.leaf_count.reserve(total);
 
-    const bool is_last = lvl + 1 == levels_.size();
+    const bool is_last = lvl + 1 == depth;
     std::uint64_t next_level_offset = 0;
-    for (partial& part : parts) {
-      level& src = part.levels[lvl];
+    for (chunk_result& part : parts) {
+      detail::csr_level& src = part.buffers.levels[lvl];
       dst.value_index.insert(dst.value_index.end(), src.value_index.begin(),
                              src.value_index.end());
       dst.child_count.insert(dst.child_count.end(), src.child_count.begin(),
@@ -317,77 +157,327 @@ void space_tree::stitch(std::vector<partial>& parts) {
         for (const std::uint64_t begin : src.child_begin) {
           dst.child_begin.push_back(begin + next_level_offset);
         }
-        next_level_offset += part.levels[lvl + 1].size();
+        next_level_offset += part.buffers.levels[lvl + 1].size();
       }
     }
   }
+  return levels;
 }
 
-space_tree::span space_tree::children_of(std::size_t lvl,
-                                         std::uint64_t node) const {
-  const level& nodes = levels_[lvl];
-  return {nodes.child_begin[node], nodes.child_count[node]};
+}  // namespace
+
+space_tree space_tree::generate(const tp_group& group,
+                                const space_storage_policy& storage) {
+  return generate_impl(group, nullptr, generation_policy{}, storage);
+}
+
+space_tree space_tree::generate(const tp_group& group,
+                                common::thread_pool& pool,
+                                const generation_policy& policy,
+                                const space_storage_policy& storage) {
+  return generate_impl(group, &pool, policy, storage);
+}
+
+space_tree space_tree::generate_impl(const tp_group& group,
+                                     common::thread_pool* pool,
+                                     const generation_policy& policy,
+                                     const space_storage_policy& storage) {
+  space_tree tree;
+  tree.params_.reserve(group.size());
+  for (const auto& param : group.params()) {
+    if (param->range_size() >
+        std::numeric_limits<std::uint32_t>::max()) {
+      throw std::invalid_argument(
+          "space_tree: range of parameter '" + param->name() +
+          "' exceeds 2^32 values");
+    }
+    tree.params_.push_back(param);
+  }
+  const std::size_t depth = tree.params_.size();
+  const bool lazy = storage.backend == space_storage_backend::lazy;
+
+  common::stopwatch timer;
+  if (depth == 0) {
+    // A group with no parameters contributes exactly one (empty)
+    // configuration so that cross-group products stay well-defined.
+    tree.leaf_total_ = 1;
+    if (lazy) {
+      tree.storage_ = detail::make_lazy_storage(tree.params_, {},
+                                                storage.chunk_cache_bytes);
+    } else if (storage.backend == space_storage_backend::packed) {
+      tree.storage_ = detail::make_packed_storage({});
+    } else {
+      tree.storage_ = detail::make_dense_storage({});
+    }
+  } else {
+    const std::uint64_t root_range = tree.params_[0]->range_size();
+
+    std::vector<chunk_result> parts;                    // dense / packed
+    std::vector<detail::lazy_chunk_summary> summaries;  // lazy
+    std::vector<chunk_stat> chunk_stats;
+    std::uint64_t visited_values = 0;
+    std::uint64_t dead_prefixes = 0;
+    std::uint64_t leaf_total = 0;
+    std::uint64_t chunks_expanded = 0;
+
+    // Consumes one finished chunk. In lazy mode the node buffers are
+    // summarized and dropped right here — this is what makes generation
+    // stream: at no point do all chunks' nodes coexist.
+    auto consume = [&](chunk_result&& part) {
+      chunk_stat stat;
+      stat.root_lo = part.root_lo;
+      stat.root_hi = part.root_hi;
+      stat.visited_values = part.buffers.visited_values;
+      stat.leaves = part.leaves;
+      stat.nodes = chunk_node_count(part);
+      stat.bytes = chunk_dense_bytes(part);
+      stat.seconds = part.seconds;
+      chunk_stats.push_back(stat);
+      visited_values += part.buffers.visited_values;
+      dead_prefixes += part.buffers.dead_prefixes;
+      leaf_total += part.leaves;
+      ++chunks_expanded;
+      if (lazy) {
+        detail::lazy_chunk_summary summary;
+        summary.root_lo = part.root_lo;
+        summary.root_hi = part.root_hi;
+        summary.leaves = part.leaves;
+        summary.level_nodes.reserve(depth);
+        for (const detail::csr_level& nodes : part.buffers.levels) {
+          summary.level_nodes.push_back(nodes.size());
+        }
+        summaries.push_back(std::move(summary));
+        // part (and its node buffers) dies here.
+      } else {
+        parts.push_back(std::move(part));
+      }
+    };
+
+    // Expands root span [lo, hi) on the calling thread into one chunk.
+    auto expand_chunk = [&](std::uint64_t lo, std::uint64_t hi) {
+      chunk_result part;
+      part.buffers.levels.resize(depth);
+      part.root_lo = lo;
+      part.root_hi = hi;
+      common::stopwatch chunk_timer;
+      part.leaves =
+          detail::expand_levels(tree.params_, 0, lo, hi, part.buffers);
+      part.seconds = chunk_timer.elapsed_seconds();
+      return part;
+    };
+
+    if (pool == nullptr || root_range <= 1) {
+      // Sequential generation on the calling thread in the ambient
+      // evaluation context. The lazy backend still chunks the root range —
+      // its summaries are its storage, and finer chunks mean finer
+      // regeneration units — while the other backends expand one chunk.
+      if (lazy && root_range > 1) {
+        const std::size_t target = std::min<std::uint64_t>(
+            root_range, storage.lazy_target_chunks != 0
+                            ? storage.lazy_target_chunks
+                            : 64);
+        const auto bounds = common::partition_evenly(
+            static_cast<std::size_t>(root_range), target);
+        for (std::size_t c = 0; c + 1 < bounds.size(); ++c) {
+          consume(expand_chunk(bounds[c], bounds[c + 1]));
+        }
+      } else {
+        consume(expand_chunk(0, root_range));
+      }
+    } else {
+      // Over-partition the root range relative to the worker count so chunks
+      // whose root values die early do not straggle the rest, then let
+      // workers pull chunks from a shared queue. Chunk boundaries never
+      // affect the result, only load balance. Lazy raises the floor to its
+      // target chunk count: chunks are also its regeneration granularity.
+      const std::size_t workers = pool->size() + 1;
+      std::uint64_t floor = static_cast<std::uint64_t>(
+          std::max<std::size_t>(1, workers * policy.over_partition));
+      if (lazy) {
+        floor = std::max<std::uint64_t>(
+            floor, storage.lazy_target_chunks != 0 ? storage.lazy_target_chunks
+                                                   : 64);
+      }
+      const std::size_t initial = static_cast<std::size_t>(
+          std::min<std::uint64_t>(root_range, floor));
+      const auto bounds = common::partition_evenly(
+          static_cast<std::size_t>(root_range), initial);
+
+      chunk_scheduler scheduler(policy, bounds.size() - 1, workers);
+      common::work_queue<chunk_task> queue;
+      for (std::size_t c = 0; c + 1 < bounds.size(); ++c) {
+        queue.push({bounds[c], bounds[c + 1]});
+      }
+
+      std::mutex consume_mutex;
+      queue.drain(*pool, [&](chunk_task task) {
+        // Lease a private evaluation context so this chunk's constraint
+        // evaluations read/write slots disjoint from every concurrent chunk
+        // (and from the ambient context of per-group generation threads).
+        detail::scoped_eval_context context;
+        chunk_result part;
+        part.buffers.levels.resize(depth);
+        part.root_lo = task.lo;
+        common::stopwatch chunk_timer;
+        // Expand one root value at a time so the hot-chunk check runs
+        // between values; appending value-by-value writes exactly the same
+        // bytes as expanding the span in one call.
+        std::uint64_t hi = task.hi;
+        for (std::uint64_t i = task.lo; i < hi; ++i) {
+          part.leaves +=
+              detail::expand_levels(tree.params_, 0, i, i + 1, part.buffers);
+          const std::uint64_t remaining = hi - (i + 1);
+          if (scheduler.should_split(part.buffers.visited_values, remaining,
+                                     queue.starving())) {
+            // Give away the tail half of the remaining span; the new chunk
+            // carries its own root_lo, so stitching stays order-exact.
+            const std::uint64_t mid = (i + 1) + remaining / 2;
+            queue.push({mid, hi});
+            hi = mid;
+          }
+        }
+        part.root_hi = hi;
+        part.seconds = chunk_timer.elapsed_seconds();
+        scheduler.complete(part.buffers.visited_values);
+        std::lock_guard lock(consume_mutex);
+        consume(std::move(part));
+      });
+      tree.stats_.resplits = scheduler.resplits();
+    }
+
+    // Chunks completed in scheduling order; restore root-value order. The
+    // spans are disjoint and cover [0, root_range), so this is exactly the
+    // sequential expansion order.
+    const auto by_root = [](const auto& a, const auto& b) {
+      return a.root_lo < b.root_lo;
+    };
+    std::sort(chunk_stats.begin(), chunk_stats.end(), by_root);
+
+    tree.leaf_total_ = leaf_total;
+    tree.stats_.visited_values = visited_values;
+    tree.stats_.dead_prefixes = dead_prefixes;
+    tree.stats_.chunks = chunks_expanded;
+    tree.stats_.per_chunk = std::move(chunk_stats);
+
+    if (lazy) {
+      std::sort(summaries.begin(), summaries.end(), by_root);
+      tree.storage_ = detail::make_lazy_storage(tree.params_,
+                                                std::move(summaries),
+                                                storage.chunk_cache_bytes);
+    } else {
+      std::sort(parts.begin(), parts.end(), by_root);
+      auto levels = stitch_levels(parts, depth);
+      parts.clear();
+      if (storage.backend == space_storage_backend::packed) {
+        tree.storage_ = detail::make_packed_storage(levels);
+      } else {
+        tree.storage_ = detail::make_dense_storage(std::move(levels));
+      }
+    }
+  }
+  tree.stats_.seconds = timer.elapsed_seconds();
+  tree.stats_.nodes = tree.node_count();
+  tree.stats_.bytes = tree.memory_bytes();
+  if (lazy) {
+    // Per-chunk accounting at lazy chunk counts is itself a per-space
+    // allocation — exactly what the lazy backend exists to avoid.
+    tree.drop_stats();
+  }
+  return tree;
+}
+
+void space_tree::drop_stats() {
+  stats_.per_chunk.clear();
+  stats_.per_chunk.shrink_to_fit();
+}
+
+void space_tree::path_of_with(detail::space_storage::cursor& cursor,
+                              std::uint64_t index, std::uint64_t* path) const {
+  std::uint64_t node = cursor.root_scan_start(index);
+  for (std::size_t lvl = 0; lvl < depth(); ++lvl) {
+    // Scan siblings, subtracting subtree sizes, until `index` lands inside.
+    detail::node_ref ref = cursor.node(lvl, node);
+    while (index >= ref.leaf_count) {
+      index -= ref.leaf_count;
+      ++node;
+      ref = cursor.node(lvl, node);
+    }
+    path[lvl] = node;
+    if (lvl + 1 < depth()) {
+      node = ref.child_begin;
+    }
+  }
 }
 
 void space_tree::path_of(std::uint64_t index, std::uint64_t* path) const {
   if (index >= leaf_total_) {
     throw std::out_of_range("space_tree: leaf index out of range");
   }
-  std::uint64_t begin = 0;
-  std::uint64_t count = levels_.empty() ? 0 : levels_[0].size();
-  for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
-    const level& nodes = levels_[lvl];
-    std::uint64_t node = begin;
-    // Scan siblings, subtracting subtree sizes, until `index` lands inside.
-    while (index >= nodes.leaf_count[node]) {
-      index -= nodes.leaf_count[node];
-      ++node;
-    }
-    (void)count;
-    path[lvl] = node;
-    if (lvl + 1 < levels_.size()) {
-      const span next = children_of(lvl, node);
-      begin = next.begin;
-      count = next.count;
-    }
+  if (depth() == 0) {
+    return;
   }
+  const auto cursor = storage_->make_cursor();
+  path_of_with(*cursor, index, path);
 }
 
-std::uint64_t space_tree::leaf_index_of_path(const std::uint64_t* path) const {
-  std::uint64_t index = 0;
-  std::uint64_t begin = 0;
-  for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
-    const level& nodes = levels_[lvl];
-    for (std::uint64_t sibling = begin; sibling < path[lvl]; ++sibling) {
-      index += nodes.leaf_count[sibling];
-    }
-    if (lvl + 1 < levels_.size()) {
-      begin = children_of(lvl, path[lvl]).begin;
+std::uint64_t space_tree::leaf_index_of_path(
+    detail::space_storage::cursor& cursor, const std::uint64_t* path) const {
+  if (depth() == 0) {
+    return 0;
+  }
+  std::uint64_t index = cursor.leaves_before_root(path[0]);
+  for (std::size_t lvl = 1; lvl < depth(); ++lvl) {
+    const detail::node_ref parent = cursor.node(lvl - 1, path[lvl - 1]);
+    for (std::uint64_t sibling = parent.child_begin; sibling < path[lvl];
+         ++sibling) {
+      index += cursor.node(lvl, sibling).leaf_count;
     }
   }
   return index;
 }
 
 std::vector<tp_value> space_tree::values_at(std::uint64_t index) const {
-  std::vector<std::uint64_t> path(levels_.size());
-  path_of(index, path.data());
+  if (index >= leaf_total_) {
+    throw std::out_of_range("space_tree: leaf index out of range");
+  }
   std::vector<tp_value> values;
-  values.reserve(levels_.size());
-  for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+  values.reserve(depth());
+  if (depth() == 0) {
+    return values;
+  }
+  const auto cursor = storage_->make_cursor();
+  std::vector<std::uint64_t> path(depth());
+  path_of_with(*cursor, index, path.data());
+  for (std::size_t lvl = 0; lvl < depth(); ++lvl) {
     values.push_back(
-        params_[lvl]->value_at(levels_[lvl].value_index[path[lvl]]));
+        params_[lvl]->value_at(cursor->node(lvl, path[lvl]).value_index));
   }
   return values;
 }
 
 void space_tree::apply(std::uint64_t index) const {
-  std::vector<std::uint64_t> path(levels_.size());
-  path_of(index, path.data());
-  for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+  if (index >= leaf_total_) {
+    throw std::out_of_range("space_tree: leaf index out of range");
+  }
+  if (depth() == 0) {
+    return;
+  }
+  const auto cursor = storage_->make_cursor();
+  std::vector<std::uint64_t> path(depth());
+  path_of_with(*cursor, index, path.data());
+  // Collect every value index before touching the tp slots: a lazy-backend
+  // node read may regenerate a chunk, and regeneration itself replays
+  // set_and_check through the current context — interleaving the reads with
+  // the final writes could clobber values already applied.
+  std::vector<std::uint32_t> value_indices(depth());
+  for (std::size_t lvl = 0; lvl < depth(); ++lvl) {
+    value_indices[lvl] = cursor->node(lvl, path[lvl]).value_index;
+  }
+  for (std::size_t lvl = 0; lvl < depth(); ++lvl) {
     // set_and_check both writes the shared slot and re-evaluates the
     // constraint; the value is valid by construction, so the result is
     // discarded.
-    (void)params_[lvl]->set_and_check(levels_[lvl].value_index[path[lvl]]);
+    (void)params_[lvl]->set_and_check(value_indices[lvl]);
   }
 }
 
@@ -395,40 +485,29 @@ std::uint64_t space_tree::random_index(common::xoshiro256& rng) const {
   return rng.below(leaf_total_);
 }
 
-std::uint64_t space_tree::leaves_before_sibling(std::size_t lvl,
-                                                std::uint64_t first_sibling,
-                                                std::uint64_t node) const {
-  std::uint64_t leaves = 0;
-  for (std::uint64_t sibling = first_sibling; sibling < node; ++sibling) {
-    leaves += levels_[lvl].leaf_count[sibling];
-  }
-  return leaves;
-}
-
-std::uint64_t space_tree::descend_random(std::size_t lvl, std::uint64_t node,
-                                         common::xoshiro256& rng) const {
-  // Leaves of a subtree are contiguous in flat-index space, so a uniform
-  // leaf of `node`'s subtree is just a uniform offset below it.
-  return rng.below(levels_[lvl].leaf_count[node]);
-}
-
 std::uint64_t space_tree::random_neighbor(std::uint64_t index,
                                           common::xoshiro256& rng) const {
-  if (leaf_total_ <= 1 || levels_.empty()) {
+  if (leaf_total_ <= 1 || depth() == 0) {
     return index;
   }
-  std::vector<std::uint64_t> path(levels_.size());
-  path_of(index, path.data());
+  const auto cursor = storage_->make_cursor();
+  std::vector<std::uint64_t> path(depth());
+  path_of_with(*cursor, index, path.data());
 
-  // Sibling spans along the current path.
-  std::vector<span> spans(levels_.size());
-  spans[0] = {0, levels_[0].size()};
-  for (std::size_t d = 1; d < levels_.size(); ++d) {
-    spans[d] = children_of(d - 1, path[d - 1]);
+  // Sibling spans along the current path: {first sibling, sibling count}.
+  struct span {
+    std::uint64_t begin;
+    std::uint64_t count;
+  };
+  std::vector<span> spans(depth());
+  spans[0] = {0, storage_->level_size(0)};
+  for (std::size_t d = 1; d < depth(); ++d) {
+    const detail::node_ref parent = cursor->node(d - 1, path[d - 1]);
+    spans[d] = {parent.child_begin, parent.child_count};
   }
 
   // Try levels in random order until one offers a sibling to move to.
-  std::vector<std::size_t> order(levels_.size());
+  std::vector<std::size_t> order(depth());
   for (std::size_t i = 0; i < order.size(); ++i) {
     order[i] = i;
   }
@@ -469,23 +548,27 @@ std::uint64_t space_tree::random_neighbor(std::uint64_t index,
     // close as the tree allows to the old configuration.
     std::vector<std::uint64_t> next(path);
     next[lvl] = siblings.begin + target;
-    for (std::size_t d = lvl + 1; d < levels_.size(); ++d) {
-      const span children = children_of(d - 1, next[d - 1]);
+    for (std::size_t d = lvl + 1; d < depth(); ++d) {
+      const detail::node_ref parent = cursor->node(d - 1, next[d - 1]);
       const std::uint64_t old_ordinal = path[d] - spans[d].begin;
-      next[d] = children.begin +
-                std::min<std::uint64_t>(old_ordinal, children.count - 1);
+      next[d] = parent.child_begin +
+                std::min<std::uint64_t>(old_ordinal, parent.child_count - 1);
     }
-    return leaf_index_of_path(next.data());
+    return leaf_index_of_path(*cursor, next.data());
   }
   return index;
 }
 
 std::uint64_t space_tree::node_count() const noexcept {
-  std::uint64_t total = 0;
-  for (const level& nodes : levels_) {
-    total += nodes.size();
-  }
-  return total;
+  return storage_ ? storage_->node_count() : 0;
+}
+
+std::size_t space_tree::memory_bytes() const noexcept {
+  return storage_ ? storage_->memory_bytes() : 0;
+}
+
+space_storage_backend space_tree::storage_backend() const noexcept {
+  return storage_ ? storage_->backend() : space_storage_backend::dense;
 }
 
 }  // namespace atf

@@ -1,0 +1,99 @@
+// packed_u64_vector: fixed-width bit-packing behind the packed space-storage
+// backend. The tests pin the width selection, word-boundary straddling, the
+// zero-width fast path and exact round-trips at every width.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "atf/common/bitpack.hpp"
+
+namespace {
+
+using atf::common::packed_u64_vector;
+
+TEST(Bitpack, EmptyVector) {
+  const auto packed = packed_u64_vector::pack(std::vector<std::uint64_t>{});
+  EXPECT_EQ(packed.size(), 0u);
+  EXPECT_TRUE(packed.empty());
+  EXPECT_EQ(packed.width(), 0u);
+  EXPECT_EQ(packed.memory_bytes(), 0u);
+}
+
+TEST(Bitpack, AllZerosStoreNothing) {
+  const std::vector<std::uint64_t> zeros(1000, 0);
+  const auto packed = packed_u64_vector::pack(zeros);
+  EXPECT_EQ(packed.size(), 1000u);
+  EXPECT_EQ(packed.width(), 0u);
+  EXPECT_EQ(packed.memory_bytes(), 0u);
+  for (std::size_t i = 0; i < zeros.size(); ++i) {
+    EXPECT_EQ(packed[i], 0u);
+  }
+}
+
+TEST(Bitpack, WidthIsBitWidthOfMaximum) {
+  EXPECT_EQ(packed_u64_vector::pack(std::vector<std::uint64_t>{1}).width(),
+            1u);
+  EXPECT_EQ(packed_u64_vector::pack(std::vector<std::uint64_t>{0, 7}).width(),
+            3u);
+  EXPECT_EQ(packed_u64_vector::pack(std::vector<std::uint64_t>{8}).width(),
+            4u);
+  EXPECT_EQ(packed_u64_vector::pack(
+                std::vector<std::uint64_t>{0xffffffffffffffffull})
+                .width(),
+            64u);
+}
+
+TEST(Bitpack, RoundTripAcrossWordBoundaries) {
+  // Width 13 guarantees elements straddle 64-bit word boundaries.
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    values.push_back((i * 2654435761ull) % 8192);
+  }
+  const auto packed = packed_u64_vector::pack(values);
+  EXPECT_EQ(packed.width(), 13u);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(packed[i], values[i]) << "at index " << i;
+  }
+}
+
+TEST(Bitpack, RoundTripAtEveryWidth) {
+  for (std::uint32_t width = 1; width <= 64; ++width) {
+    const std::uint64_t max =
+        width == 64 ? ~std::uint64_t{0}
+                    : (std::uint64_t{1} << width) - 1;
+    std::vector<std::uint64_t> values{max, 0, max, 1, max / 2, max, 0, max};
+    const auto packed = packed_u64_vector::pack(values);
+    ASSERT_EQ(packed.width(), width);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      ASSERT_EQ(packed[i], values[i])
+          << "width " << width << " index " << i;
+    }
+  }
+}
+
+TEST(Bitpack, PacksNarrowerElementTypes) {
+  const std::vector<std::uint32_t> values{3, 1, 4, 1, 5, 9, 2, 6};
+  const auto packed = packed_u64_vector::pack(values);
+  EXPECT_EQ(packed.width(), 4u);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(packed[i], values[i]);
+  }
+}
+
+TEST(Bitpack, MemoryIsProportionalToWidth) {
+  const std::vector<std::uint64_t> narrow(10000, 1);
+  std::vector<std::uint64_t> wide(10000);
+  for (std::size_t i = 0; i < wide.size(); ++i) {
+    wide[i] = 0xffffffffull + i;
+  }
+  const auto packed_narrow = packed_u64_vector::pack(narrow);
+  const auto packed_wide = packed_u64_vector::pack(wide);
+  // 1-bit elements: 10000 bits ~ 1250 bytes; 34-bit: ~42.5 KB.
+  EXPECT_LE(packed_narrow.memory_bytes(), 1300u);
+  EXPECT_GE(packed_wide.memory_bytes(), 40000u);
+  // Both are far below the 80 KB of the unpacked u64 vector.
+  EXPECT_LT(packed_wide.memory_bytes(), 10000 * sizeof(std::uint64_t));
+}
+
+}  // namespace

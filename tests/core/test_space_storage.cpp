@@ -1,0 +1,235 @@
+// Storage backends behind space_tree (space_storage.hpp): dense is the
+// reference; packed and lazy must be bit-identical to it through every
+// public access path — values, paths, neighbor moves, applied slots — while
+// reporting the memory behaviour they exist for (packed: smaller; lazy:
+// bounded by the chunk cache, correct under aggressive eviction).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "atf/common/rng.hpp"
+#include "atf/common/thread_pool.hpp"
+#include "atf/constraint.hpp"
+#include "atf/space_tree.hpp"
+#include "atf/tp.hpp"
+
+namespace {
+
+constexpr atf::space_storage_backend kBackends[] = {
+    atf::space_storage_backend::dense,
+    atf::space_storage_backend::packed,
+    atf::space_storage_backend::lazy,
+};
+
+atf::space_storage_policy policy_for(atf::space_storage_backend backend,
+                                     std::size_t cache_bytes = 1 << 20,
+                                     std::size_t target_chunks = 0) {
+  atf::space_storage_policy policy;
+  policy.backend = backend;
+  policy.chunk_cache_bytes = cache_bytes;
+  policy.lazy_target_chunks = target_chunks;
+  return policy;
+}
+
+/// A constrained two-group-worthy tree: WPT in 1..32 dividing 32, LS in
+/// 1..32 dividing WPT — the saxpy shape the dense tests already pin.
+atf::tp_group make_constrained_group() {
+  auto wpt =
+      atf::tp("WPT", atf::interval<std::size_t>(1, 32), atf::divides(32));
+  auto ls = atf::tp("LS", atf::interval<std::size_t>(1, 32),
+                    atf::divides(wpt));
+  return atf::G(wpt, ls);
+}
+
+void expect_backend_identical(const atf::space_tree& dense,
+                              const atf::space_tree& other,
+                              const char* label) {
+  ASSERT_EQ(other.size(), dense.size()) << label;
+  ASSERT_EQ(other.depth(), dense.depth()) << label;
+  EXPECT_EQ(other.node_count(), dense.node_count()) << label;
+
+  // Every leaf: identical values and identical path (the global dense node
+  // numbering is part of the storage contract).
+  std::vector<std::uint64_t> expected_path(dense.depth());
+  std::vector<std::uint64_t> actual_path(dense.depth());
+  for (std::uint64_t index = 0; index < dense.size(); ++index) {
+    ASSERT_EQ(other.values_at(index), dense.values_at(index))
+        << label << " at leaf " << index;
+    dense.path_of(index, expected_path.data());
+    other.path_of(index, actual_path.data());
+    ASSERT_EQ(actual_path, expected_path) << label << " at leaf " << index;
+  }
+
+  // Identically seeded neighbor walks consume the same RNG stream and must
+  // visit the same leaves.
+  atf::common::xoshiro256 rng_dense(0xabcd);
+  atf::common::xoshiro256 rng_other(0xabcd);
+  std::uint64_t at_dense = 0;
+  std::uint64_t at_other = 0;
+  for (int step = 0; step < 200; ++step) {
+    at_dense = dense.random_neighbor(at_dense, rng_dense);
+    at_other = other.random_neighbor(at_other, rng_other);
+    ASSERT_EQ(at_other, at_dense) << label << " at step " << step;
+  }
+}
+
+TEST(SpaceStorage, AllBackendsMatchDenseOnConstrainedTree) {
+  const auto group = make_constrained_group();
+  const auto dense = atf::space_tree::generate(group);
+  for (const auto backend : kBackends) {
+    const auto tree = atf::space_tree::generate(group, policy_for(backend));
+    EXPECT_EQ(tree.storage_backend(), backend);
+    expect_backend_identical(dense, tree, atf::to_string(backend));
+  }
+}
+
+TEST(SpaceStorage, BackendsMatchDenseUnderPooledGeneration) {
+  const auto group = make_constrained_group();
+  const auto dense = atf::space_tree::generate(group);
+  atf::common::thread_pool pool(2);
+  for (const auto backend : kBackends) {
+    const auto tree =
+        atf::space_tree::generate(group, pool, {}, policy_for(backend));
+    expect_backend_identical(dense, tree, atf::to_string(backend));
+  }
+}
+
+TEST(SpaceStorage, LazySurvivesAggressiveEviction) {
+  // A 1-byte cache budget forces eviction after every chunk; with one chunk
+  // per root value, every access regenerates. Results must not change.
+  const auto group = make_constrained_group();
+  const auto dense = atf::space_tree::generate(group);
+  const auto lazy = atf::space_tree::generate(
+      group, policy_for(atf::space_storage_backend::lazy, /*cache_bytes=*/1,
+                        /*target_chunks=*/1000));
+  expect_backend_identical(dense, lazy, "lazy/evicting");
+}
+
+TEST(SpaceStorage, LazyAppliesValuesToSlots) {
+  // apply() must leave the *applied* values in the tp slots even though
+  // lazy regeneration itself writes the slots while re-expanding chunks.
+  auto wpt =
+      atf::tp("WPT", atf::interval<std::size_t>(1, 32), atf::divides(32));
+  auto ls = atf::tp("LS", atf::interval<std::size_t>(1, 32),
+                    atf::divides(wpt));
+  const auto group = atf::G(wpt, ls);
+  const auto dense = atf::space_tree::generate(group);
+  const auto lazy = atf::space_tree::generate(
+      group,
+      policy_for(atf::space_storage_backend::lazy, 1, /*target_chunks=*/8));
+  for (std::uint64_t index = 0; index < dense.size(); ++index) {
+    const auto values = dense.values_at(index);
+    lazy.apply(index);
+    EXPECT_EQ(wpt.eval(), atf::from_tp_value<std::size_t>(values[0]))
+        << index;
+    EXPECT_EQ(ls.eval(), atf::from_tp_value<std::size_t>(values[1])) << index;
+  }
+}
+
+TEST(SpaceStorage, PackedIsSmallerThanDense) {
+  const auto group = make_constrained_group();
+  const auto dense = atf::space_tree::generate(group);
+  const auto packed = atf::space_tree::generate(
+      group, policy_for(atf::space_storage_backend::packed));
+  EXPECT_GT(dense.memory_bytes(), 0u);
+  EXPECT_LT(packed.memory_bytes(), dense.memory_bytes());
+}
+
+TEST(SpaceStorage, LazyMemoryIsBoundedByCache) {
+  auto a = atf::tp("A", atf::interval<std::size_t>(1, 64));
+  auto b = atf::tp("B", atf::interval<std::size_t>(1, 64));
+  const auto group = atf::G(a, b);  // 4096 leaves, 64 chunks
+  const auto dense = atf::space_tree::generate(group);
+  const auto lazy = atf::space_tree::generate(
+      group, policy_for(atf::space_storage_backend::lazy,
+                        /*cache_bytes=*/4096, /*target_chunks=*/64));
+  // Touch every leaf: the cache must stay near its budget (one materialized
+  // chunk may exceed it, but chunks here are ~1.5 KB each).
+  atf::common::xoshiro256 rng(0x77);
+  for (int i = 0; i < 500; ++i) {
+    (void)lazy.values_at(lazy.random_index(rng));
+  }
+  EXPECT_LT(lazy.memory_bytes(), dense.memory_bytes());
+  EXPECT_LT(lazy.memory_bytes(), 64u * 1024u);
+}
+
+TEST(SpaceStorage, DropStatsReleasesPerChunkAccounting) {
+  const auto group = make_constrained_group();
+  atf::common::thread_pool pool(2);
+  auto tree = atf::space_tree::generate(group, pool);
+  ASSERT_FALSE(tree.stats().per_chunk.empty());
+  const auto nodes = tree.stats().nodes;
+  const auto chunks = tree.stats().chunks;
+  tree.drop_stats();
+  EXPECT_TRUE(tree.stats().per_chunk.empty());
+  EXPECT_EQ(tree.stats().per_chunk.capacity(), 0u);
+  // Aggregates survive.
+  EXPECT_EQ(tree.stats().nodes, nodes);
+  EXPECT_EQ(tree.stats().chunks, chunks);
+}
+
+TEST(SpaceStorage, LazyDropsPerChunkStatsAutomatically) {
+  const auto group = make_constrained_group();
+  const auto lazy = atf::space_tree::generate(
+      group, policy_for(atf::space_storage_backend::lazy));
+  EXPECT_TRUE(lazy.stats().per_chunk.empty());
+  EXPECT_GT(lazy.stats().chunks, 1u);  // lazy chunks even sequentially
+  EXPECT_GT(lazy.stats().nodes, 0u);
+}
+
+TEST(SpaceStorage, ChunkStatsReportBytes) {
+  const auto group = make_constrained_group();
+  const auto dense = atf::space_tree::generate(group);
+  ASSERT_FALSE(dense.stats().per_chunk.empty());
+  std::uint64_t total = 0;
+  for (const auto& chunk : dense.stats().per_chunk) {
+    EXPECT_EQ(chunk.bytes, chunk.nodes * 24u);
+    total += chunk.bytes;
+  }
+  EXPECT_GT(total, 0u);
+  EXPECT_GT(dense.stats().bytes, 0u);
+}
+
+TEST(SpaceStorage, EmptyGroupWorksInEveryBackend) {
+  for (const auto backend : kBackends) {
+    const auto tree =
+        atf::space_tree::generate(atf::tp_group{}, policy_for(backend));
+    EXPECT_EQ(tree.size(), 1u) << atf::to_string(backend);
+    EXPECT_EQ(tree.depth(), 0u);
+    EXPECT_EQ(tree.node_count(), 0u);
+    EXPECT_TRUE(tree.values_at(0).empty());
+    tree.apply(0);
+  }
+}
+
+TEST(SpaceStorage, EmptySpaceWorksInEveryBackend) {
+  // 7 is prime, so no value in 2..3 divides it: the space is empty.
+  for (const auto backend : kBackends) {
+    auto a = atf::tp("A", atf::set<std::size_t>({7}));
+    auto b = atf::tp("B", atf::interval<std::size_t>(2, 3), atf::divides(a));
+    const auto tree =
+        atf::space_tree::generate(atf::G(a, b), policy_for(backend));
+    EXPECT_EQ(tree.size(), 0u) << atf::to_string(backend);
+    EXPECT_THROW((void)tree.values_at(0), std::out_of_range);
+  }
+}
+
+TEST(SpaceStorage, SingleValueTreeWorksInEveryBackend) {
+  for (const auto backend : kBackends) {
+    auto a = atf::tp("A", atf::set<std::size_t>({5}));
+    const auto tree = atf::space_tree::generate(atf::G(a), policy_for(backend));
+    ASSERT_EQ(tree.size(), 1u) << atf::to_string(backend);
+    EXPECT_EQ(tree.values_at(0).size(), 1u);
+    atf::common::xoshiro256 rng(1);
+    EXPECT_EQ(tree.random_neighbor(0, rng), 0u);
+  }
+}
+
+TEST(SpaceStorage, BackendNamesRoundTrip) {
+  EXPECT_STREQ(atf::to_string(atf::space_storage_backend::dense), "dense");
+  EXPECT_STREQ(atf::to_string(atf::space_storage_backend::packed), "packed");
+  EXPECT_STREQ(atf::to_string(atf::space_storage_backend::lazy), "lazy");
+}
+
+}  // namespace

@@ -130,6 +130,38 @@ TEST_F(AtfTuneCliTest, SurrogateWithBudgetRuns) {
   EXPECT_NE(result.stdout_text.find("X="), std::string::npos);
 }
 
+TEST_F(AtfTuneCliTest, SpaceStorageBackendsFindTheSameOptimum) {
+  // The storage backend must not change tuning results: exhaustive search
+  // over the same space finds the same optimum under every backend.
+  for (const char* backend : {"dense", "packed", "lazy"}) {
+    const auto result = run_command(
+        base_command() +
+        " --param 'X=interval:1:20' --param 'Y=set:0,5,10'"
+        " --space-storage " + backend);
+    EXPECT_EQ(result.exit_code, 0) << backend;
+    EXPECT_NE(result.stdout_text.find("X=12"), std::string::npos)
+        << backend << ": " << result.stdout_text;
+    EXPECT_NE(result.stdout_text.find("Y=0"), std::string::npos) << backend;
+  }
+}
+
+TEST_F(AtfTuneCliTest, ChunkCacheMbIsAccepted) {
+  const auto result = run_command(
+      base_command() +
+      " --param 'X=interval:1:20' --param 'Y=set:0'"
+      " --space-storage lazy --chunk-cache-mb 8");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.stdout_text.find("X=12"), std::string::npos)
+      << result.stdout_text;
+}
+
+TEST_F(AtfTuneCliTest, UnknownStorageBackendExitsWithCode1) {
+  EXPECT_EQ(run_command(base_command() +
+                        " --param 'X=interval:1:4' --space-storage sparse")
+                .exit_code,
+            1);
+}
+
 TEST_F(AtfTuneCliTest, EmptySpaceExitsWithCode2) {
   const auto result = run_command(
       base_command() +

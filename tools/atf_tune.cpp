@@ -7,7 +7,8 @@
 //            --param "BLOCK2=interval:1:64:divides=BLOCK" \
 //            --param "UNROLL=set:1,2,4,8" \
 //            [--technique exhaustive|annealing|opentuner|surrogate|random] \
-//            [--evaluations N] [--seconds S] [--seed N] [--csv out.csv]
+//            [--evaluations N] [--seconds S] [--seed N] [--csv out.csv] \
+//            [--space-storage dense|packed|lazy] [--chunk-cache-mb N]
 //
 // Parameter specs:
 //   NAME=interval:LO:HI[:divides=OTHER|:multiple-of=OTHER|:pow2]
@@ -43,6 +44,8 @@ struct cli_options {
   std::string log_file;
   std::string csv;
   std::string technique = "exhaustive";
+  std::string space_storage = "dense";
+  std::optional<std::size_t> chunk_cache_mb;
   std::vector<std::string> params;
   std::optional<std::uint64_t> evaluations;
   std::optional<double> seconds;
@@ -58,7 +61,17 @@ void usage(const char* argv0) {
       "          --param \"NAME=set:v1,v2,...\"  [...]\n"
       "          [--log-file FILE] [--technique exhaustive|annealing|"
       "opentuner|surrogate|random]\n"
-      "          [--evaluations N] [--seconds S] [--seed N] [--csv FILE]\n",
+      "          [--evaluations N] [--seconds S] [--seed N] [--csv FILE]\n"
+      "          [--space-storage dense|packed|lazy] [--chunk-cache-mb N]\n"
+      "\n"
+      "  --space-storage   how the generated search space stores its nodes:\n"
+      "                    dense (default) plain arrays; packed bit-packed\n"
+      "                    arrays, 3-8x smaller; lazy keeps only per-chunk\n"
+      "                    summaries and regenerates subtrees on demand into\n"
+      "                    a bounded cache -- for spaces too large for RAM.\n"
+      "                    All backends tune bit-identically.\n"
+      "  --chunk-cache-mb  lazy only: budget of the regenerated-chunk cache\n"
+      "                    in MiB (default 64).\n",
       argv0);
 }
 
@@ -86,6 +99,10 @@ std::optional<cli_options> parse_cli(int argc, char** argv) {
       opts.csv = value;
     } else if (flag == "--technique" && (value = need_value(i))) {
       opts.technique = value;
+    } else if (flag == "--space-storage" && (value = need_value(i))) {
+      opts.space_storage = value;
+    } else if (flag == "--chunk-cache-mb" && (value = need_value(i))) {
+      opts.chunk_cache_mb = std::strtoull(value, nullptr, 10);
     } else if (flag == "--param" && (value = need_value(i))) {
       opts.params.emplace_back(value);
     } else if (flag == "--evaluations" && (value = need_value(i))) {
@@ -211,6 +228,21 @@ int main(int argc, char** argv) {
 
   atf::tuner tuner;
   tuner.tuning_parameters(std::move(group));
+
+  atf::space_storage_policy storage;
+  if (opts->space_storage == "packed") {
+    storage.backend = atf::space_storage_backend::packed;
+  } else if (opts->space_storage == "lazy") {
+    storage.backend = atf::space_storage_backend::lazy;
+  } else if (opts->space_storage != "dense") {
+    std::fprintf(stderr, "atf_tune: unknown space storage '%s'\n",
+                 opts->space_storage.c_str());
+    return 1;
+  }
+  if (opts->chunk_cache_mb.has_value()) {
+    storage.chunk_cache_bytes = *opts->chunk_cache_mb << 20;
+  }
+  tuner.space_storage(storage);
 
   if (opts->technique == "annealing") {
     tuner.search_technique(
