@@ -1,55 +1,108 @@
 // The complete downstream workflow of an auto-tuned kernel library
-// (CLBlast-style), built on ATF: tune a GEMM shape once per device, persist
-// the result in a tuning database, reload it in a "fresh process", and
-// dispatch with the tuned configuration — falling back to built-in
-// defaults for shapes that were never tuned (the behaviour whose
-// performance cost the paper's Section VI-B quantifies).
+// (CLBlast-style), built on ATF — now with multi-size dynamic dispatch:
+//
+//   1. Install time: grid-tune a set of representative GEMM shapes, each
+//      under its own crash-safe session journal, winners persisted in the
+//      tuning database.
+//   2. Application, cold call: a shape the grid never saw is served its
+//      nearest tuned neighbour's configuration (log-size metric, surrogate
+//      re-ranking over the journals) — already faster than the built-in
+//      defaults, and the shape is queued for background refinement.
+//   3. Refinement: the queue is drained by an exact-shape tune; the same
+//      call is now an exact database hit served at full tuned speed.
 //
 // Build & run:  ./examples/tuned_blas_library
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
-#include "blasmini/gemm.hpp"
-#include "blasmini/tuning_db.hpp"
+#include "blasmini/dispatch.hpp"
+
+namespace xg = atf::kernels::xgemm;
+
+namespace {
+
+const char* source_name(blasmini::dispatcher::source s) {
+  switch (s) {
+    case blasmini::dispatcher::source::exact: return "exact hit";
+    case blasmini::dispatcher::source::reranked: return "re-ranked";
+    case blasmini::dispatcher::source::nearest: return "nearest";
+    case blasmini::dispatcher::source::defaults: return "defaults";
+  }
+  return "?";
+}
+
+void report(blasmini::dispatcher& dispatch, std::size_t m, std::size_t n,
+            std::size_t k) {
+  const auto decision = dispatch.dispatch(m, n, k);
+  const double t = dispatch.executor().modeled_time_ns(m, n, k,
+                                                       decision.params);
+  const double t_def =
+      dispatch.executor().modeled_time_ns(m, n, k, xg::params::defaults());
+  std::printf("  dispatch %zux%zux%zu: %-9s", m, n, k,
+              source_name(decision.from));
+  if (!decision.neighbor.empty()) {
+    std::printf(" (from %s, log-distance %.2f)", decision.neighbor.c_str(),
+                decision.distance);
+  }
+  std::printf("  %8.2f us vs defaults %8.2f us  -> %.2fx\n", t / 1e3,
+              t_def / 1e3, t_def / t);
+}
+
+}  // namespace
 
 int main() {
   const std::string db_path = "/tmp/blasmini_example_db.tsv";
-  const std::size_t m = 10, n = 500, k = 64;  // the paper's IS4 shape
+  const std::string journal_dir = "/tmp/blasmini_example_journals";
+  (void)std::system(("rm -rf '" + journal_dir + "' && mkdir -p '" +
+                     journal_dir + "'")
+                        .c_str());
 
-  // --- "Install-time" tuning run ------------------------------------------
+  const auto dev = ocls::find_device("NVIDIA", "K20m");
+
+  // --- "Install-time" grid tune -------------------------------------------
   {
     blasmini::tuning_db db;
-    for (const char* device_name : {"Xeon", "K20m"}) {
-      blasmini::gemm_executor gemm(ocls::find_device("", device_name), &db);
-      const auto best = gemm.tune(m, n, k, /*evaluations=*/8'000);
-      std::printf("tuned %zux%zux%zu on %s: WGD=%llu MDIMCD=%llu "
-                  "NDIMCD=%llu VWMD=%llu KWID=%llu\n",
-                  m, n, k, device_name,
-                  static_cast<unsigned long long>(best.wgd),
-                  static_cast<unsigned long long>(best.mdimcd),
-                  static_cast<unsigned long long>(best.ndimcd),
-                  static_cast<unsigned long long>(best.vwmd),
-                  static_cast<unsigned long long>(best.kwid));
-    }
+    blasmini::dispatch_options opts;
+    opts.journal_dir = journal_dir;  // crash-safe: SIGKILL + rerun resumes
+    opts.tuning.evaluations = 400;
+    blasmini::dispatcher dispatch(dev, &db, opts);
+
+    const auto grid = blasmini::size_grid::parse("96,384x96,384x96,256");
+    std::printf("grid-tuning %zu shapes on %s (journals in %s)...\n",
+                grid.sizes.size(), dev.name().c_str(), journal_dir.c_str());
+    dispatch.tune_grid(grid);
     db.save(db_path);
-    std::printf("database saved: %s (%zu entries)\n\n", db_path.c_str(),
-                db.size());
+    std::printf("database saved: %s (%zu entries), re-ranker trained on %zu "
+                "journal records\n\n",
+                db_path.c_str(), db.size(), dispatch.rerank_samples());
   }
 
-  // --- "Application" run: reload the database and dispatch ----------------
+  // --- "Application" process: reload and dispatch -------------------------
   auto db = blasmini::tuning_db::load(db_path);
-  std::vector<float> a(m * k, 1.0f), b(k * n, 0.5f), c(m * n);
+  blasmini::dispatch_options opts;
+  opts.journal_dir = journal_dir;  // re-ranker retrains from the journals
+  opts.tuning.evaluations = 400;
+  blasmini::dispatcher dispatch(dev, &db, opts);
 
-  for (const char* device_name : {"Xeon", "K20m"}) {
-    const auto dev = ocls::find_device("", device_name);
-    blasmini::gemm_executor tuned(dev, &db);
-    blasmini::gemm_executor defaults(dev);  // no database: built-in params
-    const double t_tuned = tuned.run(m, n, k, a, b, c);
-    const double t_default = defaults.run(m, n, k, a, b, c);
-    std::printf("%-26s tuned %8.2f us   defaults %8.2f us   speedup %.2fx\n",
-                dev.name().c_str(), t_tuned / 1e3, t_default / 1e3,
-                t_default / t_tuned);
-  }
+  std::printf("grid shapes dispatch as exact hits:\n");
+  report(dispatch, 96, 96, 96);
+
+  std::printf("\ncold shapes are served their nearest tuned neighbour:\n");
+  report(dispatch, 256, 192, 160);
+  report(dispatch, 144, 320, 96);
+
+  // Every cold dispatch queued its shape for exact-shape refinement.
+  const auto pending = dispatch.pending_refinements();
+  std::printf("\n%zu shapes pending refinement; tuning the first...\n",
+              pending.size());
+  dispatch.refine(1);
+
+  std::printf("after refinement the same call is an exact hit:\n");
+  report(dispatch, 256, 192, 160);
+
   std::remove(db_path.c_str());
+  (void)std::system(("rm -rf '" + journal_dir + "'").c_str());
   return 0;
 }

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 
@@ -22,18 +24,52 @@
 
 namespace blasmini {
 
+/// Search techniques tune() can drive. `opentuner` is the AUC-bandit
+/// ensemble (the historical default); `surrogate` the model-guided search —
+/// both reusable by the size-grid dispatcher without touching this layer.
+enum class tune_technique { opentuner, annealing, surrogate, random };
+
+/// Knobs of one tuning run. The defaults reproduce the historical
+/// tune(m, n, k) behaviour exactly: ensemble search, 20'000 evaluations,
+/// seed 1, no session journal (pinned by a regression test).
+struct tune_options {
+  tune_technique technique = tune_technique::opentuner;
+  std::uint64_t evaluations = 20'000;
+  std::uint64_t seed = 1;
+  /// Non-empty: attach a crash-safe session journal (DESIGN.md §9) at this
+  /// path — a killed tune resumed on the same journal replays its measured
+  /// prefix from the store and converges to the uninterrupted result.
+  std::string journal;
+  /// Called once per *fresh* cost-function invocation (store hits replayed
+  /// from a journal never reach the cost function). Progress reporting —
+  /// and the honest crash the kill-and-resume harness stages.
+  std::function<void()> on_measure;
+};
+
+/// Rebuilds kernel parameters from a database record, falling back to the
+/// kernel defaults *per parameter* for missing or unparsable values — a
+/// hand-edited or corrupt database line degrades gracefully, it never
+/// throws at dispatch time.
+[[nodiscard]] atf::kernels::xgemm::params params_from_record(
+    const record& config);
+
 class gemm_executor {
 public:
   /// `db` may be null: every dispatch then uses the kernel defaults.
   explicit gemm_executor(ocls::device dev, tuning_db* db = nullptr);
 
-  /// Tunes XgemmDirect for this shape with ATF (simulated annealing under
-  /// an evaluation budget) and stores the best configuration in the
-  /// database. Returns the best-found parameters.
+  /// Tunes XgemmDirect for this shape with ATF under an evaluation budget
+  /// and stores the best configuration in the database. Returns the
+  /// best-found parameters. This overload keeps the historical defaults
+  /// (ensemble search, no journal).
   atf::kernels::xgemm::params tune(std::size_t m, std::size_t n,
                                    std::size_t k,
                                    std::uint64_t evaluations = 20'000,
                                    std::uint64_t seed = 1);
+
+  /// Full-control overload: technique, budget, seed and session journal.
+  atf::kernels::xgemm::params tune(std::size_t m, std::size_t n,
+                                   std::size_t k, const tune_options& opts);
 
   /// Computes C[m x n] = A[m x k] * B[k x n] functionally on the simulated
   /// device using the best-known parameters; returns the modeled kernel
@@ -42,10 +78,29 @@ public:
              std::span<const float> a, std::span<const float> b,
              std::span<float> c) const;
 
+  /// run() with explicit parameters instead of the db/defaults chain — the
+  /// entry point the size dispatcher executes its decisions through.
+  double run_with(const atf::kernels::xgemm::params& p, std::size_t m,
+                  std::size_t n, std::size_t k, std::span<const float> a,
+                  std::span<const float> b, std::span<float> c) const;
+
+  /// Modeled kernel time (ns) of one configuration on this device, without
+  /// computing the result matrix — the measurement behind every tuning run
+  /// and the dispatched-vs-oracle-vs-defaults quality comparisons. Throws
+  /// ocls::error when the configuration cannot launch.
+  [[nodiscard]] double modeled_time_ns(
+      std::size_t m, std::size_t n, std::size_t k,
+      const atf::kernels::xgemm::params& p) const;
+
   /// The parameters run() would use for this shape (db entry or defaults).
   [[nodiscard]] atf::kernels::xgemm::params params_for(std::size_t m,
                                                        std::size_t n,
                                                        std::size_t k) const;
+
+  [[nodiscard]] const ocls::device& device() const noexcept {
+    return device_;
+  }
+  [[nodiscard]] tuning_db* db() const noexcept { return db_; }
 
   [[nodiscard]] static std::string problem_signature(std::size_t m,
                                                      std::size_t n,

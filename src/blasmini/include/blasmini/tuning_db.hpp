@@ -14,6 +14,8 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace blasmini {
 
@@ -36,6 +38,12 @@ public:
 
   void store(const std::string& device, const std::string& kernel,
              const std::string& problem, record config);
+
+  /// Every (problem, config) stored for one (device, kernel), in ascending
+  /// problem-key order — the enumeration the size dispatcher walks to find
+  /// nearest tuned shapes. Deterministic: the underlying map is ordered.
+  [[nodiscard]] std::vector<std::pair<std::string, record>> entries_for(
+      const std::string& device, const std::string& kernel) const;
 
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
 

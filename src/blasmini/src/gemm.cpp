@@ -5,11 +5,83 @@
 
 #include "atf/atf.hpp"
 #include "atf/search/opentuner_search.hpp"
+#include "atf/search/random_search.hpp"
 #include "atf/search/simulated_annealing.hpp"
+#include "atf/search/surrogate_search.hpp"
 
 namespace blasmini {
 
 namespace xg = atf::kernels::xgemm;
+
+namespace {
+
+xg::params params_from_config(const atf::configuration& config) {
+  xg::params p;
+  p.wgd = config["WGD"];
+  p.mdimcd = config["MDIMCD"];
+  p.ndimcd = config["NDIMCD"];
+  p.mdimad = config["MDIMAD"];
+  p.ndimbd = config["NDIMBD"];
+  p.kwid = config["KWID"];
+  p.vwmd = config["VWMD"];
+  p.vwnd = config["VWND"];
+  p.pada = config["PADA"];
+  p.padb = config["PADB"];
+  return p;
+}
+
+std::unique_ptr<atf::search_technique> make_technique(tune_technique which,
+                                                      std::uint64_t seed) {
+  switch (which) {
+    case tune_technique::annealing:
+      return std::make_unique<atf::search::simulated_annealing>(4.0, seed);
+    case tune_technique::surrogate:
+      return std::make_unique<atf::search::surrogate_search>(seed);
+    case tune_technique::random:
+      return std::make_unique<atf::search::random_search>(seed);
+    case tune_technique::opentuner:
+      break;
+  }
+  return std::make_unique<atf::search::opentuner_search>(seed);
+}
+
+}  // namespace
+
+xg::params params_from_record(const record& config) {
+  ocls::define_map defines;
+  for (const auto& [name, value] : config) {
+    defines.set(name, value);
+  }
+  xg::params p;  // the defaults; each parameter overridden independently
+  const auto read_uint = [&](const char* name, std::uint64_t& out) {
+    try {
+      if (defines.contains(name)) {
+        out = defines.get_uint(name);
+      }
+    } catch (const ocls::error&) {
+      // unparsable value: keep the default
+    }
+  };
+  const auto read_bool = [&](const char* name, bool& out) {
+    try {
+      if (defines.contains(name)) {
+        out = defines.get_bool(name);
+      }
+    } catch (const ocls::error&) {
+    }
+  };
+  read_uint("WGD", p.wgd);
+  read_uint("MDIMCD", p.mdimcd);
+  read_uint("NDIMCD", p.ndimcd);
+  read_uint("MDIMAD", p.mdimad);
+  read_uint("NDIMBD", p.ndimbd);
+  read_uint("KWID", p.kwid);
+  read_uint("VWMD", p.vwmd);
+  read_uint("VWND", p.vwnd);
+  read_bool("PADA", p.pada);
+  read_bool("PADB", p.padb);
+  return p;
+}
 
 gemm_executor::gemm_executor(ocls::device dev, tuning_db* db)
     : device_(std::move(dev)), db_(db) {}
@@ -26,11 +98,7 @@ xg::params gemm_executor::params_for(std::size_t m, std::size_t n,
     const auto hit = db_->lookup(device_.name(), "XgemmDirect",
                                  problem_signature(m, n, k));
     if (hit.has_value()) {
-      ocls::define_map defines;
-      for (const auto& [name, value] : *hit) {
-        defines.set(name, value);
-      }
-      return xg::params::from_defines(defines);
+      return params_from_record(*hit);
     }
   }
   return xg::params::defaults();
@@ -39,6 +107,14 @@ xg::params gemm_executor::params_for(std::size_t m, std::size_t n,
 xg::params gemm_executor::tune(std::size_t m, std::size_t n, std::size_t k,
                                std::uint64_t evaluations,
                                std::uint64_t seed) {
+  tune_options opts;
+  opts.evaluations = evaluations;
+  opts.seed = seed;
+  return tune(m, n, k, opts);
+}
+
+xg::params gemm_executor::tune(std::size_t m, std::size_t n, std::size_t k,
+                               const tune_options& opts) {
   const xg::problem prob{m, n, k};
   auto setup = xg::make_tuning_parameters(
       prob, xg::size_mode::general,
@@ -49,10 +125,12 @@ xg::params gemm_executor::tune(std::size_t m, std::size_t n, std::size_t k,
 
   atf::tuner tuner;
   tuner.tuning_parameters(setup.group());
-  tuner.search_technique(
-      std::make_unique<atf::search::opentuner_search>(seed));
-  tuner.abort_condition(atf::cond::evaluations(evaluations));
+  tuner.search_technique(make_technique(opts.technique, opts.seed));
+  tuner.abort_condition(atf::cond::evaluations(opts.evaluations));
   tuner.cache_evaluations(true);
+  if (!opts.journal.empty()) {
+    tuner.session(opts.journal);
+  }
 
   auto measure_params = [&](const xg::params& p) {
     ocls::command_queue queue(ctx);
@@ -63,17 +141,10 @@ xg::params gemm_executor::tune(std::size_t m, std::size_t n, std::size_t k,
   };
 
   auto result = tuner.tune([&](const atf::configuration& config) {
-    xg::params p;
-    p.wgd = config["WGD"];
-    p.mdimcd = config["MDIMCD"];
-    p.ndimcd = config["NDIMCD"];
-    p.mdimad = config["MDIMAD"];
-    p.ndimbd = config["NDIMBD"];
-    p.kwid = config["KWID"];
-    p.vwmd = config["VWMD"];
-    p.vwnd = config["VWND"];
-    p.pada = config["PADA"];
-    p.padb = config["PADB"];
+    if (opts.on_measure) {
+      opts.on_measure();
+    }
+    const xg::params p = params_from_config(config);
     ocls::command_queue queue(ctx);
     try {
       return queue
@@ -85,19 +156,7 @@ xg::params gemm_executor::tune(std::size_t m, std::size_t n, std::size_t k,
     }
   });
 
-  const auto& best = result.best_configuration();
-  ocls::define_map defines;
-  xg::params p;
-  p.wgd = best["WGD"];
-  p.mdimcd = best["MDIMCD"];
-  p.ndimcd = best["NDIMCD"];
-  p.mdimad = best["MDIMAD"];
-  p.ndimbd = best["NDIMBD"];
-  p.kwid = best["KWID"];
-  p.vwmd = best["VWMD"];
-  p.vwnd = best["VWND"];
-  p.pada = best["PADA"];
-  p.padb = best["PADB"];
+  xg::params p = params_from_config(result.best_configuration());
   // A tuned library must never regress below its shipped defaults: if the
   // search budget was too small to beat them, keep the defaults (the same
   // guard CLBlast applies when adopting tuner output).
@@ -107,6 +166,7 @@ xg::params gemm_executor::tune(std::size_t m, std::size_t n, std::size_t k,
     p = xg::params::defaults();
   }
   if (db_ != nullptr) {
+    ocls::define_map defines;
     p.to_defines(defines);
     record config;
     for (const auto& [name, value] : defines.all()) {
@@ -118,11 +178,31 @@ xg::params gemm_executor::tune(std::size_t m, std::size_t n, std::size_t k,
   return p;
 }
 
+double gemm_executor::modeled_time_ns(std::size_t m, std::size_t n,
+                                      std::size_t k,
+                                      const xg::params& p) const {
+  const xg::problem prob{m, n, k};
+  auto ctx = std::make_shared<ocls::context>(device_);
+  ocls::command_queue queue(ctx);
+  return queue
+      .launch(xg::make_kernel(),
+              xg::launch_range(prob, p, xg::size_mode::general), {},
+              xg::make_defines(prob, p))
+      .profile_ns();
+}
+
 double gemm_executor::run(std::size_t m, std::size_t n, std::size_t k,
                           std::span<const float> a, std::span<const float> b,
                           std::span<float> c) const {
+  return run_with(params_for(m, n, k), m, n, k, a, b, c);
+}
+
+double gemm_executor::run_with(const xg::params& p, std::size_t m,
+                               std::size_t n, std::size_t k,
+                               std::span<const float> a,
+                               std::span<const float> b,
+                               std::span<float> c) const {
   const xg::problem prob{m, n, k};
-  const xg::params p = params_for(m, n, k);
 
   auto ctx = std::make_shared<ocls::context>(device_);
   ctx->execute_functionally(true);

@@ -117,6 +117,11 @@ void tuning_db::save(const std::string& path) const {
   }
   out << "# blasmini tuning database: device\tkernel\tproblem\tconfig\n";
   for (const auto& [key, config] : entries_) {
+    // A device name starting with '#' would read back as a comment line;
+    // "\#" unescapes to '#' (the default case), so the record survives.
+    if (!key.device.empty() && key.device.front() == '#') {
+      out << '\\';
+    }
     out << escape_field(key.device, false) << '\t'
         << escape_field(key.kernel, false) << '\t'
         << escape_field(key.problem, false) << '\t';
@@ -145,6 +150,18 @@ std::optional<record> tuning_db::lookup(const std::string& device,
 void tuning_db::store(const std::string& device, const std::string& kernel,
                       const std::string& problem, record config) {
   entries_[{device, kernel, problem}] = std::move(config);
+}
+
+std::vector<std::pair<std::string, record>> tuning_db::entries_for(
+    const std::string& device, const std::string& kernel) const {
+  std::vector<std::pair<std::string, record>> out;
+  for (auto it = entries_.lower_bound({device, kernel, ""});
+       it != entries_.end() && it->first.device == device &&
+       it->first.kernel == kernel;
+       ++it) {
+    out.emplace_back(it->first.problem, it->second);
+  }
+  return out;
 }
 
 }  // namespace blasmini

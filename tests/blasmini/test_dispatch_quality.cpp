@@ -1,0 +1,462 @@
+// Dispatch-quality suite for blasmini::dispatcher (DESIGN.md §12): pins the
+// three tentpole guarantees —
+//   (a) every dispatched configuration is valid under the query shape's
+//       constraints,
+//   (b) on a held-out size sweep the dispatched configuration beats the
+//       kernel defaults on at least 90% of sizes,
+//   (c) a grid tune SIGKILLed mid-run and resumed on the same journal
+//       directory dispatches bit-identically to a never-interrupted run —
+// plus the mechanics underneath them: size-grid parsing, the log-size
+// nearest-neighbour metric, validity filtering, the refinement queue, and
+// re-ranker training. Everything is fixed-seed and deterministic.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "blasmini/dispatch.hpp"
+
+#ifndef DISPATCH_DRIVER_BINARY
+#error "DISPATCH_DRIVER_BINARY must be defined by the build system"
+#endif
+
+namespace {
+
+namespace xg = atf::kernels::xgemm;
+
+ocls::device test_device() { return ocls::find_device("NVIDIA", "K20m"); }
+
+xg::device_limits test_limits() {
+  return xg::device_limits::of(test_device().profile());
+}
+
+/// A valid non-default configuration (asserted valid where used).
+xg::params wide_params() {
+  xg::params p;
+  p.wgd = 16;
+  p.kwid = 2;
+  p.vwmd = 2;
+  p.vwnd = 2;
+  return p;
+}
+
+/// Stores a configuration in the database under this device/signature, the
+/// same way gemm_executor::tune does.
+void store_params(blasmini::tuning_db& db, const std::string& signature,
+                  const xg::params& p) {
+  ocls::define_map defines;
+  p.to_defines(defines);
+  blasmini::record config;
+  for (const auto& [name, value] : defines.all()) {
+    config[name] = value;
+  }
+  db.store(test_device().name(), "XgemmDirect", signature, std::move(config));
+}
+
+struct command_result {
+  int exit_code;
+  std::string stdout_text;
+};
+
+command_result run_command(const std::string& command) {
+  const std::string with_redirect = command + " 2>/dev/null";
+  FILE* pipe = popen(with_redirect.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string output;
+  std::array<char, 256> buffer{};
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  return {WEXITSTATUS(status), output};
+}
+
+class DispatchTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    // Per-test directory: ctest runs every test case as its own process,
+    // so a fixture-shared path races under parallel ctest.
+    dir_ = ::testing::TempDir() + "dispatch_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ASSERT_EQ(std::system(("rm -rf '" + dir_ + "' && mkdir -p '" + dir_ +
+                           "'")
+                              .c_str()),
+              0);
+  }
+
+  std::string dir_;
+};
+
+// ---------------------------------------------------------------- size_grid
+
+TEST(SizeGrid, CrossProductIsLexicographic) {
+  const auto grid = blasmini::size_grid::cross({8, 16}, {4}, {2, 6});
+  ASSERT_EQ(grid.sizes.size(), 4u);
+  EXPECT_EQ(grid.sizes[0].m, 8u);
+  EXPECT_EQ(grid.sizes[0].k, 2u);
+  EXPECT_EQ(grid.sizes[1].k, 6u);
+  EXPECT_EQ(grid.sizes[2].m, 16u);
+  EXPECT_EQ(grid.sizes[3].m, 16u);
+  EXPECT_EQ(grid.sizes[3].k, 6u);
+  EXPECT_FALSE(grid.empty());
+}
+
+TEST(SizeGrid, ParsesCrossExplicitAndCombinedForms) {
+  const auto cross = blasmini::size_grid::parse("8,32x8,32x8,64");
+  EXPECT_EQ(cross.sizes.size(), 8u);
+
+  const auto explicit_shapes = blasmini::size_grid::parse("10x500x64;20x576x25");
+  ASSERT_EQ(explicit_shapes.sizes.size(), 2u);
+  EXPECT_EQ(explicit_shapes.sizes[0].n, 500u);
+  EXPECT_EQ(explicit_shapes.sizes[1].k, 25u);
+
+  const auto combined = blasmini::size_grid::parse("4,8x4x4;100x200x300");
+  ASSERT_EQ(combined.sizes.size(), 3u);
+  EXPECT_EQ(combined.sizes[2].m, 100u);
+}
+
+TEST(SizeGrid, RejectsMalformedSpecs) {
+  EXPECT_THROW(blasmini::size_grid::parse(""), std::invalid_argument);
+  EXPECT_THROW(blasmini::size_grid::parse("8x8"), std::invalid_argument);
+  EXPECT_THROW(blasmini::size_grid::parse("8x8x8x8"), std::invalid_argument);
+  EXPECT_THROW(blasmini::size_grid::parse("8x0x8"), std::invalid_argument);
+  EXPECT_THROW(blasmini::size_grid::parse("8xpotatox8"),
+               std::invalid_argument);
+  EXPECT_THROW(blasmini::size_grid::parse("8x,x8"), std::invalid_argument);
+  EXPECT_THROW(blasmini::size_grid::parse("8x-4x8"), std::invalid_argument);
+  EXPECT_THROW(blasmini::size_grid::cross({8, 0}, {4}, {2}),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------- dispatch basics
+
+TEST(Dispatch, NullDatabaseServesDefaults) {
+  blasmini::dispatcher dispatch(test_device(), nullptr);
+  const auto decision = dispatch.dispatch(64, 64, 64);
+  EXPECT_EQ(decision.from, blasmini::dispatcher::source::defaults);
+  EXPECT_EQ(decision.params.to_string(), xg::params::defaults().to_string());
+  EXPECT_TRUE(decision.neighbor.empty());
+  EXPECT_TRUE(dispatch.known_sizes().empty());
+}
+
+TEST(Dispatch, EmptyDatabaseServesDefaultsAndEnqueues) {
+  blasmini::tuning_db db;
+  blasmini::dispatcher dispatch(test_device(), &db);
+  const auto decision = dispatch.dispatch(48, 32, 16);
+  EXPECT_EQ(decision.from, blasmini::dispatcher::source::defaults);
+  ASSERT_EQ(dispatch.pending_refinements().size(), 1u);
+  EXPECT_EQ(dispatch.pending_refinements()[0].m, 48u);
+}
+
+TEST(Dispatch, ExactHitServesStoredConfiguration) {
+  const xg::params stored = wide_params();
+  ASSERT_TRUE(xg::valid({24, 24, 24}, stored, xg::size_mode::general,
+                        test_limits()));
+  blasmini::tuning_db db;
+  store_params(db, "24x24x24", stored);
+
+  blasmini::dispatcher dispatch(test_device(), &db);
+  const auto decision = dispatch.dispatch(24, 24, 24);
+  EXPECT_EQ(decision.from, blasmini::dispatcher::source::exact);
+  EXPECT_EQ(decision.params.to_string(), stored.to_string());
+  EXPECT_EQ(decision.distance, 0.0);
+  // Exact hits are warm — nothing to refine.
+  EXPECT_TRUE(dispatch.pending_refinements().empty());
+}
+
+TEST(Dispatch, NearestNeighborUsesLogSizeMetric) {
+  blasmini::tuning_db db;
+  store_params(db, "8x8x8", xg::params::defaults());
+  store_params(db, "128x128x128", wide_params());
+
+  blasmini::dispatch_options opts;
+  opts.surrogate_rerank = false;  // isolate the metric
+  blasmini::dispatcher dispatch(test_device(), &db, opts);
+
+  // 36 is 28 away from 8 but 92 away from 128 — absolute distance would
+  // pick 8x8x8. In log space ln(36/8) = 1.50 > ln(128/36) = 1.27, so the
+  // log metric picks 128x128x128 (relative size is what transfers).
+  const auto decision = dispatch.dispatch(36, 36, 36);
+  EXPECT_EQ(decision.from, blasmini::dispatcher::source::nearest);
+  EXPECT_EQ(decision.neighbor, "128x128x128");
+  EXPECT_NEAR(decision.distance, std::sqrt(3.0) * std::log(128.0 / 36.0),
+              1e-12);
+  EXPECT_EQ(decision.params.to_string(), wide_params().to_string());
+}
+
+TEST(Dispatch, InvalidStoredConfigurationIsFilteredOut) {
+  xg::params broken = xg::params::defaults();
+  broken.kwid = 3;  // 3 does not divide WGD=8 — constraint 1
+  ASSERT_FALSE(xg::valid({30, 30, 30}, broken, xg::size_mode::general,
+                         test_limits()));
+
+  blasmini::tuning_db db;
+  store_params(db, "32x32x32", broken);           // nearest but unusable
+  store_params(db, "64x64x64", wide_params());    // farther but valid
+
+  blasmini::dispatch_options opts;
+  opts.surrogate_rerank = false;
+  blasmini::dispatcher dispatch(test_device(), &db, opts);
+
+  const auto decision = dispatch.dispatch(30, 30, 30);
+  EXPECT_EQ(decision.from, blasmini::dispatcher::source::nearest);
+  EXPECT_EQ(decision.neighbor, "64x64x64");
+
+  // With every stored configuration invalid, defaults are the last resort.
+  blasmini::tuning_db only_broken;
+  store_params(only_broken, "32x32x32", broken);
+  blasmini::dispatcher fallback(test_device(), &only_broken, opts);
+  const auto last_resort = fallback.dispatch(30, 30, 30);
+  EXPECT_EQ(last_resort.from, blasmini::dispatcher::source::defaults);
+  EXPECT_EQ(last_resort.params.to_string(),
+            xg::params::defaults().to_string());
+}
+
+TEST(Dispatch, ForeignProblemKeysAreIgnored) {
+  blasmini::tuning_db db;
+  store_params(db, "16x16x16", xg::params::defaults());
+  store_params(db, "not-a-shape", wide_params());
+  store_params(db, "8x8", wide_params());
+  blasmini::dispatcher dispatch(test_device(), &db);
+  EXPECT_EQ(dispatch.known_sizes(),
+            std::vector<std::string>{"16x16x16"});
+}
+
+TEST(Dispatch, RefinementQueueDedupesAndBounds) {
+  blasmini::tuning_db db;
+  blasmini::dispatch_options opts;
+  opts.max_pending = 2;
+  blasmini::dispatcher dispatch(test_device(), &db, opts);
+
+  dispatch.dispatch(10, 10, 10);
+  dispatch.dispatch(10, 10, 10);  // duplicate — not enqueued twice
+  dispatch.dispatch(20, 20, 20);
+  dispatch.dispatch(30, 30, 30);  // beyond max_pending — dropped
+
+  const auto pending = dispatch.pending_refinements();
+  ASSERT_EQ(pending.size(), 2u);
+  EXPECT_EQ(pending[0].m, 10u);
+  EXPECT_EQ(pending[1].m, 20u);
+}
+
+TEST_F(DispatchTest, RefineGraduatesColdShapeToExactHit) {
+  blasmini::tuning_db db;
+  blasmini::dispatch_options opts;
+  opts.journal_dir = dir_;
+  opts.tuning.evaluations = 40;
+  blasmini::dispatcher dispatch(test_device(), &db, opts);
+
+  EXPECT_EQ(dispatch.dispatch(16, 16, 8).from,
+            blasmini::dispatcher::source::defaults);
+  ASSERT_EQ(dispatch.pending_refinements().size(), 1u);
+
+  EXPECT_EQ(dispatch.refine(4), 1u);
+  EXPECT_TRUE(dispatch.pending_refinements().empty());
+
+  const auto warm = dispatch.dispatch(16, 16, 8);
+  EXPECT_EQ(warm.from, blasmini::dispatcher::source::exact);
+  EXPECT_TRUE(xg::valid({16, 16, 8}, warm.params, xg::size_mode::general,
+                        test_limits()));
+}
+
+TEST_F(DispatchTest, JournalPathsAreSanitizedAndPerSize) {
+  blasmini::tuning_db db;
+  blasmini::dispatch_options opts;
+  opts.journal_dir = dir_;
+  blasmini::dispatcher dispatch(test_device(), &db, opts);
+
+  const auto path = dispatch.journal_path("16x16x16");
+  EXPECT_EQ(path.find(dir_), 0u);
+  EXPECT_EQ(path.find(' '), std::string::npos);
+  EXPECT_NE(path.find("16x16x16.jsonl"), std::string::npos);
+  EXPECT_NE(path, dispatch.journal_path("16x16x32"));
+
+  blasmini::dispatcher unjournaled(test_device(), &db);
+  EXPECT_TRUE(unjournaled.journal_path("16x16x16").empty());
+}
+
+// ------------------------------------------------------- re-ranker training
+
+TEST_F(DispatchTest, RerankerTrainsFromJournalsOnceGateIsMet) {
+  blasmini::tuning_db db;
+  blasmini::dispatch_options opts;
+  opts.journal_dir = dir_;
+  opts.tuning.evaluations = 60;
+  opts.min_rerank_samples = 32;
+  blasmini::dispatcher dispatch(test_device(), &db, opts);
+
+  dispatch.tune_grid(blasmini::size_grid::parse("12x12x12;40x40x12"));
+  EXPECT_GE(dispatch.rerank_samples(), 32u);
+  EXPECT_EQ(dispatch.dispatch(20, 20, 12).from,
+            blasmini::dispatcher::source::reranked);
+}
+
+TEST_F(DispatchTest, RerankerStaysOffBelowSampleGateOrWithoutJournals) {
+  blasmini::tuning_db db;
+  blasmini::dispatch_options opts;
+  opts.journal_dir = dir_;
+  opts.tuning.evaluations = 60;
+  opts.min_rerank_samples = 1'000'000;  // unreachable gate
+  blasmini::dispatcher gated(test_device(), &db, opts);
+  gated.tune_grid(blasmini::size_grid::parse("12x12x12;40x40x12"));
+  EXPECT_EQ(gated.rerank_samples(), 0u);
+  EXPECT_EQ(gated.dispatch(20, 20, 12).from,
+            blasmini::dispatcher::source::nearest);
+
+  // No journal directory: nothing to train on, plain nearest-neighbour.
+  blasmini::dispatcher unjournaled(test_device(), &db);
+  EXPECT_EQ(unjournaled.rerank_samples(), 0u);
+  EXPECT_EQ(unjournaled.dispatch(20, 20, 12).from,
+            blasmini::dispatcher::source::nearest);
+}
+
+TEST_F(DispatchTest, FreshInstanceOnSameStateDispatchesIdentically) {
+  blasmini::tuning_db db;
+  blasmini::dispatch_options opts;
+  opts.journal_dir = dir_;
+  opts.tuning.evaluations = 80;
+  opts.min_rerank_samples = 32;
+
+  blasmini::dispatcher first(test_device(), &db, opts);
+  first.tune_grid(blasmini::size_grid::parse("12,40x12,40x12"));
+
+  // A second dispatcher over the same database + journals (a fresh process
+  // in real life) must reconstruct the identical dispatch function.
+  blasmini::dispatcher second(test_device(), &db, opts);
+  EXPECT_EQ(first.known_sizes(), second.known_sizes());
+  EXPECT_EQ(first.rerank_samples(), second.rerank_samples());
+  for (const auto& [m, n, k] :
+       std::vector<std::array<std::size_t, 3>>{{20, 20, 12},
+                                               {33, 14, 12},
+                                               {12, 40, 12},
+                                               {64, 64, 24}}) {
+    const auto a = first.dispatch(m, n, k);
+    const auto b = second.dispatch(m, n, k);
+    EXPECT_EQ(a.params.to_string(), b.params.to_string());
+    EXPECT_EQ(a.from, b.from);
+    EXPECT_EQ(a.neighbor, b.neighbor);
+  }
+}
+
+// ------------------------------------------------- tentpole criteria (a)+(b)
+
+// Criterion (a): every dispatched configuration is valid at the query
+// shape. Criterion (b): dispatched modeled time beats the kernel defaults
+// on >= 90% of held-out sizes. One fixed-seed grid tune (~8 s) backs both.
+TEST_F(DispatchTest, HeldOutSweepIsValidAndBeatsDefaults) {
+  blasmini::tuning_db db;
+  blasmini::dispatch_options opts;
+  opts.journal_dir = dir_;
+  opts.tuning.evaluations = 400;
+  blasmini::dispatcher dispatch(test_device(), &db, opts);
+
+  const auto grid = blasmini::size_grid::parse("96,384x96,384x96,256");
+  EXPECT_EQ(dispatch.tune_grid(grid), grid.sizes.size());
+  EXPECT_EQ(dispatch.known_sizes().size(), grid.sizes.size());
+  EXPECT_GE(dispatch.rerank_samples(), opts.min_rerank_samples);
+
+  const auto limits = test_limits();
+  // Grid points dispatch as exact hits, valid at their own shape.
+  for (const auto& shape : grid.sizes) {
+    const auto decision = dispatch.dispatch(shape.m, shape.n, shape.k);
+    EXPECT_EQ(decision.from, blasmini::dispatcher::source::exact);
+    EXPECT_TRUE(
+        xg::valid(shape, decision.params, xg::size_mode::general, limits));
+  }
+
+  const std::vector<std::array<std::size_t, 3>> heldout{
+      {128, 128, 128}, {192, 256, 160}, {320, 192, 128}, {256, 320, 96},
+      {160, 384, 192}, {384, 160, 128}, {288, 288, 224}, {224, 352, 160},
+      {352, 224, 96},  {256, 256, 256}, {320, 320, 128}, {192, 192, 192}};
+  std::size_t wins = 0;
+  double log_speedup_sum = 0.0;
+  for (const auto& [m, n, k] : heldout) {
+    const auto decision = dispatch.dispatch(m, n, k);
+    EXPECT_NE(decision.from, blasmini::dispatcher::source::exact);
+    // (a) validity under the query shape's constraints, always.
+    EXPECT_TRUE(xg::valid({m, n, k}, decision.params, xg::size_mode::general,
+                          limits))
+        << m << "x" << n << "x" << k;
+    const double t = dispatch.executor().modeled_time_ns(m, n, k,
+                                                         decision.params);
+    const double t_def = dispatch.executor().modeled_time_ns(
+        m, n, k, xg::params::defaults());
+    wins += (t <= t_def) ? 1 : 0;
+    log_speedup_sum += std::log(t_def / t);
+  }
+  // (b) >= 90% of held-out sizes beat the defaults (ceil(0.9 * 12) = 11;
+  // the pinned seed currently wins 12/12 with geomean speedup ~2.3x).
+  EXPECT_GE(wins, (heldout.size() * 9 + 9) / 10);
+  EXPECT_GT(std::exp(log_speedup_sum / heldout.size()), 1.0);
+}
+
+// ----------------------------------------------------- tentpole criterion (c)
+
+// Criterion (c): grid-tune -> SIGKILL mid-grid -> resume -> dispatch is
+// bit-identical to a never-interrupted run. The driver prints %.17g-rendered
+// decisions; the two stdouts must match byte for byte.
+TEST_F(DispatchTest, KillAndResumeDispatchesBitIdentically) {
+  const std::string grid = "'12,40x12,40x12'";
+  const std::string heldout = "'20x20x20;33x14x9;64x24x12'";
+  const std::string base = std::string(DISPATCH_DRIVER_BINARY);
+
+  const std::string clean_dir = dir_ + "/clean";
+  const std::string crash_dir = dir_ + "/crash";
+  ASSERT_EQ(std::system(("mkdir -p '" + clean_dir + "' '" + crash_dir + "'")
+                            .c_str()),
+            0);
+
+  const auto uninterrupted = run_command(base + " '" + clean_dir + "' " +
+                                         grid + " " + heldout + " 120");
+  ASSERT_EQ(uninterrupted.exit_code, 0);
+  ASSERT_FALSE(uninterrupted.stdout_text.empty());
+
+  // Kill from inside the cost function after 150 fresh measurements —
+  // mid-way through the second grid point's tune.
+  const auto crashed = run_command(base + " '" + crash_dir + "' " + grid +
+                                   " " + heldout + " 120 150");
+  EXPECT_NE(crashed.exit_code, 0);
+
+  const auto resumed = run_command(base + " '" + crash_dir + "' " + grid +
+                                   " " + heldout + " 120");
+  ASSERT_EQ(resumed.exit_code, 0);
+  EXPECT_EQ(resumed.stdout_text, uninterrupted.stdout_text);
+}
+
+// A second crash point (first grid point, before any journal is complete)
+// exercises the replay-from-partial-prefix path.
+TEST_F(DispatchTest, KillDuringFirstGridPointResumesBitIdentically) {
+  const std::string grid = "'12,40x12,40x12'";
+  const std::string heldout = "'20x20x20'";
+  const std::string base = std::string(DISPATCH_DRIVER_BINARY);
+
+  const std::string clean_dir = dir_ + "/clean";
+  const std::string crash_dir = dir_ + "/crash";
+  ASSERT_EQ(std::system(("mkdir -p '" + clean_dir + "' '" + crash_dir + "'")
+                            .c_str()),
+            0);
+
+  const auto uninterrupted = run_command(base + " '" + clean_dir + "' " +
+                                         grid + " " + heldout + " 120");
+  ASSERT_EQ(uninterrupted.exit_code, 0);
+
+  const auto crashed = run_command(base + " '" + crash_dir + "' " + grid +
+                                   " " + heldout + " 120 30");
+  EXPECT_NE(crashed.exit_code, 0);
+
+  // Crash again at a later point — stacked crashes must still converge.
+  const auto crashed_again = run_command(base + " '" + crash_dir + "' " +
+                                         grid + " " + heldout + " 120 200");
+  EXPECT_NE(crashed_again.exit_code, 0);
+
+  const auto resumed = run_command(base + " '" + crash_dir + "' " + grid +
+                                   " " + heldout + " 120");
+  ASSERT_EQ(resumed.exit_code, 0);
+  EXPECT_EQ(resumed.stdout_text, uninterrupted.stdout_text);
+}
+
+}  // namespace

@@ -113,6 +113,95 @@ TEST(ResultStore, PerTechniqueStats) {
   EXPECT_EQ(annealing.best_scalar, 1.0);
 }
 
+TEST(ResultStore, LatestRecordsDropSupersededKeepJournalOrder) {
+  result_store store;
+  store.insert(make_record(1, 10.0));
+  store.insert(make_record(2, 20.0));
+  store.insert(make_record(1, 5.0));   // supersedes the first insert
+  store.insert(make_record(3, 30.0));
+  store.insert(make_record(2, 25.0));  // supersedes the second insert
+
+  const auto latest = store.latest_records();
+  ASSERT_EQ(latest.size(), 3u);
+  // Order is the journal position of each configuration's *latest*
+  // measurement — not first-seen order: x=1's re-measurement comes before
+  // x=3, and x=2's comes after.
+  EXPECT_EQ(latest[0].scalar, 5.0);
+  EXPECT_EQ(latest[1].scalar, 30.0);
+  EXPECT_EQ(latest[2].scalar, 25.0);
+}
+
+TEST(ResultStore, MergedJournalsGroupPerConfigurationLatestWins) {
+  // Two runs' journals merged into one store (the dispatcher's per-size
+  // warm-start view): the same configuration measured by both runs
+  // resolves to the later run's record, and per-run grouping survives.
+  result_store store;
+  store.insert(make_record(1, 10.0, true, "t", "run-1"));
+  store.insert(make_record(2, 20.0, true, "t", "run-1"));
+  store.insert(make_record(1, 12.0, true, "t", "run-2"));
+  store.insert(make_record(3, 8.0, true, "t", "run-2"));
+
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.records().size(), 4u);
+  const tuning_record* merged = store.find(make_record(1, 0.0).config_hash);
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->run_id, "run-2");
+  EXPECT_EQ(merged->scalar, 12.0);
+
+  const auto runs = store.run_ids();
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], "run-1");
+  EXPECT_EQ(runs[1], "run-2");
+
+  // best() sees run-2's fresher (worse) re-measurement, not run-1's stale
+  // 10.0: the nominal best is x=3 at 8.0.
+  ASSERT_TRUE(store.best().has_value());
+  EXPECT_EQ(store.best()->scalar, 8.0);
+}
+
+TEST(ResultStore, TopKTieBreaksOnConfigHashDeterministically) {
+  result_store store;
+  store.insert(make_record(5, 2.0));
+  store.insert(make_record(9, 2.0));  // same scalar, different hash
+  store.insert(make_record(7, 2.0));
+  store.insert(make_record(3, 1.0));
+
+  const auto top = store.top_k(4);
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_EQ(top[0].scalar, 1.0);
+  // The three ties are ordered by config_hash ascending — independent of
+  // insertion order and of unordered_map iteration order.
+  EXPECT_LT(top[1].config_hash, top[2].config_hash);
+  EXPECT_LT(top[2].config_hash, top[3].config_hash);
+
+  // The same records inserted in a different order produce the same top-k.
+  result_store reordered;
+  reordered.insert(make_record(3, 1.0));
+  reordered.insert(make_record(7, 2.0));
+  reordered.insert(make_record(9, 2.0));
+  reordered.insert(make_record(5, 2.0));
+  const auto top2 = reordered.top_k(4);
+  ASSERT_EQ(top2.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(top[i].config_hash, top2[i].config_hash) << "rank " << i;
+  }
+}
+
+TEST(ResultStore, TopKTieAcrossSupersededMeasurementUsesLatestScalar) {
+  // A configuration re-measured to tie another: the tie-break still works
+  // off the *latest* scalar, and the superseded value never resurfaces.
+  result_store store;
+  store.insert(make_record(1, 9.0));
+  store.insert(make_record(2, 4.0));
+  store.insert(make_record(1, 4.0));  // now ties x=2
+
+  const auto top = store.top_k(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].scalar, 4.0);
+  EXPECT_EQ(top[1].scalar, 4.0);
+  EXPECT_LT(top[0].config_hash, top[1].config_hash);
+}
+
 TEST(ResultStore, RunIdsInFirstSeenOrder) {
   result_store store;
   store.insert(make_record(1, 1.0, true, "t", "run-2"));

@@ -202,4 +202,70 @@ TEST_F(AtfTuneCliTest, CsvLogIsWritten) {
   EXPECT_EQ(rows, 5);
 }
 
+TEST_F(AtfTuneCliTest, SizeGridModeTunesAndPersistsDatabase) {
+  // GEMM grid mode needs no --source/--compile/--run: it tunes the built-in
+  // kernel over the size grid and writes the tuning database.
+  const std::string db = dir_ + "/tuning.tsv";
+  const auto result = run_command(std::string(ATF_TUNE_BINARY) +
+                                  " --size-grid '12,24x12x12' --db '" + db +
+                                  "' --evaluations 60 --seed 5");
+  EXPECT_EQ(result.exit_code, 0) << result.stdout_text;
+  // One stdout line per grid point: SIG=-DKWID=... define string.
+  EXPECT_NE(result.stdout_text.find("12x12x12="), std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("24x12x12="), std::string::npos);
+  EXPECT_NE(result.stdout_text.find("WGD="), std::string::npos);
+
+  std::ifstream in(db);
+  ASSERT_TRUE(in.good());
+  int records = 0;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty() && line[0] != '#') {
+      ++records;
+    }
+  }
+  EXPECT_EQ(records, 2);
+}
+
+TEST_F(AtfTuneCliTest, SizeGridModeAccumulatesIntoExistingDatabase) {
+  const std::string db = dir_ + "/tuning.tsv";
+  const std::string base = std::string(ATF_TUNE_BINARY) + " --db '" + db +
+                           "' --evaluations 60";
+  EXPECT_EQ(run_command(base + " --size-grid '12x12x12'").exit_code, 0);
+  const auto second = run_command(base + " --size-grid '24x24x12'");
+  EXPECT_EQ(second.exit_code, 0);
+
+  std::ifstream in(db);
+  int records = 0;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty() && line[0] != '#') {
+      ++records;
+    }
+  }
+  EXPECT_EQ(records, 2);  // the first run's entry survived the second
+}
+
+TEST_F(AtfTuneCliTest, SizeGridModeRejectsBadInput) {
+  const std::string db = dir_ + "/tuning.tsv";
+  // Missing --db, malformed grid, unknown device, unknown technique.
+  EXPECT_EQ(run_command(std::string(ATF_TUNE_BINARY) +
+                        " --size-grid '8x8x8'")
+                .exit_code,
+            1);
+  EXPECT_EQ(run_command(std::string(ATF_TUNE_BINARY) +
+                        " --size-grid '8x8' --db '" + db + "'")
+                .exit_code,
+            1);
+  EXPECT_EQ(run_command(std::string(ATF_TUNE_BINARY) +
+                        " --size-grid '8x8x8' --db '" + db +
+                        "' --device 'NoSuchAccelerator'")
+                .exit_code,
+            1);
+  EXPECT_EQ(run_command(std::string(ATF_TUNE_BINARY) +
+                        " --size-grid '8x8x8' --db '" + db +
+                        "' --technique banana")
+                .exit_code,
+            1);
+}
+
 }  // namespace

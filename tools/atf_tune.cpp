@@ -10,6 +10,15 @@
 //            [--evaluations N] [--seconds S] [--seed N] [--csv out.csv] \
 //            [--space-storage dense|packed|lazy] [--chunk-cache-mb N]
 //
+// GEMM grid mode (multi-size dispatch, DESIGN.md §12): instead of tuning a
+// program, grid-tune the built-in XgemmDirect kernel over a problem-size
+// grid and persist the winners in a tuning database:
+//
+//   atf_tune --size-grid "32,128x32,128x32,64" --db tuning.tsv \
+//            [--device NAME] [--journal-dir DIR] \
+//            [--technique opentuner|annealing|surrogate|random] \
+//            [--evaluations N] [--seed N]
+//
 // Parameter specs:
 //   NAME=interval:LO:HI[:divides=OTHER|:multiple-of=OTHER|:pow2]
 //   NAME=set:v1,v2,...
@@ -34,6 +43,7 @@
 #include "atf/search/random_search.hpp"
 #include "atf/search/simulated_annealing.hpp"
 #include "atf/search/surrogate_search.hpp"
+#include "blasmini/dispatch.hpp"
 
 namespace {
 
@@ -50,6 +60,11 @@ struct cli_options {
   std::optional<std::uint64_t> evaluations;
   std::optional<double> seconds;
   std::uint64_t seed = 0x5eed;
+  // GEMM grid mode
+  std::string size_grid;
+  std::string db_path;
+  std::string device = "K20m";
+  std::string journal_dir;
 };
 
 void usage(const char* argv0) {
@@ -71,8 +86,17 @@ void usage(const char* argv0) {
       "                    a bounded cache -- for spaces too large for RAM.\n"
       "                    All backends tune bit-identically.\n"
       "  --chunk-cache-mb  lazy only: budget of the regenerated-chunk cache\n"
-      "                    in MiB (default 64).\n",
-      argv0);
+      "                    in MiB (default 64).\n"
+      "\n"
+      "GEMM grid mode:\n"
+      "       %s --size-grid \"32,128x32,128x32,64\" --db tuning.tsv\n"
+      "          [--device NAME] [--journal-dir DIR] [--technique T]\n"
+      "          [--evaluations N] [--seed N]\n"
+      "  Grid-tunes the built-in XgemmDirect kernel over the size grid on a\n"
+      "  simulated device and stores the winners in the tuning database\n"
+      "  (loaded first if it exists, so runs accumulate). --journal-dir\n"
+      "  makes the grid tune crash-safe and warm-startable.\n",
+      argv0, argv0);
 }
 
 std::optional<cli_options> parse_cli(int argc, char** argv) {
@@ -111,17 +135,91 @@ std::optional<cli_options> parse_cli(int argc, char** argv) {
       opts.seconds = std::strtod(value, nullptr);
     } else if (flag == "--seed" && (value = need_value(i))) {
       opts.seed = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--size-grid" && (value = need_value(i))) {
+      opts.size_grid = value;
+    } else if (flag == "--db" && (value = need_value(i))) {
+      opts.db_path = value;
+    } else if (flag == "--device" && (value = need_value(i))) {
+      opts.device = value;
+    } else if (flag == "--journal-dir" && (value = need_value(i))) {
+      opts.journal_dir = value;
     } else {
       std::fprintf(stderr, "atf_tune: unknown or incomplete option '%s'\n",
                    flag.c_str());
       return std::nullopt;
     }
   }
+  if (!opts.size_grid.empty()) {
+    if (opts.db_path.empty()) {
+      std::fprintf(stderr, "atf_tune: --size-grid requires --db\n");
+      return std::nullopt;
+    }
+    return opts;  // program-mode flags are not required
+  }
   if (opts.source.empty() || opts.compile.empty() || opts.run.empty() ||
       opts.params.empty()) {
     return std::nullopt;
   }
   return opts;
+}
+
+/// GEMM grid mode: grid-tune XgemmDirect over the size grid and persist the
+/// winners; accumulates into an existing database.
+int run_size_grid_mode(const cli_options& opts) {
+  blasmini::tune_technique technique = blasmini::tune_technique::opentuner;
+  if (opts.technique == "annealing") {
+    technique = blasmini::tune_technique::annealing;
+  } else if (opts.technique == "surrogate") {
+    technique = blasmini::tune_technique::surrogate;
+  } else if (opts.technique == "random") {
+    technique = blasmini::tune_technique::random;
+  } else if (opts.technique != "opentuner" &&
+             opts.technique != "exhaustive") {  // exhaustive = the default
+    std::fprintf(stderr, "atf_tune: unknown technique '%s'\n",
+                 opts.technique.c_str());
+    return 1;
+  }
+
+  try {
+    const auto grid = blasmini::size_grid::parse(opts.size_grid);
+    auto db = blasmini::tuning_db::load(opts.db_path);
+
+    blasmini::dispatch_options dopts;
+    dopts.journal_dir = opts.journal_dir;
+    dopts.tuning.technique = technique;
+    dopts.tuning.evaluations = opts.evaluations.value_or(2'000);
+    dopts.tuning.seed = opts.seed;
+    blasmini::dispatcher dispatch(ocls::find_device("", opts.device), &db,
+                                  dopts);
+
+    dispatch.tune_grid(grid);
+    db.save(opts.db_path);
+
+    const auto& dev = dispatch.executor().device();
+    for (const auto& shape : grid.sizes) {
+      const auto decision = dispatch.dispatch(shape.m, shape.n, shape.k);
+      std::printf("%s=%s\n",
+                  blasmini::gemm_executor::problem_signature(shape.m, shape.n,
+                                                             shape.k)
+                      .c_str(),
+                  decision.params.to_string().c_str());
+    }
+    std::fprintf(stderr,
+                 "atf_tune: tuned %zu grid points on %s, database '%s' now "
+                 "holds %zu entries\n",
+                 grid.sizes.size(), dev.name().c_str(), opts.db_path.c_str(),
+                 db.size());
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "atf_tune: %s\n", error.what());
+    return 1;
+  } catch (const ocls::device_not_found& error) {
+    std::fprintf(stderr, "atf_tune: %s\n", error.what());
+    return 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "atf_tune: %s\n", error.what());
+    return 1;
+  }
+  return 0;
 }
 
 /// Builds one tuning parameter from its spec; earlier parameters are
@@ -212,6 +310,10 @@ int main(int argc, char** argv) {
   if (!opts.has_value()) {
     usage(argv[0]);
     return 1;
+  }
+
+  if (!opts->size_grid.empty()) {
+    return run_size_grid_mode(*opts);
   }
 
   // Build the tuning parameters in command-line order.
