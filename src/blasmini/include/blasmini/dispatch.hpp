@@ -156,6 +156,14 @@ public:
     return rerank_samples_;
   }
 
+  /// Misses dropped because the refinement queue was full — previously a
+  /// silent loss. Operators watch this (atf_served surfaces it in its
+  /// stats) to size max_pending; it only ever grows, refine() does not
+  /// reset it.
+  [[nodiscard]] std::uint64_t dropped_refinements() const noexcept {
+    return dropped_refinements_;
+  }
+
   [[nodiscard]] const dispatch_options& options() const noexcept {
     return opts_;
   }
@@ -182,6 +190,7 @@ private:
   atf::search::surrogate_model reranker_;
   std::size_t rerank_samples_ = 0;
   std::deque<atf::kernels::xgemm::problem> pending_;
+  std::uint64_t dropped_refinements_ = 0;
 };
 
 }  // namespace blasmini

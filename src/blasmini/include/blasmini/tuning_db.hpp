@@ -11,6 +11,7 @@
 // ocls::define_map directly.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -30,7 +31,14 @@ public:
   static tuning_db load(const std::string& path);
 
   /// Writes the database; throws std::runtime_error on I/O failure.
-  void save(const std::string& path) const;
+  /// Crash-safe: the content goes to a sibling temp file (fsynced where
+  /// supported) which atomically renames over `path`, so every consumer
+  /// sharing the database sees either the old or the new content — a crash
+  /// mid-save can no longer truncate it. `progress` is a test-only
+  /// fault-injection hook, called after each record line is written to the
+  /// temp file (1-based count).
+  void save(const std::string& path,
+            const std::function<void(std::size_t)>& progress = {}) const;
 
   [[nodiscard]] std::optional<record> lookup(const std::string& device,
                                              const std::string& kernel,

@@ -259,13 +259,14 @@ void dispatcher::reload() {
 }
 
 void dispatcher::enqueue_refinement(const xg::problem& shape) {
-  if (pending_.size() >= opts_.max_pending) {
-    return;
-  }
   const auto same = [&](const xg::problem& p) {
     return p.m == shape.m && p.n == shape.n && p.k == shape.k;
   };
   if (std::any_of(pending_.begin(), pending_.end(), same)) {
+    return;  // already queued: a repeat miss is not a drop
+  }
+  if (pending_.size() >= opts_.max_pending) {
+    ++dropped_refinements_;  // count what used to vanish silently
     return;
   }
   pending_.push_back(shape);

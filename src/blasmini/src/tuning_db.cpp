@@ -1,13 +1,50 @@
 #include "blasmini/tuning_db.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define BLASMINI_HAVE_FSYNC 1
+#endif
 
 #include "atf/common/string_utils.hpp"
 
 namespace blasmini {
 
 namespace {
+
+/// Best-effort fsync of a closed file (durability of the temp content
+/// before it renames over the live database). No-op without fsync.
+void sync_file(const std::string& path) {
+#if BLASMINI_HAVE_FSYNC
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+/// Best-effort fsync of the directory holding `path` (durability of the
+/// rename itself).
+void sync_parent_directory(const std::string& path) {
+#if BLASMINI_HAVE_FSYNC
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
 
 // The file format delimits records with tabs and newlines and config pairs
 // with spaces and '='. Free-form keys and values may contain any of those,
@@ -110,12 +147,18 @@ tuning_db tuning_db::load(const std::string& path) {
   return db;
 }
 
-void tuning_db::save(const std::string& path) const {
-  std::ofstream out(path);
+void tuning_db::save(const std::string& path,
+                     const std::function<void(std::size_t)>& progress) const {
+  // Write-to-temp + atomic rename: a crash mid-save must never truncate
+  // the database every consumer shares. The temp file is a sibling so the
+  // rename stays within one filesystem.
+  const std::string temp = path + ".tmp";
+  std::ofstream out(temp, std::ios::trunc);
   if (!out) {
-    throw std::runtime_error("tuning_db: cannot write '" + path + "'");
+    throw std::runtime_error("tuning_db: cannot write '" + temp + "'");
   }
   out << "# blasmini tuning database: device\tkernel\tproblem\tconfig\n";
+  std::size_t written = 0;
   for (const auto& [key, config] : entries_) {
     // A device name starting with '#' would read back as a comment line;
     // "\#" unescapes to '#' (the default case), so the record survives.
@@ -134,7 +177,26 @@ void tuning_db::save(const std::string& path) const {
       first = false;
     }
     out << '\n';
+    ++written;
+    if (progress) {
+      out.flush();
+      progress(written);
+    }
   }
+  out.flush();
+  if (!out) {
+    out.close();
+    std::remove(temp.c_str());
+    throw std::runtime_error("tuning_db: write to '" + temp + "' failed");
+  }
+  out.close();
+  sync_file(temp);
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    throw std::runtime_error("tuning_db: cannot rename '" + temp +
+                             "' over '" + path + "'");
+  }
+  sync_parent_directory(path);
 }
 
 std::optional<record> tuning_db::lookup(const std::string& device,

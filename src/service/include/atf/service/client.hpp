@@ -1,0 +1,42 @@
+// The client half of the atf_served line protocol: connect to the daemon's
+// Unix socket, send one JSON request line, read one JSON reply line.
+// Used by `atf_tune --serve`, the end-to-end tests and the CI warm-start
+// job; a tuned library would embed exactly this class next to its compute
+// call sites.
+#pragma once
+
+#include <string>
+
+#include "atf/service/protocol.hpp"
+
+namespace atf::service {
+
+class service_client {
+public:
+  /// Connects immediately; throws service_error when the daemon is not
+  /// listening (or the platform has no Unix sockets).
+  explicit service_client(const std::string& socket_path);
+  ~service_client();
+
+  service_client(const service_client&) = delete;
+  service_client& operator=(const service_client&) = delete;
+
+  /// Sends one raw request line and returns the raw reply line (both
+  /// without trailing newline). Throws service_error on a dropped
+  /// connection. The building block the typed calls below wrap.
+  std::string round_trip(const std::string& request_line);
+
+  /// Best configuration for a key; reply.raw carries the exact bytes.
+  get_reply get(const service_key& key);
+
+  stats_reply stats();
+
+  /// True when the daemon answers the ping.
+  bool ping();
+
+private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the previous reply's newline
+};
+
+}  // namespace atf::service

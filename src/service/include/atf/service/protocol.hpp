@@ -1,0 +1,117 @@
+// The atf_served line protocol (DESIGN.md §13): one JSON object per line
+// in each direction over a Unix domain socket, reusing the session
+// subsystem's canonical JSON writer so replies are byte-deterministic —
+// the warm-start CI job compares raw reply bytes across a kill/restart.
+//
+// Requests:
+//   {"op":"get","kernel":"xgemm","device":"K20m","size":"64x64x64"}
+//   {"op":"stats"}
+//   {"op":"ping"}
+//
+// Replies (always one line, always with "ok"):
+//   {"ok":true,"op":"get","key":"xgemm/K20m/64x64x64","hit":true,
+//    "hash":"<16 hex>","scalar":…,"config":{"WGD":"8",…},"configs":N}
+//   {"ok":true,"op":"get","key":"…","hit":false,"enqueued":true,
+//    "dropped":false,"unrefinable":false}
+//   {"ok":true,"op":"stats","stats":{"requests":…,…}}
+//   {"ok":false,"error":"…"}
+//
+// Configuration values travel as *strings* (the tuning_record textual
+// forms), so u64/double parameters round-trip exactly — same reasoning as
+// the journal format.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "atf/session/json.hpp"
+
+namespace atf::service {
+
+class service_error : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+/// What a client asks about: a tuned kernel on a device profile at one
+/// problem size. All three fields are free-form strings to the service
+/// core; only the refine backend interprets them.
+struct service_key {
+  std::string kernel;
+  std::string device;
+  std::string size;
+
+  /// Human/protocol form: "kernel/device/size".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Lossless, filesystem-safe encoding — the journal file is named
+  /// "<file_stem()>.jsonl". Fields are percent-encoded (only
+  /// [A-Za-z0-9._-] pass through) and joined with '+', so the stem parses
+  /// back to the exact key: no sidecar index file is needed to rebuild the
+  /// key → journal mapping on warm start.
+  [[nodiscard]] std::string file_stem() const;
+  [[nodiscard]] static std::optional<service_key> from_file_stem(
+      const std::string& stem);
+
+  friend bool operator==(const service_key& a, const service_key& b) {
+    return a.kernel == b.kernel && a.device == b.device && a.size == b.size;
+  }
+  friend bool operator<(const service_key& a, const service_key& b) {
+    if (a.kernel != b.kernel) return a.kernel < b.kernel;
+    if (a.device != b.device) return a.device < b.device;
+    return a.size < b.size;
+  }
+};
+
+struct request {
+  enum class op { get, stats, ping };
+  op operation = op::ping;
+  service_key key;  ///< meaningful for `get`
+};
+
+/// Parses one request line. On malformed input returns std::nullopt and
+/// fills `error` with a one-line reason (the server echoes it back).
+[[nodiscard]] std::optional<request> parse_request(const std::string& line,
+                                                   std::string& error);
+
+/// Serializes a request to its wire line (without trailing newline).
+[[nodiscard]] std::string serialize_request(const request& r);
+
+/// Client-side decoded `get` reply.
+struct get_reply {
+  bool ok = false;
+  std::string error;        ///< set when !ok
+  std::string key;
+  bool hit = false;
+  // Hit payload:
+  std::string hash;         ///< configuration hash, 16 hex digits
+  double scalar = 0.0;      ///< best scalar cost
+  std::vector<std::pair<std::string, std::string>> config;  ///< declaration order
+  /// Distinct configurations backing this key (store size). Deliberately
+  /// NOT the raw journal record count: compaction drops superseded
+  /// duplicates, and this field must stay bit-identical across it.
+  std::uint64_t configs = 0;
+  // Miss payload:
+  bool enqueued = false;    ///< refinement queued for this key
+  bool dropped = false;     ///< queue full: the miss was counted, not queued
+  bool unrefinable = false; ///< backend will never tune this key
+  std::string raw;          ///< the exact reply line (bit-identity checks)
+};
+
+[[nodiscard]] get_reply parse_get_reply(const std::string& line);
+
+/// Client-side decoded `stats` reply: counter name -> value.
+struct stats_reply {
+  bool ok = false;
+  std::string error;
+  std::map<std::string, std::uint64_t> counters;
+};
+
+[[nodiscard]] stats_reply parse_stats_reply(const std::string& line);
+
+}  // namespace atf::service

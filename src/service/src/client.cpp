@@ -1,0 +1,114 @@
+#include "atf/service/client.hpp"
+
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#define ATF_SERVICE_HAVE_UNIX_SOCKETS 1
+#endif
+
+namespace atf::service {
+
+#if ATF_SERVICE_HAVE_UNIX_SOCKETS
+
+service_client::service_client(const std::string& socket_path) {
+  if (socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw service_error("service_client: path too long for a Unix socket: '" +
+                        socket_path + "'");
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw service_error(std::string("service_client: socket() failed: ") +
+                        std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int saved_errno = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw service_error("service_client: cannot connect to '" + socket_path +
+                        "': " + std::strerror(saved_errno));
+  }
+}
+
+service_client::~service_client() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+std::string service_client::round_trip(const std::string& request_line) {
+  const std::string framed = request_line + "\n";
+  std::size_t written = 0;
+  while (written < framed.size()) {
+    const ssize_t n =
+        ::write(fd_, framed.data() + written, framed.size() - written);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      throw service_error("service_client: write failed: " +
+                          std::string(std::strerror(errno)));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      const std::string reply = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return reply;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      throw service_error("service_client: connection closed by the daemon");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+#else  // !ATF_SERVICE_HAVE_UNIX_SOCKETS
+
+service_client::service_client(const std::string&) {
+  throw service_error(
+      "service_client: Unix domain sockets are unavailable on this platform");
+}
+service_client::~service_client() = default;
+std::string service_client::round_trip(const std::string&) {
+  throw service_error("service_client: unavailable");
+}
+
+#endif
+
+get_reply service_client::get(const service_key& key) {
+  request r;
+  r.operation = request::op::get;
+  r.key = key;
+  return parse_get_reply(round_trip(serialize_request(r)));
+}
+
+stats_reply service_client::stats() {
+  request r;
+  r.operation = request::op::stats;
+  return parse_stats_reply(round_trip(serialize_request(r)));
+}
+
+bool service_client::ping() {
+  request r;
+  r.operation = request::op::ping;
+  const std::string reply = round_trip(serialize_request(r));
+  return reply.find("\"ok\":true") != std::string::npos;
+}
+
+}  // namespace atf::service

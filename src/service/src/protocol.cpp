@@ -1,0 +1,255 @@
+#include "atf/service/protocol.hpp"
+
+#include <cstdio>
+
+namespace atf::service {
+
+namespace {
+
+namespace json = atf::session::json;
+
+bool stem_safe(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+}
+
+void encode_field(const std::string& raw, std::string& out) {
+  for (const char c : raw) {
+    if (stem_safe(c)) {
+      out += c;
+    } else {
+      char hex[4];
+      std::snprintf(hex, sizeof(hex), "%%%02x",
+                    static_cast<unsigned char>(c));
+      out += hex;
+    }
+  }
+}
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::optional<std::string> decode_field(const std::string& encoded) {
+  std::string out;
+  out.reserve(encoded.size());
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    const char c = encoded[i];
+    if (c == '%') {
+      if (i + 2 >= encoded.size()) {
+        return std::nullopt;
+      }
+      const int hi = hex_nibble(encoded[i + 1]);
+      const int lo = hex_nibble(encoded[i + 2]);
+      if (hi < 0 || lo < 0) {
+        return std::nullopt;
+      }
+      out += static_cast<char>((hi << 4) | lo);
+      i += 2;
+    } else if (stem_safe(c)) {
+      out += c;
+    } else {
+      return std::nullopt;  // '+' or other raw separator inside a field
+    }
+  }
+  return out;
+}
+
+const json::value* string_field(const json::value& v, const char* name) {
+  const json::value* field = v.find(name);
+  if (field == nullptr || !field->is_string()) {
+    return nullptr;
+  }
+  return field;
+}
+
+bool bool_field(const json::value& v, const char* name) {
+  const json::value* field = v.find(name);
+  return field != nullptr && field->is_bool() && field->as_bool();
+}
+
+}  // namespace
+
+std::string service_key::to_string() const {
+  return kernel + "/" + device + "/" + size;
+}
+
+std::string service_key::file_stem() const {
+  std::string out;
+  out.reserve(kernel.size() + device.size() + size.size() + 2);
+  encode_field(kernel, out);
+  out += '+';
+  encode_field(device, out);
+  out += '+';
+  encode_field(size, out);
+  return out;
+}
+
+std::optional<service_key> service_key::from_file_stem(
+    const std::string& stem) {
+  const std::size_t first = stem.find('+');
+  if (first == std::string::npos) {
+    return std::nullopt;
+  }
+  const std::size_t second = stem.find('+', first + 1);
+  if (second == std::string::npos ||
+      stem.find('+', second + 1) != std::string::npos) {
+    return std::nullopt;
+  }
+  const auto kernel = decode_field(stem.substr(0, first));
+  const auto device = decode_field(stem.substr(first + 1, second - first - 1));
+  const auto size = decode_field(stem.substr(second + 1));
+  if (!kernel || !device || !size) {
+    return std::nullopt;
+  }
+  return service_key{*kernel, *device, *size};
+}
+
+std::optional<request> parse_request(const std::string& line,
+                                     std::string& error) {
+  json::value parsed;
+  try {
+    parsed = json::parse(line);
+  } catch (const json::parse_error& e) {
+    error = std::string("malformed request: ") + e.what();
+    return std::nullopt;
+  }
+  const json::value* op = string_field(parsed, "op");
+  if (op == nullptr) {
+    error = "request is missing the string field 'op'";
+    return std::nullopt;
+  }
+  request r;
+  if (op->as_string() == "ping") {
+    r.operation = request::op::ping;
+    return r;
+  }
+  if (op->as_string() == "stats") {
+    r.operation = request::op::stats;
+    return r;
+  }
+  if (op->as_string() != "get") {
+    error = "unknown op '" + op->as_string() + "'";
+    return std::nullopt;
+  }
+  r.operation = request::op::get;
+  const json::value* kernel = string_field(parsed, "kernel");
+  const json::value* device = string_field(parsed, "device");
+  const json::value* size = string_field(parsed, "size");
+  if (kernel == nullptr || device == nullptr || size == nullptr) {
+    error = "get needs string fields 'kernel', 'device' and 'size'";
+    return std::nullopt;
+  }
+  r.key = {kernel->as_string(), device->as_string(), size->as_string()};
+  if (r.key.kernel.empty() || r.key.device.empty() || r.key.size.empty()) {
+    error = "get fields must be non-empty";
+    return std::nullopt;
+  }
+  return r;
+}
+
+std::string serialize_request(const request& r) {
+  json::value out{json::object{}};
+  switch (r.operation) {
+    case request::op::ping:
+      out.set("op", "ping");
+      break;
+    case request::op::stats:
+      out.set("op", "stats");
+      break;
+    case request::op::get:
+      out.set("op", "get");
+      out.set("kernel", r.key.kernel);
+      out.set("device", r.key.device);
+      out.set("size", r.key.size);
+      break;
+  }
+  return json::serialize(out);
+}
+
+get_reply parse_get_reply(const std::string& line) {
+  get_reply reply;
+  reply.raw = line;
+  json::value parsed;
+  try {
+    parsed = json::parse(line);
+  } catch (const json::parse_error& e) {
+    reply.error = std::string("malformed reply: ") + e.what();
+    return reply;
+  }
+  const json::value* ok = parsed.find("ok");
+  if (ok == nullptr || !ok->is_bool()) {
+    reply.error = "reply is missing 'ok'";
+    return reply;
+  }
+  if (!ok->as_bool()) {
+    const json::value* error = string_field(parsed, "error");
+    reply.error = error != nullptr ? error->as_string() : "unknown error";
+    return reply;
+  }
+  reply.ok = true;
+  if (const json::value* key = string_field(parsed, "key")) {
+    reply.key = key->as_string();
+  }
+  reply.hit = bool_field(parsed, "hit");
+  reply.enqueued = bool_field(parsed, "enqueued");
+  reply.dropped = bool_field(parsed, "dropped");
+  reply.unrefinable = bool_field(parsed, "unrefinable");
+  if (!reply.hit) {
+    return reply;
+  }
+  if (const json::value* hash = string_field(parsed, "hash")) {
+    reply.hash = hash->as_string();
+  }
+  if (const json::value* scalar = parsed.find("scalar");
+      scalar != nullptr && scalar->is_number()) {
+    reply.scalar = scalar->as_double();
+  }
+  if (const json::value* configs = parsed.find("configs");
+      configs != nullptr && configs->is_number()) {
+    reply.configs = configs->as_uint64();
+  }
+  if (const json::value* config = parsed.find("config");
+      config != nullptr && config->is_object()) {
+    for (const auto& [name, value] : config->as_object()) {
+      if (value.is_string()) {
+        reply.config.emplace_back(name, value.as_string());
+      }
+    }
+  }
+  return reply;
+}
+
+stats_reply parse_stats_reply(const std::string& line) {
+  stats_reply reply;
+  json::value parsed;
+  try {
+    parsed = json::parse(line);
+  } catch (const json::parse_error& e) {
+    reply.error = std::string("malformed reply: ") + e.what();
+    return reply;
+  }
+  const json::value* ok = parsed.find("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+    const json::value* error = string_field(parsed, "error");
+    reply.error = error != nullptr ? error->as_string() : "unknown error";
+    return reply;
+  }
+  const json::value* stats = parsed.find("stats");
+  if (stats == nullptr || !stats->is_object()) {
+    reply.error = "reply is missing 'stats'";
+    return reply;
+  }
+  reply.ok = true;
+  for (const auto& [name, value] : stats->as_object()) {
+    if (value.is_number()) {
+      reply.counters[name] = value.as_uint64();
+    }
+  }
+  return reply;
+}
+
+}  // namespace atf::service

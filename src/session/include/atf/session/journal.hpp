@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -58,7 +59,32 @@ public:
 /// loses the tail on a crash).
 enum class fsync_policy { none, flush, full_sync };
 
+/// Whether this build can honour `full_sync` (an fsync syscall exists).
+/// Deliberately independent of the flock-based append lock: a platform may
+/// support one without the other, and `full_sync` must never silently
+/// degrade to `flush` just because advisory locking is unavailable.
+[[nodiscard]] bool fsync_supported() noexcept;
+
+/// Whether this build rejects concurrent writers via flock.
+[[nodiscard]] bool flock_supported() noexcept;
+
 inline constexpr std::uint32_t journal_format_version = 1;
+
+/// The outcome of journal_writer::compact().
+struct compact_stats {
+  std::size_t records_before = 0;  ///< records in the journal pre-compaction
+  std::size_t records_after = 0;   ///< surviving latest-per-configuration records
+  std::size_t bytes_before = 0;
+  std::size_t bytes_after = 0;
+};
+
+/// Test-only fault-injection points for the compaction crash-safety suite.
+struct compact_hooks {
+  /// Called after each record line reaches the temp file (1-based count).
+  std::function<void(std::size_t)> after_record;
+  /// Called after the temp file is fsynced, immediately before the rename.
+  std::function<void()> before_rename;
+};
 
 class journal_writer {
 public:
@@ -79,6 +105,17 @@ public:
 
   /// Flushes stdio buffers into the kernel (and fsyncs under full_sync).
   void flush();
+
+  /// Rewrites the journal keeping only the *latest* record per
+  /// configuration hash (the record result_store would index), dropping
+  /// superseded duplicates and corrupt lines. Crash-safe: the survivors are
+  /// written to a sibling temp file (fsynced where supported) which then
+  /// atomically renames over the journal — a crash at any point leaves
+  /// either the old or the new journal fully readable, never a torn mix.
+  /// The writer keeps its append lock across the swap (the temp file is
+  /// locked *before* it becomes visible) and continues appending to the
+  /// compacted journal afterwards. `hooks` is fault injection for tests.
+  compact_stats compact(const compact_hooks& hooks = {});
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 

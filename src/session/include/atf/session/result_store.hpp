@@ -34,6 +34,27 @@ public:
   [[nodiscard]] const tuning_record* find(
       std::uint64_t config_hash) const noexcept;
 
+  struct merge_stats {
+    std::size_t added = 0;       ///< configurations this store had never seen
+    std::size_t superseded = 0;  ///< incoming record replaced the indexed one
+    std::size_t ignored = 0;     ///< indexed record won the tie-break
+  };
+
+  /// Folds another journal's records into this store — the multi-writer
+  /// exchange primitive: a fleet of daemons ships journals around and each
+  /// merges what it receives. Per configuration hash the winner is decided
+  /// by supersedes(), a *total order on record content*, so the merged
+  /// index is identical no matter in which order (or grouping) the same
+  /// set of journals is merged. Losing records are not inserted.
+  merge_stats merge(const journal_read_report& report);
+
+  /// True when `incoming` should replace `current` under the merge order:
+  /// valid beats invalid, then newer timestamp, then (run_id, sequence),
+  /// then lower scalar (NaN loses), with the serialized record bytes as the
+  /// final arbiter — any two *distinct* records are strictly ordered.
+  [[nodiscard]] static bool supersedes(const tuning_record& incoming,
+                                       const tuning_record& current);
+
   [[nodiscard]] bool contains(std::uint64_t config_hash) const noexcept {
     return find(config_hash) != nullptr;
   }

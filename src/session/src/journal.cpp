@@ -5,11 +5,21 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <unordered_map>
 
+// fsync and flock availability are *separate* capabilities: fsync guards
+// the full_sync durability promise, flock guards against concurrent
+// writers. Conflating them would silently degrade full_sync to flush on a
+// flock-less build (a real bug this layout fixes), so each gets its own
+// feature check.
 #if defined(__unix__) || defined(__APPLE__)
-#include <sys/file.h>
+#include <fcntl.h>
 #include <unistd.h>
+#define ATF_SESSION_HAVE_FSYNC 1
+#if __has_include(<sys/file.h>)
+#include <sys/file.h>
 #define ATF_SESSION_HAVE_FLOCK 1
+#endif
 #endif
 
 #include "atf/common/hash.hpp"
@@ -63,7 +73,39 @@ bool split_guard(std::string_view line, std::string& payload,
   return true;
 }
 
+/// Best-effort fsync of the directory holding `path`, so an atomic rename
+/// inside it survives power loss. No-op where fsync is unavailable.
+void sync_parent_directory(const std::string& path) {
+#if ATF_SESSION_HAVE_FSYNC
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
 }  // namespace
+
+bool fsync_supported() noexcept {
+#if ATF_SESSION_HAVE_FSYNC
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool flock_supported() noexcept {
+#if ATF_SESSION_HAVE_FLOCK
+  return true;
+#else
+  return false;
+#endif
+}
 
 std::string guard_line(const json::value& object) {
   std::string payload = json::serialize(object);
@@ -100,6 +142,9 @@ journal_writer::journal_writer(const std::string& path, fsync_policy policy)
   }
 #endif
   file_ = file;
+  // A crash mid-compaction may leave a stale temp file behind; its rename
+  // never happened, so it is dead weight — discard it.
+  std::remove((path + ".ctmp").c_str());
 
   // Existing content: honour a newer-version header instead of appending
   // records a future reader would misinterpret among its own.
@@ -174,11 +219,104 @@ void journal_writer::flush() {
     throw journal_error("journal: flush of '" + path_ +
                         "' failed: " + std::strerror(errno));
   }
-#if ATF_SESSION_HAVE_FLOCK
+#if ATF_SESSION_HAVE_FSYNC
   if (policy_ == fsync_policy::full_sync) {
     ::fsync(fileno(file));
   }
 #endif
+}
+
+compact_stats journal_writer::compact(const compact_hooks& hooks) {
+  FILE* old_file = static_cast<FILE*>(file_);
+  if (std::fflush(old_file) != 0) {
+    throw journal_error("journal: flush of '" + path_ +
+                        "' before compaction failed: " + std::strerror(errno));
+  }
+
+  // Re-read our own file tolerantly; corrupt lines and the torn tail of a
+  // previous crash are dropped by compaction along with superseded records.
+  const journal_read_report report = read_journal(path_);
+
+  // Latest record per configuration hash, emitted in the journal order of
+  // each configuration's latest appearance (the result_store index view).
+  std::vector<std::size_t> keep;
+  {
+    std::unordered_map<std::uint64_t, std::size_t> latest;
+    for (std::size_t i = 0; i < report.records.size(); ++i) {
+      latest[report.records[i].config_hash] = i;
+    }
+    for (std::size_t i = 0; i < report.records.size(); ++i) {
+      if (latest[report.records[i].config_hash] == i) {
+        keep.push_back(i);
+      }
+    }
+  }
+
+  compact_stats stats;
+  stats.records_before = report.records.size();
+  std::fseek(old_file, 0, SEEK_END);
+  stats.bytes_before = static_cast<std::size_t>(std::ftell(old_file));
+
+  const std::string temp = path_ + ".ctmp";
+  std::remove(temp.c_str());
+  FILE* out = std::fopen(temp.c_str(), "w");
+  if (out == nullptr) {
+    throw journal_error("journal: cannot open compaction temp '" + temp +
+                        "': " + std::strerror(errno));
+  }
+  const auto fail = [&](const char* what) -> journal_error {
+    const int saved_errno = errno;
+    std::fclose(out);
+    std::remove(temp.c_str());
+    return journal_error("journal: compaction " + std::string(what) + " '" +
+                         temp + "' failed: " + std::strerror(saved_errno));
+  };
+#if ATF_SESSION_HAVE_FLOCK
+  // Lock the temp file *before* it becomes visible at path_: a concurrent
+  // opener racing the rename sees either the old inode (whose lock we
+  // still hold via old_file) or the new one (already locked here).
+  if (flock(fileno(out), LOCK_EX | LOCK_NB) != 0) {
+    throw fail("lock of");
+  }
+#endif
+
+  const auto write_to = [&](const std::string& guarded_line) {
+    if (std::fwrite(guarded_line.data(), 1, guarded_line.size(), out) !=
+            guarded_line.size() ||
+        std::fputc('\n', out) == EOF) {
+      throw fail("write to");
+    }
+  };
+  write_to(guard_line(make_header()));
+  std::size_t written = 0;
+  for (const std::size_t at : keep) {
+    write_to(guard_line(to_json(report.records[at])));
+    ++written;
+    if (hooks.after_record) {
+      hooks.after_record(written);
+    }
+  }
+  if (std::fflush(out) != 0) {
+    throw fail("flush of");
+  }
+#if ATF_SESSION_HAVE_FSYNC
+  ::fsync(fileno(out));
+#endif
+  stats.records_after = written;
+  stats.bytes_after = static_cast<std::size_t>(std::ftell(out));
+
+  if (hooks.before_rename) {
+    hooks.before_rename();
+  }
+  if (std::rename(temp.c_str(), path_.c_str()) != 0) {
+    throw fail("rename of");
+  }
+  sync_parent_directory(path_);
+  // The old fd now refers to the unlinked pre-compaction inode; the temp fd
+  // becomes the live journal and future appends continue at its tail.
+  std::fclose(old_file);
+  file_ = out;
+  return stats;
 }
 
 journal_read_report read_journal(const std::string& path) {

@@ -1,6 +1,7 @@
 #include "atf/session/result_store.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace atf::session {
 
@@ -21,6 +22,54 @@ void result_store::insert(tuning_record record) {
   }
   latest_[record.config_hash] = records_.size();
   records_.push_back(std::move(record));
+}
+
+bool result_store::supersedes(const tuning_record& incoming,
+                              const tuning_record& current) {
+  if (incoming.valid != current.valid) {
+    return incoming.valid;
+  }
+  if (incoming.timestamp_ms != current.timestamp_ms) {
+    return incoming.timestamp_ms > current.timestamp_ms;
+  }
+  if (incoming.run_id != current.run_id) {
+    return incoming.run_id > current.run_id;
+  }
+  if (incoming.sequence != current.sequence) {
+    return incoming.sequence > current.sequence;
+  }
+  // Lower cost wins; NaN loses to any real scalar (plain `<` would make
+  // neither record supersede the other, which breaks order-independence).
+  const bool incoming_nan = std::isnan(incoming.scalar);
+  const bool current_nan = std::isnan(current.scalar);
+  if (incoming_nan != current_nan) {
+    return current_nan;
+  }
+  if (!incoming_nan && incoming.scalar != current.scalar) {
+    return incoming.scalar < current.scalar;
+  }
+  // Final arbiter: the serialized record bytes. Distinct records always
+  // order strictly; byte-identical records never supersede (a no-op swap).
+  return json::serialize(to_json(incoming)) >
+         json::serialize(to_json(current));
+}
+
+result_store::merge_stats result_store::merge(
+    const journal_read_report& report) {
+  merge_stats stats;
+  for (const tuning_record& record : report.records) {
+    const tuning_record* current = find(record.config_hash);
+    if (current == nullptr) {
+      insert(record);
+      ++stats.added;
+    } else if (supersedes(record, *current)) {
+      insert(record);
+      ++stats.superseded;
+    } else {
+      ++stats.ignored;
+    }
+  }
+  return stats;
 }
 
 const tuning_record* result_store::find(

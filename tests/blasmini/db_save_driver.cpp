@@ -1,0 +1,41 @@
+// Helper binary for the tuning_db durability test: loads the database at
+// <path> (if any), stores <records> synthetic entries, and saves back —
+// SIGKILLing itself from inside the save's progress hook after
+// [kill_after] record lines have reached the temp file. The parent test
+// checks that a kill mid-save leaves the original database untouched: the
+// bug this pins down was save() truncating the target in place, so a crash
+// destroyed every previously tuned configuration.
+//
+// Usage: db_save_driver <path> <records> [kill_after]
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "blasmini/tuning_db.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s <path> <records> [kill_after]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  const int records = std::atoi(argv[2]);
+  const unsigned long long kill_after =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 0ull;
+
+  auto db = blasmini::tuning_db::load(path);
+  for (int i = 0; i < records; ++i) {
+    blasmini::record config;
+    config["P"] = std::to_string(i);
+    db.store("devX", "xgemm", std::to_string(i) + "x1x1", config);
+  }
+  db.save(path, [kill_after](std::size_t written) {
+    if (kill_after != 0 && written >= kill_after) {
+      std::raise(SIGKILL);  // die mid-save: no flush, no rename
+    }
+  });
+  std::printf("saved=%zu\n", db.size());
+  return 0;
+}

@@ -1,0 +1,100 @@
+// tuning_db::save durability: the save must be all-or-nothing. Before the
+// fix, save() opened the target path directly, so a crash mid-write left a
+// truncated database — every tuned configuration gone. Now the content is
+// staged in a sibling temp file and atomically renamed in; these tests
+// stage real SIGKILLs (via db_save_driver, path injected through
+// ATF_DB_SAVE_DRIVER) at several points of the write and assert the old
+// database survives byte-identically.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <sys/wait.h>
+
+#include "blasmini/tuning_db.hpp"
+
+#ifndef ATF_DB_SAVE_DRIVER
+#error "ATF_DB_SAVE_DRIVER must be defined by the build system"
+#endif
+
+namespace {
+
+class DbDurabilityTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "atf_db_durability_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    path_ = dir_ + "/tuning.tsv";
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Driver exit code; a signal-killed driver surfaces as 128+signal (the
+  /// shell convention std::system's /bin/sh reports).
+  int run_driver(const std::string& args) {
+    const std::string command = std::string(ATF_DB_SAVE_DRIVER) + " '" +
+                                path_ + "' " + args + " > /dev/null 2>&1";
+    const int status = std::system(command.c_str());
+    return WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
+  }
+
+  [[nodiscard]] std::string slurp() const {
+    std::ifstream in(path_, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  std::string dir_, path_;
+};
+
+TEST_F(DbDurabilityTest, SaveRoundTripsThroughTheTempFile) {
+  ASSERT_EQ(run_driver("5"), 0);
+  const auto db = blasmini::tuning_db::load(path_);
+  EXPECT_EQ(db.size(), 5u);
+  ASSERT_TRUE(db.lookup("devX", "xgemm", "3x1x1").has_value());
+  EXPECT_EQ(db.lookup("devX", "xgemm", "3x1x1")->at("P"), "3");
+  // No stray staging file once the save completed.
+  EXPECT_FALSE(std::filesystem::exists(path_ + ".tmp"));
+}
+
+TEST_F(DbDurabilityTest, KillMidSaveLeavesTheOldDatabaseByteIdentical) {
+  ASSERT_EQ(run_driver("4"), 0);
+  const std::string bytes_before = slurp();
+  ASSERT_FALSE(bytes_before.empty());
+
+  // A bigger save dies after 2 of 8 record lines: the target must be the
+  // untouched old file, not a 2-line torso.
+  ASSERT_EQ(run_driver("8 2"), 128 + SIGKILL);
+  EXPECT_EQ(slurp(), bytes_before);
+  EXPECT_EQ(blasmini::tuning_db::load(path_).size(), 4u);
+}
+
+TEST_F(DbDurabilityTest, KillOnTheLastRecordStillPreservesTheOldFile) {
+  ASSERT_EQ(run_driver("3"), 0);
+  const std::string bytes_before = slurp();
+
+  // Dies after the final record line but before flush/fsync/rename.
+  ASSERT_EQ(run_driver("6 6"), 128 + SIGKILL);
+  EXPECT_EQ(slurp(), bytes_before);
+
+  // The orphaned temp file (if the kill left one) must not confuse a
+  // subsequent successful save.
+  ASSERT_EQ(run_driver("6"), 0);
+  EXPECT_EQ(blasmini::tuning_db::load(path_).size(), 6u);
+  EXPECT_FALSE(std::filesystem::exists(path_ + ".tmp"));
+}
+
+TEST_F(DbDurabilityTest, FirstSaveKilledLeavesNoTarget) {
+  // No database existed yet; a killed first save must not fabricate a
+  // partial one.
+  ASSERT_EQ(run_driver("5 1"), 128 + SIGKILL);
+  EXPECT_FALSE(std::filesystem::exists(path_));
+  EXPECT_EQ(blasmini::tuning_db::load(path_).size(), 0u);  // missing = empty
+}
+
+}  // namespace

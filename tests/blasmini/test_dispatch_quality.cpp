@@ -234,8 +234,19 @@ TEST(Dispatch, RefinementQueueDedupesAndBounds) {
 
   dispatch.dispatch(10, 10, 10);
   dispatch.dispatch(10, 10, 10);  // duplicate — not enqueued twice
+  EXPECT_EQ(dispatch.dropped_refinements(), 0u);
   dispatch.dispatch(20, 20, 20);
+  EXPECT_EQ(dispatch.dropped_refinements(), 0u);
   dispatch.dispatch(30, 30, 30);  // beyond max_pending — dropped
+  EXPECT_EQ(dispatch.dropped_refinements(), 1u);
+  // Re-missing an already-queued shape while the queue is full is still a
+  // repeat miss, not a second drop.
+  dispatch.dispatch(10, 10, 10);
+  dispatch.dispatch(20, 20, 20);
+  EXPECT_EQ(dispatch.dropped_refinements(), 1u);
+  // A genuinely new shape at the bound increments exactly once per miss.
+  dispatch.dispatch(40, 40, 40);
+  EXPECT_EQ(dispatch.dropped_refinements(), 2u);
 
   const auto pending = dispatch.pending_refinements();
   ASSERT_EQ(pending.size(), 2u);

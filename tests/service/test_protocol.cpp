@@ -1,0 +1,160 @@
+// The atf_served wire protocol: request parsing is strict (the server
+// echoes precise errors), reply parsing is tolerant, and the key <-> file
+// stem encoding is a bijection — the property the daemon's warm start
+// rests on, since journal file names are the only key index.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "atf/service/protocol.hpp"
+
+namespace {
+
+using atf::service::get_reply;
+using atf::service::parse_get_reply;
+using atf::service::parse_request;
+using atf::service::parse_stats_reply;
+using atf::service::request;
+using atf::service::serialize_request;
+using atf::service::service_key;
+
+service_key make_key(std::string kernel, std::string device,
+                     std::string size) {
+  service_key key;
+  key.kernel = std::move(kernel);
+  key.device = std::move(device);
+  key.size = std::move(size);
+  return key;
+}
+
+TEST(ServiceKey, ToStringJoinsWithSlashes) {
+  EXPECT_EQ(make_key("xgemm", "K20m", "64x64x64").to_string(),
+            "xgemm/K20m/64x64x64");
+}
+
+TEST(ServiceKey, FileStemRoundTripsPlainKeys) {
+  const service_key key = make_key("xgemm", "K20m", "64x64x64");
+  const auto back = service_key::from_file_stem(key.file_stem());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, key);
+}
+
+TEST(ServiceKey, FileStemRoundTripsHostileCharacters) {
+  // Slashes, spaces, plus signs, percent signs, unicode — everything must
+  // survive the encode/decode round trip byte-exactly.
+  const service_key key =
+      make_key("conv/2d", "Tesla K20m (sim)", "64x64+Ünicode%20");
+  const std::string stem = key.file_stem();
+  // The stem itself must be filesystem-safe: no '/' and no '%'-free
+  // reserved bytes.
+  EXPECT_EQ(stem.find('/'), std::string::npos);
+  EXPECT_EQ(stem.find(' '), std::string::npos);
+  const auto back = service_key::from_file_stem(stem);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, key);
+}
+
+TEST(ServiceKey, DistinctKeysGetDistinctStems) {
+  // '+' is the field separator; a literal '+' in a field must not collide
+  // with it.
+  const service_key a = make_key("a+b", "c", "d");
+  const service_key b = make_key("a", "b+c", "d");
+  EXPECT_NE(a.file_stem(), b.file_stem());
+}
+
+TEST(ServiceKey, ForeignStemsAreRejected) {
+  EXPECT_FALSE(service_key::from_file_stem("only-two+fields").has_value());
+  EXPECT_FALSE(service_key::from_file_stem("bad%zzescape+a+b").has_value());
+  EXPECT_FALSE(service_key::from_file_stem("").has_value());
+}
+
+TEST(RequestParsing, GetRoundTrips) {
+  request r;
+  r.operation = request::op::get;
+  r.key = make_key("xgemm", "K20m", "32x32x32");
+  std::string error;
+  const auto parsed = parse_request(serialize_request(r), error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->operation, request::op::get);
+  EXPECT_EQ(parsed->key, r.key);
+}
+
+TEST(RequestParsing, StatsAndPingRoundTrip) {
+  for (const auto op : {request::op::stats, request::op::ping}) {
+    request r;
+    r.operation = op;
+    std::string error;
+    const auto parsed = parse_request(serialize_request(r), error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->operation, op);
+  }
+}
+
+TEST(RequestParsing, MalformedLinesAreRejectedWithAReason) {
+  const char* bad[] = {
+      "",
+      "not json",
+      "{}",
+      R"({"op":"frobnicate"})",
+      R"({"op":"get"})",                               // key fields missing
+      R"({"op":"get","kernel":"x","device":"d"})",     // size missing
+      R"({"op":"get","kernel":"","device":"d","size":"s"})",  // empty field
+      R"([1,2,3])",
+  };
+  for (const char* line : bad) {
+    std::string error;
+    EXPECT_FALSE(parse_request(line, error).has_value()) << line;
+    EXPECT_FALSE(error.empty()) << line;
+  }
+}
+
+TEST(ReplyParsing, HitReplyDecodes) {
+  const std::string line =
+      R"({"ok":true,"op":"get","key":"xgemm/K20m/8x8x8","hit":true,)"
+      R"("hash":"00000000deadbeef","scalar":12.5,)"
+      R"("config":{"WGD":"8","PADA":"true"},"configs":40})";
+  const get_reply reply = parse_get_reply(line);
+  EXPECT_TRUE(reply.ok);
+  EXPECT_TRUE(reply.hit);
+  EXPECT_EQ(reply.key, "xgemm/K20m/8x8x8");
+  EXPECT_EQ(reply.hash, "00000000deadbeef");
+  EXPECT_EQ(reply.scalar, 12.5);
+  EXPECT_EQ(reply.configs, 40u);
+  ASSERT_EQ(reply.config.size(), 2u);
+  EXPECT_EQ(reply.config[0].first, "WGD");
+  EXPECT_EQ(reply.config[0].second, "8");
+  EXPECT_EQ(reply.config[1].first, "PADA");
+  EXPECT_EQ(reply.config[1].second, "true");
+  EXPECT_EQ(reply.raw, line);
+}
+
+TEST(ReplyParsing, MissReplyDecodes) {
+  const get_reply reply = parse_get_reply(
+      R"({"ok":true,"op":"get","key":"k/d/s","hit":false,)"
+      R"("enqueued":true,"dropped":false,"unrefinable":false})");
+  EXPECT_TRUE(reply.ok);
+  EXPECT_FALSE(reply.hit);
+  EXPECT_TRUE(reply.enqueued);
+  EXPECT_FALSE(reply.dropped);
+  EXPECT_FALSE(reply.unrefinable);
+}
+
+TEST(ReplyParsing, ErrorAndGarbageReplies) {
+  const get_reply err = parse_get_reply(R"({"ok":false,"error":"nope"})");
+  EXPECT_FALSE(err.ok);
+  EXPECT_EQ(err.error, "nope");
+
+  const get_reply garbage = parse_get_reply("ceci n'est pas du json");
+  EXPECT_FALSE(garbage.ok);
+  EXPECT_FALSE(garbage.error.empty());
+}
+
+TEST(ReplyParsing, StatsReplyDecodes) {
+  const auto reply = parse_stats_reply(
+      R"({"ok":true,"op":"stats","stats":{"requests":7,"hits":3}})");
+  EXPECT_TRUE(reply.ok);
+  EXPECT_EQ(reply.counters.at("requests"), 7u);
+  EXPECT_EQ(reply.counters.at("hits"), 3u);
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+// Helper binary for the compaction crash-safety suite: builds a journal
+// with superseding duplicates, then compacts it, SIGKILLing itself from
+// inside the compaction hooks at a chosen point — after the N-th record is
+// written to the temp file, or on the brink of the atomic rename. The
+// parent test then checks the invariant: whatever the kill point, the
+// journal on disk is either the complete old file or the complete new one,
+// never a hybrid, and best-per-configuration is preserved.
+//
+// Usage: compact_driver <journal> <mode> [arg]
+//   prepare <configs> <rounds>  write configs*rounds records (rounds
+//                               supersessions per configuration) and exit 0
+//   kill-after-record <n>       compact, SIGKILL after temp record n
+//   kill-before-rename          compact, SIGKILL just before the rename
+//   compact                     compact to completion, print stats, exit 0
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "atf/session/journal.hpp"
+#include "atf/session/tuning_record.hpp"
+#include "atf/value.hpp"
+
+namespace {
+
+atf::session::tuning_record make_record(int x, int round) {
+  atf::configuration config;
+  config.add("x", atf::to_tp_value<int>(x));
+  auto record = atf::session::tuning_record::from_configuration(config);
+  record.valid = true;
+  // Later rounds are better: compaction must keep the last round.
+  record.scalar = 1000.0 - round * 10.0 - x;
+  record.cost = atf::session::json::value(record.scalar);
+  record.run_id = "driver";
+  record.sequence = static_cast<std::uint64_t>(round * 100 + x);
+  record.timestamp_ms = 1000 + round;
+  return record;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <journal> prepare <configs> <rounds> |\n"
+                 "       %s <journal> kill-after-record <n> |\n"
+                 "       %s <journal> kill-before-rename | compact\n",
+                 argv[0], argv[0], argv[0]);
+    return 2;
+  }
+  const std::string journal = argv[1];
+  const std::string mode = argv[2];
+
+  if (mode == "prepare") {
+    if (argc < 5) {
+      return 2;
+    }
+    const int configs = std::atoi(argv[3]);
+    const int rounds = std::atoi(argv[4]);
+    atf::session::journal_writer writer(journal);
+    for (int round = 0; round < rounds; ++round) {
+      for (int x = 0; x < configs; ++x) {
+        writer.append(make_record(x, round));
+      }
+    }
+    return 0;
+  }
+
+  atf::session::journal_writer writer(journal);
+  atf::session::compact_hooks hooks;
+  if (mode == "kill-after-record") {
+    const auto kill_at = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+    hooks.after_record = [kill_at](std::size_t written) {
+      if (written >= kill_at) {
+        std::raise(SIGKILL);
+      }
+    };
+  } else if (mode == "kill-before-rename") {
+    hooks.before_rename = [] { std::raise(SIGKILL); };
+  } else if (mode != "compact") {
+    return 2;
+  }
+  const auto stats = writer.compact(hooks);
+  std::printf("before=%zu after=%zu bytes_before=%zu bytes_after=%zu\n",
+              stats.records_before, stats.records_after, stats.bytes_before,
+              stats.bytes_after);
+  return 0;
+}

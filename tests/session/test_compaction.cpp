@@ -1,0 +1,195 @@
+// journal_writer::compact(): the in-process contract (dedup to the latest
+// record per configuration, preserved best, accurate stats, lock
+// continuity) and the crash-safety contract — a SIGKILL at any point of
+// the rewrite leaves either the complete old journal or the complete new
+// one, because the new content is built in a sibling temp file and swapped
+// in with one atomic rename. The crash cases run compact_driver as a real
+// process (path injected via ATF_COMPACT_DRIVER).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+
+#include <sys/wait.h>
+
+#include "atf/session/journal.hpp"
+#include "atf/session/result_store.hpp"
+#include "atf/session/tuning_record.hpp"
+#include "atf/value.hpp"
+
+#ifndef ATF_COMPACT_DRIVER
+#error "ATF_COMPACT_DRIVER must be defined by the build system"
+#endif
+
+namespace {
+
+using atf::session::journal_writer;
+using atf::session::read_journal;
+using atf::session::result_store;
+using atf::session::tuning_record;
+namespace json = atf::session::json;
+
+tuning_record make_record(int x, int round) {
+  atf::configuration config;
+  config.add("x", atf::to_tp_value<int>(x));
+  auto record = tuning_record::from_configuration(config);
+  record.valid = true;
+  record.scalar = 1000.0 - round * 10.0 - x;
+  record.cost = json::value(record.scalar);
+  record.run_id = "test";
+  record.sequence = static_cast<std::uint64_t>(round * 100 + x);
+  record.timestamp_ms = 1000 + round;
+  return record;
+}
+
+class CompactionTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "atf_compact_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    path_ = dir_ + "/journal.jsonl";
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void write_rounds(int configs, int rounds) {
+    journal_writer writer(path_);
+    for (int round = 0; round < rounds; ++round) {
+      for (int x = 0; x < configs; ++x) {
+        writer.append(make_record(x, round));
+      }
+    }
+  }
+
+  /// best-per-configuration map the compaction must preserve.
+  std::map<std::uint64_t, double> latest_scalars() {
+    std::map<std::uint64_t, double> latest;
+    for (const auto& record :
+         result_store::from_report(read_journal(path_)).latest_records()) {
+      latest[record.config_hash] = record.scalar;
+    }
+    return latest;
+  }
+
+  /// Driver exit code; a signal-killed driver surfaces as 128+signal (the
+  /// shell convention std::system's /bin/sh reports).
+  int run_driver(const std::string& args) {
+    const std::string command = std::string(ATF_COMPACT_DRIVER) + " '" +
+                                path_ + "' " + args + " > /dev/null 2>&1";
+    const int status = std::system(command.c_str());
+    return WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
+  }
+
+  std::string dir_, path_;
+};
+
+TEST_F(CompactionTest, KeepsOnlyTheLatestRecordPerConfiguration) {
+  write_rounds(/*configs=*/4, /*rounds=*/5);
+  const auto latest_before = latest_scalars();
+
+  journal_writer writer(path_);
+  const auto stats = writer.compact();
+  EXPECT_EQ(stats.records_before, 20u);
+  EXPECT_EQ(stats.records_after, 4u);
+  EXPECT_LT(stats.bytes_after, stats.bytes_before);
+
+  const auto report = read_journal(path_);
+  EXPECT_TRUE(report.header_ok);
+  EXPECT_EQ(report.corrupt_lines, 0u);
+  EXPECT_FALSE(report.truncated_tail);
+  ASSERT_EQ(report.records.size(), 4u);
+  EXPECT_EQ(latest_scalars(), latest_before);
+}
+
+TEST_F(CompactionTest, CompactingACompactJournalIsANoOpRewrite) {
+  write_rounds(3, 1);
+  journal_writer writer(path_);
+  const auto stats = writer.compact();
+  EXPECT_EQ(stats.records_before, 3u);
+  EXPECT_EQ(stats.records_after, 3u);
+  EXPECT_EQ(read_journal(path_).records.size(), 3u);
+}
+
+TEST_F(CompactionTest, WriterStaysUsableAndLockedAcrossCompaction) {
+  write_rounds(2, 3);
+  journal_writer writer(path_);
+  writer.compact();
+  // Still exclusively locked: a second writer is refused.
+  std::optional<journal_writer> second;
+  EXPECT_THROW(second.emplace(path_), atf::session::journal_locked_error);
+  // And still appendable: the handle now points at the new file.
+  writer.append(make_record(7, 9));
+  writer.flush();
+  const auto report = read_journal(path_);
+  EXPECT_EQ(report.records.size(), 3u);
+  EXPECT_EQ(report.records.back().scalar, 1000.0 - 90.0 - 7.0);
+}
+
+TEST_F(CompactionTest, EmptyJournalCompactsToEmpty) {
+  journal_writer writer(path_);
+  const auto stats = writer.compact();
+  EXPECT_EQ(stats.records_before, 0u);
+  EXPECT_EQ(stats.records_after, 0u);
+  EXPECT_TRUE(read_journal(path_).records.empty());
+  EXPECT_TRUE(read_journal(path_).header_ok);
+}
+
+// --- crash safety: a real process SIGKILLs itself mid-compaction ---------
+
+class CompactionCrashTest : public CompactionTest,
+                            public ::testing::WithParamInterface<int> {};
+
+TEST_P(CompactionCrashTest, KillDuringTempWriteLeavesTheOldJournalIntact) {
+  ASSERT_EQ(run_driver("prepare 4 5"), 0);
+  const auto latest_before = latest_scalars();
+  const auto size_before = std::filesystem::file_size(path_);
+
+  // The driver dies inside compact() after the N-th temp record: the kill
+  // arrives before the rename, so the original journal must be untouched.
+  const int kill_point = GetParam();
+  ASSERT_EQ(run_driver("kill-after-record " + std::to_string(kill_point)),
+            128 + SIGKILL);
+
+  EXPECT_EQ(std::filesystem::file_size(path_), size_before);
+  const auto report = read_journal(path_);
+  EXPECT_TRUE(report.header_ok);
+  EXPECT_EQ(report.corrupt_lines, 0u);
+  EXPECT_EQ(report.records.size(), 20u);
+  EXPECT_EQ(latest_scalars(), latest_before);
+
+  // A fresh writer can take over (the dead process's lock died with it)
+  // and finish the job.
+  ASSERT_EQ(run_driver("compact"), 0);
+  EXPECT_EQ(read_journal(path_).records.size(), 4u);
+  EXPECT_EQ(latest_scalars(), latest_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(AtSeveralOffsets, CompactionCrashTest,
+                         ::testing::Values(1, 2, 4));
+
+TEST_F(CompactionTest, KillBeforeRenameLeavesTheOldJournalIntact) {
+  ASSERT_EQ(run_driver("prepare 4 5"), 0);
+  const auto latest_before = latest_scalars();
+
+  // The temp file is fully written and synced; only the rename is missing.
+  ASSERT_EQ(run_driver("kill-before-rename"), 128 + SIGKILL);
+
+  const auto report = read_journal(path_);
+  EXPECT_EQ(report.records.size(), 20u);
+  EXPECT_EQ(report.corrupt_lines, 0u);
+  EXPECT_EQ(latest_scalars(), latest_before);
+
+  // The stale temp file must not break later writers — the constructor
+  // sweeps it up and compaction completes.
+  ASSERT_EQ(run_driver("compact"), 0);
+  EXPECT_EQ(read_journal(path_).records.size(), 4u);
+  EXPECT_EQ(latest_scalars(), latest_before);
+  EXPECT_FALSE(std::filesystem::exists(path_ + ".ctmp"));
+}
+
+}  // namespace

@@ -202,6 +202,29 @@ TEST_F(JournalTest, FsyncPoliciesAllProduceReadableJournals) {
   }
 }
 
+TEST_F(JournalTest, FsyncSupportIsIndependentOfFlockSupport) {
+  // Regression: full_sync's fsync used to be gated behind the *flock*
+  // feature macro, so a platform with fsync but without <sys/file.h>
+  // silently lost the durability it asked for. The two capabilities are
+  // now probed separately; on the Unix systems CI runs on, both hold.
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_TRUE(atf::session::fsync_supported());
+#endif
+  // fsync support must never be conditioned on flock support: asking for
+  // it is legal (and a no-op at worst) regardless of locking.
+  if (atf::session::flock_supported()) {
+    EXPECT_TRUE(atf::session::fsync_supported())
+        << "flock implies a POSIX fd layer, which provides fsync";
+  }
+  // And full_sync journals stay readable wherever we run.
+  {
+    journal_writer writer(path_, fsync_policy::full_sync);
+    writer.append(make_record(3, 3.0));
+    writer.flush();
+  }
+  EXPECT_EQ(read_journal(path_).records.size(), 1u);
+}
+
 TEST_F(JournalTest, GuardLineVerifiesByteExactly) {
   json::value obj{json::object{}};
   obj.set("type", "record");

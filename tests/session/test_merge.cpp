@@ -1,0 +1,178 @@
+// result_store::merge and the supersedes total order — the multi-writer
+// exchange primitive. The properties that matter: per-configuration
+// winners are decided by record *content* only, so merging the same set of
+// journals in any order or grouping yields the identical index; NaN never
+// beats a number; and any two distinct records are strictly ordered (no
+// coin flips).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "atf/session/journal.hpp"
+#include "atf/session/result_store.hpp"
+#include "atf/session/tuning_record.hpp"
+#include "atf/value.hpp"
+
+namespace {
+
+using atf::session::journal_read_report;
+using atf::session::result_store;
+using atf::session::tuning_record;
+namespace json = atf::session::json;
+
+tuning_record make_record(int x, double cost) {
+  atf::configuration config;
+  config.add("x", atf::to_tp_value<int>(x));
+  auto record = tuning_record::from_configuration(config);
+  record.valid = true;
+  record.scalar = cost;
+  record.cost = json::value(cost);
+  record.run_id = "run-a";
+  record.sequence = 1;
+  record.timestamp_ms = 1000;
+  return record;
+}
+
+journal_read_report report_of(std::vector<tuning_record> records) {
+  journal_read_report report;
+  report.records = std::move(records);
+  report.header_ok = true;
+  return report;
+}
+
+TEST(Supersedes, ValidBeatsInvalidRegardlessOfRecency) {
+  auto valid = make_record(1, 50.0);
+  auto invalid = make_record(1, 0.0);
+  invalid.valid = false;
+  invalid.timestamp_ms = 9999;  // newer, still loses
+  EXPECT_TRUE(result_store::supersedes(valid, invalid));
+  EXPECT_FALSE(result_store::supersedes(invalid, valid));
+}
+
+TEST(Supersedes, NewerTimestampWins) {
+  auto older = make_record(1, 10.0);
+  auto newer = make_record(1, 90.0);  // worse scalar, but newer measurement
+  newer.timestamp_ms = older.timestamp_ms + 1;
+  EXPECT_TRUE(result_store::supersedes(newer, older));
+  EXPECT_FALSE(result_store::supersedes(older, newer));
+}
+
+TEST(Supersedes, RunIdThenSequenceBreakTimestampTies) {
+  auto a = make_record(1, 10.0);
+  auto b = make_record(1, 10.0);
+  b.run_id = "run-b";  // > "run-a"
+  EXPECT_TRUE(result_store::supersedes(b, a));
+  EXPECT_FALSE(result_store::supersedes(a, b));
+
+  auto c = make_record(1, 10.0);
+  c.sequence = 2;
+  EXPECT_TRUE(result_store::supersedes(c, a));
+}
+
+TEST(Supersedes, NanNeverBeatsANumber) {
+  auto number = make_record(1, 10.0);
+  auto nan = make_record(1, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_TRUE(result_store::supersedes(number, nan));
+  EXPECT_FALSE(result_store::supersedes(nan, number));
+  // Two NaNs with otherwise identical provenance: the byte arbiter decides
+  // one way, deterministically, and never both ways.
+  auto nan2 = make_record(1, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(result_store::supersedes(nan, nan2) &&
+               result_store::supersedes(nan2, nan));
+}
+
+TEST(Supersedes, IdenticalRecordsDoNotSupersedeEachOther) {
+  const auto a = make_record(1, 10.0);
+  const auto b = make_record(1, 10.0);
+  EXPECT_FALSE(result_store::supersedes(a, b));
+  EXPECT_FALSE(result_store::supersedes(b, a));
+}
+
+TEST(Supersedes, DistinctRecordsAreStrictlyOrdered) {
+  // Exactly one direction must hold for any content difference.
+  auto a = make_record(1, 10.0);
+  auto b = make_record(1, 10.0);
+  b.technique = "annealing";  // only the payload differs -> byte arbiter
+  EXPECT_NE(result_store::supersedes(a, b), result_store::supersedes(b, a));
+}
+
+TEST(Merge, CountsAddedSupersededIgnored) {
+  result_store store;
+  store.insert(make_record(1, 50.0));
+  store.insert(make_record(2, 60.0));
+
+  auto better2 = make_record(2, 30.0);
+  better2.timestamp_ms = 2000;
+  const auto stats = store.merge(
+      report_of({make_record(1, 50.0),  // identical -> ignored
+                 better2,               // newer -> supersedes
+                 make_record(3, 70.0)}));  // unseen -> added
+  EXPECT_EQ(stats.ignored, 1u);
+  EXPECT_EQ(stats.superseded, 1u);
+  EXPECT_EQ(stats.added, 1u);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.best()->scalar, 30.0);
+}
+
+TEST(Merge, IsOrderAndGroupingIndependent) {
+  auto a1 = make_record(1, 50.0);
+  auto a2 = make_record(1, 40.0);
+  a2.timestamp_ms = 2000;
+  auto a3 = make_record(1, 45.0);
+  a3.timestamp_ms = 2000;
+  a3.run_id = "run-z";
+  auto b1 = make_record(2, 10.0);
+  auto b2 = make_record(2, 11.0);
+  b2.sequence = 9;
+  const std::vector<tuning_record> all = {a1, a2, a3, b1, b2};
+
+  // Merge every permutation, in two different groupings, into fresh
+  // stores: the latest-per-configuration index must come out identical.
+  std::vector<int> order = {0, 1, 2, 3, 4};
+  std::optional<std::pair<double, double>> expected;
+  do {
+    std::vector<tuning_record> permuted;
+    for (const int i : order) {
+      permuted.push_back(all[static_cast<std::size_t>(i)]);
+    }
+    // One shot...
+    result_store one;
+    one.merge(report_of(permuted));
+    // ...and split into two batches.
+    result_store two;
+    two.merge(report_of({permuted[0], permuted[1]}));
+    two.merge(report_of({permuted[2], permuted[3], permuted[4]}));
+
+    ASSERT_EQ(one.size(), 2u);
+    const auto key1 = all[0].config_hash;
+    const auto key2 = all[3].config_hash;
+    const std::pair<double, double> got = {one.find(key1)->scalar,
+                                           one.find(key2)->scalar};
+    EXPECT_EQ(two.find(key1)->scalar, got.first);
+    EXPECT_EQ(two.find(key2)->scalar, got.second);
+    if (!expected.has_value()) {
+      expected = got;
+    } else {
+      EXPECT_EQ(*expected, got);
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+TEST(Merge, LosingRecordsAreNotInserted) {
+  result_store store;
+  auto current = make_record(1, 20.0);
+  current.timestamp_ms = 5000;
+  store.insert(current);
+
+  store.merge(report_of({make_record(1, 5.0)}));  // older -> loses
+  EXPECT_EQ(store.records().size(), 1u);
+  EXPECT_EQ(store.find(current.config_hash)->scalar, 20.0);
+}
+
+}  // namespace

@@ -184,6 +184,58 @@ TEST_F(AtfTuneCliTest, UsageErrorsExitWithCode1) {
       1);
 }
 
+TEST_F(AtfTuneCliTest, GarbageNumericFlagsAreRejected) {
+  // Regression: --seconds used strtod(value, nullptr), so "--seconds abc"
+  // silently became 0.0 and the tune exited immediately having done
+  // nothing. Every numeric flag now end-pointer-validates and names the
+  // offending flag on stderr.
+  const std::string params = " --param 'X=interval:1:4' --param 'Y=set:0'";
+  const char* bad[] = {
+      " --seconds abc",        " --seconds ''",       " --seconds -1",
+      " --seconds 1.5x",       " --evaluations 12abc", " --evaluations ''",
+      " --evaluations -3",     " --evaluations 1.5",  " --seed xyz",
+      " --seed 0x10",          " --chunk-cache-mb -8", " --chunk-cache-mb 2q",
+  };
+  for (const char* flag : bad) {
+    EXPECT_EQ(run_command(base_command() + params + flag).exit_code, 1)
+        << flag;
+  }
+}
+
+TEST_F(AtfTuneCliTest, ValidNumericFlagFormsAreAccepted) {
+  const std::string params = " --param 'X=interval:10:14' --param 'Y=set:0'";
+  // Fractional and scientific seconds, zero evaluations-free run.
+  EXPECT_EQ(
+      run_command(base_command() + params + " --seconds 30.5").exit_code, 0);
+  EXPECT_EQ(
+      run_command(base_command() + params + " --seconds 1e2").exit_code, 0);
+  EXPECT_EQ(run_command(base_command() + params +
+                        " --evaluations 100 --seed 42")
+                .exit_code,
+            0);
+}
+
+TEST_F(AtfTuneCliTest, BadParamBoundsNameTheValue) {
+  // Interval bounds and set values go through the same strict parser.
+  EXPECT_EQ(
+      run_command(base_command() + " --param 'X=interval:1:4x'").exit_code,
+      1);
+  EXPECT_EQ(
+      run_command(base_command() + " --param 'X=set:1,two,3'").exit_code, 1);
+}
+
+TEST_F(AtfTuneCliTest, ServeModeRequiresAQueryOrStats) {
+  EXPECT_EQ(run_command(std::string(ATF_TUNE_BINARY) +
+                        " --serve /tmp/nonexistent.sock")
+                .exit_code,
+            1);
+  // With a query but no daemon listening: connection error, still exit 1.
+  EXPECT_EQ(run_command(std::string(ATF_TUNE_BINARY) +
+                        " --serve /tmp/nonexistent.sock --query 8x8x8")
+                .exit_code,
+            1);
+}
+
 TEST_F(AtfTuneCliTest, CsvLogIsWritten) {
   const std::string csv = dir_ + "/tuning.csv";
   const auto result = run_command(base_command() +

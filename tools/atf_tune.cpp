@@ -43,9 +43,53 @@
 #include "atf/search/random_search.hpp"
 #include "atf/search/simulated_annealing.hpp"
 #include "atf/search/surrogate_search.hpp"
+#include "atf/service/client.hpp"
 #include "blasmini/dispatch.hpp"
 
 namespace {
+
+// Strict numeric flag parsing: every conversion is end-pointer-checked so
+// garbage like "--seconds abc" (which strtod silently turned into 0.0,
+// making the tune exit immediately) errors out naming the offending flag.
+
+bool parse_u64_flag(const char* flag, const char* text, std::uint64_t& out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (*text == '\0' || *text == '-' || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr,
+                 "atf_tune: %s expects a non-negative integer, got '%s'\n",
+                 flag, text);
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+bool parse_seconds_flag(const char* flag, const char* text, double& out) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (*text == '\0' || *end != '\0' || errno == ERANGE || !(value >= 0.0)) {
+    std::fprintf(stderr,
+                 "atf_tune: %s expects a non-negative number of seconds, "
+                 "got '%s'\n",
+                 flag, text);
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+std::optional<std::int64_t> parse_i64(const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE) {
+    return std::nullopt;
+  }
+  return static_cast<std::int64_t>(value);
+}
 
 struct cli_options {
   std::string source;
@@ -65,6 +109,11 @@ struct cli_options {
   std::string db_path;
   std::string device = "K20m";
   std::string journal_dir;
+  // Service client mode
+  std::string serve_socket;
+  std::string query;
+  std::string kernel = "xgemm";
+  bool serve_stats = false;
 };
 
 void usage(const char* argv0) {
@@ -95,8 +144,16 @@ void usage(const char* argv0) {
       "  Grid-tunes the built-in XgemmDirect kernel over the size grid on a\n"
       "  simulated device and stores the winners in the tuning database\n"
       "  (loaded first if it exists, so runs accumulate). --journal-dir\n"
-      "  makes the grid tune crash-safe and warm-startable.\n",
-      argv0, argv0);
+      "  makes the grid tune crash-safe and warm-startable.\n"
+      "\n"
+      "Service client mode (queries a running atf_served daemon):\n"
+      "       %s --serve SOCKET --query MxNxK [--kernel NAME] "
+      "[--device NAME]\n"
+      "       %s --serve SOCKET --stats\n"
+      "  A hit prints the tuned configuration as NAME=VALUE lines and exits\n"
+      "  0; a miss (tuning was enqueued on the daemon) exits 3. --stats\n"
+      "  prints the daemon's counters.\n",
+      argv0, argv0, argv0, argv0);
 }
 
 std::optional<cli_options> parse_cli(int argc, char** argv) {
@@ -126,15 +183,29 @@ std::optional<cli_options> parse_cli(int argc, char** argv) {
     } else if (flag == "--space-storage" && (value = need_value(i))) {
       opts.space_storage = value;
     } else if (flag == "--chunk-cache-mb" && (value = need_value(i))) {
-      opts.chunk_cache_mb = std::strtoull(value, nullptr, 10);
+      std::uint64_t parsed = 0;
+      if (!parse_u64_flag("--chunk-cache-mb", value, parsed)) {
+        return std::nullopt;
+      }
+      opts.chunk_cache_mb = static_cast<std::size_t>(parsed);
     } else if (flag == "--param" && (value = need_value(i))) {
       opts.params.emplace_back(value);
     } else if (flag == "--evaluations" && (value = need_value(i))) {
-      opts.evaluations = std::strtoull(value, nullptr, 10);
+      std::uint64_t parsed = 0;
+      if (!parse_u64_flag("--evaluations", value, parsed)) {
+        return std::nullopt;
+      }
+      opts.evaluations = parsed;
     } else if (flag == "--seconds" && (value = need_value(i))) {
-      opts.seconds = std::strtod(value, nullptr);
+      double parsed = 0.0;
+      if (!parse_seconds_flag("--seconds", value, parsed)) {
+        return std::nullopt;
+      }
+      opts.seconds = parsed;
     } else if (flag == "--seed" && (value = need_value(i))) {
-      opts.seed = std::strtoull(value, nullptr, 10);
+      if (!parse_u64_flag("--seed", value, opts.seed)) {
+        return std::nullopt;
+      }
     } else if (flag == "--size-grid" && (value = need_value(i))) {
       opts.size_grid = value;
     } else if (flag == "--db" && (value = need_value(i))) {
@@ -143,11 +214,27 @@ std::optional<cli_options> parse_cli(int argc, char** argv) {
       opts.device = value;
     } else if (flag == "--journal-dir" && (value = need_value(i))) {
       opts.journal_dir = value;
+    } else if (flag == "--serve" && (value = need_value(i))) {
+      opts.serve_socket = value;
+    } else if (flag == "--query" && (value = need_value(i))) {
+      opts.query = value;
+    } else if (flag == "--kernel" && (value = need_value(i))) {
+      opts.kernel = value;
+    } else if (flag == "--stats") {
+      opts.serve_stats = true;
     } else {
       std::fprintf(stderr, "atf_tune: unknown or incomplete option '%s'\n",
                    flag.c_str());
       return std::nullopt;
     }
+  }
+  if (!opts.serve_socket.empty()) {
+    if (opts.query.empty() && !opts.serve_stats) {
+      std::fprintf(stderr,
+                   "atf_tune: --serve requires --query or --stats\n");
+      return std::nullopt;
+    }
+    return opts;  // other modes' flags are not required
   }
   if (!opts.size_grid.empty()) {
     if (opts.db_path.empty()) {
@@ -161,6 +248,66 @@ std::optional<cli_options> parse_cli(int argc, char** argv) {
     return std::nullopt;
   }
   return opts;
+}
+
+/// Service client mode: query a running atf_served daemon. Exit codes:
+/// 0 hit (configuration printed), 3 miss (refinement enqueued on the
+/// daemon — retry shortly), 1 anything else.
+int run_serve_client_mode(const cli_options& opts) {
+  try {
+    atf::service::service_client client(opts.serve_socket);
+    if (opts.serve_stats) {
+      const auto stats = client.stats();
+      if (!stats.ok) {
+        std::fprintf(stderr, "atf_tune: daemon error: %s\n",
+                     stats.error.c_str());
+        return 1;
+      }
+      for (const auto& [name, value] : stats.counters) {
+        std::printf("%s=%llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      }
+      return 0;
+    }
+
+    atf::service::service_key key;
+    key.kernel = opts.kernel;
+    key.device = opts.device;
+    key.size = opts.query;
+    const auto reply = client.get(key);
+    if (!reply.ok) {
+      std::fprintf(stderr, "atf_tune: daemon error: %s\n",
+                   reply.error.c_str());
+      return 1;
+    }
+    if (!reply.hit) {
+      if (reply.unrefinable) {
+        std::fprintf(stderr,
+                     "atf_tune: miss for %s — the daemon cannot tune this "
+                     "key\n",
+                     key.to_string().c_str());
+      } else {
+        std::fprintf(
+            stderr,
+            "atf_tune: miss for %s — refinement %s, retry shortly\n",
+            key.to_string().c_str(),
+            reply.dropped ? "dropped (daemon queue full)"
+                          : (reply.enqueued ? "enqueued" : "already queued"));
+      }
+      return 3;
+    }
+    std::fprintf(stderr, "atf_tune: hit for %s, scalar %.17g over %llu "
+                         "configuration(s)\n",
+                 key.to_string().c_str(), reply.scalar,
+                 static_cast<unsigned long long>(reply.configs));
+    for (const auto& [name, value] : reply.config) {
+      std::printf("%s=%s\n", name.c_str(), value.c_str());
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "atf_tune: %s\n", error.what());
+    return 1;
+  }
 }
 
 /// GEMM grid mode: grid-tune XgemmDirect over the size grid and persist the
@@ -247,7 +394,13 @@ std::optional<atf::tp<std::int64_t>> parse_param(
     }
     std::vector<std::int64_t> values;
     for (const auto& item : atf::common::split(fields[1], ',')) {
-      values.push_back(std::strtoll(item.c_str(), nullptr, 10));
+      const auto parsed = parse_i64(item);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "atf_tune: bad set value '%s' in '%s'\n",
+                     item.c_str(), spec.c_str());
+        return std::nullopt;
+      }
+      values.push_back(*parsed);
     }
     return atf::tp<std::int64_t>(name, atf::set(values));
   }
@@ -256,9 +409,14 @@ std::optional<atf::tp<std::int64_t>> parse_param(
     std::fprintf(stderr, "atf_tune: bad range spec '%s'\n", spec.c_str());
     return std::nullopt;
   }
-  const std::int64_t lo = std::strtoll(fields[1].c_str(), nullptr, 10);
-  const std::int64_t hi = std::strtoll(fields[2].c_str(), nullptr, 10);
-  auto range = atf::interval<std::int64_t>(lo, hi);
+  const auto lo = parse_i64(fields[1]);
+  const auto hi = parse_i64(fields[2]);
+  if (!lo.has_value() || !hi.has_value()) {
+    std::fprintf(stderr, "atf_tune: bad interval bound in '%s'\n",
+                 spec.c_str());
+    return std::nullopt;
+  }
+  auto range = atf::interval<std::int64_t>(*lo, *hi);
 
   if (fields.size() == 3) {
     return atf::tp<std::int64_t>(name, std::move(range));
@@ -310,6 +468,10 @@ int main(int argc, char** argv) {
   if (!opts.has_value()) {
     usage(argv[0]);
     return 1;
+  }
+
+  if (!opts->serve_socket.empty()) {
+    return run_serve_client_mode(*opts);
   }
 
   if (!opts->size_grid.empty()) {
