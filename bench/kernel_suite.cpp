@@ -1,0 +1,120 @@
+// Kernel-family suite sweep: tune every registered workload family on every
+// built-in device profile with fixed seeds, check the tuned best against the
+// family's scalar reference, and print the comparison table (DESIGN.md §14,
+// EXPERIMENTS.md "kernel suite" rows).
+//
+// Every cell uses the same derivation for its seed — fnv1a(family) chained
+// with fnv1a(device) — so a row never changes because another row was added,
+// and two runs of the binary print bit-identical tables (wall-clock timing
+// is reported separately, below the table, for that reason).
+//
+// Usage: kernel_suite [--small]
+//   --small    sanitizer-budget variant (small sizes, 60-evaluation budget) —
+//              wired into the kernel-suite CI job under TSan. Exit code is 1
+//              if any tuned best fails its reference check, so the job fails
+//              on a functional regression, not just a crash.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "atf/common/hash.hpp"
+#include "atf/kernels/registry.hpp"
+#include "ocls/ocls.hpp"
+
+namespace reg = atf::kernels::registry;
+
+namespace {
+
+struct cell_result {
+  std::string family;
+  std::string device;
+  std::string size;
+  reg::tune_outcome outcome;
+  bool reference_ok = false;
+};
+
+/// Per-family sizes: small enough that space generation stays in the
+/// milliseconds even under TSan, large enough that the landscape has a
+/// non-trivial best (the full sizes are a strict superset knob-wise).
+const std::map<std::string, std::string>& sizes(bool small) {
+  static const std::map<std::string, std::string> full = {
+      {"saxpy", "1048576"},        {"reduce", "1048576"},
+      {"xgemm", "32x32x32"},       {"conv2d", "32x32x5x5"},
+      {"stencil2d", "258x258x2"},  {"spmv", "4096x16"},
+      {"batched_gemm", "256x16x16x16"},
+  };
+  static const std::map<std::string, std::string> tiny = {
+      {"saxpy", "4096"},           {"reduce", "4096"},
+      {"xgemm", "16x16x16"},       {"conv2d", "16x16x3x3"},
+      {"stencil2d", "34x34x2"},    {"spmv", "512x8"},
+      {"batched_gemm", "32x8x8x8"},
+  };
+  return small ? tiny : full;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+  const std::uint64_t evaluations = small ? 60 : 250;
+
+  const std::vector<std::string> device_names = {"Xeon", "K20m", "Iris",
+                                                 "Vega"};
+  std::vector<cell_result> cells;
+  bool all_ok = true;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& device_name : device_names) {
+    const auto dev = ocls::find_device("", device_name);
+    for (const auto& e : reg::all()) {
+      const auto size = reg::input_size::parse(sizes(small).at(e.name));
+
+      reg::tune_settings settings;
+      settings.technique = "annealing";
+      settings.evaluations = evaluations;
+      settings.seed = atf::common::fnv1a(device_name,
+                                         atf::common::fnv1a(e.name));
+
+      cell_result cell;
+      cell.family = e.name;
+      cell.device = device_name;
+      cell.size = size.to_string();
+      cell.outcome = reg::tune(e, size, dev, settings);
+      cell.reference_ok = e.reference_check(size, dev, cell.outcome.best);
+      all_ok = all_ok && cell.reference_ok;
+      cells.push_back(cell);
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  std::printf("kernel suite: %zu families x %zu profiles, %s sizes, "
+              "annealing @ %llu evaluations, per-cell fnv1a seeds\n\n",
+              reg::all().size(), device_names.size(),
+              small ? "--small" : "full",
+              static_cast<unsigned long long>(evaluations));
+  std::printf("%-13s %-6s %-13s %12s %7s %7s %14s %5s\n", "family", "device",
+              "size", "space", "evals", "failed", "best ns", "ref");
+  for (const auto& cell : cells) {
+    std::printf("%-13s %-6s %-13s %12llu %7llu %7llu %14.1f %5s\n",
+                cell.family.c_str(), cell.device.c_str(), cell.size.c_str(),
+                static_cast<unsigned long long>(cell.outcome.space_size),
+                static_cast<unsigned long long>(cell.outcome.evaluations),
+                static_cast<unsigned long long>(
+                    cell.outcome.failed_evaluations),
+                cell.outcome.best_ns, cell.reference_ok ? "ok" : "FAIL");
+  }
+  std::printf("\nswept %zu cells in %.2f s\n", cells.size(),
+              std::chrono::duration<double>(t1 - t0).count());
+
+  if (!all_ok) {
+    std::printf("\nreference MISMATCH: at least one tuned best diverged from "
+                "its scalar reference\n");
+    return 1;
+  }
+  std::printf("\nall %zu tuned bests match their scalar references\n",
+              cells.size());
+  return 0;
+}

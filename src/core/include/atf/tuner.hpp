@@ -69,6 +69,15 @@ public:
     return *this;
   }
 
+  /// Declares the tuning parameters from a runtime-built list of dependency
+  /// groups — the form generic drivers (the kernel registry) use, where the
+  /// group structure is only known at run time.
+  tuner& tuning_parameters(std::vector<tp_group> groups) {
+    groups_ = std::move(groups);
+    space_.reset();
+    return *this;
+  }
+
   /// Chooses the search technique; defaults to exhaustive search.
   tuner& search_technique(std::unique_ptr<atf::search_technique> technique) {
     technique_ = std::move(technique);

@@ -1,0 +1,110 @@
+// The kernel registry (DESIGN.md §14): every workload family the repository
+// ships — the paper's saxpy and XgemmDirect, plus reduce, conv2d and the
+// suite's stencil2d / spmv / batched_gemm — registered by name with
+// everything a generic driver needs:
+//
+//   * a search-space builder (input size + device profile -> dependency
+//     groups),
+//   * a cost-function factory (analytic simulator launch; invalid launches
+//     surface as atf::evaluation_error, i.e. failed evaluations),
+//   * a reference check (functional execution of a configuration compared
+//     against a scalar host reference), and
+//   * the input-size descriptor (dimension names, default size).
+//
+// atf_tune --kernel <name>, bench/kernel_suite and atf_served all address
+// families through this table instead of hard-coding one kernel each.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "atf/configuration.hpp"
+#include "atf/search_technique.hpp"
+#include "atf/tp.hpp"
+#include "ocls/device.hpp"
+
+namespace atf::kernels::registry {
+
+/// A problem size as the positive extents of the family's dimensions, e.g.
+/// {4096} for saxpy's N or {8, 16, 16, 16} for batched_gemm's BxMxNxK.
+struct input_size {
+  std::vector<std::uint64_t> dims;
+
+  /// Parses "64x64x64"-style text ('x' or 'X' separated, all positive).
+  /// Throws std::invalid_argument on malformed text.
+  [[nodiscard]] static input_size parse(const std::string& text);
+
+  [[nodiscard]] std::string to_string() const;  ///< "64x64x64"
+};
+
+/// One registered kernel family.
+struct entry {
+  std::string name;                ///< registry key ("stencil2d", ...)
+  std::string description;         ///< one-line summary for listings
+  std::string dim_names;           ///< "HxWxR" — what --size means here
+  input_size default_size;         ///< used when the caller gives no size
+  std::size_t knob_count = 0;      ///< number of tuning parameters
+  std::string constraint_summary;  ///< human-readable constraint shape
+
+  /// Builds the family's dependency groups for a concrete size and device.
+  /// Throws std::invalid_argument for a size with the wrong number of
+  /// dimensions or degenerate extents.
+  std::function<std::vector<atf::tp_group>(const input_size&,
+                                           const ocls::device_profile&)>
+      make_groups;
+
+  /// Builds the analytic cost function (modeled ns; model-only launches).
+  std::function<std::function<double(const atf::configuration&)>(
+      const input_size&, const ocls::device&)>
+      make_cost;
+
+  /// Executes the configuration functionally and compares against the
+  /// family's scalar reference. Returns true when the results match.
+  std::function<bool(const input_size&, const ocls::device&,
+                     const atf::configuration&)>
+      reference_check;
+};
+
+/// All registered families, in registration order (paper kernels first).
+[[nodiscard]] const std::vector<entry>& all();
+
+/// The entry for `name`, or nullptr if no family has that name.
+[[nodiscard]] const entry* find(const std::string& name);
+
+/// The registered names, in registration order.
+[[nodiscard]] std::vector<std::string> names();
+
+/// Builds a search technique from its CLI name (exhaustive | annealing |
+/// opentuner | surrogate | random). Throws std::invalid_argument for
+/// unknown names.
+[[nodiscard]] std::unique_ptr<atf::search_technique> make_technique(
+    const std::string& name, std::uint64_t seed);
+
+/// How registry::tune drives the tuner.
+struct tune_settings {
+  std::string technique = "exhaustive";
+  std::size_t evaluations = 0;  ///< 0 = sweep the whole space
+  std::uint64_t seed = 0;
+  std::string journal;          ///< non-empty: crash-safe session journal
+};
+
+struct tune_outcome {
+  atf::configuration best;
+  double best_ns = 0.0;
+  std::uint64_t evaluations = 0;
+  std::uint64_t failed_evaluations = 0;
+  std::uint64_t space_size = 0;
+};
+
+/// Generates the family's space on `dev`, explores it with the configured
+/// technique and returns the best configuration. Throws
+/// atf::empty_search_space_error when no configuration is valid and
+/// std::invalid_argument for bad sizes/techniques.
+[[nodiscard]] tune_outcome tune(const entry& e, const input_size& size,
+                                const ocls::device& dev,
+                                const tune_settings& settings);
+
+}  // namespace atf::kernels::registry

@@ -6,9 +6,16 @@
 //     matching the paper's description);
 //   * platform "NVIDIA CUDA", device "Tesla K20m" — the evaluation GPU
 //     (the paper's Listing 2 targets the sibling card "Tesla K20c").
+// Two further calibrated built-ins diversify the tuning landscapes beyond
+// the paper's testbed (DESIGN.md §14):
+//   * "Intel Iris Graphics 6100" — an integrated GPU on shared DDR3, the
+//     low-bandwidth profile;
+//   * "Radeon RX Vega 56" — a 56-CU discrete GPU behind HBM2, the
+//     occupancy-bound profile.
 // Devices are looked up by platform and device *name substrings*, exactly
 // the convenience ATF advertises over CLTune's numeric ids (Section III).
-// Additional devices can be registered for tests and experiments.
+// Additional devices can be registered for tests and experiments; profiles
+// are validated at registration (validate_profile).
 #pragma once
 
 #include <cstddef>
@@ -93,9 +100,16 @@ private:
 [[nodiscard]] device find_device(const std::string& platform_name,
                                  const std::string& device_name);
 
+/// Checks that a profile is physically meaningful: positive compute-unit
+/// count, SIMD width, work-group limit, clock, per-cycle FLOPs, bandwidth
+/// and cache multiplier; finite non-negative overheads; idle <= max power.
+/// Throws invalid_device_profile naming the offending field.
+void validate_profile(const device_profile& profile);
+
 /// Registers an additional device (e.g. a synthetic profile in tests).
 /// The device is appended to an existing platform of the same name or to a
-/// new platform.
+/// new platform. Throws invalid_device_profile when the profile fails
+/// validate_profile — a nonsense profile must not enter the device list.
 void register_device(const device_profile& profile);
 
 /// Removes every registered (non-built-in) device.
@@ -106,5 +120,15 @@ void reset_registered_devices();
 
 /// The built-in profile of the paper's GPU (Tesla K20m).
 [[nodiscard]] device_profile tesla_k20m_profile();
+
+/// Built-in integrated-GPU profile (Intel Iris Graphics 6100): few EUs on
+/// the CPU's shared DDR3 — a *low-bandwidth* landscape where staging and
+/// vector-width knobs matter far more than occupancy.
+[[nodiscard]] device_profile iris6100_profile();
+
+/// Built-in many-CU discrete-GPU profile (Radeon RX Vega 56): 56 compute
+/// units behind HBM2 — an *occupancy-bound* landscape that rewards
+/// work-group packing and punishes small launches.
+[[nodiscard]] device_profile vega56_profile();
 
 }  // namespace ocls

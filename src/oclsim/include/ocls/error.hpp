@@ -21,6 +21,15 @@ public:
   using error::error;
 };
 
+/// A device_profile with physically meaningless fields (zero compute units,
+/// non-positive bandwidth, ...) was handed to register_device. Rejected
+/// eagerly: a bad profile would otherwise surface much later as NaN/inf
+/// model times deep inside a tuning run.
+class invalid_device_profile : public error {
+public:
+  using error::error;
+};
+
 /// Launch geometry violates the OpenCL spec: the local size does not divide
 /// the global size, or exceeds the device's work-group limit
 /// (CL_INVALID_WORK_GROUP_SIZE).

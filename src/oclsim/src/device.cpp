@@ -1,6 +1,8 @@
 #include "ocls/device.hpp"
 
+#include <cmath>
 #include <mutex>
+#include <string>
 
 #include "ocls/error.hpp"
 
@@ -52,6 +54,91 @@ device_profile tesla_k20m_profile() {
   return p;
 }
 
+device_profile iris6100_profile() {
+  device_profile p;
+  p.platform_name = "Intel(R) OpenCL HD Graphics";
+  p.device_name = "Intel Iris Graphics 6100";
+  p.kind = device_kind::gpu;
+  p.compute_units = 6;   // subslices of 8 EUs each
+  p.simd_width = 8;      // EU SIMD-8 fp32 issue
+  p.max_work_group_size = 256;
+  p.local_mem_bytes = 64 * 1024;
+  p.clock_ghz = 1.05;
+  p.flops_per_cu_per_cycle = 128.0;  // 8 EUs x SIMD-8 x FMA
+  p.global_bw_gbps = 25.6;           // shared dual-channel DDR3-1600
+  p.llc_bytes = 4 * 1024 * 1024;     // shared LLC slice
+  p.cache_bw_multiplier = 4.0;
+  p.launch_overhead_ns = 1200.0;
+  p.workgroup_overhead_ns = 90.0;
+  p.idle_watts = 3.0;
+  p.max_watts = 28.0;
+  return p;
+}
+
+device_profile vega56_profile() {
+  device_profile p;
+  p.platform_name = "AMD Accelerated Parallel Processing";
+  p.device_name = "Radeon RX Vega 56";
+  p.kind = device_kind::gpu;
+  p.compute_units = 56;
+  p.simd_width = 64;  // wavefront
+  p.max_work_group_size = 256;
+  p.local_mem_bytes = 64 * 1024;
+  p.clock_ghz = 1.471;
+  p.flops_per_cu_per_cycle = 128.0;  // 64 lanes x FMA
+  p.global_bw_gbps = 410.0;          // HBM2
+  p.llc_bytes = 4 * 1024 * 1024;     // L2
+  p.cache_bw_multiplier = 3.0;
+  p.launch_overhead_ns = 900.0;
+  p.workgroup_overhead_ns = 40.0;
+  p.idle_watts = 30.0;
+  p.max_watts = 210.0;
+  return p;
+}
+
+void validate_profile(const device_profile& profile) {
+  const std::string who = "ocls: device_profile '" + profile.device_name +
+                          "': ";
+  auto positive_u = [&](const char* field, double v) {
+    if (!(v > 0.0)) {
+      throw invalid_device_profile(who + field + " must be positive, got " +
+                                   std::to_string(v));
+    }
+  };
+  auto finite_pos = [&](const char* field, double v) {
+    if (!std::isfinite(v) || !(v > 0.0)) {
+      throw invalid_device_profile(who + field +
+                                   " must be positive and finite, got " +
+                                   std::to_string(v));
+    }
+  };
+  auto finite_nonneg = [&](const char* field, double v) {
+    if (!std::isfinite(v) || v < 0.0) {
+      throw invalid_device_profile(who + field +
+                                   " must be non-negative and finite, got " +
+                                   std::to_string(v));
+    }
+  };
+  positive_u("compute_units", static_cast<double>(profile.compute_units));
+  positive_u("simd_width", static_cast<double>(profile.simd_width));
+  positive_u("max_work_group_size",
+             static_cast<double>(profile.max_work_group_size));
+  finite_pos("clock_ghz", profile.clock_ghz);
+  finite_pos("flops_per_cu_per_cycle", profile.flops_per_cu_per_cycle);
+  finite_pos("global_bw_gbps", profile.global_bw_gbps);
+  finite_pos("cache_bw_multiplier", profile.cache_bw_multiplier);
+  finite_nonneg("launch_overhead_ns", profile.launch_overhead_ns);
+  finite_nonneg("workgroup_overhead_ns", profile.workgroup_overhead_ns);
+  finite_nonneg("idle_watts", profile.idle_watts);
+  finite_nonneg("max_watts", profile.max_watts);
+  if (profile.max_watts < profile.idle_watts) {
+    throw invalid_device_profile(who +
+                                 "max_watts must be >= idle_watts, got " +
+                                 std::to_string(profile.max_watts) + " < " +
+                                 std::to_string(profile.idle_watts));
+  }
+}
+
 namespace {
 
 std::mutex g_mutex;
@@ -60,6 +147,9 @@ std::vector<platform> make_builtin_platforms() {
   return {
       platform("Intel(R) OpenCL", {device(xeon_e5_2640v2_profile())}),
       platform("NVIDIA CUDA", {device(tesla_k20m_profile())}),
+      platform("Intel(R) OpenCL HD Graphics", {device(iris6100_profile())}),
+      platform("AMD Accelerated Parallel Processing",
+               {device(vega56_profile())}),
   };
 }
 
@@ -93,6 +183,7 @@ device find_device(const std::string& platform_name,
 }
 
 void register_device(const device_profile& profile) {
+  validate_profile(profile);
   std::lock_guard lock(g_mutex);
   auto& all = mutable_platforms();
   for (auto& p : all) {

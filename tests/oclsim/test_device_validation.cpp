@@ -1,0 +1,144 @@
+// register_device validation: physically meaningless profiles must be
+// rejected at registration time with a clear ocls::invalid_device_profile
+// (previously they were silently accepted and surfaced much later as
+// NaN/inf model times), and the two new calibrated built-ins must be
+// discoverable and pass their own validation.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "ocls/device.hpp"
+#include "ocls/error.hpp"
+
+namespace {
+
+using namespace ocls;
+
+class DeviceValidationTest : public ::testing::Test {
+protected:
+  void TearDown() override { reset_registered_devices(); }
+
+  /// A profile that passes validation, to be broken one field at a time.
+  static device_profile good() {
+    device_profile p;
+    p.platform_name = "Test Platform";
+    p.device_name = "Test Device";
+    p.compute_units = 4;
+    p.simd_width = 8;
+    p.max_work_group_size = 256;
+    p.clock_ghz = 1.0;
+    p.flops_per_cu_per_cycle = 8.0;
+    p.global_bw_gbps = 10.0;
+    p.cache_bw_multiplier = 2.0;
+    p.idle_watts = 5.0;
+    p.max_watts = 50.0;
+    return p;
+  }
+};
+
+TEST_F(DeviceValidationTest, AcceptsAndRegistersValidProfile) {
+  EXPECT_NO_THROW(register_device(good()));
+  const auto dev = find_device("Test Platform", "Test Device");
+  EXPECT_EQ(dev.profile().compute_units, 4u);
+}
+
+TEST_F(DeviceValidationTest, RejectsZeroComputeUnits) {
+  auto p = good();
+  p.compute_units = 0;
+  EXPECT_THROW(register_device(p), invalid_device_profile);
+}
+
+TEST_F(DeviceValidationTest, RejectsZeroSimdWidth) {
+  auto p = good();
+  p.simd_width = 0;
+  EXPECT_THROW(register_device(p), invalid_device_profile);
+}
+
+TEST_F(DeviceValidationTest, RejectsZeroWorkGroupLimit) {
+  auto p = good();
+  p.max_work_group_size = 0;
+  EXPECT_THROW(register_device(p), invalid_device_profile);
+}
+
+TEST_F(DeviceValidationTest, RejectsNonPositiveFrequency) {
+  auto p = good();
+  p.clock_ghz = 0.0;
+  EXPECT_THROW(register_device(p), invalid_device_profile);
+  p.clock_ghz = -2.0;
+  EXPECT_THROW(register_device(p), invalid_device_profile);
+}
+
+TEST_F(DeviceValidationTest, RejectsNonPositiveBandwidth) {
+  auto p = good();
+  p.global_bw_gbps = 0.0;
+  EXPECT_THROW(register_device(p), invalid_device_profile);
+  p.global_bw_gbps = -1.0;
+  EXPECT_THROW(register_device(p), invalid_device_profile);
+}
+
+TEST_F(DeviceValidationTest, RejectsNonFiniteFields) {
+  auto p = good();
+  p.flops_per_cu_per_cycle = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(register_device(p), invalid_device_profile);
+  p = good();
+  p.clock_ghz = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(register_device(p), invalid_device_profile);
+  p = good();
+  p.launch_overhead_ns = -1.0;
+  EXPECT_THROW(register_device(p), invalid_device_profile);
+}
+
+TEST_F(DeviceValidationTest, RejectsIdleAboveMaxPower) {
+  auto p = good();
+  p.idle_watts = 100.0;
+  p.max_watts = 50.0;
+  EXPECT_THROW(register_device(p), invalid_device_profile);
+}
+
+TEST_F(DeviceValidationTest, ErrorNamesTheOffendingField) {
+  auto p = good();
+  p.global_bw_gbps = 0.0;
+  try {
+    register_device(p);
+    FAIL() << "expected invalid_device_profile";
+  } catch (const invalid_device_profile& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("global_bw_gbps"), std::string::npos) << what;
+    EXPECT_NE(what.find("Test Device"), std::string::npos) << what;
+  }
+}
+
+TEST_F(DeviceValidationTest, RejectedProfileIsNotRegistered) {
+  auto p = good();
+  p.compute_units = 0;
+  EXPECT_THROW(register_device(p), invalid_device_profile);
+  EXPECT_THROW((void)find_device("Test Platform", "Test Device"),
+               device_not_found);
+}
+
+TEST_F(DeviceValidationTest, NewBuiltinProfilesAreDiscoverable) {
+  const auto iris = find_device("", "Iris");
+  EXPECT_EQ(iris.profile().kind, device_kind::gpu);
+  EXPECT_EQ(iris.profile().max_work_group_size, 256u);
+  // The integrated profile's reason to exist: bandwidth far below any
+  // discrete card's.
+  EXPECT_LT(iris.profile().global_bw_gbps, 50.0);
+
+  const auto vega = find_device("AMD", "Vega");
+  EXPECT_EQ(vega.profile().kind, device_kind::gpu);
+  // The many-CU profile: more compute units than any other built-in.
+  EXPECT_GT(vega.profile().compute_units,
+            find_device("NVIDIA", "K20m").profile().compute_units);
+  EXPECT_GT(vega.profile().compute_units,
+            find_device("Intel", "Xeon").profile().compute_units);
+}
+
+TEST_F(DeviceValidationTest, AllBuiltinProfilesPassValidation) {
+  EXPECT_NO_THROW(validate_profile(xeon_e5_2640v2_profile()));
+  EXPECT_NO_THROW(validate_profile(tesla_k20m_profile()));
+  EXPECT_NO_THROW(validate_profile(iris6100_profile()));
+  EXPECT_NO_THROW(validate_profile(vega56_profile()));
+}
+
+}  // namespace

@@ -150,6 +150,52 @@ TEST_F(ServedE2eTest, MissThenHitThenCleanShutdown) {
   EXPECT_EQ(stop_daemon(), 0);  // SIGTERM drains and exits cleanly
 }
 
+// Registry families are first-class service keys: a stencil2d query misses,
+// gets refined through atf::kernels::registry::tune, and then hits — and
+// like every key, the answer survives a restart bit-identically.
+TEST_F(ServedE2eTest, RegistryKernelMissRefineHitAndRestart) {
+  start_daemon();
+  service_key key;
+  key.kernel = "stencil2d";
+  key.device = "K20m";
+  key.size = "40x40x1";
+  {
+    service_client client(socket_);
+    const auto miss = client.get(key);
+    EXPECT_TRUE(miss.ok);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_TRUE(miss.enqueued) << miss.error;
+  }
+  const std::string hit = wait_for_hit(key);
+  EXPECT_NE(hit.find("\"hit\":true"), std::string::npos);
+  EXPECT_EQ(stop_daemon(), 0);
+
+  start_daemon({"--no-refiner"});
+  std::string before;
+  {
+    service_client client(socket_);
+    const auto reply = client.get(key);
+    ASSERT_TRUE(reply.hit);
+    before = reply.raw;
+  }
+  EXPECT_EQ(stop_daemon(), 0);
+
+  start_daemon({"--no-refiner"});
+  service_client client(socket_);
+  const auto after = client.get(key);
+  EXPECT_TRUE(after.hit);
+  EXPECT_EQ(after.raw, before);
+
+  // A registry kernel with a wrong-arity size is rejected up front, with
+  // the family's dimension names in the explanation.
+  service_key bad = key;
+  bad.size = "40x40";
+  const auto rejected = client.get(bad);
+  EXPECT_TRUE(rejected.unrefinable);
+  // The validate() reason rides in the raw reply line's "reason" field.
+  EXPECT_NE(rejected.raw.find("HxWxR"), std::string::npos) << rejected.raw;
+}
+
 TEST_F(ServedE2eTest, UnrefinableKeysAreReportedNotQueued) {
   start_daemon();
   service_client client(socket_);

@@ -224,6 +224,51 @@ TEST_F(AtfTuneCliTest, BadParamBoundsNameTheValue) {
       run_command(base_command() + " --param 'X=set:1,two,3'").exit_code, 1);
 }
 
+TEST_F(AtfTuneCliTest, ListKernelsPrintsTheRegistryTable) {
+  const auto result =
+      run_command(std::string(ATF_TUNE_BINARY) + " --list-kernels");
+  EXPECT_EQ(result.exit_code, 0);
+  for (const char* family : {"saxpy", "reduce", "xgemm", "conv2d",
+                             "stencil2d", "spmv", "batched_gemm"}) {
+    EXPECT_NE(result.stdout_text.find(family), std::string::npos)
+        << family << " missing from:\n" << result.stdout_text;
+  }
+}
+
+TEST_F(AtfTuneCliTest, RegistryKernelTunesEndToEnd) {
+  const auto result = run_command(
+      std::string(ATF_TUNE_BINARY) +
+      " --kernel stencil2d --size 20x20x2 --device K20m"
+      " --technique annealing --evaluations 50 --seed 3");
+  EXPECT_EQ(result.exit_code, 0) << result.stdout_text;
+  // The best configuration is printed as NAME=VALUE lines.
+  for (const char* knob : {"TX=", "TY=", "LX=", "LY=", "VEC="}) {
+    EXPECT_NE(result.stdout_text.find(knob), std::string::npos)
+        << knob << " missing from:\n" << result.stdout_text;
+  }
+}
+
+TEST_F(AtfTuneCliTest, RegistryKernelIsDeterministicForAFixedSeed) {
+  const std::string command =
+      std::string(ATF_TUNE_BINARY) +
+      " --kernel spmv --size 256x8 --device Iris"
+      " --technique annealing --evaluations 40 --seed 11";
+  const auto first = run_command(command);
+  const auto second = run_command(command);
+  EXPECT_EQ(first.exit_code, 0);
+  EXPECT_EQ(first.stdout_text, second.stdout_text);
+}
+
+TEST_F(AtfTuneCliTest, UnknownKernelExitsWithCode2AndListsTheRegistry) {
+  const auto result =
+      run_command(std::string(ATF_TUNE_BINARY) + " --kernel conv9d");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_EQ(run_command(std::string(ATF_TUNE_BINARY) +
+                        " --kernel stencil2d --size 40x40")
+                .exit_code,
+            1);  // wrong arity for HxWxR
+}
+
 TEST_F(AtfTuneCliTest, ServeModeRequiresAQueryOrStats) {
   EXPECT_EQ(run_command(std::string(ATF_TUNE_BINARY) +
                         " --serve /tmp/nonexistent.sock")

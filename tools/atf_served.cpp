@@ -11,7 +11,11 @@
 // atf/service/protocol.hpp). Hits are served lock-free from an immutable
 // snapshot rebuilt from per-key crash-safe journals; misses go on a
 // bounded dedup queue drained by a background thread that runs a
-// journaled, warm-started XgemmDirect tune on the simulated device. Every
+// journaled, warm-started tune on the simulated device. 'xgemm' keys keep
+// the original blasmini XgemmDirect backend; every other kernel-registry
+// family (saxpy, reduce, conv2d, stencil2d, spmv, batched_gemm, ...) is
+// refined through atf::kernels::registry::tune with the same progressive
+// budget and per-key seeds. Every
 // answer the daemon ever gives survives SIGKILL: restart with the same
 // --journal-dir and the same queries return bit-identical reply lines.
 //
@@ -42,6 +46,7 @@
 #endif
 
 #include "atf/common/hash.hpp"
+#include "atf/kernels/registry.hpp"
 #include "atf/service/service.hpp"
 #include "atf/service/socket_server.hpp"
 #include "atf/session/journal.hpp"
@@ -188,6 +193,17 @@ blasmini::tune_technique technique_from(const std::string& name) {
   return blasmini::tune_technique::opentuner;
 }
 
+std::string known_kernel_names() {
+  std::string joined;
+  for (const auto& name : atf::kernels::registry::names()) {
+    if (!joined.empty()) {
+      joined += ", ";
+    }
+    joined += name;
+  }
+  return joined;
+}
+
 #if ATF_SERVED_HAVE_UNIX
 // Self-pipe: the signal handler writes one byte, main blocks on read().
 int signal_pipe[2] = {-1, -1};
@@ -224,42 +240,71 @@ int main(int argc, char** argv) {
   try {
     std::filesystem::create_directories(opts->journal_dir);
 
-    // The refine backend: a journaled, warm-started XgemmDirect tune on
-    // the simulated device. The budget is progressive — existing journal
-    // records plus one refine step — so every pass deepens the search and
-    // a restarted daemon continues where the killed one stopped.
+    // The refine backend: a journaled, warm-started tune on the simulated
+    // device. The budget is progressive — existing journal records plus one
+    // refine step — so every pass deepens the search and a restarted daemon
+    // continues where the killed one stopped. 'xgemm' keeps the original
+    // blasmini executor (warm-started per-shape program cache); every other
+    // registry family goes through the generic registry::tune driver.
     ocls::device device = ocls::find_device("", opts->device);
     const std::string device_name = device.name();
     const blasmini::tune_technique technique =
         technique_from(opts->technique);
+    const std::string technique_name = opts->technique;
     const std::uint64_t base_seed = opts->seed;
     const std::uint64_t refine_step = opts->refine_step;
 
-    auto refine = [device, technique, base_seed, refine_step](
+    auto refine = [device, technique, technique_name, base_seed, refine_step](
                       const atf::service::service_key& key,
                       const std::string& journal_path) {
-      const auto shape = parse_shape(key.size);
-      if (!shape.has_value()) {
-        return false;  // validate() should have rejected this
-      }
       const std::size_t existing =
           atf::session::read_journal(journal_path).records.size();
-      blasmini::tune_options topts;
-      topts.technique = technique;
-      topts.evaluations = existing + refine_step;
       // Deterministic per-key seed: different keys explore differently,
       // the same key resumes identically after a restart.
-      topts.seed = base_seed ^ atf::common::fnv1a(key.to_string());
-      topts.journal = journal_path;
-      blasmini::gemm_executor gemm(device);
-      gemm.tune(shape->m, shape->n, shape->k, topts);
+      const std::uint64_t key_seed =
+          base_seed ^ atf::common::fnv1a(key.to_string());
+
+      if (key.kernel == "xgemm") {
+        const auto shape = parse_shape(key.size);
+        if (!shape.has_value()) {
+          return false;  // validate() should have rejected this
+        }
+        blasmini::tune_options topts;
+        topts.technique = technique;
+        topts.evaluations = existing + refine_step;
+        topts.seed = key_seed;
+        topts.journal = journal_path;
+        blasmini::gemm_executor gemm(device);
+        gemm.tune(shape->m, shape->n, shape->k, topts);
+        return true;
+      }
+
+      const auto* family = atf::kernels::registry::find(key.kernel);
+      if (family == nullptr) {
+        return false;  // validate() should have rejected this
+      }
+      try {
+        const auto size = atf::kernels::registry::input_size::parse(key.size);
+        atf::kernels::registry::tune_settings settings;
+        settings.technique = technique_name;
+        settings.evaluations = existing + refine_step;
+        settings.seed = key_seed;
+        settings.journal = journal_path;
+        (void)atf::kernels::registry::tune(*family, size, device, settings);
+      } catch (const std::exception&) {
+        return false;  // empty space / degenerate size: nothing to journal
+      }
       return true;
     };
 
-    auto validate =
-        [device_name](const atf::service::service_key& key) -> std::string {
-      if (key.kernel != "xgemm") {
-        return "unknown kernel '" + key.kernel + "' (this daemon tunes 'xgemm')";
+    auto validate = [device, device_name](
+                        const atf::service::service_key& key) -> std::string {
+      const auto* family = key.kernel == "xgemm"
+                               ? nullptr
+                               : atf::kernels::registry::find(key.kernel);
+      if (key.kernel != "xgemm" && family == nullptr) {
+        return "unknown kernel '" + key.kernel + "' (this daemon tunes: " +
+               known_kernel_names() + ")";
       }
       // Same substring semantics as ocls::find_device: "K20m" matches the
       // canonical "Tesla K20m". The key keeps the client's spelling — two
@@ -269,8 +314,21 @@ int main(int argc, char** argv) {
         return "foreign device '" + key.device + "' (this daemon tunes '" +
                device_name + "')";
       }
-      if (!parse_shape(key.size).has_value()) {
-        return "malformed size '" + key.size + "' (expected MxNxK, all > 0)";
+      if (key.kernel == "xgemm") {
+        if (!parse_shape(key.size).has_value()) {
+          return "malformed size '" + key.size + "' (expected MxNxK, all > 0)";
+        }
+        return {};
+      }
+      // Registry families validate through their own space builder: wrong
+      // dimension counts and degenerate extents are rejected here, before
+      // the key can occupy a refinement slot.
+      try {
+        const auto size = atf::kernels::registry::input_size::parse(key.size);
+        (void)family->make_groups(size, device.profile());
+      } catch (const std::exception& error) {
+        return "bad size '" + key.size + "' for kernel '" + key.kernel +
+               "' (expected " + family->dim_names + "): " + error.what();
       }
       return {};
     };

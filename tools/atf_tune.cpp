@@ -19,6 +19,14 @@
 //            [--technique opentuner|annealing|surrogate|random] \
 //            [--evaluations N] [--seed N]
 //
+// Kernel registry mode (DESIGN.md §14): tune any registered kernel family
+// on a simulated device and verify the winner against the family's scalar
+// reference:
+//
+//   atf_tune --list-kernels
+//   atf_tune --kernel stencil2d [--size 66x66x1] [--device NAME] \
+//            [--technique T] [--evaluations N] [--seed N] [--journal-dir D]
+//
 // Parameter specs:
 //   NAME=interval:LO:HI[:divides=OTHER|:multiple-of=OTHER|:pow2]
 //   NAME=set:v1,v2,...
@@ -39,6 +47,7 @@
 #include "atf/atf.hpp"
 #include "atf/cf/program.hpp"
 #include "atf/common/string_utils.hpp"
+#include "atf/kernels/registry.hpp"
 #include "atf/search/opentuner_search.hpp"
 #include "atf/search/random_search.hpp"
 #include "atf/search/simulated_annealing.hpp"
@@ -112,8 +121,12 @@ struct cli_options {
   // Service client mode
   std::string serve_socket;
   std::string query;
-  std::string kernel = "xgemm";
   bool serve_stats = false;
+  // Kernel registry mode (also reuses --kernel in serve mode; empty means
+  // "xgemm" there)
+  std::string kernel;
+  std::string size;
+  bool list_kernels = false;
 };
 
 void usage(const char* argv0) {
@@ -146,6 +159,16 @@ void usage(const char* argv0) {
       "  (loaded first if it exists, so runs accumulate). --journal-dir\n"
       "  makes the grid tune crash-safe and warm-startable.\n"
       "\n"
+      "Kernel registry mode (tunes a registered kernel family):\n"
+      "       %s --list-kernels\n"
+      "       %s --kernel NAME [--size DIMS] [--device NAME] [--technique T]\n"
+      "          [--evaluations N] [--seed N] [--journal-dir DIR]\n"
+      "  --list-kernels prints every registered family (name, size form,\n"
+      "  knob count, constraint shape). --kernel tunes one family on the\n"
+      "  simulated device, verifies the winner against the family's scalar\n"
+      "  reference and prints it as NAME=VALUE lines. An unknown kernel\n"
+      "  name lists the registry and exits 2.\n"
+      "\n"
       "Service client mode (queries a running atf_served daemon):\n"
       "       %s --serve SOCKET --query MxNxK [--kernel NAME] "
       "[--device NAME]\n"
@@ -153,7 +176,7 @@ void usage(const char* argv0) {
       "  A hit prints the tuned configuration as NAME=VALUE lines and exits\n"
       "  0; a miss (tuning was enqueued on the daemon) exits 3. --stats\n"
       "  prints the daemon's counters.\n",
-      argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0);
 }
 
 std::optional<cli_options> parse_cli(int argc, char** argv) {
@@ -220,6 +243,10 @@ std::optional<cli_options> parse_cli(int argc, char** argv) {
       opts.query = value;
     } else if (flag == "--kernel" && (value = need_value(i))) {
       opts.kernel = value;
+    } else if (flag == "--size" && (value = need_value(i))) {
+      opts.size = value;
+    } else if (flag == "--list-kernels") {
+      opts.list_kernels = true;
     } else if (flag == "--stats") {
       opts.serve_stats = true;
     } else {
@@ -242,6 +269,9 @@ std::optional<cli_options> parse_cli(int argc, char** argv) {
       return std::nullopt;
     }
     return opts;  // program-mode flags are not required
+  }
+  if (opts.list_kernels || !opts.kernel.empty()) {
+    return opts;  // registry mode needs nothing else
   }
   if (opts.source.empty() || opts.compile.empty() || opts.run.empty() ||
       opts.params.empty()) {
@@ -271,7 +301,7 @@ int run_serve_client_mode(const cli_options& opts) {
     }
 
     atf::service::service_key key;
-    key.kernel = opts.kernel;
+    key.kernel = opts.kernel.empty() ? "xgemm" : opts.kernel;
     key.device = opts.device;
     key.size = opts.query;
     const auto reply = client.get(key);
@@ -304,6 +334,90 @@ int run_serve_client_mode(const cli_options& opts) {
       std::printf("%s=%s\n", name.c_str(), value.c_str());
     }
     return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "atf_tune: %s\n", error.what());
+    return 1;
+  }
+}
+
+/// --list-kernels: prints the registry table.
+int run_list_kernels_mode() {
+  std::printf("%-14s %-10s %-14s %-6s %s\n", "KERNEL", "SIZE", "DEFAULT",
+              "KNOBS", "CONSTRAINTS");
+  for (const auto& e : atf::kernels::registry::all()) {
+    std::printf("%-14s %-10s %-14s %-6zu %s\n", e.name.c_str(),
+                e.dim_names.c_str(), e.default_size.to_string().c_str(),
+                e.knob_count, e.constraint_summary.c_str());
+  }
+  return 0;
+}
+
+void print_registry(std::FILE* out) {
+  for (const auto& e : atf::kernels::registry::all()) {
+    std::fprintf(out, "  %-14s --size %s (default %s) — %s\n", e.name.c_str(),
+                 e.dim_names.c_str(), e.default_size.to_string().c_str(),
+                 e.description.c_str());
+  }
+}
+
+/// Kernel registry mode: tune one registered family, verify the winner
+/// against the family reference, print it. Exit codes: 0 success, 1 error
+/// or reference mismatch, 2 unknown kernel / no valid configuration.
+int run_registry_mode(const cli_options& opts) {
+  namespace reg = atf::kernels::registry;
+  const reg::entry* entry = reg::find(opts.kernel);
+  if (entry == nullptr) {
+    std::fprintf(stderr,
+                 "atf_tune: unknown kernel '%s'; registered kernels:\n",
+                 opts.kernel.c_str());
+    print_registry(stderr);
+    return 2;
+  }
+
+  try {
+    const ocls::device dev = ocls::find_device("", opts.device);
+    const reg::input_size size = opts.size.empty()
+                                     ? entry->default_size
+                                     : reg::input_size::parse(opts.size);
+
+    reg::tune_settings settings;
+    settings.technique = opts.technique;
+    settings.evaluations = opts.evaluations.value_or(1'000);
+    settings.seed = opts.seed;
+    if (!opts.journal_dir.empty()) {
+      settings.journal = opts.journal_dir + "/" + entry->name + "-" +
+                         opts.device + "-" + size.to_string() + ".jsonl";
+    }
+
+    const reg::tune_outcome outcome = reg::tune(*entry, size, dev, settings);
+    if (outcome.best.empty()) {
+      std::fprintf(stderr,
+                   "atf_tune: no valid configuration found (%llu "
+                   "evaluations, all failed)\n",
+                   static_cast<unsigned long long>(outcome.evaluations));
+      return 2;
+    }
+
+    const bool verified = entry->reference_check(size, dev, outcome.best);
+    std::fprintf(stderr,
+                 "atf_tune: kernel %s size %s on %s: space %llu, %llu "
+                 "evaluations (%llu failed), best %.1f ns, reference %s\n",
+                 entry->name.c_str(), size.to_string().c_str(),
+                 dev.name().c_str(),
+                 static_cast<unsigned long long>(outcome.space_size),
+                 static_cast<unsigned long long>(outcome.evaluations),
+                 static_cast<unsigned long long>(outcome.failed_evaluations),
+                 outcome.best_ns, verified ? "ok" : "MISMATCH");
+    if (!verified) {
+      return 1;
+    }
+    for (const auto& [name, value] : outcome.best.entries()) {
+      std::printf("%s=%s\n", name.c_str(), atf::to_string(value).c_str());
+    }
+    return 0;
+  } catch (const atf::empty_search_space_error&) {
+    std::fprintf(stderr, "atf_tune: the constrained search space is empty\n");
+    return 2;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "atf_tune: %s\n", error.what());
     return 1;
@@ -470,12 +584,20 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (opts->list_kernels) {
+    return run_list_kernels_mode();
+  }
+
   if (!opts->serve_socket.empty()) {
     return run_serve_client_mode(*opts);
   }
 
   if (!opts->size_grid.empty()) {
     return run_size_grid_mode(*opts);
+  }
+
+  if (!opts->kernel.empty()) {
+    return run_registry_mode(*opts);
   }
 
   // Build the tuning parameters in command-line order.
